@@ -1,0 +1,108 @@
+"""E2 — per-edit feedback latency: live vs. the Section 2 workflows.
+
+The paper's motivation: under edit-compile-run every iteration pays
+compilation, a restart (re-running init, including "waiting for the list
+to download") and re-navigation, while live programming pays one UPDATE +
+one RENDER.  We apply the same I2-style edit to the mortgage app under
+each workflow:
+
+* wall seconds per edit — the pytest-benchmark tables;
+* *virtual* seconds per edit (simulated download latency) and replayed
+  navigation actions — deterministic, asserted here:
+  live = 0s / 0 actions, restart = LATENCY / 2 actions per edit,
+  replay = LATENCY with cost growing in the trace length.
+
+Expected shape: live ≪ restart ≈ replay, and the gap grows with init
+cost — the crossover is immediate.
+"""
+
+import pytest
+
+from repro.apps.mortgage import BASE_SOURCE, apply_i2, host_impls
+from repro.baselines import LiveWorkflow, ReplayWorkflow, RestartWorkflow
+
+LATENCY = 1.5
+EDITED = apply_i2(BASE_SOURCE)
+
+
+def _nav_script():
+    """Navigate to the first listing's detail page (deterministic)."""
+    from repro.stdlib.listings import generate_listings
+
+    address, city, _price = generate_listings(8)[0]
+    return [("tap_text", "{}, {}".format(address, city))]
+
+
+def test_live_edit(benchmark):
+    workflow = LiveWorkflow(
+        BASE_SOURCE, host_impls=host_impls(), latency=LATENCY
+    )
+    workflow.act(*_nav_script()[0])
+    sources = [EDITED, BASE_SOURCE]
+
+    def one_edit():
+        source = sources[0]
+        sources.reverse()
+        return workflow.apply_edit(source)
+
+    metrics = benchmark(one_edit)
+    assert metrics.visible
+    assert metrics.virtual_seconds == 0.0
+    assert metrics.navigation_actions == 0
+
+
+def test_restart_edit(benchmark):
+    workflow = RestartWorkflow(
+        BASE_SOURCE,
+        host_impls=host_impls(),
+        navigation=_nav_script(),
+        latency=LATENCY,
+    )
+    sources = [EDITED, BASE_SOURCE]
+
+    def one_edit():
+        source = sources[0]
+        sources.reverse()
+        return workflow.apply_edit(source)
+
+    metrics = benchmark(one_edit)
+    assert metrics.virtual_seconds == LATENCY  # re-downloaded every time
+    assert metrics.navigation_actions == 1
+
+
+def test_replay_edit(benchmark):
+    workflow = ReplayWorkflow(
+        BASE_SOURCE, host_impls=host_impls(), latency=LATENCY
+    )
+    workflow.act(*_nav_script()[0])
+    workflow.act("back")
+    workflow.act(*_nav_script()[0])
+    sources = [EDITED, BASE_SOURCE]
+
+    def one_edit():
+        source = sources[0]
+        sources.reverse()
+        return workflow.apply_edit(source)
+
+    outcome = benchmark(one_edit)
+    assert outcome.virtual_seconds == LATENCY
+    assert outcome.replayed_actions == 3  # the whole history, every edit
+
+
+def test_shapes_summary():
+    """The deterministic half of E2, independent of wall clocks."""
+    live = LiveWorkflow(
+        BASE_SOURCE, host_impls=host_impls(), latency=LATENCY
+    )
+    live.act(*_nav_script()[0])
+    restart = RestartWorkflow(
+        BASE_SOURCE, host_impls=host_impls(),
+        navigation=_nav_script(), latency=LATENCY,
+    )
+    live_total = 0.0
+    restart_total = 0.0
+    for source in (apply_i2(BASE_SOURCE), BASE_SOURCE, EDITED):
+        live_total += live.apply_edit(source).virtual_seconds
+        restart_total += restart.apply_edit(source).virtual_seconds
+    assert live_total == 0.0
+    assert restart_total == 3 * LATENCY

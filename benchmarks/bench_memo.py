@@ -1,0 +1,80 @@
+"""E8 — render memoization (§5's self-adjusting-computation sketch).
+
+The model's cost center is re-running the whole render body on every
+model change (E1/E5).  Memoizing render *functions* elides the calls
+whose inputs didn't change; we measure a list page whose rows are drawn
+by a helper function, after a model change that affects one global the
+rows do not read.
+
+Expected shape: memoized re-render cost approaches the per-row splice
+cost (hit rate 100% on unaffected rows), with the win growing in row
+count; a change to a global the rows DO read invalidates everything and
+costs one cache rebuild.
+"""
+
+import pytest
+
+from repro.surface.compile import compile_source
+from repro.system.runtime import Runtime
+
+APP_TEMPLATE = """\
+global clicks : number = 0
+global theme : string = "plain"
+
+fun row(i : number)
+  boxed
+    box.border := true
+    post theme || " row " || i || " of {rows}"
+
+page start()
+  render
+    for i = 1 to {rows} do
+      row(i)
+    boxed
+      post "clicks " || clicks
+      on tap do
+        clicks := clicks + 1
+    boxed
+      post "retheme"
+      on tap do
+        theme := theme || "!"
+"""
+
+
+def _runtime(rows, memo_render):
+    compiled = compile_source(APP_TEMPLATE.format(rows=rows))
+    return Runtime(
+        compiled.code, natives=compiled.natives, memo_render=memo_render
+    ).start()
+
+
+@pytest.mark.parametrize("rows", (16, 64), ids=lambda r: "rows={}".format(r))
+@pytest.mark.parametrize(
+    "memo_render", (False, True), ids=("memo=off", "memo=on")
+)
+def test_rerender_after_unrelated_change(benchmark, rows, memo_render):
+    """Tap 'clicks': the rows' inputs are unchanged."""
+    runtime = _runtime(rows, memo_render)
+    state = {"clicks": 0}
+
+    def tap():
+        runtime.tap_text("clicks {}".format(state["clicks"]))
+        state["clicks"] += 1
+
+    benchmark(tap)
+    if memo_render:
+        stats = runtime.system.render_memo.stats()
+        assert stats["hits"] > stats["misses"]
+
+
+@pytest.mark.parametrize(
+    "memo_render", (False, True), ids=("memo=off", "memo=on")
+)
+def test_rerender_after_invalidating_change(benchmark, memo_render):
+    """Tap 'retheme': every row reads ``theme`` — full invalidation."""
+    runtime = _runtime(32, memo_render)
+
+    def tap():
+        runtime.tap_text("retheme")
+
+    benchmark(tap)

@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (E1-E6).
+Absolute numbers are this machine's; EXPERIMENTS.md records the *shapes*
+the paper's claims predict, and the benches assert those shapes where they
+are deterministic (virtual-clock costs, operation counts) while leaving
+wall-clock comparisons to the pytest-benchmark tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Figure 2: the live IDE — split screen, navigation, direct manipulation.
+
+A scripted programmer works in the two-pane view: selecting a box in the
+live view highlights the boxed statement in the code view (and vice
+versa; a statement in a loop selects ALL its boxes), and attribute edits
+made "on the display" are realized as code edits.
+"""
+
+from repro.live import LiveSession
+
+SOURCE = """\
+page start()
+  render
+    boxed
+      post "TODAY'S SPECIALS"
+    for i = 1 to 3 do
+      boxed
+        box.border := true
+        post "special #" || i
+        on tap do
+          pop
+"""
+
+
+def heading(text):
+    print()
+    print("=" * 70)
+    print(text)
+    print("=" * 70)
+
+
+def main():
+    session = LiveSession(SOURCE)
+
+    heading("The Fig. 2 split screen: live view ║ code view")
+    print(session.side_by_side(width=26))
+
+    heading("Live → code: tap 'special #2'; its boxed statement lights up")
+    path = session.runtime.find_text("special #2")
+    selection = session.select_box(path)
+    print(
+        "tapped box path {} → boxed statement #{} at {}".format(
+            list(path), selection.box_id, selection.span
+        )
+    )
+    print(
+        "that statement is in a loop: {} boxes selected "
+        "collectively".format(len(selection.paths))
+    )
+    print(session.side_by_side(width=26, selection=selection))
+
+    heading("Code → live: put the cursor on the header's post line")
+    selection = session.select_code(4)
+    print(
+        "line 4 → boxed statement #{} → {} box(es) in the live "
+        "view".format(selection.box_id, len(selection.paths))
+    )
+    print(session.side_by_side(width=26, selection=selection))
+
+    heading("Direct manipulation: set margin=2 on the header box")
+    edit, result = session.manipulate(selection.paths[0], "margin", 2)
+    print("the IDE {} the line: {!r}".format(
+        "inserted" if edit.inserted else "rewrote", edit.new_line.strip()
+    ))
+    print("live update:", result.status)
+    print(session.side_by_side(width=30))
+
+    heading("Nested selection: repeated taps select enclosing boxes")
+    path = session.runtime.find_text("special #1")
+    for selection in session.selection_chain(path):
+        print(
+            "  boxed #{} ({} box(es)) at {}".format(
+                selection.box_id, len(selection.paths), selection.span
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

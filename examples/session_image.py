@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Persistent sessions: code + data as one image (§1's "persistent data").
+
+Saves a running session to JSON, edits the source *while it is
+suspended*, and resumes — demonstrating that loading an image is just the
+UPDATE transition in disguise: the saved model state is fixed up against
+the new code with the Fig. 12 rules.
+"""
+
+import json
+
+from repro import LiveSession, load_image, save_image_text
+from repro.apps.counter import SOURCE
+
+
+def heading(text):
+    print()
+    print("=" * 60)
+    print(text)
+    print("=" * 60)
+
+
+def main():
+    heading("1. Use the counter, then save a session image")
+    session = LiveSession(SOURCE)
+    session.tap_text("count: 0")
+    session.tap_text("count: 1")
+    session.tap_text("count: 2")
+    image_text = save_image_text(session)
+    print(session.screenshot(width=24))
+    image = json.loads(image_text)
+    print("image keys  :", sorted(image))
+    print("saved store :", image["store"])
+
+    heading("2. Resume later: model and page stack are back")
+    restored = load_image(image_text)
+    print(restored.screenshot(width=24))
+
+    heading("3. Edit the source WHILE SUSPENDED, then resume")
+    edited = SOURCE.replace('"count: "', '"resumed taps: "')
+    restored = load_image(image_text, source=edited)
+    print(restored.screenshot(width=28))
+    print("fix-up dropped:", restored.last_restore_report.dropped_globals
+          or "nothing — the counter value survived the edit")
+
+    heading("4. A type-changing suspended edit: Fig. 12 deletes the value")
+    retyped = (
+        edited.replace("global count : number = 0",
+                       'global count : string = "fresh"')
+        .replace("count := count + 1", 'count := "tapped"')
+        .replace("count := 0", 'count := ""')
+    )
+    restored = load_image(image_text, source=retyped)
+    print(restored.screenshot(width=28))
+    print("fix-up dropped:", restored.last_restore_report.dropped_globals)
+
+
+if __name__ == "__main__":
+    main()

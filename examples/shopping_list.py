@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""A multi-page app with editable boxes: the shopping list.
+
+Demonstrates the model/view discipline on a more interactive app: an
+editable box appends to a list global, taps mutate quantities, and the
+header total is *recomputed by render* — there is no view-update code
+anywhere in the program (the paper's answer to the view-update problem).
+Ends with a live edit that restyles the list while it is in use.
+"""
+
+from repro.apps.shopping import SOURCE
+from repro.live import LiveSession
+
+
+def heading(text):
+    print()
+    print("=" * 56)
+    print(text)
+    print("=" * 56)
+
+
+def main():
+    session = LiveSession(SOURCE)
+
+    heading("Initial list")
+    print(session.screenshot(width=34))
+
+    heading("Type 'eggs' into the add box")
+    session.edit_box(session.runtime.find_text("add: "), "eggs")
+    print(session.screenshot(width=34))
+
+    heading("Tap [more] on milk twice — the total recomputes itself")
+    for _ in range(2):
+        session.tap_text(" [more]")
+    print(session.runtime.all_texts()[0])
+
+    heading("Open the bread detail page and come back")
+    session.tap_text("bread x2")
+    print(session.screenshot(width=30))
+    session.tap_text("back")
+
+    heading("LIVE EDIT while shopping: shout the item names")
+    result = session.replace_text(
+        "post e.name || \" x\" || e.qty",
+        "post upper(e.name) || \" x\" || e.qty",
+    )
+    print("edit:", result.status, "(entries survived the update)")
+    print(session.screenshot(width=34))
+
+    heading("Delete the first entry")
+    session.tap_text(" [del]")
+    print(session.runtime.all_texts()[0])
+
+
+if __name__ == "__main__":
+    main()

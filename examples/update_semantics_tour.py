@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""A guided tour of the UPDATE semantics (Fig. 9 + Fig. 12).
+
+Works at the core-calculus level to show exactly what the formal model
+does on a code change: what is re-executed (the current page's render
+body), what survives (the store and page stack, fixed up per Fig. 12),
+and what can never survive (stale closures, ill-typed entries).
+"""
+
+from repro.core import (
+    App,
+    Boxed,
+    Code,
+    GlobalDef,
+    GlobalRead,
+    GlobalWrite,
+    Lam,
+    NUMBER,
+    Num,
+    PageDef,
+    Post,
+    Prim,
+    RENDER,
+    STATE,
+    STRING,
+    SetAttr,
+    Str,
+    UNIT,
+    UNIT_VALUE,
+    fresh_name,
+    pretty_code,
+)
+from repro.system import System
+
+
+def seq(effect, *exprs):
+    result = UNIT_VALUE
+    for expr in reversed(exprs):
+        result = App(Lam(fresh_name("_"), UNIT, result, effect), expr)
+    return result
+
+
+def make_code(label, global_type=NUMBER, init_value=None):
+    init_value = init_value if init_value is not None else Num(0)
+    bump = Lam(
+        "u", UNIT,
+        GlobalWrite("n", Prim("add", (GlobalRead("n"), Num(1))))
+        if global_type is NUMBER
+        else GlobalWrite("n", Str("reset")),
+        STATE,
+    )
+    render = Lam(
+        "a", UNIT,
+        seq(
+            RENDER,
+            Boxed(
+                seq(
+                    RENDER,
+                    Post(
+                        Prim(
+                            "concat",
+                            (
+                                Str(label),
+                                Prim("str_of_num", (GlobalRead("n"),))
+                                if global_type is NUMBER
+                                else GlobalRead("n"),
+                            ),
+                        )
+                    ),
+                    SetAttr("ontap", bump),
+                ),
+                box_id=1,
+            ),
+        ),
+        RENDER,
+    )
+    return Code(
+        [
+            GlobalDef("n", global_type, init_value),
+            PageDef(
+                "start", UNIT, Lam("a", UNIT, UNIT_VALUE, STATE), render
+            ),
+        ]
+    )
+
+
+def heading(text):
+    print()
+    print("=" * 66)
+    print(text)
+    print("=" * 66)
+
+
+def show_state(system):
+    state = system.state
+    print("  store :", dict(
+        (k, str(v)) for k, (_, v) in
+        zip(state.store.domain(), state.store.items())
+    ) or "ε")
+    print("  stack :", [name for name, _ in state.stack.entries()] or "ε")
+    print("  queue :", repr(state.queue))
+    print("  D     :", "valid box tree" if state.display_is_valid() else "⊥")
+
+
+def main():
+    heading("The initial program C (pretty-printed core calculus)")
+    code_v1 = make_code("n = ")
+    print(pretty_code(code_v1))
+
+    heading("Boot: STARTUP → PUSH(start) → RENDER;  then two taps")
+    system = System(code_v1)
+    system.run_to_stable()
+    system.tap((0,))
+    system.run_to_stable()
+    system.tap((0,))
+    system.run_to_stable()
+    show_state(system)
+    print("  trace :", " ".join(str(t) for t in system.trace))
+
+    heading("UPDATE #1: same shapes, new label — the store survives")
+    report = system.update(make_code("taps: "))
+    print("  fix-up dropped:", report.dropped_globals or "nothing")
+    show_state(system)
+    system.run_to_stable()
+    print("  re-rendered under NEW code with OLD state:")
+    print("   ", [str(leaf) for _p, b in system.display.walk()
+                  for leaf in b.leaves()])
+
+    heading("UPDATE #2: 'n' becomes a string — Fig. 12's S-SKIP fires")
+    report = system.update(
+        make_code("msg = ", global_type=STRING, init_value=Str("hello"))
+    )
+    print("  fix-up dropped:", report.dropped_globals)
+    system.run_to_stable()
+    print("  the global reverted to its NEW initial value (EP-GLOBAL-2):")
+    print("   ", [str(leaf) for _p, b in system.display.walk()
+                  for leaf in b.leaves()])
+
+    heading("No stale code: nothing outside C contains a closure")
+    from repro.metatheory import no_stale_code
+
+    print("  no_stale_code(system) =", no_stale_code(system))
+
+    heading("An ill-typed update is refused; the program keeps running")
+    from repro.core import UpdateRejected
+
+    bad = Code([GlobalDef("n", NUMBER, Num(0))])  # no start page
+    try:
+        system.update(bad)
+    except UpdateRejected as rejected:
+        print("  rejected:", rejected.problems[0])
+    system.tap((0,))
+    system.run_to_stable()
+    print("  still alive; display shows:",
+          [str(leaf) for _p, b in system.display.walk()
+           for leaf in b.leaves()])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of "It's Alive! Continuous Feedback in UI
+Programming" (Burckhardt et al., PLDI 2013).
+
+The package implements the paper's whole stack:
+
+* :mod:`repro.core` — the calculus of Fig. 6/7 (expressions, types,
+  effects, programs);
+* :mod:`repro.typing` — the type-and-effect system of Fig. 10/11;
+* :mod:`repro.eval` — the evaluation relations of Fig. 8 (a faithful
+  small-step machine and a production CEK machine);
+* :mod:`repro.system` — the system model of Fig. 9 with the UPDATE
+  transition and the Fig. 12 fix-up;
+* :mod:`repro.boxes` / :mod:`repro.render` — box trees and deterministic
+  layout/text/HTML backends;
+* :mod:`repro.surface` — a TouchDevelop-like surface language compiled
+  to the calculus;
+* :mod:`repro.live` — the live IDE of Fig. 2 (live editing, UI-code
+  navigation, direct manipulation);
+* :mod:`repro.apps` — example applications, including the paper's
+  mortgage calculator;
+* :mod:`repro.baselines` — the conventional workflows of Section 2 for
+  comparison;
+* :mod:`repro.metatheory` — executable preservation/progress and random
+  program generators.
+
+Quickstart::
+
+    from repro import LiveSession
+    from repro.apps.counter import SOURCE
+
+    session = LiveSession(SOURCE)
+    session.tap_text("count: 0")
+    session.replace_text('"count: "', '"n = "')   # live edit!
+    print(session.screenshot())
+"""
+
+from .core.defs import Code, FunDef, GlobalDef, PageDef
+from .core.errors import (
+    ReproError,
+    SyntaxProblem,
+    SystemError_,
+    TypeProblem,
+    UpdateRejected,
+)
+from .live.session import EditResult, LiveSession
+from .persist import load_image, save_image, save_image_text
+from .surface.compile import CompiledProgram, compile_source
+from .system.runtime import Runtime
+from .system.services import Services, VirtualClock
+from .system.transitions import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Code",
+    "CompiledProgram",
+    "EditResult",
+    "FunDef",
+    "GlobalDef",
+    "LiveSession",
+    "PageDef",
+    "load_image",
+    "save_image",
+    "save_image_text",
+    "ReproError",
+    "Runtime",
+    "Services",
+    "SyntaxProblem",
+    "System",
+    "SystemError_",
+    "TypeProblem",
+    "UpdateRejected",
+    "VirtualClock",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Surface-language example applications, including the paper's running
+example (the mortgage calculator of Figures 1 and 3-5)."""
+
+from . import calculator, converter, counter, gallery, mortgage, shopping
+
+__all__ = [
+    "calculator", "converter", "counter", "gallery", "mortgage", "shopping",
+]

@@ -1,0 +1,108 @@
+"""A pocket calculator: a handler-dense app.
+
+Sixteen buttons, each a tap handler mutating two string/number globals —
+the opposite load profile from the mortgage app (many small handlers, a
+tiny render body).  The display is, as always, recomputed from the model;
+there is no "update the screen" code even though every tap changes it.
+"""
+
+from __future__ import annotations
+
+from ..surface.compile import compile_source
+
+SOURCE = '''\
+global acc : number = 0
+global entry : string = ""
+global op : string = ""
+
+fun entry_value() : number
+  var v := 0
+  if count(entry) > 0 then
+    v := parse_number(entry)
+  return v
+
+fun apply_op() : number
+  var result := entry_value()
+  if op == "+" then
+    result := acc + entry_value()
+  if op == "-" then
+    result := acc - entry_value()
+  if op == "*" then
+    result := acc * entry_value()
+  return result
+
+fun press_digit(d : number)
+  entry := entry || to_string(d)
+
+fun press_op(next_op : string)
+  acc := apply_op()
+  entry := ""
+  op := next_op
+
+fun display() : string
+  var text := entry
+  if count(entry) == 0 then
+    text := to_string(acc)
+  return text
+
+page start()
+  render
+    boxed
+      box.border := true
+      box.width := 11
+      post display()
+    var row := 0
+    while row < 3 do
+      boxed
+        box.horizontal := true
+        var col := 1
+        while col <= 3 do
+          var d := row * 3 + col
+          boxed
+            box.border := true
+            post to_string(d)
+            on tap do
+              press_digit(d)
+          col := col + 1
+      row := row + 1
+    boxed
+      box.horizontal := true
+      boxed
+        box.border := true
+        post "0"
+        on tap do
+          press_digit(0)
+      for sym in ["+", "-", "*"] do
+        boxed
+          box.border := true
+          post sym
+          on tap do
+            press_op(sym)
+      boxed
+        box.border := true
+        post "="
+        on tap do
+          acc := apply_op()
+          entry := ""
+          op := ""
+      boxed
+        box.border := true
+        post "C"
+        on tap do
+          acc := 0
+          entry := ""
+          op := ""
+'''
+
+
+def compile_calculator(source=None):
+    return compile_source(source or SOURCE)
+
+
+def calculator_runtime(source=None, **runtime_kwargs):
+    from ..system.runtime import Runtime
+
+    compiled = compile_calculator(source)
+    return Runtime(
+        compiled.code, natives=compiled.natives, **runtime_kwargs
+    ).start()

@@ -1,0 +1,59 @@
+"""A unit-converter app: the ``editable`` sugar in action.
+
+Two editable fields (celsius, miles) with derived read-only displays —
+the reactive-spreadsheet feel the paper's §1 invokes, expressed with
+nothing but model globals and render recomputation.  Used by tests and
+as a compact fixture for the §5 encapsulation discussion: every widget
+value is a named global, and ``editable`` hides the plumbing.
+"""
+
+from __future__ import annotations
+
+from ..surface.compile import compile_source
+
+SOURCE = '''\
+global celsius : number = 20
+global miles : number = 1
+
+fun fahrenheit() : number
+  return celsius * 9 / 5 + 32
+
+fun km() : number
+  return miles * 1.609344
+
+page start()
+  render
+    boxed
+      post "UNIT CONVERTER"
+    boxed
+      box.horizontal := true
+      boxed
+        post "celsius: "
+      boxed
+        box.border := true
+        editable celsius
+      boxed
+        post " = " || format(fahrenheit(), 1) || " F"
+    boxed
+      box.horizontal := true
+      boxed
+        post "miles: "
+      boxed
+        box.border := true
+        editable miles
+      boxed
+        post " = " || format(km(), 3) || " km"
+'''
+
+
+def compile_converter(source=None):
+    return compile_source(source or SOURCE)
+
+
+def converter_runtime(source=None, **runtime_kwargs):
+    from ..system.runtime import Runtime
+
+    compiled = compile_converter(source)
+    return Runtime(
+        compiled.code, natives=compiled.natives, **runtime_kwargs
+    ).start()

@@ -1,0 +1,41 @@
+"""The smallest complete app: a tappable counter.
+
+Used by the quickstart example and as the minimal fixture across the
+test-suite: one global (the model), one page whose render body shows it,
+one tap handler that mutates it — the model/view separation in five
+lines.
+"""
+
+from __future__ import annotations
+
+from ..surface.compile import compile_source
+
+SOURCE = '''\
+global count : number = 0
+
+page start()
+  render
+    boxed
+      box.border := true
+      box.padding := 1
+      post "count: " || count
+      on tap do
+        count := count + 1
+    boxed
+      post "reset"
+      on tap do
+        count := 0
+'''
+
+
+def compile_counter(source=None):
+    return compile_source(source or SOURCE)
+
+
+def counter_runtime(source=None, **runtime_kwargs):
+    from ..system.runtime import Runtime
+
+    compiled = compile_counter(source)
+    return Runtime(
+        compiled.code, natives=compiled.natives, **runtime_kwargs
+    ).start()

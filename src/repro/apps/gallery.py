@@ -1,0 +1,51 @@
+"""A parametric box gallery — the render-scaling workload.
+
+The page draws ``rows`` boxed rows of ``cols`` cells each, every cell
+carrying attributes.  Benchmark E1 sweeps the row count to reproduce the
+Section 5 observation that full-rebuild rendering cost grows with the
+number of boxes on screen; benchmark E3 edits one cell's colour and
+measures how much of the tree the reuse optimization shares.
+"""
+
+from __future__ import annotations
+
+from ..surface.compile import compile_source
+
+SOURCE_TEMPLATE = '''\
+global rows : number = {rows}
+global cols : number = {cols}
+global selected : number = -1
+
+page start()
+  render
+    boxed
+      post "gallery " || rows || "x" || cols
+    for r = 1 to rows do
+      boxed
+        box.horizontal := true
+        for c = 1 to cols do
+          boxed
+            box.padding := 0
+            if (r * cols + c) == selected then
+              box.background := "yellow"
+            post "[" || r || "." || c || "]"
+            on tap do
+              selected := r * cols + c
+'''
+
+
+def gallery_source(rows=10, cols=4):
+    return SOURCE_TEMPLATE.format(rows=rows, cols=cols)
+
+
+def compile_gallery(rows=10, cols=4):
+    return compile_source(gallery_source(rows, cols))
+
+
+def gallery_runtime(rows=10, cols=4, **runtime_kwargs):
+    from ..system.runtime import Runtime
+
+    compiled = compile_gallery(rows, cols)
+    return Runtime(
+        compiled.code, natives=compiled.natives, **runtime_kwargs
+    ).start()

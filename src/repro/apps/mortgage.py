@@ -1,0 +1,231 @@
+"""The paper's running example: the mortgage calculator (Figs. 1, 3-5).
+
+Two pages:
+
+* ``start`` — downloads the house listings in its init body (Fig. 3) and
+  renders a header plus one tappable entry per listing; tapping pushes the
+  detail page with the listing as argument.
+* ``detail`` — shows the price, editable term/APR boxes, the monthly
+  payment and the amortization schedule (Figs. 4 and 5).
+
+Three *live improvements* from Section 3.1 ship as source edits:
+
+* :func:`apply_i1` — margins via direct manipulation (I1); the live IDE
+  performs this one itself, this function is the equivalent manual edit;
+* :func:`apply_i2` — print the balance in dollars and cents (I2), the
+  paper's exact replacement code;
+* :func:`apply_i3` — highlight every fifth amortization row (I3), the
+  paper's exact two-line addition.
+
+Each returns a *new source string*; feeding it to
+``Runtime.update_code``/``LiveSession.edit_source`` while the program is
+running is precisely the paper's demo.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+from ..stdlib.web import make_services, web_host_impls
+from ..surface.compile import compile_source
+
+BASE_SOURCE = '''\
+record listing
+  address : string
+  city : string
+  price : number
+
+extern fun fetch_listings() : list listing is state
+
+global listings : list listing = nil(listing)
+global term : number = 30
+global apr : number = 4.5
+
+fun display_listentry(l : listing)
+  boxed
+    post l.address || ", " || l.city
+  boxed
+    post "$" || l.price
+
+fun monthly_payment(price : number, years : number, rate : number) : number
+  var r := rate / 1200
+  var n := years * 12
+  var pay := 0
+  if r == 0 then
+    pay := price / n
+  else
+    pay := price * r / (1 - pow(1 + r, -n))
+  return pay
+
+fun display_amortization(price : number, years : number, rate : number)
+  var balance := price
+  var payment := 12 * monthly_payment(price, years, rate)
+  var r := rate / 100
+  for i = 1 to years do
+    boxed
+      box.horizontal := true
+      boxed
+        box.width := 9
+        post "year " || i
+      boxed
+        balance := max(0, balance * (1 + r) - payment)
+        post "balance: " || balance
+
+page start()
+  init
+    listings := fetch_listings()
+  render
+    boxed
+      box.horizontal := true
+      boxed
+        post "House"
+      boxed
+        post "Hunting"
+    boxed
+      for l in listings do
+        boxed
+          display_listentry(l)
+          on tap do
+            push detail(l)
+
+page detail(l : listing)
+  render
+    boxed
+      post l.address || ", " || l.city
+    boxed
+      post "price: $" || l.price
+    boxed
+      box.horizontal := true
+      boxed
+        post "term (years): "
+      boxed
+        box.border := true
+        post term
+        on edit(t) do
+          term := parse_number(t)
+    boxed
+      box.horizontal := true
+      boxed
+        post "APR %: "
+      boxed
+        box.border := true
+        post apr
+        on edit(t) do
+          apr := parse_number(t)
+    boxed
+      post "monthly payment: $" || format(monthly_payment(l.price, term, apr), 2)
+    boxed
+      display_amortization(l.price, term, apr)
+    boxed
+      post "back"
+      on tap do
+        pop
+'''
+
+#: The I2 target: the balance cell of the amortization row (Fig. 5).
+_I2_OLD = '''\
+        balance := max(0, balance * (1 + r) - payment)
+        post "balance: " || balance
+'''
+
+#: The paper's replacement code from Section 3.1, verbatim modulo syntax.
+_I2_NEW = '''\
+        balance := max(0, balance * (1 + r) - payment)
+        var dollars := floor(balance)
+        var cents := round((balance - dollars) * 100) || ""
+        if count(cents) < 2 then
+          cents := "0" || cents
+        post "balance: $" || dollars || "." || cents
+'''
+
+#: The I3 target: the top of the per-year row box.
+_I3_OLD = '''\
+    boxed
+      box.horizontal := true
+      boxed
+        box.width := 9
+        post "year " || i
+'''
+
+#: The paper's addition: every fifth row gets a light blue background.
+_I3_NEW = '''\
+    boxed
+      box.horizontal := true
+      if mod(i, 5) == 4 then
+        box.background := "light blue"
+      boxed
+        box.width := 9
+        post "year " || i
+'''
+
+#: The I1 target/replacement: a margin tweak on the header box (the live
+#: IDE performs this via direct manipulation; this is the manual form).
+_I1_OLD = '''\
+    boxed
+      box.horizontal := true
+      boxed
+        post "House"
+'''
+_I1_NEW = '''\
+    boxed
+      box.horizontal := true
+      box.margin := 1
+      boxed
+        post "House"
+'''
+
+
+def _replace_once(source, old, new, improvement):
+    if source.count(old) != 1:
+        raise ReproError(
+            "cannot apply {}: anchor not found exactly once".format(
+                improvement
+            )
+        )
+    return source.replace(old, new)
+
+
+def apply_i1(source):
+    """I1 — adjust margins to improve the visual appearance."""
+    return _replace_once(source, _I1_OLD, _I1_NEW, "I1")
+
+
+def apply_i2(source):
+    """I2 — print the monthly balance in properly formatted dollars/cents."""
+    return _replace_once(source, _I2_OLD, _I2_NEW, "I2")
+
+
+def apply_i3(source):
+    """I3 — highlight every fifth line of the schedule in light blue."""
+    return _replace_once(source, _I3_OLD, _I3_NEW, "I3")
+
+
+def improved_source():
+    """BASE_SOURCE with all three improvements applied."""
+    return apply_i3(apply_i2(apply_i1(BASE_SOURCE)))
+
+
+def host_impls():
+    """The extern implementations this app needs."""
+    return web_host_impls()
+
+
+def compile_mortgage(source=None):
+    """Compile the app; returns a CompiledProgram."""
+    return compile_source(source or BASE_SOURCE, host_impls())
+
+
+def mortgage_runtime(source=None, latency=None, **runtime_kwargs):
+    """A started :class:`~repro.system.runtime.Runtime` for the app."""
+    from ..system.runtime import Runtime
+
+    compiled = compile_mortgage(source)
+    services = (
+        make_services() if latency is None else make_services(latency=latency)
+    )
+    runtime = Runtime(
+        compiled.code,
+        natives=compiled.natives,
+        services=services,
+        **runtime_kwargs
+    )
+    return runtime.start()

@@ -1,0 +1,101 @@
+"""A multi-page shopping-list app.
+
+Exercises the parts of the model the mortgage example doesn't: an
+*editable* box that grows a list global, page navigation with record
+arguments, deleting by index, and an aggregate (the total) recomputed by
+render on every model change — no view-update code anywhere, which is the
+paper's point about the view-update problem.
+"""
+
+from __future__ import annotations
+
+from ..surface.compile import compile_source
+
+SOURCE = '''\
+record entry
+  name : string
+  qty : number
+
+global entries : list entry = [entry("milk", 1), entry("bread", 2)]
+global draft : string = ""
+
+fun total() : number
+  var sum := 0
+  for e in entries do
+    sum := sum + e.qty
+  return sum
+
+fun remove_at(victim : number)
+  var kept := nil(entry)
+  var i := 0
+  for e in entries do
+    if i != victim then
+      kept := append(kept, e)
+    i := i + 1
+  entries := kept
+
+page start()
+  render
+    boxed
+      post "Shopping (" || total() || " items)"
+    var i := 0
+    for e in entries do
+      boxed
+        box.horizontal := true
+        boxed
+          post e.name || " x" || e.qty
+          on tap do
+            push detail(e)
+        boxed
+          post " [more]"
+          on tap do
+            bump(i)
+        boxed
+          post " [del]"
+          on tap do
+            remove_at(i)
+      i := i + 1
+    boxed
+      box.border := true
+      post "add: " || draft
+      on edit(t) do
+        draft := t
+        if count(t) > 0 then
+          entries := append(entries, entry(t, 1))
+          draft := ""
+
+fun bump(victim : number)
+  var updated := nil(entry)
+  var i := 0
+  for e in entries do
+    if i == victim then
+      updated := append(updated, entry(e.name, e.qty + 1))
+    else
+      updated := append(updated, e)
+    i := i + 1
+  entries := updated
+
+page detail(e : entry)
+  render
+    boxed
+      post e.name
+    boxed
+      post "quantity: " || e.qty
+    boxed
+      post "back"
+      on tap do
+        pop
+'''
+
+
+def compile_shopping(source=None):
+    return compile_source(source or SOURCE)
+
+
+def shopping_runtime(source=None, **runtime_kwargs):
+    from ..system.runtime import Runtime
+
+    compiled = compile_shopping(source)
+    return Runtime(
+        compiled.code, natives=compiled.natives, **runtime_kwargs
+    ).start()

@@ -1,0 +1,8 @@
+"""Conventional-workflow baselines (Section 2) for the edit-cycle benchmark."""
+
+from .fix_and_continue import FixAndContinueWorkflow
+from .live import LiveWorkflow
+from .replay import ReplayOutcome, ReplayWorkflow
+from .restart import EditMetrics, RestartWorkflow
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,74 @@
+"""The fix-and-continue baseline (Section 2).
+
+IDEs for Java/C#/Smalltalk let the programmer swap code into a running
+process, *but nothing re-executes it*: "for the common 'retained' UI
+where a program builds and modifies a tree of widget objects to be
+rendered, changing the code that initially builds this widget tree is
+meaningless as that code has already executed and will not execute
+again!"
+
+:class:`FixAndContinueWorkflow` models exactly that: the code is swapped
+(cheaply — that part fix-and-continue does well), the *retained* widget
+tree stays on screen, and the new render code only takes effect at the
+next model change that happens to rebuild the view.  The workflow tracks
+whether the display currently reflects the installed code, which is the
+feedback-visibility column of benchmark E2: render-code edits are
+invisible under fix-and-continue until the user pokes the app.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..boxes.diff import tree_equal
+from ..stdlib.web import make_services
+from ..surface.compile import compile_source
+from ..system.runtime import Runtime
+from .restart import EditMetrics, _apply_action
+
+
+class FixAndContinueWorkflow:
+    """Code hot-swap without display refresh."""
+
+    def __init__(self, source, host_impls=None, latency=None,
+                 runtime_kwargs=None):
+        self.host_impls = dict(host_impls or {})
+        compiled = compile_source(source, self.host_impls)
+        services = (
+            make_services() if latency is None
+            else make_services(latency=latency)
+        )
+        self.runtime = Runtime(
+            compiled.code,
+            natives=compiled.natives,
+            services=services,
+            **(runtime_kwargs or {})
+        )
+        self.runtime.start()
+        #: The retained widget tree the user is looking at.
+        self.retained_display = self.runtime.display
+
+    def apply_edit(self, new_source):
+        """Swap the code in, but keep showing the retained widget tree."""
+        started = time.perf_counter()
+        compiled = compile_source(new_source, self.host_impls)
+        # The swap itself is the UPDATE transition; we then deliberately
+        # do NOT present the refreshed display — the retained tree stays.
+        fresh_before = self.retained_display
+        self.runtime.update_code(compiled.code, natives=compiled.natives)
+        visible = tree_equal(self.runtime.display, fresh_before)
+        # What the user still sees is the retained tree.
+        return EditMetrics(
+            wall_seconds=time.perf_counter() - started,
+            virtual_seconds=0.0,
+            navigation_actions=0,
+            transitions=2,  # UPDATE + the suppressed re-render
+            visible=visible,  # True only if the edit changed nothing
+        )
+
+    def poke(self, action):
+        """A user interaction — this is when retained UIs finally refresh."""
+        _apply_action(self.runtime, action)
+        self.retained_display = self.runtime.display
+        return self.retained_display

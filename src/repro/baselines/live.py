@@ -1,0 +1,49 @@
+"""The live-programming "workflow" in the same harness shape as the
+baselines, so benchmark E2 compares like with like.
+
+One edit = one :meth:`LiveSession.edit_source` call: compile, UPDATE,
+RENDER.  No restart, no re-download (the model state — including the
+downloaded listings — survives the update), no navigation replay (the
+page stack survives too).
+"""
+
+from __future__ import annotations
+
+from ..live.session import LiveSession
+from ..stdlib.web import make_services
+from .restart import EditMetrics, _apply_action
+
+
+class LiveWorkflow:
+    """A programmer using the paper's system."""
+
+    def __init__(self, source, host_impls=None, latency=None,
+                 session_kwargs=None):
+        services = (
+            make_services() if latency is None
+            else make_services(latency=latency)
+        )
+        self.session = LiveSession(
+            source,
+            host_impls=host_impls,
+            services=services,
+            **(session_kwargs or {})
+        )
+        self._virtual_before_edits = services.clock.now
+
+    def act(self, *action):
+        """Navigate once — context is kept, so this is not repeated."""
+        _apply_action(self.session.runtime, action)
+        return self
+
+    def apply_edit(self, new_source):
+        clock = self.session.runtime.system.services.clock
+        virtual_before = clock.now
+        result = self.session.edit_source(new_source)
+        return EditMetrics(
+            wall_seconds=result.elapsed,
+            virtual_seconds=clock.now - virtual_before,
+            navigation_actions=0,
+            transitions=2,  # UPDATE + RENDER
+            visible=result.applied,
+        )

@@ -1,0 +1,99 @@
+"""The trace-record/re-execute baseline (Section 1).
+
+"A natural starting point is re-execution of a trace of the entire
+program to the current point.  However, apart from the cost of trace
+capturing and re-execution, traces are problematic since code changes can
+cause the re-execution to diverge from the previous trace."
+
+:class:`ReplayWorkflow` implements that strawman: every user action is
+recorded; on a code edit the program restarts from scratch and the trace
+replays.  Two pathologies the paper predicts are both measurable:
+
+* **cost growth** — the edit latency grows with the trace length (the
+  live approach is O(current page), replay is O(history));
+* **divergence** — an edit that changes what is on screen can make a
+  recorded action meaningless (``tap_text`` of a label that no longer
+  exists).  Divergence is detected and reported, not papered over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import ReproError
+from ..stdlib.web import make_services
+from ..surface.compile import compile_source
+from ..system.runtime import Runtime
+from .restart import EditMetrics, _apply_action
+
+
+@dataclass
+class ReplayOutcome(EditMetrics):
+    """Edit metrics plus replay-specific facts."""
+
+    replayed_actions: int = 0
+    diverged: bool = False
+    divergence_reason: str = ""
+
+
+class ReplayWorkflow:
+    """Record every interaction; restart + replay on each edit."""
+
+    def __init__(self, source, host_impls=None, latency=None,
+                 runtime_kwargs=None):
+        self.source = source
+        self.host_impls = dict(host_impls or {})
+        self.latency = latency
+        self.runtime_kwargs = dict(runtime_kwargs or {})
+        self.trace = []
+        self.runtime = None
+        self._boot(source)
+
+    def _boot(self, source):
+        compiled = compile_source(source, self.host_impls)
+        services = (
+            make_services() if self.latency is None
+            else make_services(latency=self.latency)
+        )
+        self.runtime = Runtime(
+            compiled.code,
+            natives=compiled.natives,
+            services=services,
+            **self.runtime_kwargs
+        )
+        self.runtime.start()
+
+    def act(self, *action):
+        """Perform a user action and record it in the trace."""
+        _apply_action(self.runtime, action)
+        self.trace.append(action)
+        return self
+
+    def apply_edit(self, new_source):
+        """Restart under the new code and replay the recorded trace."""
+        self.source = new_source
+        started = time.perf_counter()
+        self._boot(new_source)
+        replayed = 0
+        diverged = False
+        reason = ""
+        for action in self.trace:
+            try:
+                _apply_action(self.runtime, action)
+                replayed += 1
+            except ReproError as problem:
+                diverged = True
+                reason = "{!r}: {}".format(action, problem)
+                break
+        clock = self.runtime.system.services.clock
+        return ReplayOutcome(
+            wall_seconds=time.perf_counter() - started,
+            virtual_seconds=clock.now,
+            navigation_actions=len(self.trace),
+            transitions=len(self.runtime.trace),
+            visible=not diverged,
+            replayed_actions=replayed,
+            diverged=diverged,
+            divergence_reason=reason,
+        )

@@ -1,0 +1,104 @@
+"""The edit-compile-run baseline (Section 2's seven-step cycle).
+
+Every edit: (1) stop the program, (2-3) edit, (4) recompile and restart
+— paying the full init cost, including the simulated listing download —
+(5) re-navigate to the UI context the programmer was inspecting, (6)
+look at the display.  :class:`RestartWorkflow` automates that loop so the
+edit-cycle benchmark (E2) can measure it against live programming.
+
+Costs are reported both in wall-clock seconds (compile + execute) and in
+*virtual* seconds (the simulated download latency charged by
+:mod:`repro.stdlib.web`), plus the number of replayed navigation actions
+— the three drains the paper's archery metaphor complains about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.errors import ReproError
+from ..stdlib.web import make_services
+from ..surface.compile import compile_source
+from ..system.runtime import Runtime
+
+
+@dataclass
+class EditMetrics:
+    """Cost of observing one edit's effect under a workflow."""
+
+    wall_seconds: float
+    virtual_seconds: float       # simulated latency (downloads)
+    navigation_actions: int      # user actions replayed to restore context
+    transitions: int             # system transitions fired
+    visible: bool                # is the edit's effect on screen now?
+
+
+class RestartWorkflow:
+    """A programmer using stop-edit-compile-restart-navigate.
+
+    ``navigation`` is the script that returns to the UI context under
+    inspection: a list of ``("tap_text", text)`` / ``("tap", path)`` /
+    ``("edit", path, text)`` / ``("back",)`` actions.
+    """
+
+    def __init__(self, source, host_impls=None, navigation=(),
+                 latency=None, runtime_kwargs=None):
+        self.source = source
+        self.host_impls = dict(host_impls or {})
+        self.navigation = list(navigation)
+        self.latency = latency
+        self.runtime_kwargs = dict(runtime_kwargs or {})
+        self.runtime = None
+        self._boot(source)
+
+    def _make_services(self):
+        if self.latency is None:
+            return make_services()
+        return make_services(latency=self.latency)
+
+    def _boot(self, source):
+        compiled = compile_source(source, self.host_impls)
+        self.runtime = Runtime(
+            compiled.code,
+            natives=compiled.natives,
+            services=self._make_services(),
+            **self.runtime_kwargs
+        )
+        self.runtime.start()
+        return compiled
+
+    def _navigate(self):
+        for action in self.navigation:
+            _apply_action(self.runtime, action)
+        return len(self.navigation)
+
+    def apply_edit(self, new_source):
+        """Stop, recompile, restart, re-navigate; return the metrics."""
+        self.source = new_source
+        started = time.perf_counter()
+        transitions_before = 0
+        self._boot(new_source)  # restart from scratch: init re-runs
+        clock = self.runtime.system.services.clock
+        steps = self._navigate()
+        return EditMetrics(
+            wall_seconds=time.perf_counter() - started,
+            virtual_seconds=clock.now,
+            navigation_actions=steps,
+            transitions=len(self.runtime.trace) - transitions_before,
+            visible=True,
+        )
+
+
+def _apply_action(runtime, action):
+    kind = action[0]
+    if kind == "tap_text":
+        runtime.tap_text(action[1])
+    elif kind == "tap":
+        runtime.tap(action[1])
+    elif kind == "edit":
+        runtime.edit(action[1], action[2])
+    elif kind == "back":
+        runtime.back()
+    else:
+        raise ReproError("unknown navigation action {!r}".format(action))

@@ -1,0 +1,24 @@
+"""Box trees — the UI state ``B`` of Fig. 7 and its supporting machinery."""
+
+from .attributes import (
+    ATTRIBUTE_ENV,
+    AttributeSpec,
+    ONEDIT_TYPE,
+    ONTAP_TYPE,
+    attribute_spec,
+    attribute_type,
+    handler_attributes,
+    manipulable_attributes,
+)
+from .diff import DiffStats, reuse, tree_equal
+from .paths import (
+    boxes_created_by,
+    format_path,
+    innermost_box_with_attr,
+    parent,
+    parse_path,
+    resolve,
+)
+from .tree import STALE, AttrSet, Box, BoxItem, Leaf, make_root
+
+__all__ = [name for name in dir() if not name.startswith("_")]

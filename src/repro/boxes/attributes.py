@@ -1,0 +1,142 @@
+"""The attribute environment ``Γa`` (Section 4.3).
+
+The paper defines ``Γa`` as an environment assigning types to box
+attributes, giving ``ontap : () -s> ()`` and ``margin : number`` as
+examples.  This module is the single authoritative registry: the type
+checker consults it for rule T-ATTR, the renderer for layout defaults, and
+the direct-manipulation IDE feature for which attributes are editable from
+the live view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import names
+from ..core.effects import STATE
+from ..core.errors import ReproError
+from ..core.types import NUMBER, STRING, Type, UNIT, fun
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One entry of ``Γa``.
+
+    ``default`` is the value the *renderer* assumes when the attribute is
+    absent; it never enters the semantics.  ``manipulable`` marks attributes
+    offered by the direct-manipulation menu of Section 3 (handlers are not:
+    you cannot write a closure by poking the live view).
+    """
+
+    name: str
+    type: Type
+    default: object = None
+    manipulable: bool = False
+    doc: str = ""
+
+
+#: Handler attribute types, per the paper: ``ontap : () -s> ()``.
+ONTAP_TYPE = fun(UNIT, UNIT, STATE)
+#: Edit handler for editable text boxes: receives the new text.
+ONEDIT_TYPE = fun(STRING, UNIT, STATE)
+
+_SPECS = [
+    AttributeSpec(names.ATTR_ONTAP, ONTAP_TYPE, doc="tap handler (rule TAP)"),
+    AttributeSpec(names.ATTR_ONEDIT, ONEDIT_TYPE, doc="edit handler (rule EDIT)"),
+    AttributeSpec(
+        names.ATTR_MARGIN, NUMBER, default=0.0, manipulable=True,
+        doc="outer spacing in cells (the I1 improvement adjusts this)",
+    ),
+    AttributeSpec(
+        names.ATTR_PADDING, NUMBER, default=0.0, manipulable=True,
+        doc="inner spacing in cells",
+    ),
+    AttributeSpec(
+        names.ATTR_BACKGROUND, STRING, default="", manipulable=True,
+        doc="background colour name (the I3 improvement sets this)",
+    ),
+    AttributeSpec(
+        names.ATTR_COLOR, STRING, default="", manipulable=True,
+        doc="foreground colour name",
+    ),
+    AttributeSpec(
+        names.ATTR_FONT_SIZE, NUMBER, default=1.0, manipulable=True,
+        doc="relative font size",
+    ),
+    AttributeSpec(
+        names.ATTR_HORIZONTAL, NUMBER, default=0.0, manipulable=True,
+        doc="non-zero lays children out horizontally (vertical is default)",
+    ),
+    AttributeSpec(
+        names.ATTR_WIDTH, NUMBER, default=0.0, manipulable=True,
+        doc="fixed width in cells; 0 means size-to-content",
+    ),
+    AttributeSpec(
+        names.ATTR_BORDER, NUMBER, default=0.0, manipulable=True,
+        doc="non-zero draws a border",
+    ),
+    AttributeSpec(
+        names.ATTR_EDITABLE, NUMBER, default=0.0,
+        doc="non-zero makes the box accept EDIT user events",
+    ),
+]
+
+ATTRIBUTE_ENV = {spec.name: spec for spec in _SPECS}
+
+
+def attribute_type(name):
+    """``Γa(a)`` — the type of attribute ``a``, or ``None`` if unknown.
+
+    Rule T-ATTR fails when this returns ``None``.
+    """
+    spec = ATTRIBUTE_ENV.get(name)
+    return spec.type if spec is not None else None
+
+
+def attribute_spec(name):
+    """Full :class:`AttributeSpec` for ``name``; raises if unknown."""
+    try:
+        return ATTRIBUTE_ENV[name]
+    except KeyError:
+        raise ReproError("unknown box attribute: {!r}".format(name))
+
+
+def manipulable_attributes():
+    """Attributes offered by the direct-manipulation menu, in order."""
+    return tuple(spec for spec in _SPECS if spec.manipulable)
+
+
+def handler_attributes():
+    """Attributes holding event handlers (function-typed)."""
+    return (names.ATTR_ONTAP, names.ATTR_ONEDIT)
+
+
+def as_number(value, default=0.0):
+    """Read an attribute value as a Python float.
+
+    Attribute values in rendered box trees are AST values (``Num``); this
+    helper also accepts plain Python numbers so tests can build box trees
+    by hand.
+    """
+    from ..core import ast
+
+    if value is None:
+        return default
+    if isinstance(value, ast.Num):
+        return value.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReproError("attribute value is not a number: {!r}".format(value))
+    return float(value)
+
+
+def as_string(value, default=""):
+    """Read an attribute value as a Python string (AST ``Str`` or str)."""
+    from ..core import ast
+
+    if value is None:
+        return default
+    if isinstance(value, ast.Str):
+        return value.value
+    if not isinstance(value, str):
+        raise ReproError("attribute value is not a string: {!r}".format(value))
+    return value

@@ -1,0 +1,83 @@
+"""Box paths: addresses of boxes inside a display tree.
+
+A path is a tuple of child indices from the root; ``()`` addresses the
+implicit top-level box.  Paths are how the runtime API names the box a user
+tapped (rule TAP needs *which* ``[ontap = v]`` fires) and how the IDE
+communicates selections between the live view and the code view.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+from .tree import Box
+
+
+def resolve(root, path):
+    """Return the box addressed by ``path`` under ``root``.
+
+    Raises :class:`ReproError` when the path runs off the tree — e.g. when
+    a selection was taken against a display that has since been re-rendered
+    with fewer boxes.
+    """
+    box = root
+    for index in path:
+        box = box.child(index)
+    return box
+
+
+def parent(path):
+    """The path of the enclosing box; ``None`` for the root."""
+    if not path:
+        return None
+    return path[:-1]
+
+
+def format_path(path):
+    """Render a path as ``/0/3`` (root is ``/``)."""
+    if not path:
+        return "/"
+    return "".join("/{}".format(index) for index in path)
+
+
+def parse_path(text):
+    """Inverse of :func:`format_path`."""
+    if text == "/":
+        return ()
+    if not text.startswith("/"):
+        raise ReproError("box path must start with '/': {!r}".format(text))
+    try:
+        return tuple(int(part) for part in text.split("/")[1:])
+    except ValueError:
+        raise ReproError("malformed box path: {!r}".format(text))
+
+
+def boxes_created_by(root, box_id):
+    """All ``(path, box)`` pairs whose box was created by ``boxed`` statement
+    ``box_id``.
+
+    This is the code-view → live-view direction of Fig. 2's navigation: a
+    boxed statement inside a loop corresponds to *multiple* boxes, which are
+    collectively selected.
+    """
+    if not isinstance(root, Box):
+        raise ReproError("boxes_created_by expects a Box root")
+    return [
+        (path, box) for path, box in root.walk() if box.box_id == box_id
+    ]
+
+
+def innermost_box_with_attr(root, path, attr):
+    """Walk from ``path`` toward the root, returning the first box carrying
+    ``attr`` (and its path), or ``(None, None)``.
+
+    Used by TAP dispatch: tapping nested content fires the nearest enclosing
+    handler, mirroring event bubbling in the implementation the paper
+    describes.
+    """
+    while True:
+        box = resolve(root, path)
+        if box.has_attr(attr):
+            return path, box
+        if not path:
+            return None, None
+        path = path[:-1]

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command> <file.live>``.
+
+Commands:
+
+* ``check``   — typecheck a program, printing every diagnostic;
+* ``compile`` — print the lowered core calculus (Fig. 6 notation);
+* ``run``     — boot the program, optionally drive it with ``--tap``/
+  ``--edit``/``--back`` actions, and print the final ASCII screenshot;
+* ``html``    — render the booted program's display as a standalone
+  HTML document;
+* ``probe``   — evaluate an expression in the program's context;
+* ``ide``     — open the tkinter live viewer (if a display is available).
+
+Programs that declare the stdlib externs (``fetch_listings``) are wired
+to the simulated web automatically; ``--latency`` tunes its virtual
+delay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.errors import ReproError, SyntaxProblem, TypeProblem
+from .core.pretty import pretty_code
+from .live.session import LiveSession
+from .stdlib.web import DEFAULT_LATENCY, make_services, web_host_impls
+from .surface.parser import parse
+from .surface.typecheck import typecheck_problems
+
+
+def _read(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        raise ReproError("cannot read {}: {}".format(path, error))
+
+
+def _session(path, latency):
+    source = _read(path)
+    services = make_services(latency=latency)
+    return LiveSession(
+        source, host_impls=web_host_impls(), services=services
+    )
+
+
+def cmd_check(args, out):
+    source = _read(args.file)
+    try:
+        program = parse(source)
+    except SyntaxProblem as problem:
+        print("syntax error: {}".format(problem), file=out)
+        return 1
+    _env, problems = typecheck_problems(program)
+    if not problems:
+        print("{}: ok".format(args.file), file=out)
+        return 0
+    for problem in problems:
+        print(problem, file=out)
+    return 1
+
+
+def cmd_compile(args, out):
+    from .surface.compile import compile_source
+
+    compiled = compile_source(_read(args.file), web_host_impls())
+    print(pretty_code(compiled.code), file=out)
+    if compiled.generated_functions:
+        print(
+            "// generated loop functions: {}".format(
+                ", ".join(compiled.generated_functions)
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _apply_actions(session, args, out):
+    for kind, value in args.actions:
+        if kind == "tap":
+            session.tap_text(value)
+        elif kind == "edit":
+            target, _, text = value.partition("=")
+            path = session.runtime.require_text(target)
+            session.edit_box(path, text)
+        elif kind == "back":
+            session.back()
+
+
+def cmd_run(args, out):
+    session = _session(args.file, args.latency)
+    _apply_actions(session, args, out)
+    print(session.screenshot(width=args.width), file=out)
+    if args.trace:
+        print(
+            "trace: " + " ".join(str(t) for t in session.runtime.trace),
+            file=out,
+        )
+    return 0
+
+
+def cmd_html(args, out):
+    from .render.html_backend import render_html
+
+    session = _session(args.file, args.latency)
+    _apply_actions(session, args, out)
+    document = render_html(session.display, title=args.file)
+    if args.output == "-":
+        print(document, file=out)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print("wrote {}".format(args.output), file=out)
+    return 0
+
+
+def cmd_probe(args, out):
+    session = _session(args.file, args.latency)
+    result = session.probe_expr(args.expression)
+    print(result.describe(), file=out)
+    if result.tree is not None:
+        print(result.screenshot(width=args.width), file=out)
+    return 0
+
+
+def cmd_fmt(args, out):
+    from .surface.format import format_source
+
+    formatted = format_source(_read(args.file))
+    if args.in_place:
+        with open(args.file, "w") as handle:
+            handle.write(formatted)
+        print("formatted {}".format(args.file), file=out)
+    else:
+        out.write(formatted)
+    return 0
+
+
+def cmd_save(args, out):
+    from .persist import save_image_text
+
+    session = _session(args.file, args.latency)
+    _apply_actions(session, args, out)
+    with open(args.output, "w") as handle:
+        handle.write(save_image_text(session))
+    print("saved image to {}".format(args.output), file=out)
+    return 0
+
+
+def cmd_resume(args, out):
+    from .persist import load_image
+
+    with open(args.image) as handle:
+        data = handle.read()
+    session = load_image(
+        data,
+        host_impls=web_host_impls(),
+        services=make_services(latency=args.latency),
+        source=_read(args.source) if args.source else None,
+    )
+    report = session.last_restore_report
+    if not report.clean:
+        print(
+            "restore dropped: {}".format(
+                ", ".join(report.dropped_globals + report.dropped_pages)
+            ),
+            file=out,
+        )
+    print(session.screenshot(width=args.width), file=out)
+    return 0
+
+
+def cmd_ide(args, out):
+    from .ui_tk import TkLiveViewer, tk_available
+
+    if not tk_available():
+        print("tkinter is not available in this environment", file=out)
+        return 1
+    viewer = TkLiveViewer(_session(args.file, args.latency))
+    viewer.run()
+    return 0
+
+
+class _ActionCollector(argparse.Action):
+    """Collect --tap/--edit/--back in the order they appear."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        kind = option_string.lstrip("-")
+        namespace.actions.append((kind, values))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Live UI programming — PLDI 2013 reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, actions=False):
+        p.add_argument("file", help="surface-language source file")
+        p.add_argument(
+            "--latency", type=float, default=DEFAULT_LATENCY,
+            help="simulated web latency in virtual seconds",
+        )
+        p.add_argument("--width", type=int, default=48)
+        if actions:
+            p.set_defaults(actions=[])
+            p.add_argument(
+                "--tap", action=_ActionCollector, metavar="TEXT",
+                help="tap the box showing TEXT (repeatable)",
+            )
+            p.add_argument(
+                "--edit", action=_ActionCollector, metavar="TEXT=NEW",
+                help="type NEW into the editable box showing TEXT",
+            )
+            p.add_argument(
+                "--back", action=_ActionCollector, nargs=0,
+                help="press the back button",
+            )
+
+    p_check = sub.add_parser("check", help="typecheck a program")
+    p_check.add_argument("file")
+    p_check.set_defaults(handler=cmd_check)
+
+    p_compile = sub.add_parser("compile", help="print the lowered core")
+    p_compile.add_argument("file")
+    p_compile.set_defaults(handler=cmd_compile)
+
+    p_run = sub.add_parser("run", help="run and screenshot a program")
+    common(p_run, actions=True)
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the fired transitions")
+    p_run.set_defaults(handler=cmd_run)
+
+    p_html = sub.add_parser("html", help="render the display to HTML")
+    common(p_html, actions=True)
+    p_html.add_argument("-o", "--output", default="-")
+    p_html.set_defaults(handler=cmd_html)
+
+    p_probe = sub.add_parser("probe", help="evaluate an expression")
+    common(p_probe)
+    p_probe.add_argument("expression")
+    p_probe.set_defaults(handler=cmd_probe)
+
+    p_fmt = sub.add_parser("fmt", help="canonically format a program")
+    p_fmt.add_argument("file")
+    p_fmt.add_argument("-i", "--in-place", action="store_true")
+    p_fmt.set_defaults(handler=cmd_fmt)
+
+    p_save = sub.add_parser(
+        "save", help="run, interact, and save a session image"
+    )
+    common(p_save, actions=True)
+    p_save.add_argument("-o", "--output", required=True)
+    p_save.set_defaults(handler=cmd_save)
+
+    p_resume = sub.add_parser(
+        "resume", help="load a session image (optionally with new source)"
+    )
+    p_resume.add_argument("image")
+    p_resume.add_argument(
+        "--source", help="override the image's source (edit-while-suspended)"
+    )
+    p_resume.add_argument("--latency", type=float, default=DEFAULT_LATENCY)
+    p_resume.add_argument("--width", type=int, default=48)
+    p_resume.set_defaults(handler=cmd_resume)
+
+    p_ide = sub.add_parser("ide", help="open the tkinter live viewer")
+    common(p_ide)
+    p_ide.set_defaults(handler=cmd_ide)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except (SyntaxProblem, TypeProblem) as problem:
+        print("error: {}".format(problem), file=out)
+        return 1
+    except ReproError as error:
+        print("error: {}".format(error), file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The core calculus of the paper (Figs. 6 and 7).
+
+Re-exports the most commonly used names so client code can write
+``from repro.core import Num, App, Code, NUMBER, PURE`` without knowing the
+module layout.
+"""
+
+from .ast import (
+    App,
+    Boxed,
+    Expr,
+    FunRef,
+    GlobalRead,
+    GlobalWrite,
+    If,
+    Lam,
+    ListLit,
+    Num,
+    Pop,
+    Post,
+    Prim,
+    Proj,
+    Push,
+    SetAttr,
+    Str,
+    Tuple,
+    UNIT_VALUE,
+    Var,
+    children,
+    contains_lambda,
+    free_vars,
+    fresh_name,
+    is_closed,
+    rebuild,
+    size,
+    subst,
+    walk,
+)
+from .defs import Code, Def, EMPTY_CODE, FunDef, GlobalDef, PageDef
+from .effects import (
+    ALL_EFFECTS,
+    Effect,
+    PURE,
+    RENDER,
+    STATE,
+    join,
+    join_all,
+    parse_effect,
+    subeffect,
+)
+from .errors import (
+    EffectProblem,
+    EvalError,
+    FuelExhausted,
+    NativeError,
+    ReproError,
+    StuckExpression,
+    SyntaxProblem,
+    SystemError_,
+    TypeProblem,
+    UpdateRejected,
+)
+from .names import START_PAGE
+from .prims import PRIM_SIGS, PrimSig, lookup_prim, match_signature
+from .pretty import pretty, pretty_code, pretty_def, pretty_type
+from .types import (
+    FunType,
+    ListType,
+    NUMBER,
+    NumberType,
+    STRING,
+    StringType,
+    TupleType,
+    Type,
+    UNIT,
+    fun,
+    is_subtype,
+    list_of,
+    tuple_of,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,94 @@
+"""The effect lattice ``µ ::= p | r | s`` (Fig. 6).
+
+Effects classify *what an expression is allowed to do*:
+
+* ``p`` (pure)   — no side effects; may read code and store (EP-GLOBAL-*).
+* ``s`` (state)  — may additionally write globals and push/pop pages
+  (ES-ASSIGN, ES-PUSH, ES-POP).
+* ``r`` (render) — may additionally create boxes, post content and set box
+  attributes (ER-BOXED, ER-POST, ER-ATTR), but may *not* write globals.
+
+The sub-effect order is the flat lattice ``p ⊑ s`` and ``p ⊑ r`` with ``s``
+and ``r`` incomparable.  This incomparability *is* the model/view
+separation: no expression can both mutate the model and build the view.
+
+Rule T-SUB of Fig. 10 lets a pure function be used wherever a stateful or
+render function is expected; :func:`subeffect` is the relation it appeals
+to.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import ReproError
+
+
+class Effect(enum.Enum):
+    """One of the three effect modes of the calculus."""
+
+    PURE = "p"
+    STATE = "s"
+    RENDER = "r"
+
+    def __str__(self):
+        return self.value
+
+    def __repr__(self):
+        return "Effect.{}".format(self.name)
+
+
+PURE = Effect.PURE
+STATE = Effect.STATE
+RENDER = Effect.RENDER
+
+ALL_EFFECTS = (PURE, STATE, RENDER)
+
+
+def parse_effect(text):
+    """Parse the one-letter effect syntax used by Fig. 6 (``p``/``s``/``r``)."""
+    for effect in ALL_EFFECTS:
+        if text == effect.value:
+            return effect
+    raise ReproError("unknown effect: {!r}".format(text))
+
+
+def subeffect(lower, upper):
+    """Return ``True`` when ``lower ⊑ upper`` in the effect lattice.
+
+    ``p`` is below everything; ``s`` and ``r`` are only below themselves.
+    """
+    return lower is PURE or lower is upper
+
+
+def join(left, right):
+    """Least upper bound of two effects, or ``None`` if it does not exist.
+
+    ``join(s, r)`` is ``None``: there is deliberately no effect that permits
+    both mutating the model and building the view.
+    """
+    if subeffect(left, right):
+        return right
+    if subeffect(right, left):
+        return left
+    return None
+
+
+def join_all(effects):
+    """Fold :func:`join` over an iterable; ``None`` if any join fails."""
+    result = PURE
+    for effect in effects:
+        result = join(result, effect)
+        if result is None:
+            return None
+    return result
+
+
+def allows_state(effect):
+    """May an expression under ``effect`` take ES-* steps (assign/push/pop)?"""
+    return effect is STATE
+
+
+def allows_render(effect):
+    """May an expression under ``effect`` take ER-* steps (boxed/post/attr)?"""
+    return effect is RENDER

@@ -1,0 +1,65 @@
+"""Identifier kinds of the calculus (Fig. 6).
+
+The paper distinguishes four identifier namespaces:
+
+* ``g`` — global variables (the model state),
+* ``f`` — global functions (the code),
+* ``p`` — page names, with the distinguished page ``start``,
+* ``a`` — box attributes (``ontap``, ``margin``, ...).
+
+We keep identifiers as plain strings but centralize validation and the
+well-known attribute names here so the rest of the library never hard-codes
+string literals.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ReproError
+
+#: The page every program must define (rule T-SYS requires it).
+START_PAGE = "start"
+
+# ---------------------------------------------------------------------------
+# Well-known box attributes.  The full attribute environment (with types and
+# defaults) lives in ``repro.boxes.attributes``; these constants exist so
+# call-sites reference a name rather than a literal.
+# ---------------------------------------------------------------------------
+
+#: Tap handler, type ``() -s> ()`` (rule TAP of Fig. 9 fires it).
+ATTR_ONTAP = "ontap"
+#: Edit handler for editable text boxes, type ``string -s> ()``.
+ATTR_ONEDIT = "onedit"
+ATTR_MARGIN = "margin"
+ATTR_PADDING = "padding"
+ATTR_BACKGROUND = "background"
+ATTR_COLOR = "color"
+ATTR_FONT_SIZE = "font size"
+ATTR_HORIZONTAL = "horizontal"
+ATTR_WIDTH = "width"
+ATTR_BORDER = "border"
+ATTR_EDITABLE = "editable"
+
+_IDENT_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$ ]*\Z")
+
+
+def is_valid_identifier(name):
+    """Return ``True`` when ``name`` is usable as an identifier.
+
+    TouchDevelop identifiers may contain interior spaces ("display
+    listentry" in Fig. 3); we allow the same, but not leading/trailing
+    whitespace or an empty name.
+    """
+    return (
+        isinstance(name, str)
+        and bool(_IDENT_RE.match(name))
+        and not name.endswith(" ")
+    )
+
+
+def check_identifier(name, kind="identifier"):
+    """Validate ``name`` and return it; raise :class:`ReproError` if invalid."""
+    if not is_valid_identifier(name):
+        raise ReproError("invalid {}: {!r}".format(kind, name))
+    return name

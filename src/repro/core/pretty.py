@@ -1,0 +1,127 @@
+"""Pretty-printer for core types, expressions and programs.
+
+Produces text close to the paper's notation (Fig. 6/7): ``λ(x : τ). e``,
+``boxed e``, ``g := e``, ``push p e``, ``fun f : τ is e`` and so on.  The
+printer is used by diagnostics, by ``examples/update_semantics_tour.py``
+and by tests that lock down the shape of lowered code.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .defs import Code, FunDef, GlobalDef, PageDef
+from .errors import ReproError
+
+# Precedence levels, loosest to tightest.
+_PREC_TOP = 0      # if/lambda/assign bodies
+_PREC_APP = 10     # application, prefix keywords
+_PREC_PROJ = 20    # projection
+_PREC_ATOM = 30
+
+
+def pretty_type(type_):
+    """Render a type; delegates to the types' own ``__str__``."""
+    return str(type_)
+
+
+def pretty(expr, indent=0):
+    """Render an expression on a single logical line."""
+    return _pp(expr, _PREC_TOP)
+
+
+def _parens(text, inner_prec, outer_prec):
+    if inner_prec < outer_prec:
+        return "({})".format(text)
+    return text
+
+
+def _pp(expr, prec):
+    if isinstance(expr, ast.Num):
+        value = expr.value
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    if isinstance(expr, ast.Str):
+        return '"{}"'.format(expr.value.replace("\\", "\\\\").replace('"', '\\"'))
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Tuple):
+        return "({})".format(", ".join(_pp(e, _PREC_TOP) for e in expr.items))
+    if isinstance(expr, ast.ListLit):
+        return "[{}] : list {}".format(
+            ", ".join(_pp(e, _PREC_TOP) for e in expr.items), expr.element_type
+        )
+    if isinstance(expr, ast.Lam):
+        text = "λ{}({} : {}). {}".format(
+            "" if expr.effect.value == "p" else expr.effect.value,
+            expr.param,
+            expr.param_type,
+            _pp(expr.body, _PREC_TOP),
+        )
+        return _parens(text, _PREC_TOP, prec)
+    if isinstance(expr, ast.App):
+        text = "{} {}".format(_pp(expr.fn, _PREC_APP), _pp(expr.arg, _PREC_PROJ))
+        return _parens(text, _PREC_APP, prec)
+    if isinstance(expr, ast.FunRef):
+        return "•{}".format(expr.name)
+    if isinstance(expr, ast.Proj):
+        text = "{}.{}".format(_pp(expr.tuple_expr, _PREC_PROJ), expr.index)
+        return _parens(text, _PREC_PROJ, prec)
+    if isinstance(expr, ast.GlobalRead):
+        return "□{}".format(expr.name)
+    if isinstance(expr, ast.GlobalWrite):
+        text = "□{} := {}".format(expr.name, _pp(expr.value, _PREC_TOP))
+        return _parens(text, _PREC_TOP, prec)
+    if isinstance(expr, ast.Push):
+        text = "push {} {}".format(expr.page, _pp(expr.arg, _PREC_PROJ))
+        return _parens(text, _PREC_APP, prec)
+    if isinstance(expr, ast.Pop):
+        return "pop"
+    if isinstance(expr, ast.Boxed):
+        text = "boxed {}".format(_pp(expr.body, _PREC_PROJ))
+        return _parens(text, _PREC_APP, prec)
+    if isinstance(expr, ast.Post):
+        text = "post {}".format(_pp(expr.value, _PREC_PROJ))
+        return _parens(text, _PREC_APP, prec)
+    if isinstance(expr, ast.SetAttr):
+        text = "box.{} := {}".format(expr.attr, _pp(expr.value, _PREC_TOP))
+        return _parens(text, _PREC_TOP, prec)
+    if isinstance(expr, ast.If):
+        text = "if {} then {} else {}".format(
+            _pp(expr.cond, _PREC_TOP),
+            _pp(expr.then_branch, _PREC_TOP),
+            _pp(expr.else_branch, _PREC_TOP),
+        )
+        return _parens(text, _PREC_TOP, prec)
+    if isinstance(expr, ast.Prim):
+        return "{}({})".format(
+            expr.op, ", ".join(_pp(a, _PREC_TOP) for a in expr.args)
+        )
+    raise ReproError("cannot pretty-print {!r}".format(expr))
+
+
+def pretty_def(definition):
+    """Render one program definition in the style of Fig. 7."""
+    if isinstance(definition, GlobalDef):
+        return "global {} : {} = {}".format(
+            definition.name, definition.type, pretty(definition.init)
+        )
+    if isinstance(definition, FunDef):
+        return "fun {} : {} is {}".format(
+            definition.name, definition.type, pretty(definition.body)
+        )
+    if isinstance(definition, PageDef):
+        return "page {}({}) init {} render {}".format(
+            definition.name,
+            definition.arg_type,
+            pretty(definition.init),
+            pretty(definition.render),
+        )
+    raise ReproError("cannot pretty-print definition {!r}".format(definition))
+
+
+def pretty_code(code):
+    """Render a whole program, one definition per line."""
+    if not isinstance(code, Code):
+        raise ReproError("pretty_code expects Code, got {!r}".format(code))
+    return "\n".join(pretty_def(d) for d in code)

@@ -1,0 +1,194 @@
+"""Signature table for primitive operators.
+
+The paper's calculus is intentionally minimal, but its examples freely use
+``math → floor``, string concatenation ``||``, ``math → mod`` and iteration
+over collections (Figs. 3–5).  We provide these as *primitive operators*:
+each has a declared signature (parameter types, result type) and a declared
+effect, so the type-and-effect discipline of Fig. 10 extends to them —
+a pure operator types under any µ, an ``s``-effect native (like the
+simulated web request) only types under ``s`` and therefore can never be
+called from render code.
+
+List operations are polymorphic; we express that with a tiny type-variable
+mechanism (:class:`TVar`) and one-level structural matching — just enough
+machinery, no general Hindley-Milner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .effects import Effect, PURE
+from .errors import TypeProblem
+from .types import (
+    ListType,
+    NUMBER,
+    STRING,
+    TupleType,
+    Type,
+    UNIT,
+    is_subtype,
+    list_of,
+)
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A signature-local type variable (only valid inside :class:`PrimSig`)."""
+
+    name: str
+    __slots__ = ("name",)
+
+    def is_function_free(self):
+        # TVars never occur in user-facing types; instantiation decides.
+        return True
+
+    def __str__(self):
+        return "'" + self.name
+
+
+A = TVar("a")
+B = TVar("b")
+
+
+@dataclass(frozen=True)
+class PrimSig:
+    """Signature of a primitive operator: ``op : (params) -effect> result``."""
+
+    name: str
+    params: tuple
+    result: Type
+    effect: Effect = PURE
+    doc: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", tuple(self.params))
+
+    @property
+    def arity(self):
+        return len(self.params)
+
+
+def _match(pattern, actual, bindings):
+    """Match ``actual`` against ``pattern``, binding TVars. True on success."""
+    if isinstance(pattern, TVar):
+        bound = bindings.get(pattern.name)
+        if bound is None:
+            bindings[pattern.name] = actual
+            return True
+        return bound == actual
+    if isinstance(pattern, ListType) and isinstance(actual, ListType):
+        return _match(pattern.element, actual.element, bindings)
+    if isinstance(pattern, TupleType) and isinstance(actual, TupleType):
+        return len(pattern.elements) == len(actual.elements) and all(
+            _match(p, a, bindings)
+            for p, a in zip(pattern.elements, actual.elements)
+        )
+    # Rigid position: plain subtyping suffices.
+    return is_subtype(actual, pattern)
+
+
+def _instantiate(pattern, bindings):
+    if isinstance(pattern, TVar):
+        try:
+            return bindings[pattern.name]
+        except KeyError:
+            raise TypeProblem(
+                "unresolved type variable '{}' in primitive signature".format(
+                    pattern.name
+                )
+            )
+    if isinstance(pattern, ListType):
+        return list_of(_instantiate(pattern.element, bindings))
+    if isinstance(pattern, TupleType):
+        return TupleType(
+            tuple(_instantiate(p, bindings) for p in pattern.elements)
+        )
+    return pattern
+
+
+def match_signature(sig, arg_types):
+    """Instantiate ``sig`` against ``arg_types``; return the result type.
+
+    Raises :class:`TypeProblem` (rule name ``T-PRIM``) on arity or type
+    mismatch.
+    """
+    if len(arg_types) != sig.arity:
+        raise TypeProblem(
+            "{} expects {} argument(s), got {}".format(
+                sig.name, sig.arity, len(arg_types)
+            ),
+            rule="T-PRIM",
+        )
+    bindings = {}
+    for index, (pattern, actual) in enumerate(zip(sig.params, arg_types)):
+        if not _match(pattern, actual, bindings):
+            raise TypeProblem(
+                "{}: argument {} has type {}, expected {}".format(
+                    sig.name, index + 1, actual, pattern
+                ),
+                rule="T-PRIM",
+            )
+    return _instantiate(sig.result, bindings)
+
+
+def _sig(name, params, result, doc):
+    return PrimSig(name, tuple(params), result, PURE, doc)
+
+
+#: All built-in pure operators, keyed by name.
+PRIM_SIGS = {
+    sig.name: sig
+    for sig in [
+        # -- arithmetic ----------------------------------------------------
+        _sig("add", [NUMBER, NUMBER], NUMBER, "n1 + n2"),
+        _sig("sub", [NUMBER, NUMBER], NUMBER, "n1 - n2"),
+        _sig("mul", [NUMBER, NUMBER], NUMBER, "n1 * n2"),
+        _sig("div", [NUMBER, NUMBER], NUMBER, "n1 / n2 (error on 0)"),
+        _sig("mod", [NUMBER, NUMBER], NUMBER, "math->mod of Fig. 5"),
+        _sig("pow", [NUMBER, NUMBER], NUMBER, "n1 ** n2"),
+        _sig("neg", [NUMBER], NUMBER, "-n"),
+        _sig("floor", [NUMBER], NUMBER, "math->floor of Sec. 3.1"),
+        _sig("ceil", [NUMBER], NUMBER, "ceiling"),
+        _sig("round", [NUMBER], NUMBER, "math->round of Sec. 3.1"),
+        _sig("abs", [NUMBER], NUMBER, "absolute value"),
+        _sig("sqrt", [NUMBER], NUMBER, "square root (error on negative)"),
+        _sig("min", [NUMBER, NUMBER], NUMBER, "minimum"),
+        _sig("max", [NUMBER, NUMBER], NUMBER, "maximum"),
+        # -- comparisons & logic (numbers encode booleans; 0 is false) -----
+        _sig("lt", [NUMBER, NUMBER], NUMBER, "n1 < n2"),
+        _sig("le", [NUMBER, NUMBER], NUMBER, "n1 <= n2"),
+        _sig("gt", [NUMBER, NUMBER], NUMBER, "n1 > n2"),
+        _sig("ge", [NUMBER, NUMBER], NUMBER, "n1 >= n2"),
+        _sig("eq", [A, A], NUMBER, "structural equality on ->-free values"),
+        _sig("ne", [A, A], NUMBER, "structural disequality"),
+        _sig("and", [NUMBER, NUMBER], NUMBER, "logical and (strict)"),
+        _sig("or", [NUMBER, NUMBER], NUMBER, "logical or (strict)"),
+        _sig("not", [NUMBER], NUMBER, "logical not"),
+        # -- strings -------------------------------------------------------
+        _sig("concat", [STRING, STRING], STRING, "the || of Figs. 3-5"),
+        _sig("str_of_num", [NUMBER], STRING, "render a number as text"),
+        _sig("num_of_str", [STRING], NUMBER, "parse a number (error if not)"),
+        _sig("str_length", [STRING], NUMBER, "the ->count of Sec. 3.1"),
+        _sig("str_sub", [STRING, NUMBER, NUMBER], STRING, "substring [i, j)"),
+        _sig("str_contains", [STRING, STRING], NUMBER, "substring test"),
+        _sig("str_upper", [STRING], STRING, "uppercase"),
+        _sig("str_lower", [STRING], STRING, "lowercase"),
+        _sig("str_repeat", [STRING, NUMBER], STRING, "repeat n times"),
+        _sig("num_format", [NUMBER, NUMBER], STRING, "fixed-point format"),
+        # -- lists ---------------------------------------------------------
+        _sig("list_length", [list_of(A)], NUMBER, "number of elements"),
+        _sig("list_get", [list_of(A), NUMBER], A, "0-based index (checked)"),
+        _sig("list_append", [list_of(A), A], list_of(A), "append one element"),
+        _sig("list_concat", [list_of(A), list_of(A)], list_of(A), "concatenate"),
+        _sig("list_reverse", [list_of(A)], list_of(A), "reverse"),
+        _sig("list_slice", [list_of(A), NUMBER, NUMBER], list_of(A), "[i, j)"),
+        _sig("list_range", [NUMBER, NUMBER], list_of(NUMBER), "[i, j) as list"),
+    ]
+}
+
+
+def lookup_prim(name):
+    """Return the :class:`PrimSig` for ``name`` or ``None``."""
+    return PRIM_SIGS.get(name)

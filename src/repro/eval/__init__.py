@@ -1,0 +1,26 @@
+"""Expression evaluation (Fig. 8): the faithful and production machines."""
+
+from .contexts import context_depth, decompose, plug, redex_of
+from .machine import (
+    BigStep,
+    DEFAULT_FUEL,
+    SmallStep,
+    make_evaluator,
+)
+from .natives import (
+    EMPTY_NATIVES,
+    NativeTable,
+    apply_prim,
+    operator_signature,
+)
+from .values import (
+    bool_value,
+    check_value,
+    format_for_post,
+    from_python,
+    to_python,
+    truthy,
+    value_type,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

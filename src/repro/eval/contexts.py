@@ -1,0 +1,94 @@
+"""Evaluation contexts ``E`` (Fig. 6) and redex decomposition.
+
+    E ::= [] | E e | v E | (v1, ..., vi, E, ej, ..., en) | E.n | g := E
+        | push p E | post E | box.a := E
+
+plus the contexts for the documented extensions (``if E then e else e``,
+operator arguments, list-literal items).  ``boxed e`` is *not* a context:
+rule ER-BOXED reduces its body to a value in one nested derivation, so the
+whole ``boxed`` expression is treated as a redex.
+
+The faithful small-step machine uses :func:`decompose` to split an
+expression into a context (represented as a path of ``(node, child_index)``
+pairs) and the redex in its hole, and :func:`plug` to put a reduct back.
+Re-decomposing on every step costs O(depth) — that is the price of
+faithfulness, which is why the production evaluator is the CEK machine in
+:mod:`repro.eval.machine` instead.
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.errors import ReproError
+
+
+def evaluation_positions(expr):
+    """Indices (into ``ast.children``) that are evaluation positions.
+
+    Left-to-right order; a later position is only active once all earlier
+    positions hold values.  Returns ``()`` for nodes whose children are
+    never evaluated in place (lambda bodies, ``boxed`` bodies, ``if``
+    branches).
+    """
+    if isinstance(expr, (ast.Lam, ast.Boxed)):
+        return ()
+    if isinstance(expr, ast.If):
+        return (0,)  # only the condition; branches stay unevaluated
+    return tuple(range(len(ast.children(expr))))
+
+
+def decompose(expr):
+    """Split ``expr`` into ``(path, redex)`` such that ``plug`` restores it.
+
+    ``path`` is a list of ``(node, child_index)`` pairs from the root to the
+    redex.  Returns ``None`` when ``expr`` is already a value.
+    """
+    if expr.is_value():
+        return None
+    path = []
+    node = expr
+    while True:
+        kids = ast.children(node)
+        descend = None
+        for index in evaluation_positions(node):
+            child = kids[index]
+            if not child.is_value():
+                descend = (index, child)
+                break
+        if descend is None:
+            return path, node
+        index, child = descend
+        if isinstance(child, (ast.Tuple, ast.ListLit)):
+            # A non-value tuple/list is itself a context frame; keep
+            # descending into it rather than treating it as a redex.
+            path.append((node, index))
+            node = child
+            continue
+        path.append((node, index))
+        node = child
+
+
+def plug(path, expr):
+    """Rebuild the expression with ``expr`` in the hole described by ``path``."""
+    for node, index in reversed(path):
+        kids = list(ast.children(node))
+        kids[index] = expr
+        expr = ast.rebuild(node, kids)
+    return expr
+
+
+def redex_of(expr):
+    """Just the redex of ``expr`` (or ``None`` for values); test helper."""
+    split = decompose(expr)
+    if split is None:
+        return None
+    return split[1]
+
+
+def context_depth(expr):
+    """Depth of the hole in ``expr``'s decomposition (0 when the whole
+    expression is the redex); used to characterize small-step cost."""
+    split = decompose(expr)
+    if split is None:
+        raise ReproError("values have no evaluation context")
+    return len(split[0])

@@ -1,0 +1,117 @@
+"""Render-function memoization — the §5 self-adjusting-computation idea.
+
+    "An intriguing avenue for future work is the application of research
+    on self-adjusting computation, which would allow redundant parts of
+    the render computation to be elided automatically."
+
+The type system makes a simple version of this *sound by construction*:
+a render-effect function's output (the boxes it appends + its return
+value) can depend only on its argument and the global variables it reads
+— render code cannot write state, touch services, or read the display.
+So a call is a pure function of ``(argument, values of its global read
+set)``, and that tuple is a complete memo key.
+
+The read set is computed statically: the ``GlobalRead`` names in the
+function's body, closed transitively over the functions it references.
+The machine (``BigStep(memo=...)``) consults the cache at every
+``f(args)`` call in render mode; on a hit it splices the cached box items
+into the current box and skips execution entirely.
+
+Invalidation is automatic and total: model changes are captured by the
+key (the read-set values participate), and code changes create a fresh
+machine — and therefore a fresh cache — via the UPDATE transition.
+
+One observable caveat, asserted and documented in the tests: occurrence
+numbers inside replayed subtrees are those of the original execution,
+so with memoization on they identify *which call produced a box* rather
+than global execution order.  ``box_id``-based navigation (the Fig. 2
+feature) is unaffected.
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.defs import Code
+from ..core.effects import RENDER
+from ..core.errors import ReproError
+
+
+def global_read_sets(code):
+    """name → frozenset of globals each function may read (transitive)."""
+    direct = {}
+    references = {}
+    for definition in code.functions():
+        reads = set()
+        refs = set()
+        for node in ast.walk(definition.body):
+            if isinstance(node, ast.GlobalRead):
+                reads.add(node.name)
+            elif isinstance(node, ast.FunRef):
+                refs.add(node.name)
+        direct[definition.name] = reads
+        references[definition.name] = refs
+    # Transitive closure (the call graph is small; iterate to fixpoint).
+    changed = True
+    while changed:
+        changed = False
+        for name, refs in references.items():
+            for callee in refs:
+                callee_reads = direct.get(callee, frozenset())
+                if not callee_reads <= direct[name]:
+                    direct[name] |= callee_reads
+                    changed = True
+    return {name: frozenset(reads) for name, reads in direct.items()}
+
+
+class RenderMemo:
+    """The per-code-version cache of render-function results."""
+
+    def __init__(self, code, max_entries=4096):
+        if not isinstance(code, Code):
+            raise ReproError("RenderMemo expects Code")
+        self._read_sets = global_read_sets(code)
+        self._eligible = {
+            d.name
+            for d in code.functions()
+            if d.type.effect is RENDER and not d.name.startswith("$")
+        }
+        self._cache = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def eligible(self, name):
+        """Is ``name`` a memoizable (user-written, render-effect) function?"""
+        return name in self._eligible
+
+    def key_for(self, name, arg_value, store, code):
+        """The complete memo key: function, argument, read-set values.
+
+        Reads fall back to declared initial values (EP-GLOBAL-2), so a
+        store assignment that *creates* an entry changes the key exactly
+        when it changes what the function would see.
+        """
+        reads = []
+        for global_name in sorted(self._read_sets.get(name, ())):
+            value = store.lookup(global_name)
+            if value is None:
+                definition = code.global_(global_name)
+                value = definition.init if definition else None
+            reads.append((global_name, value))
+        return (name, arg_value, tuple(reads))
+
+    def lookup(self, key):
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def store_result(self, key, items, value):
+        if len(self._cache) >= self._max_entries:
+            self._cache.clear()  # simple safety valve; keys are versioned
+        self.misses += 1
+        self._cache[key] = (tuple(items), value)
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._cache)}

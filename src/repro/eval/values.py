@@ -1,0 +1,162 @@
+"""Runtime value helpers.
+
+A deliberate design decision of this reproduction: *runtime values are AST
+values* (the ``v`` grammar of Fig. 6, closed).  The store ``S``, the event
+queue ``Q``, the page stack ``P`` and box-tree leaves all hold closed AST
+values.  This keeps the implementation in one-to-one correspondence with
+the paper — e.g. the state-typing rules of Fig. 11 (``C ⊢ S`` etc.) are
+implemented by running the ordinary expression checker on stored values,
+and the Fig. 12 fix-up relation literally re-type-checks stored values
+against the new code.
+
+This module provides the conversions between Python data and AST values
+(used by natives and tests) and small value utilities shared by both
+evaluators.
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.errors import EvalError, ReproError
+from ..core.types import (
+    FunType,
+    ListType,
+    NUMBER,
+    NumberType,
+    STRING,
+    StringType,
+    TupleType,
+    Type,
+)
+
+
+def check_value(value):
+    """Assert ``value`` is an AST value; return it."""
+    if not isinstance(value, ast.Expr) or not value.is_value():
+        raise EvalError("expected a value, got {!r}".format(value))
+    return value
+
+
+def truthy(value):
+    """Numeric truthiness: non-zero is true (used by ``if`` and logic ops)."""
+    if not isinstance(value, ast.Num):
+        raise EvalError("condition must be a number, got {!r}".format(value))
+    return value.value != 0.0
+
+
+def bool_value(flag):
+    """Encode a Python bool as the calculus' numeric boolean."""
+    return ast.Num(1.0 if flag else 0.0)
+
+
+def to_python(value):
+    """Convert a function-free AST value to plain Python data.
+
+    numbers → float, strings → str, tuples → tuple, lists → list.
+    Raises on lambdas: closures have no Python analogue and nothing in the
+    system should ever need to convert one.
+    """
+    if isinstance(value, ast.Num):
+        return value.value
+    if isinstance(value, ast.Str):
+        return value.value
+    if isinstance(value, ast.Tuple):
+        return tuple(to_python(item) for item in value.items)
+    if isinstance(value, ast.ListLit):
+        return [to_python(item) for item in value.items]
+    if isinstance(value, ast.Lam):
+        raise EvalError("cannot convert a closure to Python data")
+    raise EvalError("not a convertible value: {!r}".format(value))
+
+
+def from_python(data, type_):
+    """Convert Python data to an AST value of (function-free) type ``type_``.
+
+    The type directs the conversion — in particular the element type of
+    empty lists, which is not recoverable from the data alone.
+    """
+    if isinstance(type_, NumberType):
+        if isinstance(data, bool) or not isinstance(data, (int, float)):
+            raise EvalError("expected a number, got {!r}".format(data))
+        return ast.Num(float(data))
+    if isinstance(type_, StringType):
+        if not isinstance(data, str):
+            raise EvalError("expected a string, got {!r}".format(data))
+        return ast.Str(data)
+    if isinstance(type_, TupleType):
+        data = tuple(data)
+        if len(data) != type_.arity:
+            raise EvalError(
+                "expected a {}-tuple, got {!r}".format(type_.arity, data)
+            )
+        return ast.Tuple(
+            tuple(
+                from_python(item, element)
+                for item, element in zip(data, type_.elements)
+            )
+        )
+    if isinstance(type_, ListType):
+        return ast.ListLit(
+            tuple(from_python(item, type_.element) for item in data),
+            type_.element,
+        )
+    if isinstance(type_, FunType):
+        raise EvalError("cannot build a function value from Python data")
+    raise ReproError("unknown type: {!r}".format(type_))
+
+
+def value_type(value, lam_type_hint=None):
+    """Compute the type of a closed, *function-free* AST value.
+
+    Function values need the checker (their body must be typed); everything
+    the store and page stack can contain is →-free, so this cheap
+    syntax-directed version is what the fix-up relation (Fig. 12) and state
+    typing use on the hot path.  Returns ``None`` when the value contains a
+    lambda or a heterogeneous list.
+    """
+    if isinstance(value, ast.Num):
+        return NUMBER
+    if isinstance(value, ast.Str):
+        return STRING
+    if isinstance(value, ast.Tuple):
+        element_types = []
+        for item in value.items:
+            item_type = value_type(item)
+            if item_type is None:
+                return None
+            element_types.append(item_type)
+        return TupleType(tuple(element_types))
+    if isinstance(value, ast.ListLit):
+        for item in value.items:
+            item_type = value_type(item)
+            if item_type is None or item_type != value.element_type:
+                return None
+        return ListType(value.element_type)
+    return None
+
+
+def format_for_post(value):
+    """Render a posted value the way the display shows it.
+
+    ``post`` accepts any type (rule T-POST); the display shows numbers
+    without a trailing ``.0`` when integral, matching the paper's screens
+    (e.g. "payment: $1199" in Fig. 1).
+    """
+    if isinstance(value, ast.Str):
+        return value.value
+    if isinstance(value, ast.Num):
+        number = value.value
+        if number == int(number) and abs(number) < 1e15:
+            return str(int(number))
+        return repr(number)
+    if isinstance(value, ast.Tuple):
+        return "({})".format(
+            ", ".join(format_for_post(item) for item in value.items)
+        )
+    if isinstance(value, ast.ListLit):
+        return "[{}]".format(
+            ", ".join(format_for_post(item) for item in value.items)
+        )
+    if isinstance(value, ast.Lam):
+        return "<function>"
+    raise EvalError("cannot format {!r}".format(value))

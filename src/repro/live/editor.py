@@ -1,0 +1,82 @@
+"""A minimal code buffer for programmatic source editing.
+
+The live IDE edits source text in three ways: wholesale replacement (the
+programmer typed), span replacement (direct manipulation rewrites an
+attribute value), and line insertion (direct manipulation adds a missing
+``box.attr := v`` statement).  This buffer supports all three with
+1-based line numbers matching :class:`repro.surface.span.Span`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+
+class CodeBuffer:
+    """Mutable source text with line-based and span-based edits."""
+
+    def __init__(self, source=""):
+        self._lines = source.split("\n")
+
+    @property
+    def source(self):
+        return "\n".join(self._lines)
+
+    def line(self, number):
+        """The text of 1-based line ``number`` (without the newline)."""
+        if not 1 <= number <= len(self._lines):
+            raise ReproError(
+                "line {} out of range (buffer has {})".format(
+                    number, len(self._lines)
+                )
+            )
+        return self._lines[number - 1]
+
+    def line_count(self):
+        return len(self._lines)
+
+    def set_source(self, source):
+        self._lines = source.split("\n")
+
+    def replace_line(self, number, text):
+        """Replace 1-based line ``number`` entirely."""
+        self.line(number)  # bounds check
+        self._lines[number - 1] = text
+
+    def insert_line(self, number, text):
+        """Insert ``text`` so it becomes 1-based line ``number``."""
+        if not 1 <= number <= len(self._lines) + 1:
+            raise ReproError("insert position {} out of range".format(number))
+        self._lines.insert(number - 1, text)
+
+    def replace_span(self, span, text):
+        """Replace the source region covered by ``span`` with ``text``.
+
+        Works for single- and multi-line spans; columns are 0-based as in
+        :class:`repro.surface.span.Pos`.
+        """
+        start, end = span.start, span.end
+        first = self.line(start.line)
+        last = self.line(end.line)
+        merged = first[: start.column] + text + last[end.column:]
+        new_lines = merged.split("\n")
+        self._lines[start.line - 1 : end.line] = new_lines
+
+    def find_once(self, needle):
+        """(line, column) of the unique occurrence of ``needle``.
+
+        Raises when the needle is absent or ambiguous — the direct
+        manipulation code paths must never guess.
+        """
+        hits = [
+            (number, line.index(needle))
+            for number, line in enumerate(self._lines, start=1)
+            if needle in line
+        ]
+        if len(hits) != 1:
+            raise ReproError(
+                "needle {!r} occurs {} times, expected exactly once".format(
+                    needle, len(hits)
+                )
+            )
+        return hits[0]

@@ -1,0 +1,99 @@
+"""Direct manipulation (Section 3): live-view attribute edits become code.
+
+The programmer selects a box in the live view, picks an attribute from
+the menu, and supplies a value.  The IDE then *edits the program text*:
+
+* if the boxed statement already sets that attribute, the existing
+  ``box.attr := …`` line's value is replaced in place;
+* otherwise a new ``box.attr := value`` line is inserted as the first
+  statement of the boxed body ("inserts (if not present) a command in the
+  code and positions the code cursor on the margin number").
+
+The effect is then realized by the ordinary UPDATE+RENDER path — direct
+manipulation is sugar for a code edit, "whose effects are enshrined in
+code" (Section 6), never a mutation of the display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boxes.attributes import attribute_spec, manipulable_attributes
+from ..core.errors import ReproError
+from ..core.types import NumberType
+from .editor import CodeBuffer
+
+#: Registry attribute names (spaced) → surface spelling (underscored).
+_SURFACE_SPELLING = {"font size": "font_size"}
+
+
+def surface_attr_name(attr):
+    return _SURFACE_SPELLING.get(attr, attr)
+
+
+def format_attr_value(attr, value):
+    """Render a Python value as surface syntax for ``box.attr := …``."""
+    spec = attribute_spec(attr)
+    if isinstance(spec.type, NumberType):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(
+                "attribute '{}' takes a number, got {!r}".format(attr, value)
+            )
+        number = float(value)
+        if number == int(number):
+            return str(int(number))
+        return repr(number)
+    if not isinstance(value, str):
+        raise ReproError(
+            "attribute '{}' takes a string, got {!r}".format(attr, value)
+        )
+    return '"{}"'.format(value.replace("\\", "\\\\").replace('"', '\\"'))
+
+
+@dataclass(frozen=True)
+class ManipulationEdit:
+    """What a direct manipulation changed, for display and undo."""
+
+    box_id: int
+    attr: str
+    new_line: str
+    line_number: int
+    inserted: bool  # False when an existing line was rewritten
+
+
+def apply_manipulation(source, sourcemap, box_id, attr, value):
+    """Return ``(new_source, edit)`` applying ``box.attr := value``.
+
+    ``box_id`` must come from a :class:`~repro.live.navigation.Selection`
+    against the *same* compiled program as ``sourcemap``.
+    """
+    spec = attribute_spec(attr)  # validates the attribute exists
+    if attr not in {s.name for s in manipulable_attributes()}:
+        raise ReproError(
+            "attribute '{}' is not editable from the live view".format(attr)
+        )
+    entry = sourcemap.entry(box_id)
+    if entry is None:
+        raise ReproError("no boxed statement with id {}".format(box_id))
+    buffer = CodeBuffer(source)
+    value_text = format_attr_value(attr, value)
+    statement = "box.{} := {}".format(surface_attr_name(attr), value_text)
+    line_text = " " * entry.body_indent + statement
+
+    existing = entry.attr_spans.get(attr)
+    if existing is not None:
+        line_number = existing.start.line
+        old_line = buffer.line(line_number)
+        indent = old_line[: len(old_line) - len(old_line.lstrip())]
+        buffer.replace_line(line_number, indent + statement)
+        return buffer.source, ManipulationEdit(
+            box_id=box_id, attr=attr, new_line=indent + statement,
+            line_number=line_number, inserted=False,
+        )
+    # Insert as the first statement of the boxed body.
+    line_number = entry.body_span.start.line
+    buffer.insert_line(line_number, line_text)
+    return buffer.source, ManipulationEdit(
+        box_id=box_id, attr=attr, new_line=line_text,
+        line_number=line_number, inserted=True,
+    )

@@ -1,0 +1,103 @@
+"""UI–code navigation (Fig. 2): boxes ↔ boxed statements.
+
+Both directions are metadata joins, enabled by two facts: the render
+machine stamps every box with the ``box_id`` of the ``boxed`` statement
+that created it, and the source map records every boxed statement's span.
+
+* live view → code view: :func:`box_to_code` walks from the selected box
+  up to the nearest ancestor that carries a ``box_id`` (content directly
+  inside the implicit root has none) and returns its source entry.
+* code view → live view: :func:`code_to_boxes` finds the innermost boxed
+  statement at a source position and returns *all* paths of boxes it
+  created — "a selected boxed statement appearing inside a loop
+  corresponds to multiple boxes in the display, which are collectively
+  selected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boxes.paths import boxes_created_by, resolve
+from ..core.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A synchronized selection: one boxed statement, all of its boxes."""
+
+    box_id: int
+    span: object          # source span of the boxed statement
+    paths: tuple          # every display path created by that statement
+    anchor_path: tuple = None  # the specific box the user picked, if any
+
+    @property
+    def multiple(self):
+        return len(self.paths) > 1
+
+
+def box_to_code(display, path, sourcemap):
+    """Live-view tap at ``path`` → the creating boxed statement.
+
+    Returns a :class:`Selection` (with every sibling box created by the
+    same statement selected too), or ``None`` if the path only covers
+    implicit-root content with no originating ``boxed`` statement.
+    """
+    path = tuple(path)
+    while True:
+        box = resolve(display, path)
+        if box.box_id is not None:
+            entry = sourcemap.entry(box.box_id)
+            if entry is None:
+                raise ReproError(
+                    "display box #{} has no source entry — display and "
+                    "code are out of sync".format(box.box_id)
+                )
+            siblings = tuple(
+                sibling_path
+                for sibling_path, _ in boxes_created_by(display, box.box_id)
+            )
+            return Selection(
+                box_id=box.box_id,
+                span=entry.span,
+                paths=siblings,
+                anchor_path=path,
+            )
+        if not path:
+            return None
+        path = path[:-1]
+
+
+def code_to_boxes(display, line, sourcemap):
+    """Code-view cursor on ``line`` → all boxes of the enclosing boxed stmt.
+
+    Returns a :class:`Selection` or ``None`` when the line is not inside
+    any boxed statement (or its boxes are not on the current page).
+    """
+    entry = sourcemap.boxed_at_line(line)
+    if entry is None:
+        return None
+    paths = tuple(
+        path for path, _ in boxes_created_by(display, entry.box_id)
+    )
+    return Selection(box_id=entry.box_id, span=entry.span, paths=paths)
+
+
+def selection_chain(display, path, sourcemap):
+    """The nested-selection cycle of Section 5: tapping the same box
+    repeatedly selects enclosing boxed statements, innermost first."""
+    selections = []
+    seen = set()
+    path = tuple(path)
+    while True:
+        selection = box_to_code(display, path, sourcemap)
+        if selection is None:
+            break
+        if selection.box_id not in seen:
+            seen.add(selection.box_id)
+            selections.append(selection)
+        anchor = selection.anchor_path
+        if not anchor:
+            break
+        path = anchor[:-1]
+    return selections

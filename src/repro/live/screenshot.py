@@ -1,0 +1,57 @@
+"""The Fig. 2 split screen as text: live view left, code view right.
+
+The live view draws the current display with any selection framed in
+``#``; the code view shows numbered source lines, marking the lines of
+the selected boxed statement with ``>`` — the text rendition of the
+paper's red outline and highlighted statement.
+"""
+
+from __future__ import annotations
+
+from ..render.text_backend import render_text
+
+
+def code_pane(source, selection=None, window=None, problems=()):
+    """Numbered source listing with selection markers and diagnostics."""
+    lines = source.split("\n")
+    selected_lines = set()
+    if selection is not None:
+        selected_lines = set(
+            range(selection.span.start.line, selection.span.end.line + 1)
+        )
+    problem_lines = {
+        problem.span.start.line
+        for problem in problems
+        if getattr(problem, "span", None) is not None
+    }
+    rows = []
+    for number, text in enumerate(lines, start=1):
+        if window is not None and number not in window:
+            continue
+        marker = ">" if number in selected_lines else " "
+        if number in problem_lines:
+            marker = "!"
+        rows.append("{}{:>4} | {}".format(marker, number, text))
+    return "\n".join(rows)
+
+
+def side_by_side(session, width=44, selection=None, code_window=None):
+    """Join the live pane and the code pane with a gutter."""
+    live = render_text(
+        session.display,
+        width=width,
+        selected_paths=selection.paths if selection is not None else (),
+    ).split("\n")
+    code = code_pane(
+        session.source,
+        selection=selection,
+        window=code_window,
+        problems=session.problems,
+    ).split("\n")
+    height = max(len(live), len(code))
+    live += [""] * (height - len(live))
+    code += [""] * (height - len(code))
+    return "\n".join(
+        "{:<{w}} ║ {}".format(left, right, w=width)
+        for left, right in zip(live, code)
+    )

@@ -1,0 +1,287 @@
+"""The live programming session — the headless IDE of Fig. 2.
+
+A :class:`LiveSession` owns the source text and the running program and
+keeps them continuously connected:
+
+* **live editing** — :meth:`edit_source` re-parses, re-typechecks and
+  re-compiles on every edit.  A well-typed program fires the UPDATE
+  transition and the display refreshes under the new code with the old
+  model state; a broken one is *rejected* and the program keeps running
+  the last good code (the paper's editor keeps the live view alive while
+  the programmer types through intermediate broken states).
+* **UI-code navigation** — :meth:`select_box` / :meth:`select_code`.
+* **direct manipulation** — :meth:`manipulate` turns an attribute edit on
+  a selected box into a code edit, then live-applies it.
+
+All user interactions (tap/back/edit) pass through to the runtime so a
+scripted "programmer" can interleave using the app with editing it —
+which is the paper's entire point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import (
+    ReproError,
+    SyntaxProblem,
+    TypeProblem,
+    UpdateRejected,
+)
+from ..surface.compile import compile_source
+from ..system.runtime import Runtime
+from .editor import CodeBuffer
+from .manipulation import apply_manipulation
+from .navigation import box_to_code, code_to_boxes, selection_chain
+
+
+@dataclass(frozen=True)
+class EditResult:
+    """Outcome of one live edit."""
+
+    status: str                    # "applied" or "rejected"
+    problems: tuple = ()           # diagnostics when rejected
+    report: object = None          # FixupReport when applied
+    elapsed: float = 0.0           # wall seconds for compile+update+render
+
+    @property
+    def applied(self):
+        return self.status == "applied"
+
+
+class LiveSession:
+    """A running program plus its editable source."""
+
+    def __init__(
+        self,
+        source,
+        host_impls=None,
+        services=None,
+        faithful=False,
+        reuse_boxes=False,
+    ):
+        self.host_impls = dict(host_impls or {})
+        self.compiled = compile_source(source, self.host_impls)
+        self.runtime = Runtime(
+            self.compiled.code,
+            natives=self.compiled.natives,
+            services=services,
+            faithful=faithful,
+            reuse_boxes=reuse_boxes,
+        )
+        self.runtime.start()
+        self.buffer = CodeBuffer(source)
+        #: Diagnostics for the *current buffer* (empty when it compiled).
+        self.problems = ()
+        self.edit_log = []
+        # Undo/redo over *accepted* program versions.  Each entry is a
+        # source text that once ran; undoing replays it through the
+        # ordinary UPDATE path, so state fix-up applies as usual.
+        self._undo_stack = [source]
+        self._redo_stack = []
+
+    # -- source state -----------------------------------------------------------
+
+    @property
+    def source(self):
+        """The current buffer contents (possibly not yet compilable)."""
+        return self.buffer.source
+
+    @property
+    def display(self):
+        return self.runtime.display
+
+    # -- live editing ------------------------------------------------------------
+
+    def edit_source(self, new_source):
+        """Replace the buffer and try to live-apply it.
+
+        Always updates the buffer (the programmer's text is never thrown
+        away); the running program only changes when the new source
+        compiles and the UPDATE transition accepts it.
+        """
+        self.buffer.set_source(new_source)
+        started = time.perf_counter()
+        try:
+            compiled = compile_source(new_source, self.host_impls)
+        except (SyntaxProblem, TypeProblem) as problem:
+            self.problems = (problem,)
+            result = EditResult(
+                status="rejected",
+                problems=self.problems,
+                elapsed=time.perf_counter() - started,
+            )
+            self.edit_log.append(result)
+            return result
+        try:
+            report = self.runtime.update_code(
+                compiled.code, natives=compiled.natives
+            )
+        except UpdateRejected as rejected:
+            # The surface checker should have caught everything; if the
+            # core checker disagrees, surface it rather than crash.
+            self.problems = tuple(rejected.problems)
+            result = EditResult(
+                status="rejected",
+                problems=self.problems,
+                elapsed=time.perf_counter() - started,
+            )
+            self.edit_log.append(result)
+            return result
+        self.compiled = compiled
+        self.problems = ()
+        if new_source != self._undo_stack[-1]:
+            self._undo_stack.append(new_source)
+            self._redo_stack.clear()
+        result = EditResult(
+            status="applied",
+            report=report,
+            elapsed=time.perf_counter() - started,
+        )
+        self.edit_log.append(result)
+        return result
+
+    def can_undo(self):
+        return len(self._undo_stack) > 1
+
+    def can_redo(self):
+        return bool(self._redo_stack)
+
+    def undo(self):
+        """Live-apply the previous accepted program version.
+
+        Undo is itself an UPDATE: the *code* goes back, the *model state*
+        is fixed up against it (Fig. 12) — interactions made since the
+        edit are not rolled back, exactly as if the programmer had typed
+        the old program again.
+        """
+        if not self.can_undo():
+            raise ReproError("nothing to undo")
+        current = self._undo_stack.pop()
+        previous = self._undo_stack[-1]
+        result = self.edit_source(previous)
+        # edit_source saw previous == top-of-stack, so it neither pushed
+        # nor cleared the redo stack; record the redo direction manually.
+        if result.applied:
+            self._redo_stack.append(current)
+        else:  # defensive: e.g. externs changed out from under us
+            self._undo_stack.append(current)
+        return result
+
+    def redo(self):
+        """Re-apply the most recently undone version."""
+        if not self.can_redo():
+            raise ReproError("nothing to redo")
+        source = self._redo_stack.pop()
+        remaining = list(self._redo_stack)
+        result = self.edit_source(source)  # pushes + clears redo
+        # Restore the deeper redo history the push wiped.
+        if result.applied:
+            self._redo_stack = remaining
+        else:
+            self._redo_stack = remaining + [source]
+        return result
+
+    def replace_text(self, old, new):
+        """Edit by unique textual replacement (scripted-programmer sugar)."""
+        count = self.source.count(old)
+        if count != 1:
+            raise ReproError(
+                "replace_text: pattern occurs {} times, expected "
+                "exactly once".format(count)
+            )
+        return self.edit_source(self.source.replace(old, new))
+
+    # -- navigation ---------------------------------------------------------------
+
+    def select_box(self, path):
+        """Live view → code view: the boxed statement behind ``path``."""
+        return box_to_code(self.display, path, self.compiled.sourcemap)
+
+    def select_code(self, line):
+        """Code view → live view: all boxes of the boxed stmt at ``line``."""
+        return code_to_boxes(self.display, line, self.compiled.sourcemap)
+
+    def selection_chain(self, path):
+        """Nested-selection cycle (repeated taps select enclosing boxes)."""
+        return selection_chain(self.display, path, self.compiled.sourcemap)
+
+    # -- direct manipulation ----------------------------------------------------------
+
+    def manipulate(self, path, attr, value):
+        """Set ``attr`` of the box at ``path`` by editing the code.
+
+        Returns ``(edit, result)``: the code edit that was made and the
+        :class:`EditResult` of live-applying it.
+        """
+        selection = self.select_box(path)
+        if selection is None:
+            raise ReproError(
+                "the box at {} was not created by a boxed statement".format(
+                    list(path)
+                )
+            )
+        new_source, edit = apply_manipulation(
+            self.source, self.compiled.sourcemap, selection.box_id,
+            attr, value,
+        )
+        result = self.edit_source(new_source)
+        return edit, result
+
+    # -- user actions (the programmer also *uses* the app) ------------------------------
+
+    def tap(self, path):
+        self.runtime.tap(path)
+        return self
+
+    def tap_text(self, text):
+        self.runtime.tap_text(text)
+        return self
+
+    def edit_box(self, path, text):
+        self.runtime.edit(path, text)
+        return self
+
+    def back(self):
+        self.runtime.back()
+        return self
+
+    # -- probes (Section 5's debugging future work) ---------------------------------------
+
+    def probe(self, fun_name, *py_args):
+        """Run a program function against the live model, off to the side.
+
+        State-effect functions run against a *copy* of the store; the
+        result reports what they would have changed.  Render-effect
+        functions return the box tree they build (captured debugging
+        output).  See :mod:`repro.live.probe`.
+        """
+        from .probe import probe_function
+
+        return probe_function(self, fun_name, *py_args)
+
+    def probe_expr(self, text):
+        """Evaluate a surface expression in the program's context (REPL)."""
+        from .probe import probe_expression
+
+        return probe_expression(self, text)
+
+    # -- views --------------------------------------------------------------------------
+
+    def screenshot(self, width=48, selection=None):
+        """The live view, optionally with a selection highlighted."""
+        from ..render.text_backend import render_text
+
+        selected_paths = selection.paths if selection is not None else ()
+        return render_text(
+            self.display, width=width, selected_paths=selected_paths
+        )
+
+    def side_by_side(self, width=44, selection=None, code_window=None):
+        """The Fig. 2 split screen: live view left, code view right."""
+        from .screenshot import side_by_side
+
+        return side_by_side(
+            self, width=width, selection=selection, code_window=code_window
+        )

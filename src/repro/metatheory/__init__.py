@@ -1,0 +1,20 @@
+"""Executable metatheory for Section 4.3 (preservation, progress,
+invariants) plus hypothesis generators for random well-typed programs."""
+
+from .preservation import (
+    PreservationReport,
+    PreservationViolation,
+    check_preserving_run,
+)
+from .progress import (
+    FAULT,
+    STEPS,
+    STUCK,
+    VALUE,
+    ProgressViolation,
+    check_progress_run,
+    classify,
+)
+from .wellformed import InvariantViolation, check_invariants, no_stale_code
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,266 @@
+"""Hypothesis strategies for random *well-typed* core programs.
+
+The metatheory properties quantify over all well-typed expressions and
+programs; these strategies generate them by construction — every
+generated expression carries a target type and effect and only rules that
+preserve typability are applied.  Partial primitives (division, parsing,
+indexing) are deliberately excluded so preservation runs cannot trap;
+progress-with-faults is exercised by dedicated tests instead.
+
+Generated programs always terminate: generated function bodies make no
+calls, and there is no recursion source other than the (unused) FunRef
+rule — so property tests can fully reduce everything they generate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from ..core import ast
+from ..core.defs import Code, GlobalDef, PageDef
+from ..core.effects import PURE, RENDER, STATE
+from ..core.names import ATTR_MARGIN
+from ..core.types import (
+    FunType,
+    ListType,
+    NUMBER,
+    STRING,
+    TupleType,
+    UNIT,
+    fun,
+)
+
+_IDENT_POOL = ("g_num", "g_str", "g_pair", "g_list")
+
+
+def function_free_types(max_depth=2):
+    """Strategy for →-free types (legal global/page-argument types)."""
+    base = st.sampled_from((NUMBER, STRING, UNIT))
+    if max_depth <= 0:
+        return base
+    inner = function_free_types(max_depth - 1)
+    return st.one_of(
+        base,
+        st.lists(inner, min_size=1, max_size=3).map(
+            lambda elems: TupleType(tuple(elems))
+        ),
+        inner.map(ListType),
+    )
+
+
+@st.composite
+def values_of(draw, type_):
+    """Strategy for closed AST *values* of ``type_``."""
+    if type_ == NUMBER:
+        return ast.Num(float(draw(st.integers(-99, 99))))
+    if type_ == STRING:
+        return ast.Str(draw(st.text(alphabet="abcxyz", max_size=5)))
+    if isinstance(type_, TupleType):
+        return ast.Tuple(
+            tuple(draw(values_of(elem)) for elem in type_.elements)
+        )
+    if isinstance(type_, ListType):
+        items = tuple(
+            draw(values_of(type_.element))
+            for _ in range(draw(st.integers(0, 3)))
+        )
+        return ast.ListLit(items, type_.element)
+    if isinstance(type_, FunType):
+        body = draw(values_of(type_.result))
+        return ast.Lam(
+            ast.fresh_name("gen"), type_.param, body, type_.effect
+        )
+    raise AssertionError("no value strategy for {!r}".format(type_))
+
+
+@st.composite
+def expressions_of(draw, code, gamma, type_, effect, depth=3):
+    """Strategy for expressions with ``C; Γ ⊢effect e : type_``.
+
+    ``gamma`` is a dict name → type of in-scope lambda variables.
+    """
+    leafs = ["value"]
+    for name, var_type in gamma.items():
+        if var_type == type_:
+            leafs.append(("var", name))
+    for definition in code.globals():
+        if definition.type == type_:
+            leafs.append(("global", definition.name))
+
+    if depth <= 0:
+        choice = draw(st.sampled_from(leafs))
+    else:
+        options = list(leafs) + ["if", "let", "tuple_proj"]
+        options.extend(_prim_options(type_))
+        from ..core.effects import subeffect
+
+        for definition in code.functions():
+            if definition.type.result == type_ and subeffect(
+                definition.type.effect, effect
+            ):
+                options.append(("call", definition.name))
+        if isinstance(type_, TupleType):
+            options.append("tuple")
+        if isinstance(type_, ListType):
+            options.append("list")
+        if effect is STATE and type_ == UNIT and code.globals():
+            options.append("assign")
+        if effect is RENDER:
+            options.append("boxed")
+            if type_ == UNIT:
+                options.extend(["post", "setattr"])
+        choice = draw(st.sampled_from(options))
+
+    recur = lambda t, d=depth - 1, e=effect, g=gamma: draw(
+        expressions_of(code, g, t, e, d)
+    )
+
+    if choice == "value":
+        return draw(values_of(type_))
+    if isinstance(choice, tuple) and choice[0] == "var":
+        return ast.Var(choice[1])
+    if isinstance(choice, tuple) and choice[0] == "global":
+        return ast.GlobalRead(choice[1])
+    if isinstance(choice, tuple) and choice[0] == "call":
+        definition = code.function(choice[1])
+        return ast.App(ast.FunRef(choice[1]), recur(definition.type.param))
+    if choice == "if":
+        return ast.If(recur(NUMBER), recur(type_), recur(type_))
+    if choice == "let":
+        bound_type = draw(st.sampled_from((NUMBER, STRING, UNIT)))
+        var = ast.fresh_name("let")
+        inner_gamma = dict(gamma)
+        inner_gamma[var] = bound_type
+        body = draw(
+            expressions_of(code, inner_gamma, type_, effect, depth - 1)
+        )
+        return ast.App(
+            ast.Lam(var, bound_type, body, effect), recur(bound_type)
+        )
+    if choice == "tuple_proj":
+        width = draw(st.integers(1, 3))
+        position = draw(st.integers(1, width))
+        elements = [
+            draw(st.sampled_from((NUMBER, STRING))) for _ in range(width)
+        ]
+        elements[position - 1] = type_
+        tuple_expr = ast.Tuple(
+            tuple(
+                recur(element_type) for element_type in elements
+            )
+        )
+        return ast.Proj(tuple_expr, position)
+    if choice == "tuple":
+        return ast.Tuple(tuple(recur(elem) for elem in type_.elements))
+    if choice == "list":
+        items = tuple(
+            recur(type_.element) for _ in range(draw(st.integers(0, 2)))
+        )
+        return ast.ListLit(items, type_.element)
+    if choice == "assign":
+        target = draw(st.sampled_from(code.globals()))
+        return ast.GlobalWrite(target.name, recur(target.type))
+    if choice == "boxed":
+        return ast.Boxed(recur(type_), box_id=draw(st.integers(0, 9)))
+    if choice == "post":
+        payload = draw(st.sampled_from((NUMBER, STRING)))
+        return ast.Post(recur(payload))
+    if choice == "setattr":
+        return ast.SetAttr(ATTR_MARGIN, recur(NUMBER))
+    # Primitive operators.
+    op, arg_types = choice
+    return ast.Prim(op, tuple(recur(arg) for arg in arg_types))
+
+
+def _prim_options(type_):
+    """Total primitives producing ``type_`` (partial ones excluded)."""
+    options = []
+    if type_ == NUMBER:
+        options.extend(
+            [
+                ("add", (NUMBER, NUMBER)),
+                ("sub", (NUMBER, NUMBER)),
+                ("mul", (NUMBER, NUMBER)),
+                ("floor", (NUMBER,)),
+                ("lt", (NUMBER, NUMBER)),
+                ("eq", (NUMBER, NUMBER)),
+                ("not", (NUMBER,)),
+                ("str_length", (STRING,)),
+            ]
+        )
+    elif type_ == STRING:
+        options.extend(
+            [
+                ("concat", (STRING, STRING)),
+                ("str_of_num", (NUMBER,)),
+                ("str_upper", (STRING,)),
+            ]
+        )
+    elif isinstance(type_, ListType):
+        options.append(("list_append", (type_, type_.element)))
+    return options
+
+
+@st.composite
+def programs(draw, max_globals=3, body_depth=3, max_functions=2):
+    """Strategy for complete well-typed programs.
+
+    Globals, optional non-recursive pure helper functions (whose bodies
+    may read globals and call earlier helpers — still guaranteed to
+    terminate), and a start page whose init/render bodies may call them.
+    """
+    from ..core.defs import FunDef
+    from ..core.types import FunType
+
+    globals_ = []
+    count = draw(st.integers(1, max_globals))
+    for index in range(count):
+        g_type = draw(function_free_types(1))
+        init = draw(values_of(g_type))
+        globals_.append(GlobalDef("g{}".format(index), g_type, init))
+    partial_code = Code(globals_)
+
+    functions = []
+    for index in range(draw(st.integers(0, max_functions))):
+        param_type = draw(st.sampled_from((NUMBER, STRING, UNIT)))
+        result_type = draw(st.sampled_from((NUMBER, STRING)))
+        param = ast.fresh_name("p")
+        body = draw(
+            expressions_of(
+                partial_code,  # earlier helpers are callable (no cycles)
+                {param: param_type},
+                result_type,
+                PURE,
+                body_depth - 1,
+            )
+        )
+        definition = FunDef(
+            "f{}".format(index),
+            FunType(param_type, result_type, PURE),
+            ast.Lam(param, param_type, body, PURE),
+        )
+        functions.append(definition)
+        partial_code = Code(globals_ + functions)
+
+    init_body = draw(
+        expressions_of(partial_code, {}, UNIT, STATE, body_depth)
+    )
+    render_body = draw(
+        expressions_of(partial_code, {}, UNIT, RENDER, body_depth)
+    )
+    page = PageDef(
+        "start",
+        UNIT,
+        ast.Lam(ast.fresh_name("a"), UNIT, init_body, STATE),
+        ast.Lam(ast.fresh_name("a"), UNIT, render_body, RENDER),
+    )
+    return Code(globals_ + functions + [page])
+
+
+@st.composite
+def typed_expressions(draw, effect=PURE, depth=3):
+    """Strategy for ``(code, expr, type)`` triples under ``effect``."""
+    code = draw(programs(body_depth=1))
+    type_ = draw(st.sampled_from((NUMBER, STRING, UNIT)))
+    expr = draw(expressions_of(code, {}, type_, effect, depth))
+    return code, expr, type_

@@ -1,0 +1,103 @@
+"""Executable preservation (Section 4.3).
+
+"All small evaluation steps preserve the type of the evaluated expression
+(...) and leave the store and the queue well typed."
+
+:func:`check_preserving_run` reduces an expression with the *faithful*
+small-step machine and, after every single step, re-types the expression,
+the store and the queue.  With subsumption folded into the algorithmic
+checker, preservation means the stepped type is a *subtype* of the
+original (e.g. taking an ``if`` branch can sharpen a function's effect
+from ``s`` to ``p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.effects import PURE, RENDER, STATE
+from ..core.errors import ReproError, TypeProblem
+from ..core.types import is_subtype
+from ..eval.machine import SmallStep
+from ..typing.checker import Checker
+from ..typing.context import TypeEnv
+from ..typing.state import queue_problems, store_problems
+
+
+class PreservationViolation(ReproError):
+    """A small step changed the type — the §4.3 theorem would be false."""
+
+
+@dataclass
+class PreservationReport:
+    """Evidence from one checked run."""
+
+    steps: int = 0
+    initial_type: object = None
+    final_value: object = None
+    types_seen: list = field(default_factory=list)
+
+
+def check_preserving_run(
+    code, expr, mode, store, queue=None, box=None, natives=None,
+    max_steps=20_000,
+):
+    """Reduce ``expr`` under →µ*, re-typing after every step.
+
+    Returns a :class:`PreservationReport`; raises
+    :class:`PreservationViolation` on the first type change, or
+    :class:`TypeProblem` if a step made the store/queue ill-typed.
+    """
+    machine = SmallStep(code, natives=natives or _empty_natives())
+    checker = Checker(code, natives)
+    env = TypeEnv.empty()
+    current_type = checker.check(expr, mode, env)
+    report = PreservationReport(initial_type=current_type)
+    report.types_seen.append(current_type)
+
+    while not expr.is_value():
+        if report.steps >= max_steps:
+            raise ReproError(
+                "preservation run exceeded {} steps".format(max_steps)
+            )
+        expr = machine.step(expr, mode, store, queue, box)
+        report.steps += 1
+        try:
+            stepped_type = checker.check(expr, mode, env)
+        except TypeProblem as problem:
+            raise PreservationViolation(
+                "after step {} the expression no longer types: {}".format(
+                    report.steps, problem
+                )
+            )
+        if not is_subtype(stepped_type, current_type):
+            raise PreservationViolation(
+                "step {} changed the type: {} is not a subtype of "
+                "{}".format(report.steps, stepped_type, current_type)
+            )
+        current_type = stepped_type
+        report.types_seen.append(stepped_type)
+        # "...and leave the store and the queue well typed."
+        store_issues = store_problems(code, store, natives)
+        if store_issues:
+            raise PreservationViolation(
+                "step {} left the store ill-typed: {}".format(
+                    report.steps, store_issues[0]
+                )
+            )
+        if queue is not None:
+            queue_issues = queue_problems(code, queue, natives)
+            if queue_issues:
+                raise PreservationViolation(
+                    "step {} left the queue ill-typed: {}".format(
+                        report.steps, queue_issues[0]
+                    )
+                )
+    report.final_value = expr
+    return report
+
+
+def _empty_natives():
+    from ..eval.natives import EMPTY_NATIVES
+
+    return EMPTY_NATIVES

@@ -1,0 +1,82 @@
+"""Executable progress (Section 4.3).
+
+"Any expression e that is not a value and that types as C; Γ ⊢µ e : τ
+... can take a step."  :func:`classify` decides which of the paper's
+cases an expression is in; :func:`check_progress_run` asserts that a
+well-typed expression never lands in ``stuck`` — modulo the documented
+partial primitives (division by zero etc.), which surface as ``fault``
+and are the standard caveat real languages attach to progress.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import EvalError, FuelExhausted, ReproError, StuckExpression
+from ..eval.machine import SmallStep
+
+#: The possible classifications of one expression state.
+VALUE = "value"
+STEPS = "steps"
+STUCK = "stuck"
+FAULT = "fault"
+
+
+class ProgressViolation(ReproError):
+    """A well-typed non-value admitted no step — progress would be false."""
+
+
+def classify(code, expr, mode, store, queue=None, box=None, natives=None):
+    """Which progress case is ``expr`` in right now?
+
+    Probes one small step without keeping its result observable effects…
+    which is impossible for effectful redexes, so callers that need a
+    pristine state should pass copies (the tests do).
+    """
+    if expr.is_value():
+        return VALUE
+    machine = SmallStep(code, natives=natives or _empty_natives())
+    try:
+        machine.step(expr, mode, store, queue, box)
+    except StuckExpression:
+        return STUCK
+    except FuelExhausted:
+        return STEPS
+    except EvalError:
+        return FAULT
+    return STEPS
+
+
+def check_progress_run(
+    code, expr, mode, store, queue=None, box=None, natives=None,
+    max_steps=20_000,
+):
+    """Reduce to a value, asserting a step exists at every point.
+
+    Returns ``("value", v)`` on normal termination or ``("fault", exc)``
+    when a partial primitive trapped (a *defined* runtime failure, not a
+    progress violation).  Raises :class:`ProgressViolation` on stuckness.
+    """
+    machine = SmallStep(code, natives=natives or _empty_natives())
+    steps = 0
+    while not expr.is_value():
+        if steps >= max_steps:
+            raise ReproError(
+                "progress run exceeded {} steps".format(max_steps)
+            )
+        try:
+            expr = machine.step(expr, mode, store, queue, box)
+        except StuckExpression as stuck:
+            raise ProgressViolation(
+                "well-typed expression is stuck after {} steps: {}".format(
+                    steps, stuck
+                )
+            )
+        except EvalError as fault:
+            return FAULT, fault
+        steps += 1
+    return VALUE, expr
+
+
+def _empty_natives():
+    from ..eval.natives import EMPTY_NATIVES
+
+    return EMPTY_NATIVES

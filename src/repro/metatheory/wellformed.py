@@ -1,0 +1,108 @@
+"""Runtime invariants of the system model (Section 4.2).
+
+These are the properties the paper states in prose around Fig. 9; the
+test-suite asserts them after *every* transition of scripted scenarios:
+
+* the display is either ``⊥`` or a frozen box tree, never anything else;
+* a valid display coexists only with an empty queue (every enqueuing
+  transition invalidates, so "it is not possible to activate tap handlers
+  on a stale display" and conversely a valid display is never stale);
+* the store and the page stack contain only *values* of *→-free* shape —
+  "neither global variables nor the page stack contain function values
+  (we enforce this using the type system), the state contains no code";
+* the whole state types under Fig. 11.
+"""
+
+from __future__ import annotations
+
+from ..boxes.tree import Box, STALE
+from ..core import ast
+from ..core.errors import ReproError
+from ..typing.state import system_problems
+
+
+class InvariantViolation(ReproError):
+    """A Section 4.2 invariant failed — a bug in the system, not the user."""
+
+
+def check_invariants(system):
+    """Assert every invariant on a :class:`repro.system.transitions.System`.
+
+    Returns the system for chaining; raises :class:`InvariantViolation`.
+    """
+    state = system.state
+    display = state.display
+
+    if display is not STALE and not isinstance(display, Box):
+        raise InvariantViolation(
+            "display is neither ⊥ nor a box tree: {!r}".format(display)
+        )
+    if isinstance(display, Box):
+        if not state.queue.is_empty():
+            raise InvariantViolation(
+                "valid display with a non-empty queue — some transition "
+                "forgot to invalidate"
+            )
+        _check_frozen(display)
+
+    for name, value in state.store.items():
+        if not value.is_value():
+            raise InvariantViolation(
+                "store entry '{}' is not a value".format(name)
+            )
+        if ast.contains_lambda(value):
+            raise InvariantViolation(
+                "store entry '{}' contains a closure — stale code could "
+                "survive updates".format(name)
+            )
+
+    for page, value in state.stack.entries():
+        if not value.is_value():
+            raise InvariantViolation(
+                "page-stack argument of '{}' is not a value".format(page)
+            )
+        if ast.contains_lambda(value):
+            raise InvariantViolation(
+                "page-stack argument of '{}' contains a closure".format(page)
+            )
+
+    problems = system_problems(state, system.natives)
+    if problems:
+        raise InvariantViolation(
+            "state fails Fig. 11 typing: {}".format(problems[0])
+        )
+    return system
+
+
+def _check_frozen(box):
+    if not box._frozen:
+        raise InvariantViolation(
+            "displayed box tree is not frozen — user code could mutate "
+            "the view"
+        )
+    for child in box.children():
+        _check_frozen(child)
+
+
+def no_stale_code(system):
+    """The post-UPDATE guarantee: nothing outside ``C`` contains code.
+
+    Checks store, stack and queue for lambdas.  (The display is ``⊥``
+    right after UPDATE; once re-rendered it legitimately holds handler
+    closures — compiled from the *current* code.)
+    """
+    state = system.state
+    for name, value in state.store.items():
+        if ast.contains_lambda(value):
+            return False
+    for _page, value in state.stack.entries():
+        if ast.contains_lambda(value):
+            return False
+    from ..system.events import ExecEvent, PushEvent
+
+    for event in state.queue.events():
+        if isinstance(event, ExecEvent) and ast.contains_lambda(event.thunk):
+            return False
+        if isinstance(event, PushEvent) and ast.contains_lambda(event.arg):
+            return False
+    return True

@@ -1,0 +1,15 @@
+"""Rendering backends for box trees (layout, text, HTML, hit-testing)."""
+
+from .geometry import Rect, Size, as_cells
+from .hittest import enclosing_chain, hit_test, node_at
+from .html_backend import box_style, render_html, render_html_fragment
+from .layout import LayoutEngine, LayoutNode
+from .text_backend import (
+    BACKGROUND_SHADES,
+    Grid,
+    render_layout,
+    render_text,
+    shade_for,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,73 @@
+"""Integer cell geometry for the deterministic layout engine.
+
+The paper explicitly does not formalize visual layout ("We do not
+formalize the visual layout of box trees"), so this reproduction provides
+a small deterministic one: boxes are laid out on a character grid, which
+makes screenshots exactly assertable in tests while still exercising the
+attributes the paper's improvements manipulate (margins, backgrounds,
+layout direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Size:
+    """A width/height pair in character cells."""
+
+    width: int
+    height: int
+
+    def __post_init__(self):
+        if self.width < 0 or self.height < 0:
+            raise ReproError("negative size: {}x{}".format(self.width, self.height))
+
+    def grow(self, dw, dh):
+        return Size(self.width + dw, self.height + dh)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An absolute rectangle in character cells: origin + size."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    @property
+    def right(self):
+        return self.x + self.width
+
+    @property
+    def bottom(self):
+        return self.y + self.height
+
+    def contains(self, x, y):
+        """Is the cell ``(x, y)`` inside this rectangle?"""
+        return self.x <= x < self.right and self.y <= y < self.bottom
+
+    def inset(self, amount):
+        """Shrink by ``amount`` cells on every side (clamped at zero)."""
+        shrink = min(amount, self.width // 2, self.height // 2)
+        return Rect(
+            self.x + shrink,
+            self.y + shrink,
+            max(0, self.width - 2 * shrink),
+            max(0, self.height - 2 * shrink),
+        )
+
+    def size(self):
+        return Size(self.width, self.height)
+
+
+def as_cells(value, what="attribute"):
+    """Convert a numeric attribute value (float) to whole cells (>= 0)."""
+    cells = int(value)
+    if cells < 0:
+        return 0
+    return cells

@@ -1,0 +1,48 @@
+"""Hit testing: screen cells → box paths.
+
+This is the device side of rule TAP: the user touches a position on the
+display; hit testing finds the *deepest* box whose rectangle contains it,
+and the system then bubbles to the nearest enclosing ``ontap`` handler
+(:func:`repro.boxes.paths.innermost_box_with_attr`).
+
+It is also the live-view side of Fig. 2's UI-code navigation: the IDE
+hit-tests the programmer's click and maps the resulting box to the boxed
+statement that created it.  The paper's "nested selection mode" — tapping
+the same spot repeatedly to select enclosing boxes — is
+:func:`enclosing_chain`.
+"""
+
+from __future__ import annotations
+
+from .layout import LayoutNode
+
+
+def hit_test(root_node, x, y):
+    """Path of the deepest box whose rect contains ``(x, y)``, or ``None``."""
+    best = None
+    for node in root_node.walk():
+        if node.rect.contains(x, y):
+            if best is None or len(node.path) >= len(best.path):
+                best = node
+    return best.path if best is not None else None
+
+
+def enclosing_chain(root_node, x, y):
+    """All box paths containing ``(x, y)``, deepest first.
+
+    Repeatedly tapping cycles through this chain ("the user can tap the
+    same box multiple times to select enclosing boxes", Section 5).
+    """
+    chain = [
+        node.path for node in root_node.walk() if node.rect.contains(x, y)
+    ]
+    chain.sort(key=len, reverse=True)
+    return chain
+
+
+def node_at(root_node, path):
+    """The :class:`LayoutNode` for ``path``, or ``None``."""
+    for node in root_node.walk():
+        if node.path == tuple(path):
+            return node
+    return None

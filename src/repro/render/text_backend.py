@@ -1,0 +1,115 @@
+"""ASCII backend: box trees → character "screenshots".
+
+This is the reproduction's display device.  It regenerates the *shape* of
+the paper's Figure 1 screens as deterministic text, which the example
+scripts print and the integration tests assert against:
+
+* posted content appears as text at its laid-out position;
+* bordered boxes draw a ``+--+`` frame;
+* non-empty ``background`` colours fill the box's empty cells with a
+  shade character (one per colour, see :data:`BACKGROUND_SHADES`) — this
+  is how the I3 improvement ("highlight every fifth line") becomes
+  visible in tests;
+* a selection (for the live IDE of Fig. 2) is drawn as a ``#`` frame
+  around the selected box(es), the textual analogue of the red outline.
+"""
+
+from __future__ import annotations
+
+from ..boxes.tree import Box
+from ..core.errors import ReproError
+from .layout import LayoutEngine, LayoutNode
+
+#: Shade characters for background colours; unknown colours get ``'░'``.
+BACKGROUND_SHADES = {
+    "": " ",
+    "white": " ",
+    "light blue": "░",
+    "light gray": "▒",
+    "gray": "▓",
+    "yellow": "~",
+    "green": "+",
+    "red": "!",
+}
+
+
+def shade_for(color):
+    return BACKGROUND_SHADES.get(color, "░")
+
+
+class Grid:
+    """A mutable character grid with painter's-algorithm drawing."""
+
+    def __init__(self, width, height, fill=" "):
+        self.width = width
+        self.height = height
+        self._rows = [[fill] * width for _ in range(height)]
+
+    def put(self, x, y, char):
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._rows[y][x] = char
+
+    def text(self, x, y, line):
+        for offset, char in enumerate(line):
+            self.put(x + offset, y, char)
+
+    def fill_rect(self, rect, char):
+        for y in range(rect.y, rect.bottom):
+            for x in range(rect.x, rect.right):
+                self.put(x, y, char)
+
+    def frame(self, rect, horizontal="-", vertical="|", corner="+"):
+        if rect.width < 2 or rect.height < 1:
+            return
+        for x in range(rect.x, rect.right):
+            self.put(x, rect.y, horizontal)
+            self.put(x, rect.bottom - 1, horizontal)
+        for y in range(rect.y, rect.bottom):
+            self.put(rect.x, y, vertical)
+            self.put(rect.right - 1, y, vertical)
+        for x, y in (
+            (rect.x, rect.y),
+            (rect.right - 1, rect.y),
+            (rect.x, rect.bottom - 1),
+            (rect.right - 1, rect.bottom - 1),
+        ):
+            self.put(x, y, corner)
+
+    def render(self):
+        return "\n".join("".join(row).rstrip() for row in self._rows)
+
+
+def render_layout(root_node, selected_paths=()):
+    """Draw a laid-out tree to text; ``selected_paths`` get a ``#`` frame."""
+    selected = {tuple(path) for path in selected_paths}
+    width = max(root_node.rect.right, 1)
+    height = max(root_node.rect.bottom, 1)
+    grid = Grid(width, height)
+    # Pass 1: backgrounds and borders, outermost first so inner boxes
+    # paint over their ancestors.
+    for node in root_node.walk():
+        background = node.background
+        if background:
+            grid.fill_rect(node.rect, shade_for(background))
+        if node.bordered:
+            grid.frame(node.rect)
+    # Pass 2: text on top.
+    for node in root_node.walk():
+        for x, y, line in node.texts:
+            grid.text(x, y, line)
+    # Pass 3: selection frames on top of everything (the IDE's red
+    # outline of Fig. 2).
+    for node in root_node.walk():
+        if node.path in selected:
+            grid.frame(node.rect, horizontal="#", vertical="#", corner="#")
+    return grid.render()
+
+
+def render_text(display, width=48, selected_paths=(), engine=None):
+    """Layout + draw in one call.  ``display`` is a box tree."""
+    if not isinstance(display, Box):
+        raise ReproError("render_text expects a Box, got {!r}".format(display))
+    if engine is None:
+        engine = LayoutEngine()
+    root_node = engine.layout(display, width=width)
+    return render_layout(root_node, selected_paths=selected_paths)

@@ -1,0 +1,11 @@
+"""Substrates backing the example applications (simulated web, datasets)."""
+
+from .listings import CITIES, STREETS, generate_listings
+from .web import (
+    DEFAULT_LATENCY,
+    SimulatedWeb,
+    make_services,
+    web_host_impls,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,79 @@
+"""The simulated web substrate.
+
+The paper's mortgage example "issues a web request to obtain listings"
+on startup, and step 5 of its conventional edit cycle is "waiting for the
+list to download".  This substrate reproduces both:
+
+* :class:`SimulatedWeb` serves deterministic resources and charges its
+  configured latency to the ambient :class:`~repro.system.services.
+  VirtualClock` on every request — no real sleeping, so the test-suite is
+  fast while the edit-cycle benchmark (E2) still *accounts* for download
+  time exactly like a real restart-based workflow would pay it;
+* :func:`web_host_impls` provides the ``extern fun`` implementations the
+  example apps declare (``fetch_listings``), wired through
+  :class:`~repro.system.services.Services` — so they carry effect ``s``
+  and the type system keeps them out of render code.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import NativeError
+from ..system.services import Services
+from .listings import generate_listings
+
+#: Default simulated latency per request, in virtual seconds.  Chosen to
+#: dominate a restart-based edit cycle the way a real mobile download does.
+DEFAULT_LATENCY = 1.5
+
+
+class SimulatedWeb:
+    """A tiny deterministic 'internet' with per-request latency accounting."""
+
+    def __init__(self, clock, latency=DEFAULT_LATENCY, listing_count=8,
+                 seed=20130616):
+        self.clock = clock
+        self.latency = latency
+        self.request_count = 0
+        self._resources = {
+            "/listings": generate_listings(listing_count, seed),
+        }
+
+    def add_resource(self, path, payload):
+        """Host another deterministic resource (used by other examples)."""
+        self._resources[path] = payload
+        return payload
+
+    def fetch(self, path):
+        """Serve ``path``, charging latency to the virtual clock."""
+        self.request_count += 1
+        self.clock.advance(self.latency)
+        try:
+            return self._resources[path]
+        except KeyError:
+            raise NativeError("web: no such resource {!r}".format(path))
+
+
+def make_services(latency=DEFAULT_LATENCY, listing_count=8, seed=20130616):
+    """A :class:`Services` with a fresh clock and simulated web attached."""
+    services = Services()
+    services.provide(
+        "web",
+        SimulatedWeb(
+            services.clock, latency=latency, listing_count=listing_count,
+            seed=seed,
+        ),
+    )
+    return services
+
+
+def _fetch_listings(services):
+    return services.get("web").fetch("/listings")
+
+
+def web_host_impls():
+    """Host implementations for the web externs the example apps declare.
+
+    Keys match ``extern fun`` names; see
+    :func:`repro.surface.compile.compile_source`.
+    """
+    return {"fetch_listings": _fetch_listings}

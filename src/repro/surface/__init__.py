@@ -1,0 +1,13 @@
+"""The TouchDevelop-like surface language and its compiler to the core."""
+
+from .compile import CompiledProgram, compile_source
+from .format import format_program, format_source
+from .lexer import tokenize
+from .lower import LoweredProgram, lower_program
+from .parser import parse
+from .resolve import ProgramEnv, resolve, resolve_type
+from .sourcemap import BoxedEntry, SourceMap, build_sourcemap
+from .span import Pos, Span, dummy_span
+from .typecheck import typecheck, typecheck_problems
+
+__all__ = [name for name in dir() if not name.startswith("_")]

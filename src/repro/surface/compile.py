@@ -1,0 +1,87 @@
+"""The compile pipeline: source text → runnable core program.
+
+    parse → resolve+typecheck (annotates the AST, infers effects)
+          → lower (core calculus + extern signatures)
+          → bind extern implementations (FFI)
+          → re-check the core program against Fig. 10/11
+
+The final core re-check is deliberate redundancy: the surface checker and
+the lowering are substantial, and the core checker is tiny and rule-exact
+— if they ever disagree, compilation fails loudly instead of producing a
+program whose UPDATE transition would later be rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ReproError, TypeProblem
+from ..eval.natives import NativeTable
+from ..typing.program import code_problems
+from .lower import lower_program
+from .parser import parse
+from .sourcemap import SourceMap, build_sourcemap
+from .typecheck import typecheck_problems
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the runtime and the live IDE need about one program."""
+
+    source: str
+    program: object           # the annotated surface AST
+    env: object               # ProgramEnv
+    code: object              # core Code
+    natives: NativeTable
+    sourcemap: SourceMap
+    generated_functions: tuple
+
+
+def compile_source(source, host_impls=None, check_core=True):
+    """Compile surface ``source`` to a :class:`CompiledProgram`.
+
+    ``host_impls`` maps each declared ``extern fun`` name to its Python
+    implementation ``impl(services, *args)``.  Raises
+    :class:`~repro.core.errors.SyntaxProblem` or
+    :class:`~repro.core.errors.TypeProblem` on the first error.
+    """
+    program = parse(source)
+    env, problems = typecheck_problems(program)
+    if problems:
+        raise problems[0]
+    lowered = lower_program(program, env)
+    natives = _bind_externs(lowered.extern_sigs, host_impls or {})
+    if check_core:
+        core_issues = code_problems(lowered.code, natives)
+        if core_issues:
+            raise ReproError(
+                "internal lowering error — the lowered program fails the "
+                "core checker: {}".format(core_issues[0])
+            )
+    return CompiledProgram(
+        source=source,
+        program=program,
+        env=env,
+        code=lowered.code,
+        natives=natives,
+        sourcemap=build_sourcemap(program),
+        generated_functions=tuple(lowered.generated_functions),
+    )
+
+
+def _bind_externs(extern_sigs, host_impls):
+    natives = NativeTable()
+    missing = []
+    for sig in extern_sigs:
+        impl = host_impls.get(sig.name)
+        if impl is None:
+            missing.append(sig.name)
+            continue
+        natives.register(sig, impl)
+    if missing:
+        raise TypeProblem(
+            "extern function(s) without a host implementation: {}".format(
+                ", ".join(sorted(missing))
+            )
+        )
+    return natives

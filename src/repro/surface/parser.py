@@ -1,0 +1,637 @@
+"""Recursive-descent parser for the surface language.
+
+Grammar sketch (blocks are indentation-delimited; ``//`` comments)::
+
+    program  := decl*
+    decl     := "global" x ":" type "=" expr
+              | "record" x <indented field list>
+              | "fun" f "(" params ")" [":" type] block
+              | "extern" "fun" f "(" params ")" [":" type] ["is" effect]
+              | "page" p "(" params ")" <"init" block> <"render" block>
+    stmt     := "var" x ":=" e | x ":=" e | "if" e "then" B ["elif"…]
+              | "for" x "in" e "do" B | "for" x "=" e "to" e "do" B
+              | "while" e "do" B | "boxed" B | "post" e
+              | "box" "." attr ":=" e | "on" "tap" "do" B
+              | "on" "edit" "(" x ")" "do" B | "push" p "(" args ")"
+              | "pop" | "return" [e] | e
+
+Expressions have the usual precedence ladder with ``||`` for string
+concatenation (the paper's operator), ``and``/``or``/``not``, comparisons,
+arithmetic, record field access ``e.f``, calls, list literals and
+``nil(type)`` for empty lists.
+
+``boxed`` statements receive sequential ``box_id``\\ s in document order —
+the stable keys of the UI-code navigation source map.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SyntaxProblem
+from . import surface_ast as S
+from .lexer import tokenize
+from .span import Span
+from .tokens import (
+    DEDENT,
+    EOF,
+    IDENT,
+    INDENT,
+    KEYWORD,
+    NEWLINE,
+    NUMBER,
+    OP,
+    STRING,
+)
+
+#: Surface attribute identifiers (underscored) → registry names (spaced).
+ATTR_NAME_MAP = {"font_size": "font size"}
+
+
+def parse(source):
+    """Parse ``source`` into a :class:`repro.surface.surface_ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+        self.box_counter = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def _peek(self, ahead=0):
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self):
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def _at(self, kind, text=None):
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _at_keyword(self, *words):
+        token = self._peek()
+        return token.kind == KEYWORD and token.text in words
+
+    def _accept(self, kind, text=None):
+        if self._at(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, text=None, what=None):
+        token = self._peek()
+        if self._at(kind, text):
+            return self._advance()
+        raise SyntaxProblem(
+            "expected {}, found {}".format(
+                what or text or kind.lower(), token
+            ),
+            span=token.span,
+        )
+
+    def _expect_newline(self):
+        self._expect(NEWLINE, what="end of line")
+        # Collapse runs of NEWLINEs (blank lines produce none, but be safe).
+        while self._accept(NEWLINE):
+            pass
+
+    def _span_from(self, start_token):
+        return Span(start_token.span.start, self._peek(-0).span.start)
+
+    # -- program & declarations ------------------------------------------------
+
+    def parse_program(self):
+        decls = []
+        start = self._peek()
+        while self._accept(NEWLINE):
+            pass
+        while not self._at(EOF):
+            decls.append(self._parse_decl())
+            while self._accept(NEWLINE):
+                pass
+        return S.Program(decls, Span(start.span.start, self._peek().span.end))
+
+    def _parse_decl(self):
+        token = self._peek()
+        if token.is_keyword("global"):
+            return self._parse_global()
+        if token.is_keyword("record"):
+            return self._parse_record()
+        if token.is_keyword("fun"):
+            return self._parse_fun()
+        if token.is_keyword("extern"):
+            return self._parse_extern()
+        if token.is_keyword("page"):
+            return self._parse_page()
+        raise SyntaxProblem(
+            "expected a declaration (global/record/fun/extern/page), "
+            "found {}".format(token),
+            span=token.span,
+        )
+
+    def _parse_global(self):
+        start = self._advance()  # 'global'
+        name = self._expect(IDENT, what="global name").text
+        self._expect(OP, ":")
+        type_expr = self._parse_type()
+        self._expect(OP, "=")
+        init = self._parse_expr()
+        self._expect_newline()
+        decl = S.DGlobal(self._span_from(start))
+        decl.name, decl.type_expr, decl.init = name, type_expr, init
+        return decl
+
+    def _parse_record(self):
+        start = self._advance()  # 'record'
+        name = self._expect(IDENT, what="record name").text
+        self._expect_newline()
+        self._expect(INDENT, what="an indented field list")
+        fields = []
+        while not self._at(DEDENT):
+            field_tok = self._expect(IDENT, what="field name")
+            self._expect(OP, ":")
+            type_expr = self._parse_type()
+            self._expect_newline()
+            fields.append((field_tok.text, type_expr, field_tok.span))
+        self._expect(DEDENT)
+        decl = S.DRecord(self._span_from(start))
+        decl.name, decl.fields = name, fields
+        return decl
+
+    def _parse_params(self):
+        self._expect(OP, "(")
+        params = []
+        if not self._at(OP, ")"):
+            while True:
+                name = self._expect(IDENT, what="parameter name").text
+                self._expect(OP, ":")
+                params.append((name, self._parse_type()))
+                if not self._accept(OP, ","):
+                    break
+        self._expect(OP, ")")
+        return params
+
+    def _parse_fun(self):
+        start = self._advance()  # 'fun'
+        name = self._expect(IDENT, what="function name").text
+        params = self._parse_params()
+        return_type = None
+        if self._accept(OP, ":"):
+            return_type = self._parse_type()
+        self._expect_newline()
+        body = self._parse_block()
+        decl = S.DFun(self._span_from(start))
+        decl.name, decl.params, decl.return_type, decl.body = (
+            name, params, return_type, body,
+        )
+        return decl
+
+    def _parse_extern(self):
+        start = self._advance()  # 'extern'
+        self._expect(KEYWORD, "fun")
+        name = self._expect(IDENT, what="extern name").text
+        params = self._parse_params()
+        return_type = None
+        if self._accept(OP, ":"):
+            return_type = self._parse_type()
+        effect_name = "state"
+        if self._accept(KEYWORD, "is"):
+            token = self._peek()
+            if token.is_keyword("state") or token.is_keyword("pure"):
+                effect_name = self._advance().text
+            else:
+                raise SyntaxProblem(
+                    "extern effect must be 'state' or 'pure'",
+                    span=token.span,
+                )
+        self._expect_newline()
+        decl = S.DExtern(self._span_from(start))
+        decl.name, decl.params, decl.return_type, decl.effect_name = (
+            name, params, return_type, effect_name,
+        )
+        return decl
+
+    def _parse_page(self):
+        start = self._advance()  # 'page'
+        name = self._expect(IDENT, what="page name").text
+        params = self._parse_params()
+        self._expect_newline()
+        self._expect(INDENT, what="an indented page body")
+        init_block = None
+        render_block = None
+        while not self._at(DEDENT):
+            token = self._peek()
+            if token.is_keyword("init"):
+                if init_block is not None:
+                    raise SyntaxProblem(
+                        "page '{}' has two init bodies".format(name),
+                        span=token.span,
+                    )
+                self._advance()
+                self._expect_newline()
+                init_block = self._parse_block()
+            elif token.is_keyword("render"):
+                if render_block is not None:
+                    raise SyntaxProblem(
+                        "page '{}' has two render bodies".format(name),
+                        span=token.span,
+                    )
+                self._advance()
+                self._expect_newline()
+                render_block = self._parse_block()
+            else:
+                raise SyntaxProblem(
+                    "expected 'init' or 'render' in page body, found "
+                    "{}".format(token),
+                    span=token.span,
+                )
+        self._expect(DEDENT)
+        decl = S.DPage(self._span_from(start))
+        decl.name, decl.params = name, params
+        decl.init_block, decl.render_block = init_block, render_block
+        return decl
+
+    # -- types -----------------------------------------------------------------
+
+    def _parse_type(self):
+        token = self._peek()
+        if token.is_keyword("number"):
+            return S.TNumber(self._advance().span)
+        if token.is_keyword("string"):
+            return S.TString(self._advance().span)
+        if token.is_keyword("list"):
+            self._advance()
+            element = self._parse_type()
+            return S.TList(token.span.merge(element.span), element)
+        if token.is_op("("):
+            self._advance()
+            close = self._expect(OP, ")", what="')' (only the unit type "
+                                 "'()' is written with parentheses)")
+            return S.TUnit(token.span.merge(close.span))
+        if token.kind == IDENT:
+            self._advance()
+            return S.TName(token.span, token.text)
+        raise SyntaxProblem(
+            "expected a type, found {}".format(token), span=token.span
+        )
+
+    # -- blocks & statements -------------------------------------------------------
+
+    def _parse_block(self):
+        open_tok = self._expect(INDENT, what="an indented block")
+        stmts = []
+        while not self._at(DEDENT):
+            stmts.append(self._parse_stmt())
+        close = self._expect(DEDENT)
+        return S.Block(stmts, Span(open_tok.span.start, close.span.end))
+
+    def _parse_stmt(self):
+        token = self._peek()
+        if token.is_keyword("var"):
+            return self._parse_var_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("boxed"):
+            return self._parse_boxed()
+        if token.is_keyword("post"):
+            return self._parse_post()
+        if token.is_keyword("box"):
+            return self._parse_set_attr()
+        if token.is_keyword("on"):
+            return self._parse_handler()
+        if token.is_keyword("editable"):
+            start = self._advance()
+            name = self._expect(IDENT, what="global name").text
+            self._expect_newline()
+            stmt = S.SEditable(self._span_from(start))
+            stmt.name = name
+            return stmt
+        if token.is_keyword("push"):
+            return self._parse_push()
+        if token.is_keyword("pop"):
+            self._advance()
+            self._expect_newline()
+            return S.SPop(token.span)
+        if token.is_keyword("return"):
+            return self._parse_return()
+        if token.kind == IDENT and self._peek(1).is_op(":="):
+            return self._parse_assign()
+        return self._parse_expr_stmt()
+
+    def _parse_var_decl(self):
+        start = self._advance()  # 'var'
+        name = self._expect(IDENT, what="variable name").text
+        self._expect(OP, ":=")
+        value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SVarDecl(self._span_from(start))
+        stmt.name, stmt.value = name, value
+        return stmt
+
+    def _parse_assign(self):
+        name_tok = self._advance()
+        self._expect(OP, ":=")
+        value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SAssign(self._span_from(name_tok))
+        stmt.name, stmt.value = name_tok.text, value
+        return stmt
+
+    def _parse_if(self):
+        start = self._advance()  # 'if' or 'elif'
+        cond = self._parse_expr()
+        self._expect(KEYWORD, "then")
+        self._expect_newline()
+        then_block = self._parse_block()
+        else_block = None
+        if self._at_keyword("elif"):
+            nested = self._parse_if()  # consumes 'elif' as its 'if'
+            else_block = S.Block([nested], nested.span)
+        elif self._accept(KEYWORD, "else"):
+            self._expect_newline()
+            else_block = self._parse_block()
+        stmt = S.SIf(self._span_from(start))
+        stmt.cond, stmt.then_block, stmt.else_block = (
+            cond, then_block, else_block,
+        )
+        return stmt
+
+    def _parse_for(self):
+        start = self._advance()  # 'for'
+        var = self._expect(IDENT, what="loop variable").text
+        if self._accept(KEYWORD, "in"):
+            list_expr = self._parse_expr()
+            self._expect(KEYWORD, "do")
+            self._expect_newline()
+            body = self._parse_block()
+            stmt = S.SForIn(self._span_from(start))
+            stmt.var, stmt.list_expr, stmt.body = var, list_expr, body
+            return stmt
+        self._expect(OP, "=", what="'in' or '='")
+        from_expr = self._parse_expr()
+        self._expect(KEYWORD, "to")
+        to_expr = self._parse_expr()
+        self._expect(KEYWORD, "do")
+        self._expect_newline()
+        body = self._parse_block()
+        stmt = S.SForRange(self._span_from(start))
+        stmt.var, stmt.from_expr, stmt.to_expr, stmt.body = (
+            var, from_expr, to_expr, body,
+        )
+        return stmt
+
+    def _parse_while(self):
+        start = self._advance()  # 'while'
+        cond = self._parse_expr()
+        self._expect(KEYWORD, "do")
+        self._expect_newline()
+        body = self._parse_block()
+        stmt = S.SWhile(self._span_from(start))
+        stmt.cond, stmt.body = cond, body
+        return stmt
+
+    def _parse_boxed(self):
+        start = self._advance()  # 'boxed'
+        # Assign the id *before* parsing the body so ids follow document
+        # order (an outer boxed statement numbers lower than its children).
+        box_id = self.box_counter
+        self.box_counter += 1
+        self._expect_newline()
+        body = self._parse_block()
+        stmt = S.SBoxed(Span(start.span.start, body.span.end))
+        stmt.body = body
+        stmt.box_id = box_id
+        return stmt
+
+    def _parse_post(self):
+        start = self._advance()  # 'post'
+        value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SPost(self._span_from(start))
+        stmt.value = value
+        return stmt
+
+    def _parse_set_attr(self):
+        start = self._advance()  # 'box'
+        self._expect(OP, ".")
+        attr_tok = self._peek()
+        if attr_tok.kind not in (IDENT, KEYWORD):
+            raise SyntaxProblem(
+                "expected an attribute name", span=attr_tok.span
+            )
+        self._advance()
+        self._expect(OP, ":=")
+        value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SSetAttr(self._span_from(start))
+        stmt.attr = ATTR_NAME_MAP.get(attr_tok.text, attr_tok.text)
+        stmt.value = value
+        return stmt
+
+    def _parse_handler(self):
+        start = self._advance()  # 'on'
+        token = self._peek()
+        if token.is_keyword("tap"):
+            self._advance()
+            kind, param = "tap", None
+        elif token.is_keyword("edit"):
+            self._advance()
+            self._expect(OP, "(")
+            param = self._expect(IDENT, what="edit parameter").text
+            self._expect(OP, ")")
+            kind = "edit"
+        else:
+            raise SyntaxProblem(
+                "expected 'tap' or 'edit' after 'on'", span=token.span
+            )
+        self._expect(KEYWORD, "do")
+        self._expect_newline()
+        body = self._parse_block()
+        stmt = S.SHandler(Span(start.span.start, body.span.end))
+        stmt.kind, stmt.param, stmt.body = kind, param, body
+        return stmt
+
+    def _parse_push(self):
+        start = self._advance()  # 'push'
+        page = self._expect(IDENT, what="page name").text
+        self._expect(OP, "(")
+        args = []
+        if not self._at(OP, ")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept(OP, ","):
+                    break
+        self._expect(OP, ")")
+        self._expect_newline()
+        stmt = S.SPush(self._span_from(start))
+        stmt.page, stmt.args = page, args
+        return stmt
+
+    def _parse_return(self):
+        start = self._advance()  # 'return'
+        value = None
+        if not self._at(NEWLINE):
+            value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SReturn(self._span_from(start))
+        stmt.value = value
+        return stmt
+
+    def _parse_expr_stmt(self):
+        start = self._peek()
+        value = self._parse_expr()
+        self._expect_newline()
+        stmt = S.SExprStmt(self._span_from(start))
+        stmt.value = value
+        return stmt
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expr(self):
+        return self._parse_or()
+
+    def _binop(self, parse_operand, ops, keywords=()):
+        left = parse_operand()
+        while True:
+            token = self._peek()
+            matched = None
+            if token.kind == OP and token.text in ops:
+                matched = token.text
+            elif token.kind == KEYWORD and token.text in keywords:
+                matched = token.text
+            if matched is None:
+                return left
+            self._advance()
+            right = parse_operand()
+            node = S.EBinOp(left.span.merge(right.span))
+            node.op, node.left, node.right = matched, left, right
+            left = node
+
+    def _parse_or(self):
+        return self._binop(self._parse_and, (), keywords=("or",))
+
+    def _parse_and(self):
+        return self._binop(self._parse_not, (), keywords=("and",))
+
+    def _parse_not(self):
+        token = self._peek()
+        if token.is_keyword("not"):
+            self._advance()
+            operand = self._parse_not()
+            node = S.EUnOp(token.span.merge(operand.span))
+            node.op, node.operand = "not", operand
+            return node
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_concat()
+        token = self._peek()
+        if token.kind == OP and token.text in (
+            "==", "!=", "<", "<=", ">", ">=",
+        ):
+            self._advance()
+            right = self._parse_concat()
+            node = S.EBinOp(left.span.merge(right.span))
+            node.op, node.left, node.right = token.text, left, right
+            return node
+        return left
+
+    def _parse_concat(self):
+        return self._binop(self._parse_additive, ("||",))
+
+    def _parse_additive(self):
+        return self._binop(self._parse_multiplicative, ("+", "-"))
+
+    def _parse_multiplicative(self):
+        return self._binop(self._parse_unary, ("*", "/", "%"))
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.is_op("-"):
+            self._advance()
+            operand = self._parse_unary()
+            node = S.EUnOp(token.span.merge(operand.span))
+            node.op, node.operand = "-", operand
+            return node
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_atom()
+        while self._at(OP, "."):
+            self._advance()
+            field_tok = self._expect(IDENT, what="field name")
+            node = S.EField(expr.span.merge(field_tok.span))
+            node.target, node.name = expr, field_tok.text
+            expr = node
+        return expr
+
+    def _parse_atom(self):
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            node = S.ENum(token.span)
+            node.value = float(token.text)
+            return node
+        if token.kind == STRING:
+            self._advance()
+            node = S.EStr(token.span)
+            node.value = token.text
+            return node
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self._advance()
+            node = S.EBool(token.span)
+            node.value = token.text == "true"
+            return node
+        if token.is_keyword("nil"):
+            self._advance()
+            self._expect(OP, "(")
+            element = self._parse_type()
+            close = self._expect(OP, ")")
+            node = S.ENil(token.span.merge(close.span))
+            node.element = element
+            return node
+        if token.kind == IDENT:
+            self._advance()
+            if self._at(OP, "("):
+                self._advance()
+                args = []
+                if not self._at(OP, ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(OP, ","):
+                            break
+                close = self._expect(OP, ")")
+                node = S.ECall(token.span.merge(close.span))
+                node.name, node.args = token.text, args
+                return node
+            node = S.EVar(token.span)
+            node.name = token.text
+            return node
+        if token.is_op("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(OP, ")")
+            return expr
+        if token.is_op("["):
+            self._advance()
+            items = []
+            if not self._at(OP, "]"):
+                while True:
+                    items.append(self._parse_expr())
+                    if not self._accept(OP, ","):
+                        break
+            close = self._expect(OP, "]")
+            node = S.EListLit(token.span.merge(close.span))
+            node.items = items
+            return node
+        raise SyntaxProblem(
+            "expected an expression, found {}".format(token), span=token.span
+        )

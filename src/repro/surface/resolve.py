@@ -1,0 +1,262 @@
+"""Name resolution for surface programs: symbol tables and type resolution.
+
+Builds a :class:`ProgramEnv` with one shared top-level namespace (globals,
+records, functions, externs and pages may not collide — record names act
+as constructor functions, so they share the call namespace), resolves
+every type expression to a surface type (:class:`repro.surface.
+surface_ast.SType`), and rejects recursive records (they would erase to an
+infinite core tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.effects import PURE, STATE
+from ..core.errors import TypeProblem
+from . import surface_ast as S
+
+#: Surface builtin functions that share the call namespace (typecheck.py
+#: owns their signatures; resolution only needs the names for collision
+#: checks).
+BUILTIN_NAMES = frozenset(
+    {
+        "floor", "ceil", "round", "abs", "sqrt", "min", "max", "mod", "pow",
+        "to_string", "parse_number", "format", "count", "substring",
+        "contains", "upper", "lower", "repeat",
+        "length", "get", "append", "reverse", "slice", "range",
+    }
+)
+
+
+@dataclass
+class FunSig:
+    """Resolved signature of a program function; ``effect`` is inferred
+    later by the checker's fixpoint."""
+
+    name: str
+    param_names: tuple
+    param_stypes: tuple
+    return_stype: S.SType
+    decl: S.DFun
+    effect: object = None
+
+
+@dataclass
+class ExternSig:
+    """Resolved signature of an ``extern fun`` (host native)."""
+
+    name: str
+    param_names: tuple
+    param_stypes: tuple
+    return_stype: S.SType
+    effect: object = STATE
+    decl: S.DExtern = None
+
+
+@dataclass
+class PageSig:
+    name: str
+    param_names: tuple
+    param_stypes: tuple
+    decl: S.DPage = None
+
+
+@dataclass
+class GlobalSig:
+    name: str
+    stype: S.SType
+    decl: S.DGlobal = None
+
+
+class ProgramEnv:
+    """All top-level symbols of a surface program."""
+
+    def __init__(self):
+        self.records = {}
+        self.globals = {}
+        self.funs = {}
+        self.externs = {}
+        self.pages = {}
+
+    def lookup_callable(self, name):
+        """What does ``name(…)`` refer to?  → ("fun"|"extern"|"record", sig)"""
+        if name in self.funs:
+            return "fun", self.funs[name]
+        if name in self.externs:
+            return "extern", self.externs[name]
+        if name in self.records:
+            return "record", self.records[name]
+        return None, None
+
+
+def resolve(program):
+    """Build and return the :class:`ProgramEnv` for ``program``.
+
+    Raises :class:`TypeProblem` on duplicate names, unknown record
+    references or recursive records.
+    """
+    env = ProgramEnv()
+    seen = {}
+
+    def claim(name, decl, kind):
+        if name in seen:
+            raise TypeProblem(
+                "duplicate top-level name '{}' (already a {})".format(
+                    name, seen[name]
+                ),
+                span=decl.span,
+            )
+        # Only *callable* declarations share a namespace with the builtin
+        # functions; globals and pages are never call targets, so a global
+        # named ``count`` coexists with the ``count(s)`` builtin.
+        if kind in ("function", "extern", "record") and name in BUILTIN_NAMES:
+            raise TypeProblem(
+                "'{}' shadows a builtin function".format(name),
+                span=decl.span,
+            )
+        seen[name] = kind
+
+    # Pass 1: collect record names so types can reference them in any order.
+    for decl in program.decls:
+        if isinstance(decl, S.DRecord):
+            claim(decl.name, decl, "record")
+            env.records[decl.name] = None  # placeholder
+
+    # Pass 2: resolve record fields (names now known).
+    for decl in program.decls:
+        if isinstance(decl, S.DRecord):
+            names = []
+            types = []
+            for field_name, type_expr, field_span in decl.fields:
+                if field_name in names:
+                    raise TypeProblem(
+                        "record '{}' has two fields named '{}'".format(
+                            decl.name, field_name
+                        ),
+                        span=field_span,
+                    )
+                names.append(field_name)
+                types.append(resolve_type(type_expr, env))
+            env.records[decl.name] = S.RecordInfo(
+                decl.name, tuple(names), tuple(types), decl.span
+            )
+    _reject_recursive_records(env)
+
+    # Pass 3: everything else.
+    for decl in program.decls:
+        if isinstance(decl, S.DGlobal):
+            claim(decl.name, decl, "global")
+            env.globals[decl.name] = GlobalSig(
+                decl.name, resolve_type(decl.type_expr, env), decl
+            )
+        elif isinstance(decl, S.DFun):
+            claim(decl.name, decl, "function")
+            env.funs[decl.name] = FunSig(
+                decl.name,
+                tuple(name for name, _ in decl.params),
+                tuple(resolve_type(t, env) for _, t in decl.params),
+                resolve_type(decl.return_type, env)
+                if decl.return_type is not None
+                else S.S_UNIT,
+                decl,
+            )
+        elif isinstance(decl, S.DExtern):
+            claim(decl.name, decl, "extern")
+            env.externs[decl.name] = ExternSig(
+                decl.name,
+                tuple(name for name, _ in decl.params),
+                tuple(resolve_type(t, env) for _, t in decl.params),
+                resolve_type(decl.return_type, env)
+                if decl.return_type is not None
+                else S.S_UNIT,
+                STATE if decl.effect_name == "state" else PURE,
+                decl,
+            )
+        elif isinstance(decl, S.DPage):
+            claim(decl.name, decl, "page")
+            env.pages[decl.name] = PageSig(
+                decl.name,
+                tuple(name for name, _ in decl.params),
+                tuple(resolve_type(t, env) for _, t in decl.params),
+                decl,
+            )
+        elif not isinstance(decl, S.DRecord):
+            raise TypeProblem(
+                "unknown declaration {!r}".format(decl), span=decl.span
+            )
+        # Duplicate parameter names.
+        params = getattr(decl, "params", None)
+        if params:
+            names = [name for name, _ in params]
+            for name in names:
+                if names.count(name) > 1:
+                    raise TypeProblem(
+                        "duplicate parameter '{}' in '{}'".format(
+                            name, decl.name
+                        ),
+                        span=decl.span,
+                    )
+    return env
+
+
+def resolve_type(type_expr, env):
+    """Type expression → surface type.  Record names must exist."""
+    if isinstance(type_expr, S.TNumber):
+        return S.S_NUMBER
+    if isinstance(type_expr, S.TString):
+        return S.S_STRING
+    if isinstance(type_expr, S.TUnit):
+        return S.S_UNIT
+    if isinstance(type_expr, S.TList):
+        return S.SList(resolve_type(type_expr.element, env))
+    if isinstance(type_expr, S.TName):
+        if type_expr.name not in env.records:
+            raise TypeProblem(
+                "unknown type '{}' (records must be declared)".format(
+                    type_expr.name
+                ),
+                span=type_expr.span,
+            )
+        return S.SRec(type_expr.name)
+    raise TypeProblem(
+        "unresolvable type expression {!r}".format(type_expr),
+        span=getattr(type_expr, "span", None),
+    )
+
+
+def _reject_recursive_records(env):
+    """A record reaching itself through fields would erase to an infinite
+    tuple; reject with the cycle's entry point named."""
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in env.records}
+
+    def refs(stype, acc):
+        if isinstance(stype, S.SRec):
+            acc.append(stype.name)
+        elif isinstance(stype, S.SList):
+            refs(stype.element, acc)
+
+    def visit(name):
+        color[name] = GRAY
+        info = env.records[name]
+        for field_type in info.field_types:
+            targets = []
+            refs(field_type, targets)
+            for target in targets:
+                if color[target] == GRAY:
+                    raise TypeProblem(
+                        "record '{}' is recursive (via '{}') — records "
+                        "erase to tuples, which cannot be cyclic".format(
+                            target, name
+                        ),
+                        span=info.span,
+                    )
+                if color[target] == WHITE:
+                    visit(target)
+        color[name] = BLACK
+
+    for name in env.records:
+        if color[name] == WHITE:
+            visit(name)

@@ -1,0 +1,474 @@
+"""AST of the surface language.
+
+The surface language is the "higher level syntax" the paper's figures are
+written in (§4.1: "our examples use a higher level syntax" over the
+calculus).  It has pages with init/render bodies, ``boxed``/``post``/
+``box.attr :=`` statements, ``on tap``/``on edit`` handlers, loops,
+conditionals, mutable locals, records, and ``extern`` declarations for
+host natives (the simulated web).  Everything lowers to the core calculus
+of Fig. 6 — loops become recursion through generated global functions,
+mutable locals become loop-carried tuples, records become tuples.
+
+Two type layers appear here:
+
+* **type expressions** (``TypeExpr``) — what the parser produces;
+* **surface types** (``SType``) — what resolution/typechecking computes.
+  Records are *nominal* at the surface (field access needs the record's
+  name) and erase to structural core tuples during lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ReproError
+from ..core.types import (
+    ListType,
+    NUMBER,
+    STRING,
+    TupleType,
+    UNIT,
+)
+from .span import Span, dummy_span
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntax)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr:
+    """Base class for parsed type syntax."""
+
+    span: Span
+
+
+@dataclass
+class TNumber(TypeExpr):
+    pass
+
+
+@dataclass
+class TString(TypeExpr):
+    pass
+
+
+@dataclass
+class TUnit(TypeExpr):
+    pass
+
+
+@dataclass
+class TList(TypeExpr):
+    element: TypeExpr = None
+
+
+@dataclass
+class TName(TypeExpr):
+    """A record name reference."""
+
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Surface types (semantics)
+# ---------------------------------------------------------------------------
+
+
+class SType:
+    """Base class of resolved surface types."""
+
+    __slots__ = ()
+
+    def to_core(self, records):
+        """Erase to a core type; ``records`` maps name → RecordInfo."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SNumber(SType):
+    __slots__ = ()
+
+    def to_core(self, records):
+        return NUMBER
+
+    def __str__(self):
+        return "number"
+
+
+@dataclass(frozen=True)
+class SString(SType):
+    __slots__ = ()
+
+    def to_core(self, records):
+        return STRING
+
+    def __str__(self):
+        return "string"
+
+
+@dataclass(frozen=True)
+class SUnit(SType):
+    __slots__ = ()
+
+    def to_core(self, records):
+        return UNIT
+
+    def __str__(self):
+        return "()"
+
+
+@dataclass(frozen=True)
+class SList(SType):
+    element: SType
+    __slots__ = ("element",)
+
+    def to_core(self, records):
+        return ListType(self.element.to_core(records))
+
+    def __str__(self):
+        return "list {}".format(self.element)
+
+
+@dataclass(frozen=True)
+class SRec(SType):
+    """A nominal record type; structure lives in the record table."""
+
+    name: str
+    __slots__ = ("name",)
+
+    def to_core(self, records):
+        info = records.get(self.name)
+        if info is None:
+            raise ReproError("unknown record '{}'".format(self.name))
+        return info.core_type(records)
+
+    def __str__(self):
+        return self.name
+
+
+S_NUMBER = SNumber()
+S_STRING = SString()
+S_UNIT = SUnit()
+
+
+@dataclass
+class RecordInfo:
+    """Resolved shape of a ``record`` declaration."""
+
+    name: str
+    field_names: tuple
+    field_types: tuple  # of SType
+    span: Span
+
+    def field_index(self, field_name):
+        """1-based index of ``field_name`` (core projection is 1-based)."""
+        try:
+            return self.field_names.index(field_name) + 1
+        except ValueError:
+            return None
+
+    def field_type(self, field_name):
+        index = self.field_index(field_name)
+        return self.field_types[index - 1] if index else None
+
+    def core_type(self, records):
+        return TupleType(
+            tuple(t.to_core(records) for t in self.field_types)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base surface expression; ``stype`` is filled in by the checker."""
+
+    span: Span
+    stype: SType = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class ENum(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class EStr(Expr):
+    value: str = ""
+
+
+@dataclass
+class EBool(Expr):
+    """``true``/``false`` — numeric booleans (1/0)."""
+
+    value: bool = False
+
+
+@dataclass
+class EVar(Expr):
+    """A name: local, parameter, or global — resolution decides which."""
+
+    name: str = ""
+    resolution: str = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class ECall(Expr):
+    """``name(args)`` — function, record constructor, builtin or extern.
+
+    ``target_kind`` ∈ {"fun", "record", "builtin", "extern"} after
+    checking; ``core_op`` holds the operator name for builtin/extern.
+    """
+
+    name: str = ""
+    args: list = field(default_factory=list)
+    target_kind: str = field(default=None, init=False, repr=False)
+    core_op: str = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class EField(Expr):
+    """``e.field`` on a record value."""
+
+    target: Expr = None
+    name: str = ""
+    index: int = field(default=None, init=False, repr=False)  # 1-based
+
+
+@dataclass
+class EBinOp(Expr):
+    """Infix operator; ``core_op`` resolved by the checker."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+    core_op: str = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class EUnOp(Expr):
+    op: str = ""
+    operand: Expr = None
+    core_op: str = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class EListLit(Expr):
+    """``[e1, ..., en]`` — non-empty; the element type is inferred."""
+
+    items: list = field(default_factory=list)
+
+
+@dataclass
+class ENil(Expr):
+    """``nil(τ)`` — the empty list of a stated element type."""
+
+    element: TypeExpr = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    span: Span
+
+
+@dataclass
+class Block:
+    """A sequence of statements (one indentation level)."""
+
+    stmts: list
+    span: Span
+
+
+@dataclass
+class SVarDecl(Stmt):
+    """``var x := e`` — declares a mutable local."""
+
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class SAssign(Stmt):
+    """``x := e`` — assignment to a local var or a global."""
+
+    name: str = ""
+    value: Expr = None
+    resolution: str = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class SIf(Stmt):
+    cond: Expr = None
+    then_block: Block = None
+    else_block: Block = None  # may be None
+
+
+@dataclass
+class SForIn(Stmt):
+    """``for x in e do`` — iterate a list, binding ``x`` immutably."""
+
+    var: str = ""
+    list_expr: Expr = None
+    body: Block = None
+
+
+@dataclass
+class SForRange(Stmt):
+    """``for i = a to b do`` — inclusive numeric range."""
+
+    var: str = ""
+    from_expr: Expr = None
+    to_expr: Expr = None
+    body: Block = None
+
+
+@dataclass
+class SWhile(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class SBoxed(Stmt):
+    """``boxed`` — the box-creating statement; ``box_id`` is assigned by
+    resolution and is the key of the UI-code navigation source map."""
+
+    body: Block = None
+    box_id: int = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class SPost(Stmt):
+    value: Expr = None
+
+
+@dataclass
+class SSetAttr(Stmt):
+    """``box.attr := e``."""
+
+    attr: str = ""
+    value: Expr = None
+
+
+@dataclass
+class SHandler(Stmt):
+    """``on tap do`` / ``on edit(x) do`` — register an event handler."""
+
+    kind: str = ""          # "tap" or "edit"
+    param: str = None        # the edit handler's text parameter
+    body: Block = None
+
+
+@dataclass
+class SEditable(Stmt):
+    """``editable g`` — sugar for a two-way-bound editable box.
+
+    Addresses the limitation Section 5 discusses ("the value of a slider
+    widget must be defined as a global variable, which is then passed
+    into render code to be read and manipulated"): this statement wires
+    the plumbing up in one line.  It desugars, inside the current box, to
+
+        post g
+        box.editable := true
+        on edit(t) do
+          g := parse_number(t)     // or  g := t  for string globals
+
+    ``g`` must be a global of type number or string.
+    """
+
+    name: str = ""
+
+
+@dataclass
+class SPush(Stmt):
+    page: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class SPop(Stmt):
+    pass
+
+
+@dataclass
+class SReturn(Stmt):
+    """``return e`` — only legal as the final statement of a function."""
+
+    value: Expr = None  # None means ``return ()``
+
+
+@dataclass
+class SExprStmt(Stmt):
+    value: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl:
+    span: Span
+
+
+@dataclass
+class DGlobal(Decl):
+    name: str = ""
+    type_expr: TypeExpr = None
+    init: Expr = None
+
+
+@dataclass
+class DRecord(Decl):
+    name: str = ""
+    fields: list = field(default_factory=list)  # (name, TypeExpr, Span)
+
+
+@dataclass
+class DFun(Decl):
+    name: str = ""
+    params: list = field(default_factory=list)  # (name, TypeExpr)
+    return_type: TypeExpr = None                # None → unit
+    body: Block = None
+    effect: object = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class DExtern(Decl):
+    """``extern fun name(params) : τ is state|pure`` — a host native."""
+
+    name: str = ""
+    params: list = field(default_factory=list)
+    return_type: TypeExpr = None
+    effect_name: str = "state"
+
+
+@dataclass
+class DPage(Decl):
+    name: str = ""
+    params: list = field(default_factory=list)
+    init_block: Block = None     # may be None (no-op init)
+    render_block: Block = None   # may be None (blank page)
+
+
+@dataclass
+class Program:
+    decls: list
+    span: Span
+
+    def find(self, name):
+        for decl in self.decls:
+            if getattr(decl, "name", None) == name:
+                return decl
+        return None

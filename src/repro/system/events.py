@@ -1,0 +1,125 @@
+"""Events ``q`` and the event queue ``Q`` (Fig. 7).
+
+    q ::= [exec v] | [push p v] | [pop]
+    Q ::= ε | Q q
+
+The paper enqueues "by adding elements to the left of the sequence, and
+dequeues by removing elements from the right end" — i.e. a FIFO.  We use a
+deque with the same orientation so that dumps of the queue read exactly
+like the paper's sequences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core import ast
+from ..core.errors import ReproError
+
+
+class Event:
+    """Base class of the three event kinds."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ExecEvent(Event):
+    """``[exec v]`` — run thunk ``v : () -s> ()`` in standard mode (THUNK).
+
+    Produced by user interactions: rule TAP wraps the tapped box's
+    ``ontap`` handler, and the EDIT extension wraps ``onedit`` applied to
+    the new text.
+    """
+
+    thunk: ast.Expr
+    __slots__ = ("thunk",)
+
+    def __post_init__(self):
+        if not self.thunk.is_value():
+            raise ReproError("[exec v] requires a value payload")
+
+    def __str__(self):
+        return "[exec v]"
+
+
+@dataclass(frozen=True)
+class PushEvent(Event):
+    """``[push p v]`` — create page ``p`` with argument ``v`` (PUSH)."""
+
+    page: str
+    arg: ast.Expr
+    __slots__ = ("page", "arg")
+
+    def __post_init__(self):
+        if not self.arg.is_value():
+            raise ReproError("[push p v] requires a value argument")
+
+    def __str__(self):
+        return "[push {} v]".format(self.page)
+
+
+@dataclass(frozen=True)
+class PopEvent(Event):
+    """``[pop]`` — pop the current page (POP)."""
+
+    __slots__ = ()
+
+    def __str__(self):
+        return "[pop]"
+
+
+class EventQueue:
+    """The queue ``Q``: enqueue on the left, dequeue on the right (Fig. 7)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events=()):
+        self._events = deque(events)
+
+    def enqueue(self, event):
+        """Add ``event`` at the left end (newest position)."""
+        if not isinstance(event, Event):
+            raise ReproError("not an event: {!r}".format(event))
+        self._events.appendleft(event)
+
+    def dequeue(self):
+        """Remove and return the rightmost (oldest) event."""
+        if not self._events:
+            raise ReproError("dequeue from an empty queue")
+        return self._events.pop()
+
+    def peek(self):
+        """The event the next transition will dequeue, or ``None``."""
+        return self._events[-1] if self._events else None
+
+    def is_empty(self):
+        return not self._events
+
+    def __len__(self):
+        return len(self._events)
+
+    def events(self):
+        """All events, left to right, as an immutable snapshot."""
+        return tuple(self._events)
+
+    def clear(self):
+        """Drop all events (the UPDATE transition leaves ``Q = ε``)."""
+        self._events.clear()
+
+    def copy(self):
+        return EventQueue(self._events)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EventQueue) and self.events() == other.events()
+        )
+
+    def __hash__(self):
+        return hash(self.events())
+
+    def __repr__(self):
+        if not self._events:
+            return "Q(ε)"
+        return "Q({})".format(" ".join(str(e) for e in self._events))

@@ -1,0 +1,76 @@
+"""Host services available to native operators.
+
+The paper's running example issues a real web request; in this
+reproduction natives run against a :class:`Services` container that holds
+whatever substrates the host wires up — by default a :class:`VirtualClock`
+(so benchmarks can account for simulated latency deterministically, without
+sleeping) and, for the example apps, the simulated web of
+:mod:`repro.stdlib.web`.
+
+Services are *only* reachable from natives, natives carry a declared
+effect, and the type system confines effectful natives to standard mode —
+so render code provably never touches a service.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+
+class VirtualClock:
+    """Deterministic time: advanced explicitly, never by sleeping.
+
+    Substrates charge simulated latency by calling :meth:`advance`; the
+    edit-cycle benchmark (E2) then reports *virtual* seconds per iteration,
+    which is how we reproduce the paper's "waiting for the list to
+    download" cost without making the test-suite slow.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+
+    @property
+    def now(self):
+        """Current virtual time in seconds since the clock's creation."""
+        return self._now
+
+    def advance(self, seconds):
+        """Advance virtual time; negative advances are rejected."""
+        if seconds < 0:
+            raise ReproError("cannot advance the clock by a negative amount")
+        self._now += seconds
+        return self._now
+
+    def reset(self):
+        self._now = 0.0
+
+
+class Services:
+    """A named bag of substrates, plus the ambient virtual clock."""
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._substrates = {}
+
+    def provide(self, name, substrate):
+        """Register substrate ``name`` (e.g. ``"web"``); returns it."""
+        if name in self._substrates:
+            raise ReproError("service '{}' already provided".format(name))
+        self._substrates[name] = substrate
+        return substrate
+
+    def get(self, name):
+        """Fetch substrate ``name``; raises if the host never wired it up."""
+        try:
+            return self._substrates[name]
+        except KeyError:
+            raise ReproError(
+                "service '{}' is not provided — natives that need it "
+                "cannot run in this configuration".format(name)
+            )
+
+    def has(self, name):
+        return name in self._substrates
+
+    def names(self):
+        return tuple(self._substrates)

@@ -1,0 +1,375 @@
+"""The system transition relation ``→g`` (Fig. 9).
+
+:class:`System` wraps a :class:`~repro.system.state.SystemState` and
+exposes one method per rule:
+
+* user-initiated (only enabled in the states the rules demand):
+  :meth:`startup`, :meth:`tap`, :meth:`back`, :meth:`edit` (extension),
+  :meth:`update`;
+* internal: :meth:`handle_next_event` (THUNK / PUSH / POP),
+  :meth:`render`;
+* the scheduler :meth:`step`, which fires the unique enabled internal
+  transition, and :meth:`run_to_stable`, which iterates it until the
+  state is stable *and* the display is valid — the paper's "the system is
+  always live" loop.
+
+Every transition except RENDER invalidates the display (``D := ⊥``);
+RENDER is the only rule that produces a box tree, and it always runs the
+*current* code against the *current* store — which is precisely why a
+code update is immediately reflected in the view.
+
+The optional box-tree **reuse optimization** (Section 5) is implementation
+caching layered *outside* the semantics: the previous valid display is
+remembered privately, and after a re-render unchanged subtrees are shared
+with it (:mod:`repro.boxes.diff`).  The observable display is structurally
+identical either way; tests assert that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boxes import diff as box_diff
+from ..boxes.paths import innermost_box_with_attr, resolve
+from ..boxes.tree import STALE
+from ..core import ast
+from ..core.defs import Code
+from ..core.effects import STATE
+from ..core.errors import ReproError, SystemError_, UpdateRejected
+from ..core.names import ATTR_EDITABLE, ATTR_ONEDIT, ATTR_ONTAP, START_PAGE
+from ..core.types import UNIT
+from ..eval.machine import BigStep, SmallStep
+from ..eval.natives import EMPTY_NATIVES
+from ..typing.program import code_problems
+from .events import EventQueue, ExecEvent, PopEvent, PushEvent
+from .fixup import fixup
+from .services import Services
+from .state import SystemState
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One fired ``→g`` transition, recorded in the system's trace."""
+
+    rule: str
+    detail: str = ""
+
+    def __str__(self):
+        if self.detail:
+            return "{}({})".format(self.rule, self.detail)
+        return self.rule
+
+
+class System:
+    """A running program: the state σ plus the machinery to step it.
+
+    ``faithful=True`` drives every expression evaluation through the
+    literal small-step machine instead of the CEK machine — identical
+    observable behaviour (differential tests assert it), an order of
+    magnitude slower, and the configuration under which the metatheory
+    suite checks per-step preservation.
+    """
+
+    def __init__(
+        self,
+        code,
+        natives=EMPTY_NATIVES,
+        services=None,
+        faithful=False,
+        reuse_boxes=False,
+        memo_render=False,
+        check_updates=True,
+    ):
+        if not isinstance(code, Code):
+            raise ReproError("System expects Code")
+        self.natives = natives
+        self.services = services if services is not None else Services()
+        self.faithful = faithful
+        self.reuse_boxes = reuse_boxes
+        #: Render-function memoization (repro.eval.memo) — only the CEK
+        #: machine supports it; a fresh cache is created per code version
+        #: (UPDATE swaps the whole evaluator).
+        self.memo_render = memo_render and not faithful
+        self.render_memo = None
+        #: When True (default), UPDATE enforces its ``C' ⊢ C'`` premise —
+        #: and so does construction, since rule T-SYS types every state.
+        self.check_updates = check_updates
+        if check_updates:
+            problems = code_problems(code, natives)
+            if problems:
+                raise UpdateRejected(
+                    "the initial program is not well-typed "
+                    "({} problem{})".format(
+                        len(problems), "" if len(problems) == 1 else "s"
+                    ),
+                    problems=problems,
+                )
+        self.state = SystemState.initial(code)
+        self.trace = []
+        self._last_valid_display = None
+        self._evaluator = self._make_evaluator(code)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _make_evaluator(self, code):
+        if self.faithful:
+            return SmallStep(
+                code, natives=self.natives, services=self.services
+            )
+        memo = None
+        if self.memo_render:
+            from ..eval.memo import RenderMemo
+
+            memo = RenderMemo(code)
+        self.render_memo = memo
+        return BigStep(
+            code, natives=self.natives, services=self.services, memo=memo
+        )
+
+    def _record(self, rule, detail=""):
+        self.trace.append(Transition(rule, detail))
+
+    @property
+    def code(self):
+        return self.state.code
+
+    @property
+    def display(self):
+        return self.state.display
+
+    def _invalidate(self):
+        self.state.invalidate_display()
+
+    # -- rules that enqueue events (user actions + startup) ----------------------
+
+    def startup(self):
+        """(STARTUP): ``(C, D, S, ε, ε) →g (C, ⊥, S, ε, [push start ()])``."""
+        if not self.state.stack.is_empty() or not self.state.queue.is_empty():
+            raise SystemError_(
+                "STARTUP is only enabled with an empty page stack and queue"
+            )
+        self.state.queue.enqueue(PushEvent(START_PAGE, ast.UNIT_VALUE))
+        self._invalidate()
+        self._record("STARTUP")
+
+    def tap(self, path=()):
+        """(TAP): fire the ``ontap`` handler of the box at ``path``.
+
+        The rule's premise ``[ontap = v] ∈ B`` requires a *valid* display —
+        "it is not possible to activate tap handlers on a stale display".
+        Taps on nested content bubble to the nearest enclosing box with a
+        handler, as in the implementation.
+        """
+        if not self.state.display_is_valid():
+            raise SystemError_("TAP requires a valid (non-stale) display")
+        handler_path, box = innermost_box_with_attr(
+            self.state.display, tuple(path), ATTR_ONTAP
+        )
+        if box is None:
+            raise SystemError_(
+                "no box at or above {} has an ontap handler".format(
+                    list(path)
+                )
+            )
+        handler = box.get_attr(ATTR_ONTAP)
+        self.state.queue.enqueue(ExecEvent(handler))
+        self._invalidate()
+        self._record("TAP", detail="/".join(str(i) for i in handler_path))
+        return handler_path
+
+    def edit(self, path, text):
+        """(EDIT, extension): fire the ``onedit`` handler with new text.
+
+        The paper's boxes "respond to interactions such as tapping or
+        *editing* by the user" (Section 3); this is the editing analogue of
+        TAP, wrapping ``onedit`` applied to the new text into an ``[exec]``
+        event.
+        """
+        if not self.state.display_is_valid():
+            raise SystemError_("EDIT requires a valid (non-stale) display")
+        box = resolve(self.state.display, tuple(path))
+        handler = box.get_attr(ATTR_ONEDIT)
+        if handler is None:
+            raise SystemError_(
+                "box at {} has no onedit handler".format(list(path))
+            )
+        thunk = ast.Lam(
+            ast.fresh_name("ignored"),
+            UNIT,
+            ast.App(handler, ast.Str(text)),
+            STATE,
+        )
+        self.state.queue.enqueue(ExecEvent(thunk))
+        self._invalidate()
+        self._record("EDIT", detail=text)
+
+    def back(self):
+        """(BACK): always enabled; enqueues ``[pop]``."""
+        self.state.queue.enqueue(PopEvent())
+        self._invalidate()
+        self._record("BACK")
+
+    # -- rules that handle events -------------------------------------------------
+
+    def handle_next_event(self):
+        """(THUNK)/(PUSH)/(POP): dequeue and dispatch one event."""
+        queue = self.state.queue
+        if queue.is_empty():
+            raise SystemError_("the event queue is empty")
+        event = queue.dequeue()
+        store = self.state.store
+        if isinstance(event, ExecEvent):
+            # (THUNK): reduce ``v ()`` in standard mode.
+            self._evaluator.run_state(
+                store, queue, ast.App(event.thunk, ast.UNIT_VALUE)
+            )
+            self._invalidate()
+            self._record("THUNK")
+        elif isinstance(event, PushEvent):
+            # (PUSH): C(p) = (fi, fr); push (p, v); reduce ``fi v``.
+            page = self.code.page(event.page)
+            if page is None:
+                raise SystemError_(
+                    "push of undefined page '{}'".format(event.page)
+                )
+            self.state.stack.push(event.page, event.arg)
+            self._evaluator.run_state(
+                store, queue, ast.App(page.init, event.arg)
+            )
+            self._invalidate()
+            self._record("PUSH", detail=event.page)
+        elif isinstance(event, PopEvent):
+            # (POP): pop the top page, or do nothing on an empty stack.
+            self.state.stack.pop()
+            self._invalidate()
+            self._record("POP")
+        else:
+            raise SystemError_("unknown event {!r}".format(event))
+        return event
+
+    # -- the one rule that refreshes the display ------------------------------------
+
+    def render(self):
+        """(RENDER): ``(C, ⊥, S, P(p,v), ε) →g (C, B, S, P(p,v), ε)``.
+
+        Runs the *current top page's* render body in render mode against
+        the current store, producing a fresh box tree.  Only enabled when
+        the queue is empty, the stack is non-empty and the display is
+        stale — exactly the rule's shape.
+        """
+        state = self.state
+        if not state.queue.is_empty():
+            raise SystemError_("RENDER requires an empty event queue")
+        if state.display is not STALE:
+            raise SystemError_("RENDER requires a stale display (⊥)")
+        top = state.stack.top()
+        if top is None:
+            raise SystemError_("RENDER requires a non-empty page stack")
+        page_name, arg = top
+        page = self.code.page(page_name)
+        if page is None:
+            raise SystemError_(
+                "page '{}' is on the stack but not in the code — the "
+                "UPDATE fix-up should have removed it".format(page_name)
+            )
+        tree = self._evaluator.run_render(
+            state.store, ast.App(page.render, arg)
+        )
+        if self.reuse_boxes:
+            tree = box_diff.reuse(self._last_valid_display, tree)
+        state.display = tree
+        self._last_valid_display = tree
+        self._record("RENDER", detail=page_name)
+        return tree
+
+    # -- the code-update rule ---------------------------------------------------------
+
+    def update(self, new_code, natives=None):
+        """(UPDATE): swap in ``C'``, fix up ``S`` and ``P``, invalidate ``D``.
+
+        Premises: the queue is empty (updates happen in quiescent moments;
+        the live editor guarantees this by running events to completion
+        first) and ``C' ⊢ C'`` — ill-typed programs are *rejected*, raising
+        :class:`UpdateRejected`, and the running program is untouched; this
+        is how the live view stays available while the programmer types
+        through broken intermediate states.
+
+        Returns the :class:`~repro.system.fixup.FixupReport` describing any
+        state the update deleted.
+        """
+        if not self.state.queue.is_empty():
+            raise SystemError_("UPDATE requires an empty event queue")
+        if natives is not None:
+            self.natives = natives
+        if self.check_updates:
+            problems = code_problems(new_code, self.natives)
+            if problems:
+                raise UpdateRejected(
+                    "the new program is not well-typed ({} problem{})".format(
+                        len(problems), "" if len(problems) == 1 else "s"
+                    ),
+                    problems=problems,
+                )
+        new_store, new_stack, report = fixup(
+            new_code, self.state.store, self.state.stack, self.natives
+        )
+        self.state.code = new_code
+        self.state.store = new_store
+        self.state.stack = new_stack
+        self._invalidate()
+        self._evaluator = self._make_evaluator(new_code)
+        self._record(
+            "UPDATE",
+            detail="" if report.clean else "dropped {}".format(
+                ", ".join(report.dropped_globals + report.dropped_pages)
+            ),
+        )
+        return report
+
+    # -- scheduling ----------------------------------------------------------------------
+
+    def enabled_internal_transition(self):
+        """Name of the internal transition the scheduler would fire, or None.
+
+        While the state is unstable "one of the following transitions is
+        always enabled" (Section 4.2); in fact exactly one is, so the
+        system is deterministic between user actions.
+        """
+        state = self.state
+        if state.stack.is_empty() and state.queue.is_empty():
+            return "STARTUP"
+        if not state.queue.is_empty():
+            return "EVENT"
+        if state.display is STALE and not state.stack.is_empty():
+            return "RENDER"
+        return None
+
+    def step(self):
+        """Fire the enabled internal transition; returns its rule name or
+        ``None`` when the system is stable with a valid display."""
+        choice = self.enabled_internal_transition()
+        if choice == "STARTUP":
+            self.startup()
+        elif choice == "EVENT":
+            self.handle_next_event()
+        elif choice == "RENDER":
+            self.render()
+        return choice
+
+    def run_to_stable(self, max_transitions=100_000):
+        """Iterate :meth:`step` until stable with a valid display.
+
+        The bound guards against programs that push pages forever ("this
+        can lead to an infinite loop of pushing new pages").
+        """
+        fired = 0
+        while True:
+            choice = self.step()
+            if choice is None:
+                return fired
+            fired += 1
+            if fired >= max_transitions:
+                raise SystemError_(
+                    "no stable state after {} transitions — the program "
+                    "is pushing pages or events forever".format(fired)
+                )

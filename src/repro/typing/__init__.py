@@ -1,0 +1,16 @@
+"""The type-and-effect system (Figs. 10 and 11)."""
+
+from .checker import Checker, check, check_value_type
+from .context import TypeEnv
+from .program import check_code, code_problems, is_well_typed
+from .state import (
+    EXEC_THUNK_TYPE,
+    check_system,
+    display_problems,
+    queue_problems,
+    stack_problems,
+    store_problems,
+    system_problems,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,314 @@
+"""The expression type-and-effect checker — Fig. 10, rule for rule.
+
+The judgment ``C; Γ ⊢µ e : τ`` becomes :func:`check`.  The checker is
+syntax-directed: every node synthesizes a type, and rule T-SUB is folded
+into the subsumption points (function application and every position with
+an expected type) via :func:`repro.core.types.is_subtype` — the standard
+algorithmic presentation of a declarative subtyping rule.
+
+Every diagnostic names the figure's rule whose premise failed, so the test
+suite can assert not just *that* an ill-typed program is rejected but *why*
+— e.g. a global assignment inside render code fails with rule ``T-ASSIGN``
+and an :class:`EffectProblem`, which is the formal content of the paper's
+"render code can only read, but not modify global variables".
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.defs import Code
+from ..core.effects import Effect, PURE, RENDER, STATE, subeffect
+from ..core.errors import EffectProblem, TypeProblem
+from ..core.prims import PRIM_SIGS, match_signature
+from ..core.types import (
+    FunType,
+    ListType,
+    NUMBER,
+    STRING,
+    TupleType,
+    Type,
+    UNIT,
+    is_subtype,
+)
+from .context import TypeEnv, attribute_type
+
+
+def check(code, expr, effect=PURE, env=None, natives=None):
+    """``C; Γ ⊢µ e : τ`` — synthesize the type of ``expr`` under ``effect``.
+
+    Raises :class:`TypeProblem` (or its subclass :class:`EffectProblem`
+    for effect-discipline violations) when no derivation exists.
+    """
+    if env is None:
+        env = TypeEnv.empty()
+    checker = Checker(code, natives)
+    return checker.check(expr, effect, env)
+
+
+def check_value_type(code, value, expected, natives=None):
+    """Is ``C; ε ⊢s v : τ`` derivable?  Boolean form used by Fig. 12's fix-up.
+
+    (For *values* the three effect modes agree — values contain no redexes
+    — so checking under ``s`` matches the paper's statement exactly.)
+    """
+    try:
+        actual = check(code, value, effect=STATE, natives=natives)
+    except TypeProblem:
+        return False
+    return is_subtype(actual, expected)
+
+
+class Checker:
+    """Stateful facade holding ``C`` and the native table across a check."""
+
+    def __init__(self, code, natives=None):
+        if not isinstance(code, Code):
+            raise TypeProblem("checker expects Code, got {!r}".format(code))
+        self.code = code
+        self.natives = natives
+
+    # The main dispatch.  Each branch is commented with its Fig. 10 rule.
+    def check(self, expr, effect, env):
+        if isinstance(expr, ast.Num):  # T-INT (numbers generally)
+            return NUMBER
+        if isinstance(expr, ast.Str):  # T-STRING
+            return STRING
+        if isinstance(expr, ast.Var):  # T-VAR
+            type_ = env.lookup(expr.name)
+            if type_ is None:
+                raise TypeProblem(
+                    "unbound variable '{}'".format(expr.name), rule="T-VAR"
+                )
+            return type_
+        if isinstance(expr, ast.Tuple):  # T-TUPLE
+            return TupleType(
+                tuple(self.check(item, effect, env) for item in expr.items)
+            )
+        if isinstance(expr, ast.ListLit):  # T-LIST (extension)
+            for index, item in enumerate(expr.items):
+                item_type = self.check(item, effect, env)
+                if not is_subtype(item_type, expr.element_type):
+                    raise TypeProblem(
+                        "list item {} has type {}, expected {}".format(
+                            index + 1, item_type, expr.element_type
+                        ),
+                        rule="T-LIST",
+                    )
+            return ListType(expr.element_type)
+        if isinstance(expr, ast.Lam):  # T-LAM
+            body_type = self.check(
+                expr.body, expr.effect, env.extend(expr.param, expr.param_type)
+            )
+            return FunType(expr.param_type, body_type, expr.effect)
+        if isinstance(expr, ast.App):  # T-APP (+ T-SUB on the arrow effect)
+            fn_type = self.check(expr.fn, effect, env)
+            if not isinstance(fn_type, FunType):
+                raise TypeProblem(
+                    "application of a non-function of type {}".format(fn_type),
+                    rule="T-APP",
+                )
+            if not subeffect(fn_type.effect, effect):
+                raise EffectProblem(
+                    "calling a -{}> function under effect {}".format(
+                        fn_type.effect, effect
+                    ),
+                    rule="T-APP",
+                )
+            arg_type = self.check(expr.arg, effect, env)
+            if not is_subtype(arg_type, fn_type.param):
+                raise TypeProblem(
+                    "argument has type {}, expected {}".format(
+                        arg_type, fn_type.param
+                    ),
+                    rule="T-APP",
+                )
+            return fn_type.result
+        if isinstance(expr, ast.FunRef):  # T-FUN
+            definition = self.code.function(expr.name)
+            if definition is None:
+                raise TypeProblem(
+                    "undefined function '{}'".format(expr.name), rule="T-FUN"
+                )
+            return definition.type
+        if isinstance(expr, ast.Proj):  # T-PROJ
+            target_type = self.check(expr.tuple_expr, effect, env)
+            if not isinstance(target_type, TupleType):
+                raise TypeProblem(
+                    "projection from non-tuple type {}".format(target_type),
+                    rule="T-PROJ",
+                )
+            if expr.index > target_type.arity:
+                raise TypeProblem(
+                    "projection .{} out of range for {}".format(
+                        expr.index, target_type
+                    ),
+                    rule="T-PROJ",
+                )
+            return target_type.elements[expr.index - 1]
+        if isinstance(expr, ast.GlobalRead):  # T-GLOBAL
+            definition = self.code.global_(expr.name)
+            if definition is None:
+                raise TypeProblem(
+                    "undefined global '{}'".format(expr.name), rule="T-GLOBAL"
+                )
+            return definition.type
+        if isinstance(expr, ast.GlobalWrite):  # T-ASSIGN
+            if effect is not STATE:
+                raise EffectProblem(
+                    "assignment to '{}' requires effect s, but the context "
+                    "is {} — {}".format(
+                        expr.name,
+                        effect,
+                        "render code can only read global variables"
+                        if effect is RENDER
+                        else "pure code cannot write global variables",
+                    ),
+                    rule="T-ASSIGN",
+                )
+            definition = self.code.global_(expr.name)
+            if definition is None:
+                raise TypeProblem(
+                    "assignment to undefined global '{}'".format(expr.name),
+                    rule="T-ASSIGN",
+                )
+            value_type = self.check(expr.value, effect, env)
+            if not is_subtype(value_type, definition.type):
+                raise TypeProblem(
+                    "assigning {} to global '{}' of type {}".format(
+                        value_type, expr.name, definition.type
+                    ),
+                    rule="T-ASSIGN",
+                )
+            return UNIT
+        if isinstance(expr, ast.Push):  # T-PUSH
+            if effect is not STATE:
+                raise EffectProblem(
+                    "push requires effect s, but the context is {}".format(
+                        effect
+                    ),
+                    rule="T-PUSH",
+                )
+            page = self.code.page(expr.page)
+            if page is None:
+                raise TypeProblem(
+                    "push of undefined page '{}'".format(expr.page),
+                    rule="T-PUSH",
+                )
+            arg_type = self.check(expr.arg, effect, env)
+            if not is_subtype(arg_type, page.arg_type):
+                raise TypeProblem(
+                    "page '{}' takes {}, got {}".format(
+                        expr.page, page.arg_type, arg_type
+                    ),
+                    rule="T-PUSH",
+                )
+            return UNIT
+        if isinstance(expr, ast.Pop):  # T-POP
+            if effect is not STATE:
+                raise EffectProblem(
+                    "pop requires effect s, but the context is {}".format(
+                        effect
+                    ),
+                    rule="T-POP",
+                )
+            return UNIT
+        if isinstance(expr, ast.Boxed):  # T-BOXED
+            if effect is not RENDER:
+                raise EffectProblem(
+                    "boxed requires effect r, but the context is {} — "
+                    "only render code can create boxes".format(effect),
+                    rule="T-BOXED",
+                )
+            return self.check(expr.body, RENDER, env)
+        if isinstance(expr, ast.Post):  # T-POST
+            if effect is not RENDER:
+                raise EffectProblem(
+                    "post requires effect r, but the context is {}".format(
+                        effect
+                    ),
+                    rule="T-POST",
+                )
+            self.check(expr.value, RENDER, env)
+            return UNIT
+        if isinstance(expr, ast.SetAttr):  # T-ATTR
+            if effect is not RENDER:
+                raise EffectProblem(
+                    "box.{} := requires effect r, but the context is "
+                    "{}".format(expr.attr, effect),
+                    rule="T-ATTR",
+                )
+            expected = attribute_type(expr.attr)
+            if expected is None:
+                raise TypeProblem(
+                    "unknown box attribute '{}'".format(expr.attr),
+                    rule="T-ATTR",
+                )
+            value_type = self.check(expr.value, RENDER, env)
+            if not is_subtype(value_type, expected):
+                raise TypeProblem(
+                    "attribute '{}' has type {}, got {}".format(
+                        expr.attr, expected, value_type
+                    ),
+                    rule="T-ATTR",
+                )
+            return UNIT
+        if isinstance(expr, ast.If):  # T-IF (extension)
+            cond_type = self.check(expr.cond, effect, env)
+            if not is_subtype(cond_type, NUMBER):
+                raise TypeProblem(
+                    "if-condition has type {}, expected number".format(
+                        cond_type
+                    ),
+                    rule="T-IF",
+                )
+            then_type = self.check(expr.then_branch, effect, env)
+            else_type = self.check(expr.else_branch, effect, env)
+            joined = _lub(then_type, else_type)
+            if joined is None:
+                raise TypeProblem(
+                    "if-branches disagree: {} vs {}".format(
+                        then_type, else_type
+                    ),
+                    rule="T-IF",
+                )
+            return joined
+        if isinstance(expr, ast.Prim):  # T-PRIM (extension)
+            sig = PRIM_SIGS.get(expr.op)
+            if sig is None and self.natives is not None:
+                sig = self.natives.signature(expr.op)
+            if sig is None:
+                raise TypeProblem(
+                    "unknown operator '{}'".format(expr.op), rule="T-PRIM"
+                )
+            if not subeffect(sig.effect, effect):
+                raise EffectProblem(
+                    "operator '{}' has effect {} but the context is "
+                    "{}".format(expr.op, sig.effect, effect),
+                    rule="T-PRIM",
+                )
+            arg_types = [self.check(arg, effect, env) for arg in expr.args]
+            return match_signature(sig, arg_types)
+        raise TypeProblem("cannot type {!r}".format(expr))
+
+
+def _lub(left, right):
+    """Least upper bound of two types under the T-SUB ordering, or None.
+
+    Only the effect dimension produces proper joins; everything else must
+    match structurally.
+    """
+    if left == right:
+        return left
+    if is_subtype(left, right):
+        return right
+    if is_subtype(right, left):
+        return left
+    if isinstance(left, FunType) and isinstance(right, FunType):
+        if left.param == right.param:
+            result = _lub(left.result, right.result)
+            from ..core.effects import join
+
+            effect = join(left.effect, right.effect)
+            if result is not None and effect is not None:
+                return FunType(left.param, result, effect)
+    return None

@@ -1,0 +1,59 @@
+"""Typing environments ``Γ`` (Fig. 6) for the expression checker.
+
+An environment maps lambda-bound variables to types.  It is persistent
+(``extend`` returns a new environment) because rule T-LAM types the body in
+an extended context without disturbing the outer one.
+
+The *attribute* environment ``Γa`` of Fig. 10 lives in
+:mod:`repro.boxes.attributes`; this module only re-exports its lookup so
+the checker has a single import surface.
+"""
+
+from __future__ import annotations
+
+from ..boxes.attributes import attribute_type
+from ..core.errors import ReproError
+from ..core.types import Type
+
+
+class TypeEnv:
+    """An immutable variable-typing context ``Γ ::= ε | Γ, x : τ``."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings=None):
+        self._bindings = dict(bindings) if bindings else {}
+
+    @classmethod
+    def empty(cls):
+        """``ε`` — the empty context (used for all top-level judgments)."""
+        return _EMPTY
+
+    def extend(self, name, type_):
+        """``Γ, x : τ`` — later bindings shadow earlier ones."""
+        if not isinstance(type_, Type):
+            raise ReproError("extend expects a Type, got {!r}".format(type_))
+        bindings = dict(self._bindings)
+        bindings[name] = type_
+        return TypeEnv(bindings)
+
+    def lookup(self, name):
+        """The type of ``name`` or ``None`` (rule T-VAR's premise)."""
+        return self._bindings.get(name)
+
+    def __contains__(self, name):
+        return name in self._bindings
+
+    def __len__(self):
+        return len(self._bindings)
+
+    def __repr__(self):
+        inner = ", ".join(
+            "{} : {}".format(k, v) for k, v in self._bindings.items()
+        )
+        return "TypeEnv({})".format(inner or "ε")
+
+
+_EMPTY = TypeEnv()
+
+__all__ = ["TypeEnv", "attribute_type"]

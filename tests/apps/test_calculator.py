@@ -1,0 +1,66 @@
+"""The calculator example app (handler-dense workload)."""
+
+import pytest
+
+from repro.apps.calculator import calculator_runtime
+from repro.core import ast
+
+
+@pytest.fixture
+def calc():
+    return calculator_runtime()
+
+
+def press(calc, *buttons):
+    for button in buttons:
+        # Digit buttons share their label with the display sometimes;
+        # tap the LAST box showing the text (buttons come after the
+        # display in document order).
+        matches = [
+            path
+            for path, box in calc.display.walk()
+            for leaf in box.leaves()
+            if getattr(leaf, "value", None) == button
+            and box.has_attr("ontap")
+        ]
+        assert matches, "no button {!r}".format(button)
+        calc.tap(matches[-1])
+    return calc
+
+
+class TestCalculator:
+    def test_initial_display(self, calc):
+        assert calc.all_texts()[0] == "0"
+
+    def test_digit_entry(self, calc):
+        press(calc, "1", "2", "3")
+        assert calc.all_texts()[0] == "123"
+
+    def test_addition(self, calc):
+        press(calc, "7", "+", "5", "=")
+        assert calc.all_texts()[0] == "12"
+
+    def test_chained_operations(self, calc):
+        press(calc, "2", "+", "3", "*", "4", "=")
+        # Left-to-right: (2+3)*4
+        assert calc.all_texts()[0] == "20"
+
+    def test_subtraction_and_clear(self, calc):
+        press(calc, "9", "-", "4", "=")
+        assert calc.all_texts()[0] == "5"
+        press(calc, "C")
+        assert calc.all_texts()[0] == "0"
+
+    def test_zero_button(self, calc):
+        press(calc, "1", "0", "+", "5", "=")
+        assert calc.all_texts()[0] == "15"
+
+    def test_fifteen_handlers_rendered(self, calc):
+        # 9 digits + 0 + three operators + '=' + 'C'
+        buttons = calc.find_boxes(lambda b: b.has_attr("ontap"))
+        assert len(buttons) == 15
+
+    def test_model_is_three_globals(self, calc):
+        assert calc.global_value("acc") == ast.Num(0)
+        press(calc, "4", "2")
+        assert calc.global_value("entry") == ast.Str("42")

@@ -1,0 +1,41 @@
+"""The unit-converter example app (editable sugar + derived displays)."""
+
+import pytest
+
+from repro.apps.converter import converter_runtime
+from repro.core import ast
+from repro.core.errors import EvalError
+
+
+@pytest.fixture
+def runtime():
+    return converter_runtime()
+
+
+class TestConverter:
+    def test_initial_derived_values(self, runtime):
+        assert runtime.contains_text(" = 68.0 F")
+        assert runtime.contains_text(" = 1.609 km")
+
+    def test_editing_recomputes_derived_display(self, runtime):
+        runtime.edit(runtime.find_text("20"), "100")
+        assert runtime.contains_text(" = 212.0 F")
+        assert runtime.global_value("celsius") == ast.Num(100)
+        # The other field is untouched.
+        assert runtime.contains_text(" = 1.609 km")
+
+    def test_both_fields_independent(self, runtime):
+        runtime.edit(runtime.find_text("1"), "26.2")  # a marathon
+        assert runtime.contains_text(" = 42.165 km")
+        runtime.edit(runtime.find_text("20"), "0")
+        assert runtime.contains_text(" = 32.0 F")
+        assert runtime.contains_text(" = 42.165 km")
+
+    def test_bad_input_is_a_defined_fault(self):
+        runtime = converter_runtime(fault_policy="record")
+        runtime.edit(runtime.find_text("20"), "warm")
+        assert runtime.faults
+        # Model unchanged, app alive.
+        assert runtime.global_value("celsius") == ast.Num(20)
+        runtime.edit(runtime.find_text("20"), "25")
+        assert runtime.contains_text(" = 77.0 F")

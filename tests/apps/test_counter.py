@@ -1,0 +1,27 @@
+"""The counter example app."""
+
+from repro.apps.counter import SOURCE, compile_counter, counter_runtime
+from repro.core import ast
+
+
+class TestCounter:
+    def test_initial_display(self):
+        runtime = counter_runtime()
+        assert runtime.all_texts() == ["count: 0", "reset"]
+
+    def test_increment_and_reset(self):
+        runtime = counter_runtime()
+        runtime.tap_text("count: 0")
+        runtime.tap_text("count: 1")
+        assert runtime.global_value("count") == ast.Num(2)
+        runtime.tap_text("reset")
+        assert runtime.all_texts()[0] == "count: 0"
+
+    def test_compiles_with_one_global(self):
+        compiled = compile_counter()
+        assert [g.name for g in compiled.code.globals()] == ["count"]
+
+    def test_border_attribute_applied(self):
+        runtime = counter_runtime()
+        shot = runtime.screenshot(width=24)
+        assert "+" in shot and "|" in shot

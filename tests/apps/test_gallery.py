@@ -1,0 +1,34 @@
+"""The parametric gallery app (the benchmark workload)."""
+
+from repro.apps.gallery import compile_gallery, gallery_runtime, gallery_source
+from repro.core import ast
+
+
+class TestGallery:
+    def test_dimensions_scale(self):
+        small = gallery_runtime(rows=2, cols=2)
+        big = gallery_runtime(rows=4, cols=3)
+        # rows boxes + rows*cols cells + 1 title-less root adjustments
+        assert small.display.count_boxes() < big.display.count_boxes()
+
+    def test_cell_count(self):
+        runtime = gallery_runtime(rows=3, cols=4)
+        cells = [t for t in runtime.all_texts() if t.startswith("[")]
+        assert len(cells) == 12
+
+    def test_selection_highlights_cell(self):
+        runtime = gallery_runtime(rows=3, cols=3)
+        runtime.tap_text("[1.2]")
+        assert runtime.global_value("selected") == ast.Num(5)
+        highlighted = runtime.find_boxes(
+            lambda box: box.get_attr("background") == ast.Str("yellow")
+        )
+        assert len(highlighted) == 1
+
+    def test_source_parametric(self):
+        assert "global rows : number = 7" in gallery_source(rows=7)
+
+    def test_compile_various_sizes(self):
+        for rows in (1, 5):
+            compiled = compile_gallery(rows=rows, cols=2)
+            assert compiled.code.page("start") is not None

@@ -1,0 +1,137 @@
+"""The paper's running example: the mortgage calculator (Figs. 1, 3-5)."""
+
+import pytest
+
+from repro.apps.mortgage import (
+    BASE_SOURCE,
+    apply_i1,
+    apply_i2,
+    apply_i3,
+    compile_mortgage,
+    improved_source,
+    mortgage_runtime,
+)
+from repro.core import ast
+
+
+@pytest.fixture(scope="module")
+def started():
+    return mortgage_runtime()
+
+
+def first_listing_label(runtime):
+    listing = runtime.global_value("listings").items[0]
+    return "{}, {}".format(listing.items[0].value, listing.items[1].value)
+
+
+class TestStartPage:
+    def test_init_downloads_listings(self):
+        runtime = mortgage_runtime()
+        listings = runtime.global_value("listings")
+        assert len(listings.items) == 8
+        # One simulated request, charged to the virtual clock.
+        web = runtime.system.services.get("web")
+        assert web.request_count == 1
+        assert runtime.system.services.clock.now == web.latency
+
+    def test_fig1_left_shape(self):
+        """Header plus one address + price pair per listing."""
+        runtime = mortgage_runtime()
+        texts = runtime.all_texts()
+        assert "House" in texts and "Hunting" in texts
+        addresses = [t for t in texts if ", " in t]
+        prices = [t for t in texts if t.startswith("$")]
+        assert len(addresses) == 8 and len(prices) == 8
+
+    def test_listings_deterministic(self):
+        a = mortgage_runtime().all_texts()
+        b = mortgage_runtime().all_texts()
+        assert a == b
+
+
+class TestDetailPage:
+    def test_tap_navigates_with_listing_argument(self):
+        runtime = mortgage_runtime()
+        label = first_listing_label(runtime)
+        runtime.tap_text(label)
+        assert runtime.page_name() == "detail"
+        assert label in runtime.all_texts()
+
+    def test_monthly_payment_formula(self):
+        """30y at 4.5% on $335k ≈ $1697.40/month (standard amortization)."""
+        runtime = mortgage_runtime()
+        runtime.tap_text(first_listing_label(runtime))
+        payment = [
+            t for t in runtime.all_texts() if "monthly payment" in t
+        ][0]
+        assert payment == "monthly payment: $1697.40"
+
+    def test_amortization_reaches_zero_ish(self):
+        runtime = mortgage_runtime()
+        runtime.tap_text(first_listing_label(runtime))
+        balances = [t for t in runtime.all_texts() if "balance" in t]
+        assert len(balances) == 30
+        first = float(balances[0].split(" ")[-1])
+        last = float(balances[-1].split(" ")[-1])
+        assert last < first
+        assert last < 0.05 * first  # nearly paid off by the final year
+
+    def test_editing_term_reruns_render(self):
+        runtime = mortgage_runtime()
+        runtime.tap_text(first_listing_label(runtime))
+        runtime.edit(runtime.find_text("30"), "15")
+        assert runtime.global_value("term") == ast.Num(15)
+        balances = [t for t in runtime.all_texts() if "balance" in t]
+        assert len(balances) == 15
+
+    def test_back_returns_to_listings(self):
+        runtime = mortgage_runtime()
+        runtime.tap_text(first_listing_label(runtime))
+        runtime.tap_text("back")
+        assert runtime.page_name() == "start"
+
+    def test_no_new_download_when_navigating(self):
+        runtime = mortgage_runtime()
+        web = runtime.system.services.get("web")
+        runtime.tap_text(first_listing_label(runtime))
+        runtime.back()
+        assert web.request_count == 1  # listings survive in the model
+
+
+class TestImprovements:
+    def test_each_improvement_compiles(self):
+        for improve in (apply_i1, apply_i2, apply_i3):
+            compile_mortgage(improve(BASE_SOURCE))
+
+    def test_improvements_compose(self):
+        compile_mortgage(improved_source())
+
+    def test_anchors_fail_loudly_if_source_drifts(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            apply_i2(apply_i2(BASE_SOURCE))
+
+    def test_i2_formats_dollars_and_cents(self):
+        runtime = mortgage_runtime(apply_i2(BASE_SOURCE))
+        runtime.tap_text(first_listing_label(runtime))
+        balances = [t for t in runtime.all_texts() if "balance" in t]
+        for balance in balances:
+            amount = balance.split("$")[1]
+            _dollars, cents = amount.split(".")
+            assert len(cents) == 2
+
+    def test_i3_highlights_every_fifth_row(self):
+        runtime = mortgage_runtime(apply_i3(BASE_SOURCE))
+        runtime.tap_text(first_listing_label(runtime))
+        highlighted = runtime.find_boxes(
+            lambda box: box.get_attr("background") == ast.Str("light blue")
+        )
+        assert len(highlighted) == 6  # years 4, 9, 14, 19, 24, 29
+
+    def test_i1_adds_header_margin(self):
+        runtime = mortgage_runtime(apply_i1(BASE_SOURCE))
+        margins = runtime.find_boxes(
+            lambda box: box.get_attr("margin") == ast.Num(1)
+        )
+        assert margins

@@ -1,0 +1,52 @@
+"""The shopping-list example app."""
+
+import pytest
+
+from repro.apps.shopping import shopping_runtime
+from repro.core import ast
+
+
+@pytest.fixture
+def runtime():
+    return shopping_runtime()
+
+
+class TestShopping:
+    def test_initial_entries_and_total(self, runtime):
+        assert runtime.all_texts()[0] == "Shopping (3 items)"
+        assert runtime.contains_text("milk x1")
+        assert runtime.contains_text("bread x2")
+
+    def test_add_via_editable_box(self, runtime):
+        runtime.edit(runtime.find_text("add: "), "eggs")
+        assert runtime.contains_text("eggs x1")
+        assert runtime.all_texts()[0] == "Shopping (4 items)"
+        # The draft box cleared itself after committing.
+        assert runtime.contains_text("add: ")
+
+    def test_empty_edit_adds_nothing(self, runtime):
+        runtime.edit(runtime.find_text("add: "), "")
+        assert runtime.all_texts()[0] == "Shopping (3 items)"
+
+    def test_bump_quantity(self, runtime):
+        runtime.tap(runtime.find_text(" [more]"))
+        assert runtime.contains_text("milk x2")
+        assert runtime.all_texts()[0] == "Shopping (4 items)"
+
+    def test_delete_entry(self, runtime):
+        runtime.tap(runtime.find_text(" [del]"))
+        assert not runtime.contains_text("milk x1")
+        assert runtime.all_texts()[0] == "Shopping (2 items)"
+
+    def test_detail_page_round_trip(self, runtime):
+        runtime.tap_text("bread x2")
+        assert runtime.page_name() == "detail"
+        assert runtime.contains_text("quantity: 2")
+        runtime.tap_text("back")
+        assert runtime.page_name() == "start"
+
+    def test_total_is_recomputed_not_maintained(self, runtime):
+        """No view-update code anywhere: render recomputes the total."""
+        for _ in range(3):
+            runtime.tap(runtime.find_text(" [more]"))
+        assert runtime.all_texts()[0] == "Shopping (6 items)"

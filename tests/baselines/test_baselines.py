@@ -1,0 +1,146 @@
+"""The Section 2 baselines vs live programming — behavioural contracts.
+
+These tests pin down the *qualitative* shape that benchmark E2 then
+quantifies: restart pays download+navigation per edit, fix-and-continue
+leaves render edits invisible, replay cost grows with history and can
+diverge, live pays none of it.
+"""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.baselines import (
+    FixAndContinueWorkflow,
+    LiveWorkflow,
+    ReplayWorkflow,
+    RestartWorkflow,
+)
+
+EDITED = COUNTER.replace('"count: "', '"n = "')
+LATENCY = 0.0  # the counter app has no downloads
+
+# A small app with a download in init, like the mortgage example.
+DOWNLOADING = (
+    "extern fun fetch_listings() : list number is state\n"
+    "global data : list number = nil(number)\n"
+    "page start()\n  init\n    data := fetch_listings()\n"
+    "  render\n    boxed\n      post \"n = \" || length(data)\n"
+    "      on tap do\n        pop\n"
+)
+DOWNLOADING_EDIT = DOWNLOADING.replace('"n = "', '"count = "')
+
+
+def downloading_impls():
+    def fetch(services):
+        services.get("web").fetch("/listings")
+        return [1.0, 2.0, 3.0]
+
+    return {"fetch_listings": fetch}
+
+
+class TestRestart:
+    def test_restart_pays_download_every_edit(self):
+        workflow = RestartWorkflow(
+            DOWNLOADING, host_impls=downloading_impls(), latency=2.0
+        )
+        for _ in range(3):
+            metrics = workflow.apply_edit(DOWNLOADING_EDIT)
+            # A fresh clock each boot: exactly one download charged.
+            assert metrics.virtual_seconds == 2.0
+            assert metrics.visible
+
+    def test_restart_replays_navigation(self):
+        workflow = RestartWorkflow(
+            COUNTER,
+            navigation=[("tap_text", "count: 0"), ("tap_text", "count: 1")],
+        )
+        metrics = workflow.apply_edit(COUNTER)
+        assert metrics.navigation_actions == 2
+        # ...and the model state reflects only the replayed actions.
+        assert workflow.runtime.all_texts()[0] == "count: 2"
+
+    def test_restart_loses_unscripted_state(self):
+        workflow = RestartWorkflow(COUNTER)
+        workflow.runtime.tap_text("count: 0")
+        workflow.apply_edit(EDITED)
+        assert workflow.runtime.all_texts()[0] == "n = 0"  # count lost
+
+
+class TestFixAndContinue:
+    def test_render_edit_invisible(self):
+        """'Changing the code that initially builds this widget tree is
+        meaningless as that code has already executed.'"""
+        workflow = FixAndContinueWorkflow(COUNTER)
+        metrics = workflow.apply_edit(EDITED)
+        assert not metrics.visible
+        assert workflow.retained_display.children()[0].leaves()[0].value == (
+            "count: 0"
+        )
+
+    def test_noop_edit_trivially_visible(self):
+        workflow = FixAndContinueWorkflow(COUNTER)
+        metrics = workflow.apply_edit(COUNTER)
+        assert metrics.visible
+
+    def test_state_survives_and_poke_reveals_edit(self):
+        workflow = FixAndContinueWorkflow(COUNTER)
+        workflow.poke(("tap_text", "count: 0"))
+        workflow.apply_edit(EDITED)
+        display = workflow.poke(("tap_text", "n = 1"))
+        texts = [
+            leaf.value for _p, box in display.walk()
+            for leaf in box.leaves()
+        ]
+        assert "n = 2" in texts
+
+
+class TestReplay:
+    def test_replay_restores_state(self):
+        workflow = ReplayWorkflow(COUNTER)
+        workflow.act("tap_text", "count: 0")
+        workflow.act("tap_text", "count: 1")
+        outcome = workflow.apply_edit(COUNTER)
+        assert not outcome.diverged
+        assert outcome.replayed_actions == 2
+        assert workflow.runtime.all_texts()[0] == "count: 2"
+
+    def test_replay_cost_includes_whole_history(self):
+        workflow = ReplayWorkflow(
+            DOWNLOADING, host_impls=downloading_impls(), latency=1.0
+        )
+        outcome = workflow.apply_edit(DOWNLOADING_EDIT)
+        assert outcome.virtual_seconds == 1.0
+        assert outcome.navigation_actions == 0
+
+    def test_replay_diverges_on_changed_labels(self):
+        """'Code changes can cause the re-execution to diverge from the
+        previous trace.'"""
+        workflow = ReplayWorkflow(COUNTER)
+        workflow.act("tap_text", "count: 0")
+        outcome = workflow.apply_edit(EDITED)  # "count: 0" no longer shown
+        assert outcome.diverged
+        assert "count: 0" in outcome.divergence_reason
+        assert not outcome.visible
+
+
+class TestLive:
+    def test_live_edit_is_visible_without_redownload(self):
+        workflow = LiveWorkflow(
+            DOWNLOADING, host_impls=downloading_impls(), latency=2.0
+        )
+        metrics = workflow.apply_edit(DOWNLOADING_EDIT)
+        assert metrics.visible
+        assert metrics.virtual_seconds == 0.0
+        assert metrics.navigation_actions == 0
+
+    def test_live_keeps_interactive_state(self):
+        workflow = LiveWorkflow(COUNTER)
+        workflow.act("tap_text", "count: 0")
+        workflow.apply_edit(EDITED)
+        texts = workflow.session.runtime.all_texts()
+        assert texts[0] == "n = 1"
+
+    def test_broken_edit_reports_invisible(self):
+        workflow = LiveWorkflow(COUNTER)
+        metrics = workflow.apply_edit("garbage(")
+        assert not metrics.visible

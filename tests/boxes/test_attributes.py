@@ -1,0 +1,75 @@
+"""The attribute environment Γa and value converters."""
+
+import pytest
+
+from repro.boxes.attributes import (
+    ATTRIBUTE_ENV,
+    ONEDIT_TYPE,
+    ONTAP_TYPE,
+    as_number,
+    as_string,
+    attribute_spec,
+    attribute_type,
+    handler_attributes,
+    manipulable_attributes,
+)
+from repro.core import ast
+from repro.core.effects import STATE
+from repro.core.errors import ReproError
+from repro.core.types import NUMBER, STRING, UNIT, fun
+
+
+class TestEnvironment:
+    def test_paper_examples(self):
+        """Γa gives ontap : () -s> () and margin : number (Section 4.3)."""
+        assert attribute_type("ontap") == fun(UNIT, UNIT, STATE)
+        assert attribute_type("margin") == NUMBER
+
+    def test_onedit_receives_text(self):
+        assert ONEDIT_TYPE.param == STRING
+
+    def test_unknown_attribute(self):
+        assert attribute_type("zorp") is None
+        with pytest.raises(ReproError):
+            attribute_spec("zorp")
+
+    def test_handlers_not_manipulable(self):
+        """Direct manipulation must not offer to write closures."""
+        manipulable = {spec.name for spec in manipulable_attributes()}
+        for handler in handler_attributes():
+            assert handler not in manipulable
+
+    def test_every_spec_consistent(self):
+        for name, spec in ATTRIBUTE_ENV.items():
+            assert spec.name == name
+            assert attribute_type(name) == spec.type
+
+    def test_i1_and_i3_attributes_manipulable(self):
+        manipulable = {spec.name for spec in manipulable_attributes()}
+        assert "margin" in manipulable      # I1
+        assert "background" in manipulable  # I3 (could be done either way)
+
+
+class TestConverters:
+    def test_as_number_from_ast(self):
+        assert as_number(ast.Num(2.5)) == 2.5
+
+    def test_as_number_from_python(self):
+        assert as_number(3) == 3.0
+        assert as_number(None, default=7.0) == 7.0
+
+    def test_as_number_rejects_strings_and_bools(self):
+        with pytest.raises(ReproError):
+            as_number("3")
+        with pytest.raises(ReproError):
+            as_number(True)
+
+    def test_as_string_from_ast(self):
+        assert as_string(ast.Str("blue")) == "blue"
+
+    def test_as_string_default(self):
+        assert as_string(None) == ""
+
+    def test_as_string_rejects_numbers(self):
+        with pytest.raises(ReproError):
+            as_string(3)

@@ -1,0 +1,109 @@
+"""The Section 5 reuse optimization: structural sharing across renders."""
+
+import pytest
+
+from repro.boxes.diff import DiffStats, reuse, tree_equal
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+
+
+def leafy_box(text, box_id=None, occurrence=None):
+    box = Box(box_id=box_id, occurrence=occurrence)
+    box.append_leaf(ast.Str(text))
+    return box
+
+
+def row_tree(texts):
+    root = make_root()
+    for index, text in enumerate(texts):
+        root.append_child(leafy_box(text, box_id=1, occurrence=index))
+    return root.freeze()
+
+
+class TestReuseIdentity:
+    def test_identical_trees_fully_shared(self):
+        old = row_tree(["a", "b", "c"])
+        new = row_tree(["a", "b", "c"])
+        stats = DiffStats()
+        result = reuse(old, new, stats)
+        assert result is old
+        assert stats.reused_boxes == 4 and stats.rebuilt_boxes == 0
+
+    def test_no_previous_display(self):
+        new = row_tree(["a"])
+        stats = DiffStats()
+        assert reuse(None, new, stats) is new
+        assert stats.reused_boxes == 0
+
+    def test_result_always_structurally_equal_to_new(self):
+        old = row_tree(["a", "b", "c"])
+        for texts in (["a", "b"], ["a", "x", "c"], ["z", "a", "b", "c"]):
+            new = row_tree(texts)
+            assert tree_equal(reuse(old, new), new)
+
+
+class TestPartialSharing:
+    def test_one_changed_row_rebuilds_only_spine_and_row(self):
+        old = row_tree(["a", "b", "c", "d"])
+        new = row_tree(["a", "X", "c", "d"])
+        stats = DiffStats()
+        result = reuse(old, new, stats)
+        # Unchanged rows are the same objects as in the old tree.
+        assert result.children()[0] is old.children()[0]
+        assert result.children()[2] is old.children()[2]
+        assert result.children()[3] is old.children()[3]
+        # Exactly the root spine and the changed row were rebuilt.
+        assert stats.rebuilt_boxes == 2
+        assert stats.reused_boxes == 3
+
+    def test_appended_row_reuses_prefix(self):
+        old = row_tree(["a", "b"])
+        new = row_tree(["a", "b", "c"])
+        result = reuse(old, new)
+        assert result.children()[0] is old.children()[0]
+        assert result.children()[1] is old.children()[1]
+
+    def test_attr_change_on_root_keeps_children(self):
+        old = make_root()
+        old.append_attr("margin", ast.Num(1))
+        old.append_child(leafy_box("x", box_id=1, occurrence=0))
+        old.freeze()
+        new = make_root()
+        new.append_attr("margin", ast.Num(2))
+        new.append_child(leafy_box("x", box_id=1, occurrence=0))
+        new.freeze()
+        result = reuse(old, new)
+        assert result.get_attr("margin") == ast.Num(2)
+        assert result.children()[0] is old.children()[0]
+
+    def test_box_id_mismatch_not_merged(self):
+        old = make_root()
+        old.append_child(leafy_box("x", box_id=1, occurrence=0))
+        old.freeze()
+        new = make_root()
+        new.append_child(leafy_box("x", box_id=2, occurrence=0))
+        new.append_child(leafy_box("y", box_id=3, occurrence=0))
+        new.freeze()
+        result = reuse(old, new)
+        assert tree_equal(result, new)
+
+    def test_reuse_fraction(self):
+        stats = DiffStats(reused_boxes=3, rebuilt_boxes=1)
+        assert stats.reuse_fraction == 0.75
+        assert DiffStats().reuse_fraction == 0.0
+
+
+class TestDeepTrees:
+    def test_deep_change_keeps_unrelated_subtrees(self):
+        def deep(text):
+            root = make_root()
+            left = Box(box_id=1, occurrence=0)
+            left.append_child(leafy_box(text, box_id=2, occurrence=0))
+            root.append_child(left)
+            root.append_child(leafy_box("stable", box_id=3, occurrence=0))
+            return root.freeze()
+
+        old, new = deep("a"), deep("b")
+        result = reuse(old, new)
+        assert result.children()[1] is old.children()[1]
+        assert result.children()[0].children()[0].leaves() == [ast.Str("b")]

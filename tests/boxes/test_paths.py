@@ -1,0 +1,87 @@
+"""Box paths: resolution, formatting, creator lookup, handler bubbling."""
+
+import pytest
+
+from repro.boxes.paths import (
+    boxes_created_by,
+    format_path,
+    innermost_box_with_attr,
+    parent,
+    parse_path,
+    resolve,
+)
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+from repro.core.errors import ReproError
+
+
+def tree():
+    root = make_root()
+    a = Box(box_id=1, occurrence=0)
+    a.append_attr("ontap", ast.Str("handler-a"))
+    inner = Box(box_id=2, occurrence=0)
+    a.append_child(inner)
+    root.append_child(a)
+    b = Box(box_id=1, occurrence=1)
+    root.append_child(b)
+    return root
+
+
+class TestResolve:
+    def test_root(self):
+        t = tree()
+        assert resolve(t, ()) is t
+
+    def test_deep(self):
+        t = tree()
+        assert resolve(t, (0, 0)).box_id == 2
+
+    def test_off_tree_raises(self):
+        with pytest.raises(ReproError):
+            resolve(tree(), (5,))
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("path", [(), (0,), (0, 1, 2)])
+    def test_round_trip(self, path):
+        assert parse_path(format_path(path)) == path
+
+    def test_root_formats_as_slash(self):
+        assert format_path(()) == "/"
+
+    def test_malformed(self):
+        with pytest.raises(ReproError):
+            parse_path("0/1")
+        with pytest.raises(ReproError):
+            parse_path("/x")
+
+    def test_parent(self):
+        assert parent((0, 1)) == (0,)
+        assert parent(()) is None
+
+
+class TestCreatorLookup:
+    def test_loop_statement_creates_many(self):
+        hits = boxes_created_by(tree(), 1)
+        assert [path for path, _ in hits] == [(0,), (1,)]
+
+    def test_single(self):
+        hits = boxes_created_by(tree(), 2)
+        assert [path for path, _ in hits] == [(0, 0)]
+
+    def test_none(self):
+        assert boxes_created_by(tree(), 99) == []
+
+
+class TestBubbling:
+    def test_direct_hit(self):
+        path, box = innermost_box_with_attr(tree(), (0,), "ontap")
+        assert path == (0,) and box.box_id == 1
+
+    def test_bubbles_to_ancestor(self):
+        path, _box = innermost_box_with_attr(tree(), (0, 0), "ontap")
+        assert path == (0,)
+
+    def test_no_handler_anywhere(self):
+        path, box = innermost_box_with_attr(tree(), (1,), "ontap")
+        assert path is None and box is None

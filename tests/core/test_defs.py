@@ -1,0 +1,96 @@
+"""Program definitions and the code component C (Fig. 7)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.defs import Code, EMPTY_CODE, FunDef, GlobalDef, PageDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import ReproError
+from repro.core.types import NUMBER, UNIT, fun
+
+
+def num_global(name="g", value=0):
+    return GlobalDef(name, NUMBER, ast.Num(value))
+
+
+def identity_fun(name="f"):
+    lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+    return FunDef(name, fun(NUMBER, NUMBER, PURE), lam)
+
+
+def blank_page(name="start"):
+    return PageDef(
+        name,
+        UNIT,
+        ast.Lam("a", UNIT, ast.UNIT_VALUE, STATE),
+        ast.Lam("a", UNIT, ast.UNIT_VALUE, RENDER),
+    )
+
+
+class TestDefinitions:
+    def test_global_requires_value_init(self):
+        with pytest.raises(ReproError):
+            GlobalDef("g", NUMBER, ast.GlobalRead("other"))
+
+    def test_fun_requires_function_type(self):
+        with pytest.raises(ReproError):
+            FunDef("f", NUMBER, ast.Num(1))
+
+    def test_page_body_types(self):
+        page = blank_page()
+        assert page.init_type == fun(UNIT, UNIT, STATE)
+        assert page.render_type == fun(UNIT, UNIT, RENDER)
+
+
+class TestCode:
+    def test_empty(self):
+        assert len(EMPTY_CODE) == 0
+        assert "g" not in EMPTY_CODE
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ReproError):
+            Code([num_global("g"), num_global("g")])
+
+    def test_cross_kind_duplicates_rejected(self):
+        with pytest.raises(ReproError):
+            Code([num_global("x"), identity_fun("x")])
+
+    def test_typed_lookups(self):
+        code = Code([num_global(), identity_fun(), blank_page()])
+        assert code.global_("g").name == "g"
+        assert code.function("f").name == "f"
+        assert code.page("start").name == "start"
+        # kind-mismatched lookups return None, not the wrong def
+        assert code.global_("f") is None
+        assert code.function("start") is None
+        assert code.page("g") is None
+
+    def test_defined_names_in_order(self):
+        code = Code([num_global(), identity_fun(), blank_page()])
+        assert code.defined_names() == ("g", "f", "start")
+
+    def test_kind_groups(self):
+        code = Code([num_global(), identity_fun(), blank_page()])
+        assert [d.name for d in code.globals()] == ["g"]
+        assert [d.name for d in code.functions()] == ["f"]
+        assert [d.name for d in code.pages()] == ["start"]
+
+    def test_with_def_replaces(self):
+        code = Code([num_global("g", 0)])
+        updated = code.with_def(num_global("g", 7))
+        assert updated.global_("g").init == ast.Num(7)
+        assert code.global_("g").init == ast.Num(0)  # original untouched
+
+    def test_with_def_adds(self):
+        code = Code([num_global()])
+        updated = code.with_def(identity_fun())
+        assert len(updated) == 2 and len(code) == 1
+
+    def test_without(self):
+        code = Code([num_global(), identity_fun()])
+        assert "g" not in code.without("g")
+        assert "f" in code.without("g")
+
+    def test_code_equality(self):
+        assert Code([num_global()]) == Code([num_global()])
+        assert Code([num_global(0)]) != Code([num_global("g", 1)])

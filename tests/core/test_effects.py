@@ -1,0 +1,86 @@
+"""The effect lattice (Fig. 6's µ) — ordering, joins, parsing."""
+
+import pytest
+
+from repro.core.effects import (
+    ALL_EFFECTS,
+    Effect,
+    PURE,
+    RENDER,
+    STATE,
+    allows_render,
+    allows_state,
+    join,
+    join_all,
+    parse_effect,
+    subeffect,
+)
+from repro.core.errors import ReproError
+
+
+class TestSubeffect:
+    def test_pure_below_everything(self):
+        for upper in ALL_EFFECTS:
+            assert subeffect(PURE, upper)
+
+    def test_reflexive(self):
+        for effect in ALL_EFFECTS:
+            assert subeffect(effect, effect)
+
+    def test_state_and_render_incomparable(self):
+        assert not subeffect(STATE, RENDER)
+        assert not subeffect(RENDER, STATE)
+
+    def test_nothing_above_is_below_pure(self):
+        assert not subeffect(STATE, PURE)
+        assert not subeffect(RENDER, PURE)
+
+
+class TestJoin:
+    def test_join_with_pure_is_identity(self):
+        for effect in ALL_EFFECTS:
+            assert join(PURE, effect) is effect
+            assert join(effect, PURE) is effect
+
+    def test_join_idempotent(self):
+        for effect in ALL_EFFECTS:
+            assert join(effect, effect) is effect
+
+    def test_state_render_join_fails(self):
+        """The missing join IS the model/view separation."""
+        assert join(STATE, RENDER) is None
+        assert join(RENDER, STATE) is None
+
+    def test_join_all_empty_is_pure(self):
+        assert join_all(()) is PURE
+
+    def test_join_all_propagates_failure(self):
+        assert join_all((PURE, STATE, RENDER)) is None
+
+    def test_join_all_takes_upper(self):
+        assert join_all((PURE, PURE, STATE)) is STATE
+
+
+class TestParsingAndPredicates:
+    def test_parse_all_letters(self):
+        assert parse_effect("p") is PURE
+        assert parse_effect("s") is STATE
+        assert parse_effect("r") is RENDER
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ReproError):
+            parse_effect("x")
+
+    def test_str_round_trips(self):
+        for effect in ALL_EFFECTS:
+            assert parse_effect(str(effect)) is effect
+
+    def test_allows_state_only_for_state(self):
+        assert allows_state(STATE)
+        assert not allows_state(PURE)
+        assert not allows_state(RENDER)
+
+    def test_allows_render_only_for_render(self):
+        assert allows_render(RENDER)
+        assert not allows_render(PURE)
+        assert not allows_render(STATE)

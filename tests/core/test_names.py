@@ -1,0 +1,47 @@
+"""Identifier validation and well-known names."""
+
+import pytest
+
+from repro.core import names
+from repro.core.errors import ReproError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "good",
+        ["x", "display listentry", "font size", "_hidden", "$loop_1", "a1"],
+    )
+    def test_accepts(self, good):
+        assert names.is_valid_identifier(good)
+        assert names.check_identifier(good) == good
+
+    @pytest.mark.parametrize(
+        "bad", ["", " lead", "trail ", "1abc", "a\nb", None, 42]
+    )
+    def test_rejects(self, bad):
+        assert not names.is_valid_identifier(bad)
+        with pytest.raises(ReproError):
+            names.check_identifier(bad)
+
+    def test_error_mentions_kind(self):
+        with pytest.raises(ReproError) as caught:
+            names.check_identifier("", kind="page name")
+        assert "page name" in str(caught.value)
+
+
+class TestWellKnown:
+    def test_start_page(self):
+        assert names.START_PAGE == "start"
+
+    def test_attribute_constants_registered(self):
+        from repro.boxes.attributes import ATTRIBUTE_ENV
+
+        for constant in (
+            names.ATTR_ONTAP,
+            names.ATTR_ONEDIT,
+            names.ATTR_MARGIN,
+            names.ATTR_BACKGROUND,
+            names.ATTR_FONT_SIZE,
+            names.ATTR_EDITABLE,
+        ):
+            assert constant in ATTRIBUTE_ENV

@@ -1,0 +1,97 @@
+"""The pretty-printer reproduces Fig. 6/7-style notation."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.defs import Code, FunDef, GlobalDef, PageDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import ReproError
+from repro.core.pretty import pretty, pretty_code, pretty_def
+from repro.core.types import NUMBER, UNIT, fun
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert pretty(ast.Num(3)) == "3"
+        assert pretty(ast.Num(2.5)) == "2.5"
+        assert pretty(ast.Str("hi")) == '"hi"'
+        assert pretty(ast.Str('say "hi"')) == '"say \\"hi\\""'
+
+    def test_unit(self):
+        assert pretty(ast.UNIT_VALUE) == "()"
+
+    def test_lambda_shows_effect_letter(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), STATE)
+        assert pretty(lam) == "λs(x : number). x"
+
+    def test_pure_lambda_omits_letter(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        assert pretty(lam) == "λ(x : number). x"
+
+    def test_application_parenthesizes_lambda(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        text = pretty(ast.App(lam, ast.Num(1)))
+        assert text == "(λ(x : number). x) 1"
+
+    def test_global_forms(self):
+        assert pretty(ast.GlobalRead("g")) == "□g"
+        assert pretty(ast.GlobalWrite("g", ast.Num(1))) == "□g := 1"
+
+    def test_page_and_box_forms(self):
+        assert pretty(ast.Push("p", ast.UNIT_VALUE)) == "push p ()"
+        assert pretty(ast.Pop()) == "pop"
+        assert pretty(ast.Boxed(ast.UNIT_VALUE)) == "boxed ()"
+        assert pretty(ast.Post(ast.Str("x"))) == 'post "x"'
+        assert (
+            pretty(ast.SetAttr("margin", ast.Num(2))) == "box.margin := 2"
+        )
+
+    def test_projection_and_if(self):
+        tup = ast.Tuple((ast.Num(1), ast.Num(2)))
+        assert pretty(ast.Proj(tup, 2)) == "(1, 2).2"
+        conditional = ast.If(ast.Num(1), ast.Num(2), ast.Num(3))
+        assert pretty(conditional) == "if 1 then 2 else 3"
+
+    def test_prim_call(self):
+        assert pretty(ast.Prim("add", (ast.Num(1), ast.Num(2)))) == "add(1, 2)"
+
+    def test_funref(self):
+        assert pretty(ast.FunRef("f")) == "•f"
+
+
+class TestDefinitions:
+    def test_global_def(self):
+        text = pretty_def(GlobalDef("g", NUMBER, ast.Num(0)))
+        assert text == "global g : number = 0"
+
+    def test_fun_def(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        text = pretty_def(FunDef("f", fun(NUMBER, NUMBER, PURE), lam))
+        assert text == "fun f : number -p> number is λ(x : number). x"
+
+    def test_page_def(self):
+        page = PageDef(
+            "start",
+            UNIT,
+            ast.Lam("a", UNIT, ast.UNIT_VALUE, STATE),
+            ast.Lam("a", UNIT, ast.UNIT_VALUE, RENDER),
+        )
+        text = pretty_def(page)
+        assert text.startswith("page start(())")
+        assert "init" in text and "render" in text
+
+    def test_pretty_code_one_def_per_line(self):
+        code = Code(
+            [
+                GlobalDef("a", NUMBER, ast.Num(1)),
+                GlobalDef("b", NUMBER, ast.Num(2)),
+            ]
+        )
+        assert pretty_code(code).split("\n") == [
+            "global a : number = 1",
+            "global b : number = 2",
+        ]
+
+    def test_pretty_code_rejects_non_code(self):
+        with pytest.raises(ReproError):
+            pretty_code([])

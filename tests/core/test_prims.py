@@ -1,0 +1,94 @@
+"""Primitive-operator signatures and the mini type-variable matcher."""
+
+import pytest
+
+from repro.core.effects import PURE
+from repro.core.errors import TypeProblem
+from repro.core.prims import (
+    A,
+    PRIM_SIGS,
+    PrimSig,
+    TVar,
+    lookup_prim,
+    match_signature,
+)
+from repro.core.types import (
+    NUMBER,
+    STRING,
+    TupleType,
+    list_of,
+    tuple_of,
+)
+
+
+class TestTable:
+    def test_every_entry_well_formed(self):
+        for name, sig in PRIM_SIGS.items():
+            assert sig.name == name
+            assert sig.arity == len(sig.params)
+            assert sig.effect is PURE  # all built-ins are pure
+
+    def test_lookup(self):
+        assert lookup_prim("add").result == NUMBER
+        assert lookup_prim("no_such_op") is None
+
+    def test_paper_operators_present(self):
+        """The operators the paper's figures use must all exist."""
+        for op in ("floor", "round", "mod", "concat", "str_length"):
+            assert op in PRIM_SIGS
+
+
+class TestMonomorphicMatching:
+    def test_exact_match(self):
+        assert match_signature(PRIM_SIGS["add"], [NUMBER, NUMBER]) == NUMBER
+        assert match_signature(PRIM_SIGS["concat"], [STRING, STRING]) == STRING
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeProblem) as caught:
+            match_signature(PRIM_SIGS["add"], [NUMBER])
+        assert caught.value.rule == "T-PRIM"
+
+    def test_type_mismatch_names_argument(self):
+        with pytest.raises(TypeProblem) as caught:
+            match_signature(PRIM_SIGS["add"], [NUMBER, STRING])
+        assert "argument 2" in str(caught.value)
+
+
+class TestPolymorphicMatching:
+    def test_list_length_any_element(self):
+        sig = PRIM_SIGS["list_length"]
+        assert match_signature(sig, [list_of(NUMBER)]) == NUMBER
+        assert match_signature(sig, [list_of(tuple_of(STRING))]) == NUMBER
+
+    def test_list_get_returns_element_type(self):
+        sig = PRIM_SIGS["list_get"]
+        element = tuple_of(STRING, NUMBER)
+        assert match_signature(sig, [list_of(element), NUMBER]) == element
+
+    def test_list_append_binds_consistently(self):
+        sig = PRIM_SIGS["list_append"]
+        assert match_signature(
+            sig, [list_of(NUMBER), NUMBER]
+        ) == list_of(NUMBER)
+
+    def test_list_append_inconsistent_binding_rejected(self):
+        with pytest.raises(TypeProblem):
+            match_signature(
+                PRIM_SIGS["list_append"], [list_of(NUMBER), STRING]
+            )
+
+    def test_eq_requires_same_types(self):
+        assert match_signature(PRIM_SIGS["eq"], [STRING, STRING]) == NUMBER
+        with pytest.raises(TypeProblem):
+            match_signature(PRIM_SIGS["eq"], [STRING, NUMBER])
+
+    def test_nested_tvar_through_tuple(self):
+        sig = PrimSig("fst2", (tuple_of(A, A),), A)
+        assert match_signature(sig, [tuple_of(NUMBER, NUMBER)]) == NUMBER
+        with pytest.raises(TypeProblem):
+            match_signature(sig, [tuple_of(NUMBER, STRING)])
+
+    def test_unbound_tvar_in_result_rejected(self):
+        sig = PrimSig("make", (NUMBER,), A)
+        with pytest.raises(TypeProblem):
+            match_signature(sig, [NUMBER])

@@ -1,0 +1,124 @@
+"""The type language τ (Fig. 6): structure, →-freeness, subtyping."""
+
+import pytest
+
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import ReproError
+from repro.core.types import (
+    FunType,
+    ListType,
+    NUMBER,
+    STRING,
+    TupleType,
+    UNIT,
+    fun,
+    is_subtype,
+    list_of,
+    tuple_of,
+)
+
+
+class TestConstruction:
+    def test_unit_is_empty_tuple(self):
+        assert UNIT == TupleType(())
+        assert UNIT.arity == 0
+
+    def test_tuple_of_builds_in_order(self):
+        pair = tuple_of(NUMBER, STRING)
+        assert pair.elements == (NUMBER, STRING)
+
+    def test_tuple_rejects_non_types(self):
+        with pytest.raises(ReproError):
+            TupleType((NUMBER, "not a type"))
+
+    def test_structural_equality(self):
+        assert tuple_of(NUMBER, STRING) == tuple_of(NUMBER, STRING)
+        assert list_of(NUMBER) == list_of(NUMBER)
+        assert fun(NUMBER, STRING, PURE) == fun(NUMBER, STRING, PURE)
+
+    def test_effect_distinguishes_function_types(self):
+        assert fun(UNIT, UNIT, STATE) != fun(UNIT, UNIT, RENDER)
+
+    def test_types_are_hashable(self):
+        assert len({NUMBER, STRING, UNIT, list_of(NUMBER)}) == 4
+
+
+class TestFunctionFree:
+    """The →-free side-condition of T-C-GLOBAL / T-C-PAGE."""
+
+    def test_base_types_are_function_free(self):
+        assert NUMBER.is_function_free()
+        assert STRING.is_function_free()
+        assert UNIT.is_function_free()
+
+    def test_nested_function_detected(self):
+        handler = fun(UNIT, UNIT, STATE)
+        assert not handler.is_function_free()
+        assert not tuple_of(NUMBER, handler).is_function_free()
+        assert not list_of(handler).is_function_free()
+        assert not tuple_of(tuple_of(handler)).is_function_free()
+
+    def test_deep_function_free(self):
+        deep = list_of(tuple_of(NUMBER, list_of(STRING)))
+        assert deep.is_function_free()
+
+
+class TestPrinting:
+    def test_base(self):
+        assert str(NUMBER) == "number"
+        assert str(STRING) == "string"
+        assert str(UNIT) == "()"
+
+    def test_function_shows_effect(self):
+        assert str(fun(NUMBER, UNIT, STATE)) == "number -s> ()"
+
+    def test_function_param_parenthesized(self):
+        nested = fun(fun(NUMBER, NUMBER, PURE), NUMBER, PURE)
+        assert str(nested) == "(number -p> number) -p> number"
+
+    def test_list_of_function_parenthesized(self):
+        assert str(list_of(NUMBER)) == "list number"
+
+
+class TestSubtyping:
+    """T-SUB closed structurally."""
+
+    def test_reflexive(self):
+        for type_ in (NUMBER, STRING, UNIT, list_of(NUMBER)):
+            assert is_subtype(type_, type_)
+
+    def test_pure_arrow_below_any_effect(self):
+        pure_fn = fun(NUMBER, NUMBER, PURE)
+        assert is_subtype(pure_fn, fun(NUMBER, NUMBER, STATE))
+        assert is_subtype(pure_fn, fun(NUMBER, NUMBER, RENDER))
+
+    def test_effectful_arrow_not_below_pure(self):
+        assert not is_subtype(
+            fun(NUMBER, NUMBER, STATE), fun(NUMBER, NUMBER, PURE)
+        )
+
+    def test_state_arrow_not_below_render(self):
+        assert not is_subtype(
+            fun(NUMBER, NUMBER, STATE), fun(NUMBER, NUMBER, RENDER)
+        )
+
+    def test_contravariant_parameters(self):
+        # (number -s> ()) -p> ()  <:  (number -p> ()) -p> ()
+        takes_stateful = fun(fun(NUMBER, UNIT, STATE), UNIT, PURE)
+        takes_pure = fun(fun(NUMBER, UNIT, PURE), UNIT, PURE)
+        assert is_subtype(takes_stateful, takes_pure)
+        assert not is_subtype(takes_pure, takes_stateful)
+
+    def test_covariant_through_tuples_and_lists(self):
+        inner = fun(UNIT, UNIT, PURE)
+        outer = fun(UNIT, UNIT, STATE)
+        assert is_subtype(tuple_of(inner), tuple_of(outer))
+        assert is_subtype(list_of(inner), list_of(outer))
+
+    def test_arity_mismatch(self):
+        assert not is_subtype(tuple_of(NUMBER), tuple_of(NUMBER, NUMBER))
+
+    def test_base_types_unrelated(self):
+        assert not is_subtype(NUMBER, STRING)
+        assert not is_subtype(STRING, NUMBER)
+        assert not is_subtype(NUMBER, UNIT)

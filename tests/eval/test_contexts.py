@@ -1,0 +1,93 @@
+"""Evaluation-context decomposition (Fig. 6's E grammar)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.effects import PURE, RENDER
+from repro.core.errors import ReproError
+from repro.core.types import NUMBER, UNIT
+from repro.eval.contexts import context_depth, decompose, plug, redex_of
+
+
+def lam(body):
+    return ast.Lam("x", NUMBER, body, PURE)
+
+
+class TestDecompose:
+    def test_values_have_no_decomposition(self):
+        assert decompose(ast.Num(1)) is None
+        assert decompose(lam(ast.Var("x"))) is None
+
+    def test_whole_expression_as_redex(self):
+        expr = ast.App(lam(ast.Var("x")), ast.Num(1))
+        path, redex = decompose(expr)
+        assert path == [] and redex is expr
+
+    def test_left_to_right_in_application(self):
+        """E e first, then v E: the function position reduces first."""
+        inner = ast.App(lam(ast.Var("x")), ast.Num(1))
+        expr = ast.App(inner, ast.GlobalRead("g"))
+        _path, redex = decompose(expr)
+        assert redex is inner
+        # Once the function is a value, the argument becomes the redex.
+        expr2 = ast.App(lam(ast.Var("x")), ast.GlobalRead("g"))
+        _path, redex2 = decompose(expr2)
+        assert redex2 == ast.GlobalRead("g")
+
+    def test_tuple_left_to_right(self):
+        expr = ast.Tuple(
+            (ast.Num(1), ast.GlobalRead("a"), ast.GlobalRead("b"))
+        )
+        _path, redex = decompose(expr)
+        assert redex == ast.GlobalRead("a")
+
+    def test_boxed_is_a_redex_not_a_context(self):
+        """ER-BOXED reduces its body in a nested derivation."""
+        body = ast.Post(ast.Num(1))
+        expr = ast.Boxed(body)
+        path, redex = decompose(expr)
+        assert path == [] and redex is expr
+
+    def test_if_descends_only_into_condition(self):
+        expr = ast.If(
+            ast.GlobalRead("c"), ast.GlobalRead("t"), ast.GlobalRead("e")
+        )
+        _path, redex = decompose(expr)
+        assert redex == ast.GlobalRead("c")
+
+    def test_branches_not_evaluated_early(self):
+        expr = ast.If(ast.Num(1), ast.GlobalRead("t"), ast.GlobalRead("e"))
+        _path, redex = decompose(expr)
+        assert redex is expr  # the If itself fires, not a branch
+
+    def test_lambda_bodies_not_positions(self):
+        value = lam(ast.App(lam(ast.Var("x")), ast.Num(1)))
+        assert decompose(value) is None
+
+    def test_nested_depth(self):
+        redex = ast.GlobalRead("g")
+        expr = ast.Prim("add", (ast.Num(1), ast.Prim("add", (redex, ast.Num(2)))))
+        assert context_depth(expr) == 2
+
+    def test_context_depth_rejects_values(self):
+        with pytest.raises(ReproError):
+            context_depth(ast.Num(1))
+
+
+class TestPlug:
+    def test_round_trip(self):
+        expr = ast.Prim(
+            "add",
+            (ast.Num(1), ast.Prim("mul", (ast.GlobalRead("g"), ast.Num(2)))),
+        )
+        path, redex = decompose(expr)
+        assert plug(path, redex) == expr
+
+    def test_plug_replaces_hole(self):
+        expr = ast.Prim("add", (ast.GlobalRead("g"), ast.Num(2)))
+        path, _redex = decompose(expr)
+        stepped = plug(path, ast.Num(40))
+        assert stepped == ast.Prim("add", (ast.Num(40), ast.Num(2)))
+
+    def test_redex_of_values(self):
+        assert redex_of(ast.Num(1)) is None

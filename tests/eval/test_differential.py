@@ -1,0 +1,125 @@
+"""Differential testing: the faithful small-step machine and the CEK
+machine must agree on values, stores, queues and box trees.
+
+Hand-written scenarios cover each effect mode; the hypothesis section
+fuzzes with random well-typed programs from the metatheory generators.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from helpers import counter_core_code, page_code, seq, seq_value
+from repro.core import ast
+from repro.core.defs import GlobalDef
+from repro.core.effects import RENDER, STATE
+from repro.core.types import NUMBER, STRING
+from repro.eval.machine import BigStep, SmallStep
+from repro.metatheory.generators import typed_expressions
+from repro.system.events import EventQueue
+from repro.system.state import Store
+
+CODE = page_code(
+    ast.UNIT_VALUE,
+    globals_=[
+        GlobalDef("n", NUMBER, ast.Num(0)),
+        GlobalDef("s", STRING, ast.Str("go")),
+    ],
+)
+
+
+def both_state(code, expr):
+    results = []
+    for cls in (SmallStep, BigStep):
+        store, queue = Store(), EventQueue()
+        value = cls(code).run_state(store, queue, expr)
+        results.append((value, store.items(), queue.events()))
+    return results
+
+
+def both_render(code, expr):
+    results = []
+    for cls in (SmallStep, BigStep):
+        store = Store()
+        root = cls(code).run_render(store, expr)
+        results.append(root)
+    return results
+
+
+class TestHandWritten:
+    def test_state_scenario(self):
+        expr = seq_value(
+            STATE,
+            ast.GlobalWrite("n", ast.Num(5)),
+            ast.GlobalWrite(
+                "n", ast.Prim("mul", (ast.GlobalRead("n"), ast.Num(3)))
+            ),
+            ast.Push("start", ast.UNIT_VALUE),
+            ast.GlobalRead("n"),
+        )
+        small, big = both_state(CODE, expr)
+        assert small == big
+        assert small[0] == ast.Num(15)
+
+    def test_render_scenario(self):
+        expr = seq(
+            RENDER,
+            ast.SetAttr("margin", ast.Num(1)),
+            ast.Boxed(
+                seq(
+                    RENDER,
+                    ast.Post(ast.GlobalRead("s")),
+                    ast.Boxed(ast.Post(ast.Num(1)), box_id=2),
+                ),
+                box_id=1,
+            ),
+            ast.Post(ast.Str("tail")),
+        )
+        small, big = both_render(CODE, expr)
+        assert small == big
+        assert small.count_boxes() == 3
+
+    def test_box_metadata_agrees(self):
+        expr = seq(
+            RENDER,
+            ast.Boxed(ast.UNIT_VALUE, box_id=4),
+            ast.Boxed(ast.UNIT_VALUE, box_id=4),
+        )
+        small, big = both_render(CODE, expr)
+        small_meta = [(b.box_id, b.occurrence) for b in small.children()]
+        big_meta = [(b.box_id, b.occurrence) for b in big.children()]
+        assert small_meta == big_meta == [(4, 0), (4, 1)]
+
+    def test_whole_counter_app(self):
+        """Run the full system scenario under both evaluators."""
+        from repro.system.runtime import Runtime
+
+        code = counter_core_code()
+        displays = []
+        for faithful in (False, True):
+            runtime = Runtime(code, faithful=faithful).start()
+            runtime.tap_text("count: 0")
+            runtime.tap_text("count: 1")
+            displays.append(runtime.display)
+        assert displays[0] == displays[1]
+
+
+class TestRandomized:
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=typed_expressions(effect=STATE, depth=3))
+    def test_state_expressions_agree(self, case):
+        code, expr, _type = case
+        small, big = both_state(code, expr)
+        assert small == big
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=typed_expressions(effect=RENDER, depth=3))
+    def test_render_expressions_agree(self, case):
+        code, expr, _type = case
+        small, big = both_render(code, expr)
+        assert small == big

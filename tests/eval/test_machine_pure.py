@@ -1,0 +1,175 @@
+"""Pure evaluation steps (EP-FUN, EP-APP, EP-TUPLE, EP-GLOBAL-1/2)."""
+
+import pytest
+
+from helpers import page_code, run_pure
+from repro.core import ast
+from repro.core.defs import Code, FunDef, GlobalDef
+from repro.core.effects import PURE
+from repro.core.errors import FuelExhausted, StuckExpression
+from repro.core.types import NUMBER, UNIT, fun
+from repro.eval.machine import BigStep, SmallStep
+from repro.system.state import Store
+
+GLOBALS = [GlobalDef("g", NUMBER, ast.Num(42))]
+DOUBLE = FunDef(
+    "double",
+    fun(NUMBER, NUMBER, PURE),
+    ast.Lam("x", NUMBER, ast.Prim("add", (ast.Var("x"), ast.Var("x"))), PURE),
+)
+CODE = page_code(ast.UNIT_VALUE, globals_=GLOBALS, extra_defs=[DOUBLE])
+
+
+@pytest.fixture(params=["small", "big"], ids=["small-step", "cek"])
+def faithful(request):
+    return request.param == "small"
+
+
+class TestPureRules:
+    def test_ep_app(self, faithful):
+        expr = ast.App(
+            ast.Lam("x", NUMBER, ast.Var("x"), PURE), ast.Num(7)
+        )
+        assert run_pure(CODE, expr, faithful) == ast.Num(7)
+
+    def test_ep_fun_unfolds_definition(self, faithful):
+        expr = ast.App(ast.FunRef("double"), ast.Num(21))
+        assert run_pure(CODE, expr, faithful) == ast.Num(42)
+
+    def test_ep_tuple_projection(self, faithful):
+        expr = ast.Proj(ast.Tuple((ast.Num(1), ast.Num(2), ast.Num(3))), 2)
+        assert run_pure(CODE, expr, faithful) == ast.Num(2)
+
+    def test_ep_global_1_reads_store(self, faithful):
+        store = Store()
+        store.assign("g", ast.Num(99))
+        assert run_pure(
+            CODE, ast.GlobalRead("g"), faithful, store=store
+        ) == ast.Num(99)
+
+    def test_ep_global_2_falls_back_to_initial_value(self, faithful):
+        """g ∉ dom S: the declared initial value is read from the code."""
+        assert run_pure(CODE, ast.GlobalRead("g"), faithful) == ast.Num(42)
+
+    def test_ep_global_2_does_not_populate_store(self, faithful):
+        store = Store()
+        run_pure(CODE, ast.GlobalRead("g"), faithful, store=store)
+        assert "g" not in store  # only ES-ASSIGN creates entries
+
+    def test_if_true_false(self, faithful):
+        t = ast.If(ast.Num(1), ast.Num(10), ast.Num(20))
+        f = ast.If(ast.Num(0), ast.Num(10), ast.Num(20))
+        assert run_pure(CODE, t, faithful) == ast.Num(10)
+        assert run_pure(CODE, f, faithful) == ast.Num(20)
+
+    def test_if_branches_lazy(self, faithful):
+        """The untaken branch may be arbitrarily bad (it never runs)."""
+        expr = ast.If(
+            ast.Num(1), ast.Num(5), ast.Prim("div", (ast.Num(1), ast.Num(0)))
+        )
+        assert run_pure(CODE, expr, faithful) == ast.Num(5)
+
+    def test_recursion_through_funref(self, faithful):
+        body = ast.Lam(
+            "n",
+            NUMBER,
+            ast.If(
+                ast.Prim("le", (ast.Var("n"), ast.Num(0))),
+                ast.Num(0),
+                ast.Prim(
+                    "add",
+                    (
+                        ast.Var("n"),
+                        ast.App(
+                            ast.FunRef("sum"),
+                            ast.Prim("sub", (ast.Var("n"), ast.Num(1))),
+                        ),
+                    ),
+                ),
+            ),
+            PURE,
+        )
+        code = page_code(
+            ast.UNIT_VALUE,
+            extra_defs=[FunDef("sum", fun(NUMBER, NUMBER, PURE), body)],
+        )
+        expr = ast.App(ast.FunRef("sum"), ast.Num(100))
+        assert run_pure(code, expr, faithful) == ast.Num(5050)
+
+
+class TestPureStuckness:
+    def test_undefined_function(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_pure(CODE, ast.FunRef("ghost"), faithful)
+
+    def test_undefined_global(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_pure(CODE, ast.GlobalRead("ghost"), faithful)
+
+    def test_assignment_stuck_in_pure_mode(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_pure(CODE, ast.GlobalWrite("g", ast.Num(1)), faithful)
+
+    def test_post_stuck_in_pure_mode(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_pure(CODE, ast.Post(ast.Num(1)), faithful)
+
+    def test_application_of_non_function(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_pure(CODE, ast.App(ast.Num(1), ast.Num(2)), faithful)
+
+
+class TestFuel:
+    def _omega(self):
+        loop = FunDef(
+            "loop",
+            fun(UNIT, UNIT, PURE),
+            ast.Lam(
+                "u", UNIT, ast.App(ast.FunRef("loop"), ast.Var("u")), PURE
+            ),
+        )
+        return page_code(ast.UNIT_VALUE, extra_defs=[loop])
+
+    def test_small_step_fuel(self):
+        code = self._omega()
+        machine = SmallStep(code)
+        with pytest.raises(FuelExhausted):
+            machine.run_pure(
+                Store(), ast.App(ast.FunRef("loop"), ast.UNIT_VALUE),
+                fuel=1000,
+            )
+
+    def test_big_step_fuel(self):
+        code = self._omega()
+        machine = BigStep(code)
+        with pytest.raises(FuelExhausted):
+            machine.run_pure(
+                Store(), ast.App(ast.FunRef("loop"), ast.UNIT_VALUE),
+                fuel=1000,
+            )
+
+    def test_cek_tail_recursion_constant_python_stack(self):
+        """Deep tail recursion must not hit Python's recursion limit."""
+        import sys
+
+        body = ast.Lam(
+            "n",
+            NUMBER,
+            ast.If(
+                ast.Prim("le", (ast.Var("n"), ast.Num(0))),
+                ast.Num(0),
+                ast.App(
+                    ast.FunRef("down"),
+                    ast.Prim("sub", (ast.Var("n"), ast.Num(1))),
+                ),
+            ),
+            PURE,
+        )
+        code = page_code(
+            ast.UNIT_VALUE,
+            extra_defs=[FunDef("down", fun(NUMBER, NUMBER, PURE), body)],
+        )
+        depth = sys.getrecursionlimit() * 3
+        expr = ast.App(ast.FunRef("down"), ast.Num(depth))
+        machine = BigStep(code)
+        assert machine.run_pure(Store(), expr) == ast.Num(0)

@@ -1,0 +1,140 @@
+"""Render-mode steps (ER-PURE, ER-POST, ER-ATTR, ER-BOXED)."""
+
+import pytest
+
+from helpers import page_code, run_render, seq, seq_value
+from repro.core import ast
+from repro.core.defs import GlobalDef
+from repro.core.effects import RENDER, STATE
+from repro.core.errors import StuckExpression
+from repro.core.types import NUMBER, UNIT
+
+CODE = page_code(
+    ast.UNIT_VALUE, globals_=[GlobalDef("n", NUMBER, ast.Num(3))]
+)
+
+
+@pytest.fixture(params=[False, True], ids=["cek", "small-step"])
+def faithful(request):
+    return request.param
+
+
+class TestPostAndAttr:
+    def test_er_post_appends_to_current_box(self, faithful):
+        root = run_render(CODE, ast.Post(ast.Str("hello")), faithful)
+        assert root.leaves() == [ast.Str("hello")]
+
+    def test_posts_keep_order(self, faithful):
+        expr = seq(
+            RENDER,
+            ast.Post(ast.Num(1)),
+            ast.Post(ast.Num(2)),
+            ast.Post(ast.Num(3)),
+        )
+        root = run_render(CODE, expr, faithful)
+        assert root.leaves() == [ast.Num(1), ast.Num(2), ast.Num(3)]
+
+    def test_er_attr_on_implicit_root(self, faithful):
+        """Render code can set attributes outside any boxed statement."""
+        root = run_render(
+            CODE, ast.SetAttr("margin", ast.Num(4)), faithful
+        )
+        assert root.get_attr("margin") == ast.Num(4)
+
+    def test_later_attr_wins(self, faithful):
+        expr = seq(
+            RENDER,
+            ast.SetAttr("margin", ast.Num(1)),
+            ast.SetAttr("margin", ast.Num(2)),
+        )
+        root = run_render(CODE, expr, faithful)
+        assert root.get_attr("margin") == ast.Num(2)
+
+
+class TestBoxed:
+    def test_er_boxed_nests(self, faithful):
+        expr = ast.Boxed(ast.Post(ast.Str("inner")), box_id=9)
+        root = run_render(CODE, expr, faithful)
+        (child,) = root.children()
+        assert child.leaves() == [ast.Str("inner")]
+        assert child.box_id == 9
+
+    def test_er_boxed_returns_body_value(self, faithful):
+        """ER-BOXED is E[v]: the nested body's value escapes the box."""
+        expr = ast.Post(ast.Boxed(ast.Num(7), box_id=1))
+        root = run_render(CODE, expr, faithful)
+        # The boxed produced an (empty) child box, and its value 7 was
+        # then posted into the root.
+        assert root.leaves() == [ast.Num(7)]
+        assert len(root.children()) == 1
+
+    def test_boxed_attrs_stay_in_their_box(self, faithful):
+        expr = seq(
+            RENDER,
+            ast.Boxed(ast.SetAttr("margin", ast.Num(5)), box_id=1),
+            ast.Post(ast.Str("outer")),
+        )
+        root = run_render(CODE, expr, faithful)
+        assert root.get_attr("margin") is None
+        assert root.children()[0].get_attr("margin") == ast.Num(5)
+
+    def test_occurrence_numbering_in_execution_order(self, faithful):
+        expr = seq(
+            RENDER,
+            ast.Boxed(ast.UNIT_VALUE, box_id=7),
+            ast.Boxed(ast.UNIT_VALUE, box_id=7),
+            ast.Boxed(ast.UNIT_VALUE, box_id=8),
+        )
+        root = run_render(CODE, expr, faithful)
+        occurrences = [
+            (child.box_id, child.occurrence) for child in root.children()
+        ]
+        assert occurrences == [(7, 0), (7, 1), (8, 0)]
+
+    def test_deep_nesting(self, faithful):
+        expr = ast.Boxed(
+            ast.Boxed(ast.Boxed(ast.Post(ast.Str("deep")), box_id=3),
+                      box_id=2),
+            box_id=1,
+        )
+        root = run_render(CODE, expr, faithful)
+        box = root
+        for expected_id in (1, 2, 3):
+            (box,) = box.children()
+            assert box.box_id == expected_id
+        assert box.leaves() == [ast.Str("deep")]
+
+    def test_render_reads_globals(self, faithful):
+        expr = ast.Post(ast.GlobalRead("n"))
+        root = run_render(CODE, expr, faithful)
+        assert root.leaves() == [ast.Num(3)]
+
+    def test_handler_attr_holds_closure(self, faithful):
+        handler = ast.Lam("u", UNIT, ast.GlobalWrite("n", ast.Num(0)), STATE)
+        root = run_render(CODE, ast.SetAttr("ontap", handler), faithful)
+        assert root.get_attr("ontap") == handler
+
+    def test_display_is_frozen(self, faithful):
+        root = run_render(CODE, ast.Post(ast.Num(1)), faithful)
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            root.append_leaf(ast.Num(2))
+
+
+class TestRenderConfinement:
+    def test_assignment_stuck_in_render_mode(self, faithful):
+        """The operational half of 'render code cannot write globals'."""
+        with pytest.raises(StuckExpression):
+            run_render(CODE, ast.GlobalWrite("n", ast.Num(1)), faithful)
+
+    def test_push_pop_stuck_in_render_mode(self, faithful):
+        with pytest.raises(StuckExpression):
+            run_render(CODE, ast.Push("start", ast.UNIT_VALUE), faithful)
+        with pytest.raises(StuckExpression):
+            run_render(CODE, ast.Pop(), faithful)
+
+    def test_pure_computation_fine_in_render(self, faithful):
+        expr = ast.Post(ast.Prim("add", (ast.Num(1), ast.Num(2))))
+        root = run_render(CODE, expr, faithful)
+        assert root.leaves() == [ast.Num(3)]

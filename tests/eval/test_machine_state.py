@@ -1,0 +1,138 @@
+"""Standard-mode steps (ES-PURE, ES-ASSIGN, ES-PUSH, ES-POP)."""
+
+import pytest
+
+from helpers import page_code, run_state, seq, seq_value
+from repro.core import ast
+from repro.core.defs import GlobalDef
+from repro.core.effects import STATE
+from repro.core.errors import StuckExpression
+from repro.core.prims import PrimSig
+from repro.core.types import NUMBER, STRING
+from repro.eval.natives import NativeTable
+from repro.system.events import ExecEvent, PopEvent, PushEvent
+from repro.system.services import Services
+
+CODE = page_code(
+    ast.UNIT_VALUE,
+    globals_=[
+        GlobalDef("n", NUMBER, ast.Num(0)),
+        GlobalDef("s", STRING, ast.Str("")),
+    ],
+)
+
+
+@pytest.fixture(params=[False, True], ids=["cek", "small-step"])
+def faithful(request):
+    return request.param
+
+
+class TestAssign:
+    def test_es_assign_updates_store(self, faithful):
+        value, store, _q = run_state(
+            CODE, ast.GlobalWrite("n", ast.Num(5)), faithful
+        )
+        assert value == ast.UNIT_VALUE
+        assert store.lookup("n") == ast.Num(5)
+
+    def test_assignment_evaluates_rhs_first(self, faithful):
+        expr = ast.GlobalWrite(
+            "n", ast.Prim("add", (ast.GlobalRead("n"), ast.Num(1)))
+        )
+        _v, store, _q = run_state(CODE, expr, faithful)
+        assert store.lookup("n") == ast.Num(1)
+
+    def test_rightmost_write_wins(self, faithful):
+        expr = seq(
+            STATE,
+            ast.GlobalWrite("n", ast.Num(1)),
+            ast.GlobalWrite("n", ast.Num(2)),
+        )
+        _v, store, _q = run_state(CODE, expr, faithful)
+        assert store.lookup("n") == ast.Num(2)
+
+    def test_read_own_write(self, faithful):
+        expr = seq_value(
+            STATE,
+            ast.GlobalWrite("n", ast.Num(7)),
+            ast.GlobalRead("n"),
+        )
+        value, _s, _q = run_state(CODE, expr, faithful)
+        assert value == ast.Num(7)
+
+
+class TestNavigation:
+    def test_es_push_enqueues(self, faithful):
+        _v, _s, queue = run_state(
+            CODE, ast.Push("start", ast.UNIT_VALUE), faithful
+        )
+        assert queue.events() == (PushEvent("start", ast.UNIT_VALUE),)
+
+    def test_es_pop_enqueues(self, faithful):
+        _v, _s, queue = run_state(CODE, ast.Pop(), faithful)
+        assert queue.events() == (PopEvent(),)
+
+    def test_enqueue_order_left_to_right(self, faithful):
+        """Enqueue adds to the left; dequeue removes from the right —
+        so the first push executed is the first dequeued."""
+        expr = seq(STATE, ast.Push("start", ast.UNIT_VALUE), ast.Pop())
+        _v, _s, queue = run_state(CODE, expr, faithful)
+        assert isinstance(queue.dequeue(), PushEvent)
+        assert isinstance(queue.dequeue(), PopEvent)
+
+    def test_push_evaluates_argument(self, faithful):
+        expr = ast.Push(
+            "start", ast.Proj(ast.Tuple((ast.UNIT_VALUE,)), 1)
+        )
+        _v, _s, queue = run_state(CODE, expr, faithful)
+        assert queue.events()[0].arg == ast.UNIT_VALUE
+
+
+class TestEffectConfinement:
+    def test_render_constructs_stuck_in_state_mode(self, faithful):
+        for expr in (
+            ast.Post(ast.Num(1)),
+            ast.SetAttr("margin", ast.Num(1)),
+            ast.Boxed(ast.UNIT_VALUE),
+        ):
+            with pytest.raises(StuckExpression):
+                run_state(CODE, expr, faithful)
+
+
+class TestStatefulNatives:
+    def _natives_and_services(self):
+        natives = NativeTable()
+        calls = []
+
+        def impl(services, amount):
+            calls.append(amount)
+            services.clock.advance(amount)
+            return float(len(calls))
+
+        natives.register(PrimSig("tick", (NUMBER,), NUMBER, STATE), impl)
+        return natives, Services(), calls
+
+    def test_native_runs_in_state_mode(self, faithful):
+        natives, services, calls = self._natives_and_services()
+        value, _s, _q = run_state(
+            CODE,
+            ast.Prim("tick", (ast.Num(2),)),
+            faithful,
+            natives=natives,
+            services=services,
+        )
+        assert value == ast.Num(1)
+        assert calls == [2.0]
+        assert services.clock.now == 2.0
+
+    def test_native_stuck_in_pure_mode(self, faithful):
+        from helpers import run_pure
+
+        natives, services, _calls = self._natives_and_services()
+        from repro.eval.machine import BigStep, SmallStep
+        from repro.system.state import Store
+
+        cls = SmallStep if faithful else BigStep
+        machine = cls(CODE, natives=natives, services=services)
+        with pytest.raises(StuckExpression):
+            machine.run_pure(Store(), ast.Prim("tick", (ast.Num(1),)))

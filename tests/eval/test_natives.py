@@ -1,0 +1,192 @@
+"""Primitive implementations and the native registry."""
+
+import math
+
+import pytest
+
+from repro.core import ast
+from repro.core.effects import PURE, STATE
+from repro.core.errors import EvalError, NativeError, ReproError
+from repro.core.prims import PrimSig
+from repro.core.types import NUMBER, STRING, list_of
+from repro.eval.natives import NativeTable, apply_prim, operator_signature
+from repro.system.services import Services
+
+
+def num(x):
+    return ast.Num(x)
+
+
+def string(s):
+    return ast.Str(s)
+
+
+def nums(*values):
+    return ast.ListLit(tuple(ast.Num(v) for v in values), NUMBER)
+
+
+def apply_(op, *args):
+    return apply_prim(op, tuple(args))
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert apply_("add", num(2), num(3)) == num(5)
+        assert apply_("sub", num(2), num(3)) == num(-1)
+        assert apply_("mul", num(4), num(2.5)) == num(10)
+        assert apply_("div", num(7), num(2)) == num(3.5)
+        assert apply_("pow", num(2), num(10)) == num(1024)
+        assert apply_("neg", num(5)) == num(-5)
+
+    def test_div_by_zero_is_a_defined_fault(self):
+        with pytest.raises(EvalError):
+            apply_("div", num(1), num(0))
+
+    def test_mod_sign_follows_divisor(self):
+        """math->mod of Fig. 5 must behave for the I3 check mod(i,5)==4."""
+        assert apply_("mod", num(9), num(5)) == num(4)
+        assert apply_("mod", num(-1), num(5)) == num(4)
+
+    def test_mod_by_zero(self):
+        with pytest.raises(EvalError):
+            apply_("mod", num(1), num(0))
+
+    def test_rounding_family(self):
+        assert apply_("floor", num(2.9)) == num(2)
+        assert apply_("ceil", num(2.1)) == num(3)
+        assert apply_("round", num(2.5)) == num(3)
+        assert apply_("round", num(-2.5)) == num(-3)
+        assert apply_("abs", num(-4)) == num(4)
+
+    def test_sqrt(self):
+        assert apply_("sqrt", num(9)) == num(3)
+        with pytest.raises(EvalError):
+            apply_("sqrt", num(-1))
+
+    def test_min_max(self):
+        assert apply_("min", num(2), num(5)) == num(2)
+        assert apply_("max", num(2), num(5)) == num(5)
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons_yield_numeric_booleans(self):
+        assert apply_("lt", num(1), num(2)) == num(1)
+        assert apply_("ge", num(1), num(2)) == num(0)
+
+    def test_structural_equality(self):
+        assert apply_("eq", string("a"), string("a")) == num(1)
+        assert apply_("eq", nums(1, 2), nums(1, 2)) == num(1)
+        assert apply_("ne", nums(1), nums(2)) == num(1)
+
+    def test_logic(self):
+        assert apply_("and", num(1), num(0)) == num(0)
+        assert apply_("or", num(0), num(2)) == num(1)
+        assert apply_("not", num(0)) == num(1)
+
+
+class TestStrings:
+    def test_concat(self):
+        assert apply_("concat", string("a"), string("b")) == string("ab")
+
+    def test_str_of_num_integral_has_no_decimal_point(self):
+        assert apply_("str_of_num", num(42)) == string("42")
+        assert apply_("str_of_num", num(2.5)) == string("2.5")
+
+    def test_num_of_str(self):
+        assert apply_("num_of_str", string("3.5")) == num(3.5)
+        with pytest.raises(EvalError):
+            apply_("num_of_str", string("many"))
+
+    def test_length_and_substring(self):
+        assert apply_("str_length", string("abcd")) == num(4)
+        assert apply_("str_sub", string("abcd"), num(1), num(3)) == string("bc")
+        with pytest.raises(EvalError):
+            apply_("str_sub", string("ab"), num(0), num(5))
+
+    def test_num_format(self):
+        """The I2 improvement's formatting path."""
+        assert apply_("num_format", num(1234.567), num(2)) == string("1234.57")
+        assert apply_("num_format", num(5), num(0)) == string("5")
+
+    def test_case_and_repeat(self):
+        assert apply_("str_upper", string("ab")) == string("AB")
+        assert apply_("str_lower", string("AB")) == string("ab")
+        assert apply_("str_repeat", string("ab"), num(3)) == string("ababab")
+        assert apply_("str_contains", string("abcd"), string("bc")) == num(1)
+
+
+class TestLists:
+    def test_length_get(self):
+        assert apply_("list_length", nums(5, 6)) == num(2)
+        assert apply_("list_get", nums(5, 6), num(1)) == num(6)
+
+    def test_get_bounds_checked(self):
+        with pytest.raises(EvalError):
+            apply_("list_get", nums(5), num(1))
+        with pytest.raises(EvalError):
+            apply_("list_get", nums(5), num(0.5))
+
+    def test_append_concat_reverse_slice(self):
+        assert apply_("list_append", nums(1), num(2)) == nums(1, 2)
+        assert apply_("list_concat", nums(1), nums(2, 3)) == nums(1, 2, 3)
+        assert apply_("list_reverse", nums(1, 2)) == nums(2, 1)
+        assert apply_("list_slice", nums(1, 2, 3, 4), num(1), num(3)) == nums(2, 3)
+
+    def test_range(self):
+        assert apply_("list_range", num(0), num(3)) == nums(0, 1, 2)
+        assert apply_("list_range", num(3), num(3)) == nums()
+
+
+class TestNativeTable:
+    def _table(self):
+        table = NativeTable()
+        sig = PrimSig("greet", (STRING,), STRING, STATE)
+        table.register(sig, lambda services, name: "hi " + name)
+        return table
+
+    def test_register_and_apply(self):
+        table = self._table()
+        result = apply_prim(
+            "greet", (string("ann"),), natives=table, services=Services()
+        )
+        assert result == string("hi ann")
+
+    def test_cannot_shadow_builtin(self):
+        table = NativeTable()
+        with pytest.raises(ReproError):
+            table.register(PrimSig("add", (), NUMBER, PURE), lambda s: 0)
+
+    def test_duplicate_registration_rejected(self):
+        table = self._table()
+        with pytest.raises(ReproError):
+            table.register(
+                PrimSig("greet", (), NUMBER, PURE), lambda s: 0
+            )
+
+    def test_operator_signature_resolution_order(self):
+        table = self._table()
+        assert operator_signature("add", table).name == "add"
+        assert operator_signature("greet", table).effect is STATE
+        assert operator_signature("ghost", table) is None
+
+    def test_host_exception_wrapped(self):
+        table = NativeTable()
+        table.register(
+            PrimSig("boom", (), NUMBER, STATE),
+            lambda services: 1 / 0,
+        )
+        with pytest.raises(NativeError):
+            apply_prim("boom", (), natives=table, services=Services())
+
+    def test_merged_with(self):
+        left = self._table()
+        right = NativeTable()
+        right.register(PrimSig("other", (), NUMBER, PURE), lambda s: 1.0)
+        merged = left.merged_with(right)
+        assert merged.signature("greet") and merged.signature("other")
+        with pytest.raises(ReproError):
+            left.merged_with(self._table())
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvalError):
+            apply_prim("no_such_op", ())

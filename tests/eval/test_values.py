@@ -1,0 +1,118 @@
+"""Value helpers: Python conversion, truthiness, display formatting."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.effects import PURE
+from repro.core.errors import EvalError
+from repro.core.types import (
+    NUMBER,
+    STRING,
+    UNIT,
+    fun,
+    list_of,
+    tuple_of,
+)
+from repro.eval.values import (
+    bool_value,
+    format_for_post,
+    from_python,
+    to_python,
+    truthy,
+    value_type,
+)
+
+
+class TestPythonRoundTrip:
+    CASES = [
+        (3.5, NUMBER),
+        ("hello", STRING),
+        ((1.0, "a"), tuple_of(NUMBER, STRING)),
+        ([1.0, 2.0], list_of(NUMBER)),
+        ((), UNIT),
+        ([("x", 1.0)], list_of(tuple_of(STRING, NUMBER))),
+        ([], list_of(NUMBER)),
+    ]
+
+    @pytest.mark.parametrize("data,type_", CASES)
+    def test_round_trip(self, data, type_):
+        value = from_python(data, type_)
+        assert value.is_value()
+        assert to_python(value) == data
+
+    def test_int_coerced_to_float(self):
+        assert from_python(3, NUMBER) == ast.Num(3.0)
+
+    def test_bool_rejected_as_number(self):
+        with pytest.raises(EvalError):
+            from_python(True, NUMBER)
+
+    def test_wrong_shapes_rejected(self):
+        with pytest.raises(EvalError):
+            from_python("x", NUMBER)
+        with pytest.raises(EvalError):
+            from_python((1.0,), tuple_of(NUMBER, NUMBER))
+        with pytest.raises(EvalError):
+            from_python(1.0, fun(UNIT, UNIT, PURE))
+
+    def test_closure_not_convertible(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        with pytest.raises(EvalError):
+            to_python(lam)
+
+
+class TestTruthiness:
+    def test_nonzero_true(self):
+        assert truthy(ast.Num(1))
+        assert truthy(ast.Num(-0.5))
+        assert not truthy(ast.Num(0))
+
+    def test_non_number_rejected(self):
+        with pytest.raises(EvalError):
+            truthy(ast.Str("true"))
+
+    def test_bool_value(self):
+        assert bool_value(True) == ast.Num(1)
+        assert bool_value(False) == ast.Num(0)
+
+
+class TestValueType:
+    def test_function_free_values(self):
+        assert value_type(ast.Num(1)) == NUMBER
+        assert value_type(ast.Str("x")) == STRING
+        assert value_type(ast.Tuple((ast.Num(1), ast.Str("a")))) == tuple_of(
+            NUMBER, STRING
+        )
+        assert value_type(ast.ListLit((ast.Num(1),), NUMBER)) == list_of(
+            NUMBER
+        )
+
+    def test_empty_list_uses_annotation(self):
+        assert value_type(ast.ListLit((), STRING)) == list_of(STRING)
+
+    def test_lambda_has_no_cheap_type(self):
+        assert value_type(ast.Lam("x", NUMBER, ast.Var("x"), PURE)) is None
+
+    def test_heterogeneous_list_rejected(self):
+        bad = ast.ListLit((ast.Num(1), ast.Str("x")), NUMBER)
+        assert value_type(bad) is None
+
+
+class TestFormatting:
+    def test_integral_numbers_have_no_point(self):
+        """The display shows 'payment: $1199', not '$1199.0' (Fig. 1)."""
+        assert format_for_post(ast.Num(1199)) == "1199"
+
+    def test_fractional_numbers_keep_point(self):
+        assert format_for_post(ast.Num(2.5)) == "2.5"
+
+    def test_strings_verbatim(self):
+        assert format_for_post(ast.Str("x y")) == "x y"
+
+    def test_tuples_and_lists(self):
+        assert format_for_post(ast.Tuple((ast.Num(1), ast.Str("a")))) == "(1, a)"
+        assert format_for_post(ast.ListLit((ast.Num(1),), NUMBER)) == "[1]"
+
+    def test_closures_opaque(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        assert format_for_post(lam) == "<function>"

@@ -1,0 +1,151 @@
+"""Shared builders for the test-suite.
+
+Tests at the core-calculus level construct programs directly from AST
+nodes; these helpers keep that terse: ``seq`` for statement sequencing,
+``page_code`` for one-page programs, ``run_state``/``run_render`` for
+one-shot evaluations against fresh components.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    App,
+    Boxed,
+    Code,
+    FunDef,
+    GlobalDef,
+    GlobalRead,
+    GlobalWrite,
+    Lam,
+    NUMBER,
+    Num,
+    PageDef,
+    Post,
+    Prim,
+    PURE,
+    RENDER,
+    STATE,
+    SetAttr,
+    Str,
+    Tuple,
+    UNIT,
+    UNIT_VALUE,
+    fresh_name,
+)
+from repro.eval.machine import BigStep, SmallStep
+from repro.system.events import EventQueue
+from repro.system.state import Store
+
+
+def seq(effect, *exprs):
+    """Evaluate ``exprs`` left to right, discarding results; yields ``()``.
+
+    The same let-chain encoding the surface lowering emits.
+    """
+    result = UNIT_VALUE
+    for expr in reversed(exprs):
+        result = App(Lam(fresh_name("seq"), UNIT, result, effect), expr)
+    return result
+
+
+def seq_value(effect, *exprs):
+    """Like :func:`seq` but the last expression's value is the result."""
+    if not exprs:
+        return UNIT_VALUE
+    *effects, last = exprs
+    result = last
+    for expr in reversed(effects):
+        result = App(Lam(fresh_name("seq"), UNIT, result, effect), expr)
+    return result
+
+
+def state_lam(body):
+    """``λs(_ : ()). body`` — an init-body / handler shape."""
+    return Lam(fresh_name("a"), UNIT, body, STATE)
+
+
+def render_lam(body):
+    """``λr(_ : ()). body`` — a render-body shape."""
+    return Lam(fresh_name("a"), UNIT, body, RENDER)
+
+
+def page_code(render_body, init_body=None, globals_=(), extra_defs=()):
+    """A one-page program: ``page start`` + the given bodies.
+
+    ``render_body``/``init_body`` are expressions of type ``()`` under
+    ``r``/``s`` respectively.
+    """
+    init = state_lam(init_body if init_body is not None else UNIT_VALUE)
+    render = render_lam(render_body)
+    defs = list(globals_) + list(extra_defs)
+    defs.append(PageDef("start", UNIT, init, render))
+    return Code(defs)
+
+
+def counter_core_code(label="count: "):
+    """The counter app built directly in the core calculus.
+
+    Mirrors ``repro.apps.counter``: a counter box (tap to increment) and a
+    reset box.
+    """
+    increment = state_lam(
+        GlobalWrite("count", Prim("add", (GlobalRead("count"), Num(1))))
+    )
+    reset = state_lam(GlobalWrite("count", Num(0)))
+    render_body = seq(
+        RENDER,
+        Boxed(
+            seq(
+                RENDER,
+                Post(
+                    Prim(
+                        "concat",
+                        (
+                            Str(label),
+                            Prim("str_of_num", (GlobalRead("count"),)),
+                        ),
+                    )
+                ),
+                SetAttr("ontap", increment),
+            ),
+            box_id=1,
+        ),
+        Boxed(
+            seq(RENDER, Post(Str("reset")), SetAttr("ontap", reset)),
+            box_id=2,
+        ),
+    )
+    return page_code(
+        render_body, globals_=[GlobalDef("count", NUMBER, Num(0))]
+    )
+
+
+def fresh_components():
+    """A fresh (store, queue) pair."""
+    return Store(), EventQueue()
+
+
+def run_pure(code, expr, faithful=False, natives=None, store=None):
+    machine = _machine(code, faithful, natives)
+    return machine.run_pure(store if store is not None else Store(), expr)
+
+
+def run_state(code, expr, faithful=False, natives=None, store=None,
+              queue=None, services=None):
+    machine = _machine(code, faithful, natives, services)
+    store = store if store is not None else Store()
+    queue = queue if queue is not None else EventQueue()
+    value = machine.run_state(store, queue, expr)
+    return value, store, queue
+
+
+def run_render(code, expr, faithful=False, natives=None, store=None):
+    machine = _machine(code, faithful, natives)
+    return machine.run_render(store if store is not None else Store(), expr)
+
+
+def _machine(code, faithful, natives, services=None):
+    from repro.eval.natives import EMPTY_NATIVES
+
+    cls = SmallStep if faithful else BigStep
+    return cls(code, natives=natives or EMPTY_NATIVES, services=services)

@@ -1,0 +1,32 @@
+"""Every example script must run cleanly (they are the documentation)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 200  # each example narrates what it shows
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "mortgage_calculator",
+        "live_ide_session",
+        "shopping_list",
+        "update_semantics_tour",
+    } <= names

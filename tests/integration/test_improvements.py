@@ -1,0 +1,111 @@
+"""Section 3.1 end-to-end: the programmer applies I1-I3 *live*.
+
+This is the paper's demo, scripted: start the mortgage app, navigate to a
+detail page, then — without ever restarting, re-downloading or leaving the
+page — fix margins by direct manipulation (I1), reformat the balance
+column (I2) and highlight every fifth row (I3), observing each change in
+the live view.
+"""
+
+import pytest
+
+from repro.apps.mortgage import BASE_SOURCE, _I2_NEW, _I2_OLD, _I3_NEW, _I3_OLD, host_impls
+from repro.core import ast
+from repro.live.session import LiveSession
+from repro.stdlib.web import make_services
+
+
+@pytest.fixture
+def session():
+    live = LiveSession(
+        BASE_SOURCE, host_impls=host_impls(), services=make_services()
+    )
+    listing = live.runtime.global_value("listings").items[0]
+    label = "{}, {}".format(listing.items[0].value, listing.items[1].value)
+    live.tap_text(label)
+    return live
+
+
+def web_requests(session):
+    return session.runtime.system.services.get("web").request_count
+
+
+class TestScenario:
+    def test_full_walkthrough(self, session):
+        assert session.runtime.page_name() == "detail"
+        downloads_before = web_requests(session)
+
+        # --- I2: dollars-and-cents formatting -------------------------
+        raw_balance = [
+            t for t in session.runtime.all_texts() if "balance" in t
+        ][0]
+        assert "$" not in raw_balance  # the unformatted original
+        result = session.edit_source(
+            session.source.replace(_I2_OLD, _I2_NEW)
+        )
+        assert result.applied and result.report.clean
+        formatted = [
+            t for t in session.runtime.all_texts() if "balance" in t
+        ][0]
+        assert "$" in formatted and "." in formatted
+        cents = formatted.rsplit(".", 1)[1]
+        assert len(cents) == 2
+
+        # --- I3: highlight every fifth row ------------------------------
+        result = session.edit_source(
+            session.source.replace(_I3_OLD, _I3_NEW)
+        )
+        assert result.applied
+        highlighted = session.runtime.find_boxes(
+            lambda box: box.get_attr("background") == ast.Str("light blue")
+        )
+        assert len(highlighted) == 6
+
+        # --- I1: margin via direct manipulation -----------------------------
+        session.back()
+        header_path = session.runtime.find_text("House")
+        selection = session.select_box(header_path)
+        edit, result = session.manipulate(
+            selection.anchor_path, "margin", 1
+        )
+        assert result.applied
+        assert "box.margin := 1" in session.source
+
+        # --- the whole point: nothing restarted -----------------------------
+        assert web_requests(session) == downloads_before
+        assert session.runtime.global_value("term") == ast.Num(30)
+
+    def test_page_context_survives_each_edit(self, session):
+        """Step 5 of the conventional cycle (re-navigating) never happens."""
+        for old, new in ((_I2_OLD, _I2_NEW), (_I3_OLD, _I3_NEW)):
+            session.edit_source(session.source.replace(old, new))
+            assert session.runtime.page_name() == "detail"
+
+    def test_user_state_interleaves_with_edits(self, session):
+        # The programmer sets the term to 15 by *using* the app...
+        session.edit_box(session.runtime.find_text("30"), "15")
+        # ...then live-edits the code...
+        session.edit_source(session.source.replace(_I2_OLD, _I2_NEW))
+        # ...and the user-entered model state shows through the new code.
+        assert session.runtime.global_value("term") == ast.Num(15)
+        balances = [
+            t for t in session.runtime.all_texts() if "balance" in t
+        ]
+        assert len(balances) == 15
+
+    def test_navigation_finds_the_balance_statement(self, session):
+        """Fig. 2's flow: tap the balance cell, get the boxed statement."""
+        balance_path = [
+            path
+            for path, box in session.runtime.display.walk()
+            for leaf in box.leaves()
+            if "balance" in str(leaf)
+        ][0]
+        selection = session.select_box(balance_path)
+        assert selection is not None
+        covered = session.source.split("\n")[
+            selection.span.start.line - 1 : selection.span.end.line
+        ]
+        assert any("balance" in line for line in covered)
+        # The statement sits in a loop: one selection, thirty boxes.
+        assert len(selection.paths) == 30

@@ -1,0 +1,156 @@
+"""Stateful fuzzing: random interleavings of using and editing an app.
+
+A hypothesis rule-based state machine plays both roles of the paper's
+story at once — the *user* (taps, back button, text edits) and the
+*programmer* (live source edits, good and broken, plus direct
+manipulation).  After every action the Section 4.2 invariants must hold
+and the model must match a Python-side oracle of the counter's value.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import ast
+from repro.live.session import LiveSession
+from repro.metatheory.wellformed import check_invariants
+
+SOURCE_TEMPLATE = '''\
+global count : number = 0
+
+page start()
+  render
+    boxed
+      post "{label}" || count
+      on tap do
+        count := count + {step}
+    boxed
+      post "reset"
+      on tap do
+        count := 0
+    boxed
+      post "deeper"
+      on tap do
+        push detail(count)
+
+page detail(snapshot : number)
+  render
+    post "snapshot: " || snapshot
+    boxed
+      post "back"
+      on tap do
+        pop
+'''
+
+LABELS = ("count: ", "n = ", "value->")
+STEPS = (1, 2, 5)
+
+
+class LiveAppMachine(RuleBasedStateMachine):
+    @initialize()
+    def boot(self):
+        self.label = "count: "
+        self.step = 1
+        self.expected = 0
+        self.session = LiveSession(
+            SOURCE_TEMPLATE.format(label=self.label, step=self.step)
+        )
+
+    # ---- the user ---------------------------------------------------------
+
+    def _on_start_page(self):
+        return self.session.runtime.page_name() == "start"
+
+    @rule()
+    def tap_counter(self):
+        if self._on_start_page():
+            shown = "{}{}".format(self.label, _fmt(self.expected))
+            self.session.tap_text(shown)
+            self.expected += self.step
+
+    @rule()
+    def tap_reset(self):
+        if self._on_start_page():
+            self.session.tap_text("reset")
+            self.expected = 0
+
+    @rule()
+    def go_deeper(self):
+        if self._on_start_page():
+            self.session.tap_text("deeper")
+
+    @rule()
+    def press_back(self):
+        self.session.back()
+
+    # ---- the programmer ---------------------------------------------------
+
+    @rule(label=st.sampled_from(LABELS))
+    def edit_label(self, label):
+        result = self.session.edit_source(
+            SOURCE_TEMPLATE.format(label=label, step=self.step)
+        )
+        assert result.applied
+        self.label = label
+
+    @rule(step=st.sampled_from(STEPS))
+    def edit_step(self, step):
+        result = self.session.edit_source(
+            SOURCE_TEMPLATE.format(label=self.label, step=step)
+        )
+        assert result.applied
+        self.step = step
+
+    @rule()
+    def broken_edit_is_harmless(self):
+        result = self.session.edit_source("page start(\n  oops")
+        assert not result.applied
+        # Restore the buffer so later textual edits start from good code.
+        self.session.edit_source(
+            SOURCE_TEMPLATE.format(label=self.label, step=self.step)
+        )
+
+    # ---- invariants -------------------------------------------------------
+
+    @invariant()
+    def system_invariants_hold(self):
+        if not hasattr(self, "session"):
+            return
+        check_invariants(self.session.runtime.system)
+
+    @invariant()
+    def model_matches_oracle(self):
+        if not hasattr(self, "session"):
+            return
+        assert self.session.runtime.global_value("count") == ast.Num(
+            self.expected
+        )
+
+    @invariant()
+    def display_matches_model_on_start_page(self):
+        if not hasattr(self, "session"):
+            return
+        if self._on_start_page():
+            assert self.session.runtime.contains_text(
+                "{}{}".format(self.label, _fmt(self.expected))
+            )
+
+
+def _fmt(number):
+    return str(int(number)) if float(number).is_integer() else repr(number)
+
+
+LiveAppMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestLiveAppMachine = LiveAppMachine.TestCase

@@ -1,0 +1,77 @@
+"""The code buffer used by direct manipulation."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.live.editor import CodeBuffer
+from repro.surface.span import Pos, Span
+
+
+def span(line1, col1, line2, col2):
+    return Span(Pos(line1, col1, 0), Pos(line2, col2, 0))
+
+
+class TestLines:
+    def test_round_trip(self):
+        source = "a\nb\nc"
+        assert CodeBuffer(source).source == source
+
+    def test_line_access_one_based(self):
+        buffer = CodeBuffer("first\nsecond")
+        assert buffer.line(1) == "first"
+        assert buffer.line(2) == "second"
+        with pytest.raises(ReproError):
+            buffer.line(3)
+
+    def test_replace_line(self):
+        buffer = CodeBuffer("a\nb\nc")
+        buffer.replace_line(2, "B")
+        assert buffer.source == "a\nB\nc"
+
+    def test_insert_line(self):
+        buffer = CodeBuffer("a\nc")
+        buffer.insert_line(2, "b")
+        assert buffer.source == "a\nb\nc"
+
+    def test_insert_at_end(self):
+        buffer = CodeBuffer("a")
+        buffer.insert_line(2, "b")
+        assert buffer.source == "a\nb"
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(ReproError):
+            CodeBuffer("a").insert_line(5, "x")
+
+    def test_line_count(self):
+        assert CodeBuffer("a\nb").line_count() == 2
+
+
+class TestSpans:
+    def test_replace_within_line(self):
+        buffer = CodeBuffer("box.margin := 1")
+        buffer.replace_span(span(1, 14, 1, 15), "42")
+        assert buffer.source == "box.margin := 42"
+
+    def test_replace_across_lines(self):
+        buffer = CodeBuffer("aXX\nYYb")
+        buffer.replace_span(span(1, 1, 2, 2), "-")
+        assert buffer.source == "a-b"
+
+    def test_replace_with_multiline_text(self):
+        buffer = CodeBuffer("ab")
+        buffer.replace_span(span(1, 1, 1, 1), "\n")
+        assert buffer.source == "a\nb"
+
+
+class TestFindOnce:
+    def test_unique_hit(self):
+        buffer = CodeBuffer("a\n  needle here\nb")
+        assert buffer.find_once("needle") == (2, 2)
+
+    def test_absent(self):
+        with pytest.raises(ReproError):
+            CodeBuffer("a").find_once("needle")
+
+    def test_ambiguous(self):
+        with pytest.raises(ReproError):
+            CodeBuffer("x\nx").find_once("x")

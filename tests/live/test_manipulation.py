@@ -1,0 +1,106 @@
+"""Direct manipulation: attribute edits become code edits."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.live.manipulation import format_attr_value, surface_attr_name
+from repro.live.session import LiveSession
+
+SOURCE = """\
+page start()
+  render
+    boxed
+      box.margin := 1
+      post "styled"
+    boxed
+      post "plain"
+"""
+
+
+@pytest.fixture
+def session():
+    return LiveSession(SOURCE)
+
+
+class TestValueFormatting:
+    def test_numbers(self):
+        assert format_attr_value("margin", 2) == "2"
+        assert format_attr_value("font size", 1.5) == "1.5"
+
+    def test_strings_quoted(self):
+        assert format_attr_value("background", "light blue") == '"light blue"'
+
+    def test_type_mismatches_rejected(self):
+        with pytest.raises(ReproError):
+            format_attr_value("margin", "wide")
+        with pytest.raises(ReproError):
+            format_attr_value("background", 3)
+
+    def test_surface_spelling(self):
+        assert surface_attr_name("font size") == "font_size"
+        assert surface_attr_name("margin") == "margin"
+
+
+class TestManipulate:
+    def test_insert_missing_attribute(self, session):
+        """The I1 flow: pick a box, set margin, code gains the line."""
+        path = session.runtime.find_text("plain")
+        edit, result = session.manipulate(path, "margin", 2)
+        assert result.applied
+        assert edit.inserted
+        assert "box.margin := 2" in session.source
+        # And the live view reflects it: the box moved right/down.
+        moved = session.runtime.find_text("plain")
+        assert moved is not None
+
+    def test_rewrite_existing_attribute(self, session):
+        path = session.runtime.find_text("styled")
+        edit, result = session.manipulate(path, "margin", 3)
+        assert result.applied
+        assert not edit.inserted
+        assert "box.margin := 3" in session.source
+        assert "box.margin := 1" not in session.source
+
+    def test_background_string_attribute(self, session):
+        path = session.runtime.find_text("plain")
+        _edit, result = session.manipulate(
+            path, "background", "light blue"
+        )
+        assert result.applied
+        assert 'box.background := "light blue"' in session.source
+        box = session.runtime.find_boxes(
+            lambda b: b.get_attr("background") == ast.Str("light blue")
+        )
+        assert box
+
+    def test_font_size_spelled_with_underscore(self, session):
+        path = session.runtime.find_text("plain")
+        _edit, result = session.manipulate(path, "font size", 2)
+        assert result.applied
+        assert "box.font_size := 2" in session.source
+
+    def test_handlers_not_manipulable(self, session):
+        path = session.runtime.find_text("plain")
+        with pytest.raises(ReproError):
+            session.manipulate(path, "ontap", "boom")
+
+    def test_unknown_attribute(self, session):
+        path = session.runtime.find_text("plain")
+        with pytest.raises(ReproError):
+            session.manipulate(path, "zorp", 1)
+
+    def test_root_content_not_manipulable(self):
+        session = LiveSession('page start()\n  render\n    post "x"\n')
+        with pytest.raises(ReproError):
+            session.manipulate((), "margin", 1)
+
+    def test_repeated_manipulation_converges(self, session):
+        """Drag-like interaction: many updates to the same attribute
+        rewrite one line rather than accumulating."""
+        path = session.runtime.find_text("plain")
+        for value in (1, 2, 3):
+            path = session.runtime.find_text("plain")
+            session.manipulate(path, "margin", value)
+        assert session.source.count("box.margin :=") == 2  # styled + plain
+        assert "box.margin := 3" in session.source

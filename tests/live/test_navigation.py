@@ -1,0 +1,91 @@
+"""UI-code navigation (Fig. 2), both directions."""
+
+import pytest
+
+from repro.live.navigation import box_to_code, code_to_boxes, selection_chain
+from repro.live.session import LiveSession
+
+SOURCE = """\
+page start()
+  render
+    boxed
+      post "header"
+    for i = 1 to 3 do
+      boxed
+        post "row " || i
+        boxed
+          post "cell"
+"""
+
+
+@pytest.fixture
+def session():
+    return LiveSession(SOURCE)
+
+
+class TestBoxToCode:
+    def test_tap_selects_creating_statement(self, session):
+        path = session.runtime.find_text("header")
+        selection = session.select_box(path)
+        assert selection.box_id == 0
+        assert selection.span.start.line == 3
+        assert selection.paths == (path,)
+
+    def test_loop_boxes_collectively_selected(self, session):
+        """'a selected boxed statement appearing inside a loop corresponds
+        to multiple boxes ... collectively selected' (Fig. 2)."""
+        path = session.runtime.find_text("row 2")
+        selection = session.select_box(path)
+        assert selection.box_id == 1
+        assert len(selection.paths) == 3
+        assert selection.multiple
+        assert selection.anchor_path == path
+
+    def test_content_in_implicit_root_has_no_selection(self):
+        root_only = LiveSession(
+            'page start()\n  render\n    post "rootish"\n'
+        )
+        assert root_only.select_box(()) is None
+
+
+class TestCodeToBoxes:
+    def test_line_selects_all_boxes(self, session):
+        selection = session.select_code(7)  # inside the loop's boxed
+        assert selection.box_id == 1
+        assert len(selection.paths) == 3
+
+    def test_inner_statement_wins(self, session):
+        selection = session.select_code(9)  # the nested 'cell' boxed
+        assert selection.box_id == 2
+
+    def test_line_outside_any_boxed(self, session):
+        assert session.select_code(1) is None
+
+    def test_round_trip(self, session):
+        """live → code → live returns to the same (collective) selection."""
+        path = session.runtime.find_text("cell")
+        to_code = session.select_box(path)
+        back = session.select_code(to_code.span.start.line)
+        assert path in back.paths
+        assert back.box_id == to_code.box_id
+
+
+class TestSelectionChain:
+    def test_nested_selection_mode(self, session):
+        """Section 5: tapping repeatedly selects enclosing boxes."""
+        path = session.runtime.find_text("cell")
+        chain = session.selection_chain(path)
+        assert [sel.box_id for sel in chain] == [2, 1]
+
+
+class TestAfterEdits:
+    def test_navigation_tracks_the_new_program(self, session):
+        session.replace_text('post "header"', 'post "HEADER"')
+        path = session.runtime.find_text("HEADER")
+        selection = session.select_box(path)
+        assert selection is not None
+        lines = session.source.split("\n")
+        covered = "\n".join(
+            lines[selection.span.start.line - 1 : selection.span.end.line]
+        )
+        assert "HEADER" in covered

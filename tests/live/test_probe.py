@@ -1,0 +1,98 @@
+"""Probes: off-to-the-side execution against the live model (§5 futures)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.errors import ReproError, TypeProblem
+from repro.live.session import LiveSession
+
+SOURCE = """\
+record point
+  x : number
+  y : number
+
+global origin : point = point(0, 0)
+global hits : number = 0
+
+fun dist(p : point) : number
+  return sqrt(p.x * p.x + p.y * p.y)
+
+fun bump()
+  hits := hits + 1
+  pop
+
+fun chart(n : number)
+  for i = 1 to n do
+    boxed
+      post "bar " || i
+
+page start()
+  render
+    post hits
+"""
+
+
+@pytest.fixture
+def session():
+    return LiveSession(SOURCE)
+
+
+class TestFunctionProbes:
+    def test_pure_probe_returns_value(self, session):
+        result = session.probe("dist", (3.0, 4.0))
+        assert result.python_value == 5.0
+        assert result.store_writes == {}
+        assert result.tree is None
+
+    def test_render_probe_captures_boxes(self, session):
+        """'boxed statements to produce debugging output' — captured."""
+        result = session.probe("chart", 3)
+        assert result.tree is not None
+        assert result.tree.count_boxes() == 4  # root + 3 bars
+        shot = result.screenshot(width=20)
+        assert "bar 2" in shot
+        assert "boxes built: 4" in result.describe()
+
+    def test_state_probe_is_transactional(self, session):
+        """Handlers/init become debuggable: effects observed, not kept."""
+        result = session.probe("bump")
+        assert "hits" in result.store_writes
+        old, new = result.store_writes["hits"]
+        assert old is None and new == ast.Num(1)
+        assert len(result.events) == 1  # the pop it would enqueue
+        # The running program was not touched:
+        assert session.runtime.global_value("hits") == ast.Num(0)
+        assert session.runtime.page_name() == "start"
+
+    def test_arity_and_name_checked(self, session):
+        with pytest.raises(ReproError):
+            session.probe("dist")
+        with pytest.raises(ReproError):
+            session.probe("ghost")
+
+
+class TestExpressionProbes:
+    def test_reads_live_globals(self, session):
+        session.probe_expr("hits")  # works at 0
+        session.runtime.system.state.store.assign("hits", ast.Num(9))
+        result = session.probe_expr("hits + 1")
+        assert result.python_value == 10.0
+
+    def test_calls_functions_and_records(self, session):
+        result = session.probe_expr("dist(point(6, 8))")
+        assert result.python_value == 10.0
+
+    def test_builtin_calls(self, session):
+        assert session.probe_expr("format(1.5, 2)").python_value == "1.50"
+
+    def test_effect_inference_picks_state_when_needed(self, session):
+        result = session.probe_expr("dist(origin)")
+        assert str(result.effect) == "p"
+
+    def test_type_errors_reported(self, session):
+        with pytest.raises(TypeProblem):
+            session.probe_expr('1 + "two"')
+
+    def test_trailing_garbage_rejected(self, session):
+        with pytest.raises(ReproError):
+            session.probe_expr("1 + 2 extra")

@@ -1,0 +1,62 @@
+"""The Fig. 2 split-screen text rendering."""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.live.screenshot import code_pane, side_by_side
+from repro.live.session import LiveSession
+
+
+@pytest.fixture
+def session():
+    return LiveSession(COUNTER)
+
+
+class TestCodePane:
+    def test_numbered_lines(self):
+        pane = code_pane("alpha\nbeta")
+        assert "   1 | alpha" in pane
+        assert "   2 | beta" in pane
+
+    def test_selection_markers(self, session):
+        selection = session.select_code(5)
+        pane = code_pane(session.source, selection=selection)
+        marked = [
+            line for line in pane.split("\n") if line.startswith(">")
+        ]
+        assert marked
+        assert all(
+            selection.span.start.line
+            <= int(line[1:6])
+            <= selection.span.end.line
+            for line in marked
+        )
+
+    def test_problem_markers(self, session):
+        session.edit_source(
+            COUNTER.replace("count + 1", 'count + "x"')
+        )
+        pane = code_pane(session.source, problems=session.problems)
+        assert any(line.startswith("!") for line in pane.split("\n"))
+
+    def test_window_restricts_lines(self):
+        pane = code_pane("a\nb\nc\nd", window=range(2, 4))
+        assert "a" not in pane and "d" not in pane
+        assert "b" in pane and "c" in pane
+
+
+class TestSideBySide:
+    def test_panes_joined_row_by_row(self, session):
+        view = session.side_by_side(width=20)
+        rows = view.split("\n")
+        assert all("║" in row for row in rows)
+        # The gutter is aligned: every row breaks at the same column.
+        columns = {row.index("║") for row in rows}
+        assert len(columns) == 1
+
+    def test_selection_appears_in_both_panes(self, session):
+        path = session.runtime.find_text("count: 0")
+        selection = session.select_box(path)
+        view = session.side_by_side(width=24, selection=selection)
+        assert "#" in view   # live-pane frame
+        assert ">" in view   # code-pane marker

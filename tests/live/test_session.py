@@ -1,0 +1,92 @@
+"""The live session: continuous compile + UPDATE (Fig. 2's live editing)."""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.live.session import LiveSession
+
+
+@pytest.fixture
+def session():
+    return LiveSession(COUNTER)
+
+
+class TestLiveEditing:
+    def test_edit_applies_and_rerenders(self, session):
+        session.tap_text("count: 0")
+        result = session.replace_text('"count: "', '"n = "')
+        assert result.applied
+        assert session.runtime.all_texts()[0] == "n = 1"
+
+    def test_model_survives_edits(self, session):
+        session.tap_text("count: 0")
+        session.tap_text("count: 1")
+        session.replace_text("count + 1", "count + 10")
+        session.tap_text("count: 2")
+        assert session.runtime.global_value("count") == ast.Num(12)
+
+    def test_broken_edit_rejected_but_buffer_kept(self, session):
+        broken = session.source.replace("count + 1", "count +")
+        result = session.edit_source(broken)
+        assert not result.applied
+        assert result.problems
+        # The buffer holds the programmer's (broken) text...
+        assert session.source == broken
+        # ...while the program keeps running the last good code.
+        session.tap_text("count: 0")
+        assert session.runtime.all_texts()[0] == "count: 1"
+
+    def test_type_error_rejected_with_diagnostics(self, session):
+        broken = session.source.replace(
+            "post \"count: \" || count", "count := 5"
+        )
+        result = session.edit_source(broken)
+        assert not result.applied
+        assert session.problems
+
+    def test_fixing_the_buffer_recovers(self, session):
+        session.edit_source(session.source + "\nbroken")
+        assert session.problems
+        result = session.edit_source(COUNTER)
+        assert result.applied
+        assert session.problems == ()
+
+    def test_edit_log_records_everything(self, session):
+        session.edit_source(COUNTER + "\n")
+        session.edit_source("broken(")
+        assert [r.status for r in session.edit_log] == [
+            "applied", "rejected",
+        ]
+
+    def test_replace_text_requires_unique_pattern(self, session):
+        with pytest.raises(ReproError):
+            session.replace_text("count", "n")  # occurs many times
+
+    def test_elapsed_time_recorded(self, session):
+        result = session.edit_source(COUNTER + "\n")
+        assert result.elapsed > 0
+
+
+class TestInteractionPassthrough:
+    def test_tap_edit_back_chain(self, session):
+        assert session.tap_text("count: 0") is session
+        assert session.back() is session
+
+    def test_screenshot(self, session):
+        shot = session.screenshot(width=24)
+        assert "count: 0" in shot
+
+    def test_side_by_side_contains_both_panes(self, session):
+        view = session.side_by_side(width=20)
+        assert "║" in view
+        assert "count: 0" in view          # live pane
+        assert "page start()" in view      # code pane
+
+    def test_side_by_side_marks_problems(self, session):
+        session.edit_source(
+            COUNTER.replace("count + 1", 'count + "x"')
+        )
+        view = session.side_by_side(width=20)
+        assert "!" in view

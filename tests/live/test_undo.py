@@ -1,0 +1,78 @@
+"""Undo/redo over accepted program versions (undo is an UPDATE too)."""
+
+import pytest
+
+from repro.apps.counter import SOURCE as V1
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.live.session import LiveSession
+
+V2 = V1.replace('"count: "', '"v2: "')
+V3 = V2.replace('"v2: "', '"v3: "')
+
+
+@pytest.fixture
+def session():
+    return LiveSession(V1)
+
+
+class TestUndoRedo:
+    def test_nothing_to_undo_initially(self, session):
+        assert not session.can_undo()
+        with pytest.raises(ReproError):
+            session.undo()
+        with pytest.raises(ReproError):
+            session.redo()
+
+    def test_undo_restores_previous_program(self, session):
+        session.edit_source(V2)
+        result = session.undo()
+        assert result.applied
+        assert session.source == V1
+        assert session.runtime.all_texts()[0] == "count: 0"
+
+    def test_redo_after_undo(self, session):
+        session.edit_source(V2)
+        session.undo()
+        result = session.redo()
+        assert result.applied
+        assert session.source == V2
+        assert session.runtime.all_texts()[0] == "v2: 0"
+
+    def test_multi_step_undo_and_redo(self, session):
+        session.edit_source(V2)
+        session.edit_source(V3)
+        session.undo()
+        session.undo()
+        assert session.source == V1
+        session.redo()
+        assert session.source == V2
+        session.redo()
+        assert session.source == V3
+        assert not session.can_redo()
+
+    def test_new_edit_clears_redo(self, session):
+        session.edit_source(V2)
+        session.undo()
+        session.edit_source(V3)
+        assert not session.can_redo()
+
+    def test_rejected_edits_not_in_history(self, session):
+        session.edit_source("broken(")
+        assert not session.can_undo()
+        session.edit_source(V2)
+        session.undo()
+        assert session.source == V1
+
+    def test_undo_is_an_update_state_survives(self, session):
+        """Undo rolls back CODE, never the model — like any live edit."""
+        session.edit_source(V2)
+        session.tap_text("v2: 0")
+        session.tap_text("v2: 1")
+        session.undo()
+        assert session.runtime.global_value("count") == ast.Num(2)
+        assert session.runtime.all_texts()[0] == "count: 2"
+
+    def test_identical_resubmission_not_duplicated(self, session):
+        session.edit_source(V1)  # no-op edit
+        assert not session.can_undo()

@@ -1,0 +1,71 @@
+"""The random-program generators themselves: everything they produce must
+be well-typed by construction (otherwise the property tests are vacuous)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import ast
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.types import NUMBER, is_subtype
+from repro.metatheory.generators import (
+    function_free_types,
+    programs,
+    typed_expressions,
+    values_of,
+)
+from repro.typing.checker import check
+from repro.typing.program import code_problems
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTypeGenerator:
+    @_SETTINGS
+    @given(type_=function_free_types())
+    def test_types_are_function_free(self, type_):
+        assert type_.is_function_free()
+
+
+class TestValueGenerator:
+    @_SETTINGS
+    @given(value=function_free_types().flatmap(values_of))
+    def test_values_are_values(self, value):
+        assert value.is_value()
+        assert ast.is_closed(value)
+
+
+class TestProgramGenerator:
+    @_SETTINGS
+    @given(code=programs())
+    def test_programs_well_typed(self, code):
+        assert code_problems(code) == []
+
+    @_SETTINGS
+    @given(code=programs())
+    def test_programs_have_start_page(self, code):
+        assert code.page("start") is not None
+
+
+class TestExpressionGenerator:
+    @pytest.mark.parametrize("effect", [PURE, STATE, RENDER])
+    def test_expressions_check_at_their_type(self, effect):
+        from hypothesis import find
+
+        # A handful of found examples per effect; full fuzzing happens in
+        # the preservation/progress suites.
+        for _ in range(3):
+            code, expr, type_ = find(
+                typed_expressions(effect=effect, depth=3), lambda _x: True
+            )
+            actual = check(code, expr, effect=effect)
+            assert is_subtype(actual, type_)
+
+    @_SETTINGS
+    @given(case=typed_expressions(effect=RENDER, depth=3))
+    def test_render_expressions_type_under_render(self, case):
+        code, expr, type_ = case
+        actual = check(code, expr, effect=RENDER)
+        assert is_subtype(actual, type_)

@@ -1,0 +1,96 @@
+"""Preservation (Section 4.3), executed: every small step keeps the type."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from helpers import page_code, seq
+from repro.core import ast
+from repro.core.defs import GlobalDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.types import NUMBER, UNIT
+from repro.boxes.tree import make_root
+from repro.metatheory.generators import typed_expressions
+from repro.metatheory.preservation import (
+    PreservationViolation,
+    check_preserving_run,
+)
+from repro.system.events import EventQueue
+from repro.system.state import Store
+
+CODE = page_code(
+    ast.UNIT_VALUE, globals_=[GlobalDef("g", NUMBER, ast.Num(0))]
+)
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestHandWritten:
+    def test_pure_arithmetic(self):
+        report = check_preserving_run(
+            CODE,
+            ast.Prim("add", (ast.Num(1), ast.Prim("mul", (ast.Num(2),
+                                                          ast.Num(3))))),
+            PURE,
+            Store(),
+        )
+        assert report.final_value == ast.Num(7)
+        assert report.steps == 2
+
+    def test_state_sequence_keeps_store_typed(self):
+        expr = seq(
+            STATE,
+            ast.GlobalWrite("g", ast.Num(1)),
+            ast.GlobalWrite(
+                "g", ast.Prim("add", (ast.GlobalRead("g"), ast.Num(1)))
+            ),
+        )
+        store, queue = Store(), EventQueue()
+        report = check_preserving_run(CODE, expr, STATE, store, queue)
+        assert store.lookup("g") == ast.Num(2)
+        assert report.steps > 4
+
+    def test_render_sequence(self):
+        box = make_root()
+        expr = seq(
+            RENDER,
+            ast.Post(ast.GlobalRead("g")),
+            ast.Boxed(ast.Post(ast.Num(1)), box_id=1),
+        )
+        check_preserving_run(CODE, expr, RENDER, Store(), box=box)
+        assert box.count_boxes() == 2
+
+    def test_subtyping_sharpening_allowed(self):
+        """Taking an if-branch may sharpen a function effect (s → p)."""
+        pure_thunk = ast.Lam("u", UNIT, ast.UNIT_VALUE, PURE)
+        state_thunk = ast.Lam("u", UNIT, ast.Pop(), STATE)
+        expr = ast.App(
+            ast.If(ast.Num(1), pure_thunk, state_thunk), ast.UNIT_VALUE
+        )
+        report = check_preserving_run(
+            CODE, expr, STATE, Store(), EventQueue()
+        )
+        assert str(report.types_seen[0]) == "()"
+
+
+class TestRandomized:
+    @_SETTINGS
+    @given(case=typed_expressions(effect=PURE, depth=4))
+    def test_pure_expressions_preserve(self, case):
+        code, expr, type_ = case
+        report = check_preserving_run(code, expr, PURE, Store())
+        assert report.initial_type == type_ or report.initial_type is not None
+
+    @_SETTINGS
+    @given(case=typed_expressions(effect=STATE, depth=4))
+    def test_state_expressions_preserve(self, case):
+        code, expr, _type = case
+        check_preserving_run(code, expr, STATE, Store(), EventQueue())
+
+    @_SETTINGS
+    @given(case=typed_expressions(effect=RENDER, depth=4))
+    def test_render_expressions_preserve(self, case):
+        code, expr, _type = case
+        check_preserving_run(code, expr, RENDER, Store(), box=make_root())

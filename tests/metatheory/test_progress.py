@@ -1,0 +1,108 @@
+"""Progress (Section 4.3), executed: well-typed non-values always step."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from helpers import page_code
+from repro.boxes.tree import make_root
+from repro.core import ast
+from repro.core.defs import GlobalDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.types import NUMBER
+from repro.metatheory.generators import typed_expressions
+from repro.metatheory.progress import (
+    FAULT,
+    STEPS,
+    STUCK,
+    VALUE,
+    ProgressViolation,
+    check_progress_run,
+    classify,
+)
+from repro.system.events import EventQueue
+from repro.system.state import Store
+
+CODE = page_code(
+    ast.UNIT_VALUE, globals_=[GlobalDef("g", NUMBER, ast.Num(0))]
+)
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestClassification:
+    def test_values(self):
+        assert classify(CODE, ast.Num(1), PURE, Store()) == VALUE
+
+    def test_steppable(self):
+        expr = ast.Prim("add", (ast.Num(1), ast.Num(2)))
+        assert classify(CODE, expr, PURE, Store()) == STEPS
+
+    def test_ill_typed_is_stuck(self):
+        """Progress only holds for WELL-TYPED terms; the traps are real."""
+        assert classify(
+            CODE, ast.GlobalWrite("g", ast.Num(1)), RENDER, Store(),
+            box=make_root(),
+        ) == STUCK
+        assert classify(
+            CODE, ast.Post(ast.Num(1)), STATE, Store(), EventQueue()
+        ) == STUCK
+        assert classify(CODE, ast.FunRef("ghost"), PURE, Store()) == STUCK
+
+    def test_partial_prims_fault_not_stuck(self):
+        expr = ast.Prim("div", (ast.Num(1), ast.Num(0)))
+        assert classify(CODE, expr, PURE, Store()) == FAULT
+
+
+class TestRuns:
+    def test_terminating_run(self):
+        kind, value = check_progress_run(
+            CODE, ast.Prim("mul", (ast.Num(6), ast.Num(7))), PURE, Store()
+        )
+        assert kind == VALUE and value == ast.Num(42)
+
+    def test_fault_reported_as_fault(self):
+        kind, fault = check_progress_run(
+            CODE,
+            ast.Prim("add", (ast.Num(1),
+                             ast.Prim("div", (ast.Num(1), ast.Num(0))))),
+            PURE,
+            Store(),
+        )
+        assert kind == FAULT
+        assert "division" in str(fault)
+
+    def test_stuckness_raises_violation(self):
+        with pytest.raises(ProgressViolation):
+            check_progress_run(
+                CODE, ast.Post(ast.Num(1)), PURE, Store()
+            )
+
+
+class TestRandomized:
+    @_SETTINGS
+    @given(case=typed_expressions(effect=PURE, depth=4))
+    def test_pure_progress(self, case):
+        code, expr, _type = case
+        kind, _ = check_progress_run(code, expr, PURE, Store())
+        assert kind == VALUE  # generators avoid partial prims
+
+    @_SETTINGS
+    @given(case=typed_expressions(effect=STATE, depth=4))
+    def test_state_progress(self, case):
+        code, expr, _type = case
+        kind, _ = check_progress_run(
+            code, expr, STATE, Store(), EventQueue()
+        )
+        assert kind == VALUE
+
+    @_SETTINGS
+    @given(case=typed_expressions(effect=RENDER, depth=4))
+    def test_render_progress(self, case):
+        code, expr, _type = case
+        kind, _ = check_progress_run(
+            code, expr, RENDER, Store(), box=make_root()
+        )
+        assert kind == VALUE

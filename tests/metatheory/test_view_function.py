@@ -1,0 +1,90 @@
+"""The paper's central semantic guarantee, as properties:
+
+    "to guarantee that the view is a well-defined function of the model"
+
+Concretely: rendering is *deterministic* (same code + same store → same
+box tree), *store-preserving* (render code cannot change the model), and
+*queue-preserving* (render cannot navigate).  Checked on the example apps
+and on randomized well-typed programs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from helpers import counter_core_code
+from repro.boxes.diff import tree_equal
+from repro.core import ast
+from repro.metatheory.generators import programs
+from repro.system.transitions import System
+
+_SETTINGS = settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def render_twice(system):
+    system.state.invalidate_display()
+    system.render()
+    first = system.state.display
+    store_before = system.state.store.copy()
+    system.state.invalidate_display()
+    system.render()
+    second = system.state.display
+    return first, second, store_before
+
+
+class TestOnExamples:
+    def test_counter_view_is_a_function_of_the_model(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        first, second, store_before = render_twice(system)
+        assert tree_equal(first, second)
+        assert system.state.store == store_before
+
+    def test_mortgage_detail_renders_deterministically(self):
+        from repro.apps.mortgage import mortgage_runtime
+
+        runtime = mortgage_runtime(latency=0.0)
+        listing = runtime.global_value("listings").items[0]
+        runtime.tap_text(
+            "{}, {}".format(listing.items[0].value, listing.items[1].value)
+        )
+        first, second, _ = render_twice(runtime.system)
+        assert tree_equal(first, second)
+
+    def test_model_change_changes_the_view(self):
+        """The function is *of the model*: change the model, the view
+        follows (without any view-update code)."""
+        system = System(counter_core_code())
+        system.run_to_stable()
+        before = system.state.display
+        system.state.store.assign("count", ast.Num(41))
+        system.state.invalidate_display()
+        system.render()
+        assert not tree_equal(before, system.state.display)
+
+
+class TestRandomized:
+    @_SETTINGS
+    @given(code=programs())
+    def test_render_deterministic_and_model_preserving(self, code):
+        system = System(code)
+        system.run_to_stable()
+        first, second, store_before = render_twice(system)
+        assert tree_equal(first, second)
+        assert system.state.store == store_before
+        assert system.state.queue.is_empty()
+
+    @_SETTINGS
+    @given(code=programs())
+    def test_render_agnostic_to_display_history(self, code):
+        """Rendering after arbitrary invalidations yields the same view —
+        the display carries no hidden state."""
+        system = System(code)
+        system.run_to_stable()
+        reference = system.state.display
+        for _ in range(3):
+            system.state.invalidate_display()
+        system.render()
+        assert tree_equal(reference, system.state.display)

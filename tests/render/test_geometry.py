@@ -1,0 +1,47 @@
+"""Cell geometry primitives."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.render.geometry import Rect, Size, as_cells
+
+
+class TestSize:
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            Size(-1, 0)
+
+    def test_grow(self):
+        assert Size(2, 3).grow(1, 2) == Size(3, 5)
+
+
+class TestRect:
+    def test_edges(self):
+        rect = Rect(2, 3, 4, 5)
+        assert rect.right == 6 and rect.bottom == 8
+
+    def test_contains_half_open(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains(0, 0)
+        assert rect.contains(1, 1)
+        assert not rect.contains(2, 0)
+        assert not rect.contains(0, 2)
+        assert not rect.contains(-1, 0)
+
+    def test_inset(self):
+        assert Rect(0, 0, 10, 10).inset(2) == Rect(2, 2, 6, 6)
+
+    def test_inset_clamps(self):
+        shrunk = Rect(0, 0, 2, 2).inset(5)
+        assert shrunk.width >= 0 and shrunk.height >= 0
+
+    def test_size(self):
+        assert Rect(1, 1, 3, 4).size() == Size(3, 4)
+
+
+class TestCells:
+    def test_truncates(self):
+        assert as_cells(2.9) == 2
+
+    def test_negative_clamped_to_zero(self):
+        assert as_cells(-3) == 0

@@ -1,0 +1,60 @@
+"""Hit testing: screen cells → box paths (the device side of TAP)."""
+
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+from repro.render.hittest import enclosing_chain, hit_test, node_at
+from repro.render.layout import LayoutEngine
+
+
+def layout():
+    root = make_root()
+    outer = Box(box_id=1, occurrence=0)
+    outer.append_attr("padding", ast.Num(1))
+    inner = Box(box_id=2, occurrence=0)
+    inner.append_leaf(ast.Str("XX"))
+    outer.append_child(inner)
+    root.append_child(outer)
+    sibling = Box(box_id=3, occurrence=0)
+    sibling.append_leaf(ast.Str("YY"))
+    root.append_child(sibling)
+    return LayoutEngine().layout(root.freeze())
+
+
+class TestHitTest:
+    def test_deepest_box_wins(self):
+        node = layout()
+        # (1, 1) is inside outer's padding AND the inner box.
+        assert hit_test(node, 1, 1) == (0, 0)
+
+    def test_padding_area_belongs_to_outer(self):
+        node = layout()
+        assert hit_test(node, 0, 0) == (0,)
+
+    def test_sibling(self):
+        node = layout()
+        inner_height = 3  # outer: 1 padding + 1 text + 1 padding
+        assert hit_test(node, 0, inner_height) == (1,)
+
+    def test_miss(self):
+        node = layout()
+        assert hit_test(node, 99, 99) is None
+
+
+class TestEnclosingChain:
+    def test_chain_deepest_first(self):
+        """Section 5's nested selection: repeated taps walk outward."""
+        node = layout()
+        chain = enclosing_chain(node, 1, 1)
+        assert chain == [(0, 0), (0,), ()]
+
+    def test_chain_empty_on_miss(self):
+        assert enclosing_chain(layout(), 99, 99) == []
+
+
+class TestNodeAt:
+    def test_found(self):
+        node = layout()
+        assert node_at(node, (0, 0)).box.box_id == 2
+
+    def test_missing(self):
+        assert node_at(layout(), (9, 9)) is None

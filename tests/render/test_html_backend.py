@@ -1,0 +1,80 @@
+"""The HTML backend (TouchDevelop is browser-based)."""
+
+import pytest
+
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+from repro.core.effects import STATE
+from repro.core.errors import ReproError
+from repro.core.types import UNIT
+from repro.render.html_backend import (
+    box_style,
+    render_html,
+    render_html_fragment,
+)
+
+
+def tree():
+    root = make_root()
+    child = Box(box_id=3, occurrence=1)
+    child.append_attr("margin", ast.Num(2))
+    child.append_attr("background", ast.Str("light blue"))
+    child.append_attr(
+        "ontap", ast.Lam("u", UNIT, ast.UNIT_VALUE, STATE)
+    )
+    child.append_leaf(ast.Str("hello <world>"))
+    root.append_child(child)
+    return root.freeze()
+
+
+class TestStyles:
+    def test_margin_scaled_to_pixels(self):
+        box = Box()
+        box.append_attr("margin", ast.Num(2))
+        assert "margin:16px" in box_style(box)
+
+    def test_background_color_names_normalized(self):
+        box = Box()
+        box.append_attr("background", ast.Str("light blue"))
+        assert "background:lightblue" in box_style(box)
+
+    def test_horizontal_becomes_flex_row(self):
+        box = Box()
+        box.append_attr("horizontal", ast.Num(1))
+        assert "flex-direction:row" in box_style(box)
+
+    def test_default_is_column(self):
+        assert "flex-direction:column" in box_style(Box())
+
+
+class TestFragments:
+    def test_nested_divs(self):
+        html = render_html_fragment(tree())
+        assert html.count("<div") == 2
+        assert html.count("</div>") == 2
+
+    def test_text_escaped(self):
+        html = render_html_fragment(tree())
+        assert "hello &lt;world&gt;" in html
+        assert "<world>" not in html
+
+    def test_handlers_as_data_attributes(self):
+        html = render_html_fragment(tree())
+        assert 'data-ontap="1"' in html
+
+    def test_navigation_metadata_present(self):
+        html = render_html_fragment(tree())
+        assert 'data-box-id="3"' in html
+        assert 'data-occurrence="1"' in html
+
+    def test_rejects_non_box(self):
+        with pytest.raises(ReproError):
+            render_html_fragment("nope")
+
+
+class TestDocument:
+    def test_complete_document(self):
+        html = render_html(tree(), title="demo <page>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<title>demo &lt;page&gt;</title>" in html
+        assert html.rstrip().endswith("</html>")

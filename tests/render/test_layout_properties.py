@@ -1,0 +1,114 @@
+"""Layout invariants on randomized box trees (hypothesis).
+
+The layout engine must uphold, for *any* box tree: children lie inside
+their parent's rectangle, siblings never overlap, text runs start inside
+their box, and measuring is deterministic.  These are the geometric
+guarantees hit-testing (rule TAP's device half) relies on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+from repro.render.hittest import hit_test
+from repro.render.layout import LayoutEngine
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def box_trees(draw, depth=3):
+    """Random frozen box trees with text, attrs and nesting."""
+    root = make_root()
+    _fill(draw, root, depth)
+    return root.freeze()
+
+
+def _fill(draw, box, depth):
+    for _ in range(draw(st.integers(0, 3))):
+        kind = draw(
+            st.sampled_from(
+                ["leaf", "attr"] + (["child"] if depth > 0 else [])
+            )
+        )
+        if kind == "leaf":
+            box.append_leaf(ast.Str(draw(st.text(alphabet="ab c", max_size=6))))
+        elif kind == "attr":
+            name = draw(
+                st.sampled_from(
+                    ["margin", "padding", "border", "horizontal", "width"]
+                )
+            )
+            box.append_attr(name, ast.Num(float(draw(st.integers(0, 3)))))
+        else:
+            child = Box(box_id=draw(st.integers(0, 5)), occurrence=0)
+            _fill(draw, child, depth - 1)
+            box.append_child(child)
+
+
+def _overlap(a, b):
+    return not (
+        a.right <= b.x or b.right <= a.x
+        or a.bottom <= b.y or b.bottom <= a.y
+    )
+
+
+class TestGeometricInvariants:
+    @_SETTINGS
+    @given(tree=box_trees())
+    def test_children_inside_parent(self, tree):
+        node = LayoutEngine().layout(tree)
+        for parent in node.walk():
+            for child in parent.children:
+                assert child.rect.x >= parent.rect.x
+                assert child.rect.y >= parent.rect.y
+                assert child.rect.right <= parent.rect.right
+                assert child.rect.bottom <= parent.rect.bottom
+
+    @_SETTINGS
+    @given(tree=box_trees())
+    def test_siblings_disjoint(self, tree):
+        node = LayoutEngine().layout(tree)
+        for parent in node.walk():
+            kids = [
+                k for k in parent.children
+                if k.rect.width > 0 and k.rect.height > 0
+            ]
+            for i, a in enumerate(kids):
+                for b in kids[i + 1:]:
+                    assert not _overlap(a.rect, b.rect)
+
+    @_SETTINGS
+    @given(tree=box_trees())
+    def test_text_starts_inside_its_box(self, tree):
+        node = LayoutEngine().layout(tree)
+        for box_node in node.walk():
+            for x, y, _line in box_node.texts:
+                assert box_node.rect.contains(x, y) or not _line
+
+    @_SETTINGS
+    @given(tree=box_trees())
+    def test_measure_deterministic(self, tree):
+        first = LayoutEngine().measure(tree)
+        second = LayoutEngine().measure(tree)
+        assert first == second
+
+    @_SETTINGS
+    @given(tree=box_trees())
+    def test_hit_test_agrees_with_rects(self, tree):
+        """Whatever hit_test returns must actually contain the point."""
+        node = LayoutEngine().layout(tree)
+        probes = [(0, 0), (1, 1), (node.rect.width - 1, 0)]
+        for x, y in probes:
+            path = hit_test(node, x, y)
+            if path is None:
+                continue
+            from repro.render.hittest import node_at
+
+            found = node_at(node, path)
+            assert found.rect.contains(x, y)

@@ -1,0 +1,100 @@
+"""The ASCII screenshot backend."""
+
+import pytest
+
+from repro.boxes.tree import Box, make_root
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.render.text_backend import (
+    Grid,
+    render_text,
+    shade_for,
+)
+
+
+def labelled(text, **attrs):
+    box = Box(box_id=1, occurrence=0)
+    for name, value in attrs.items():
+        box.append_attr(
+            name, ast.Str(value) if isinstance(value, str) else ast.Num(value)
+        )
+    box.append_leaf(ast.Str(text))
+    return box
+
+
+def display(*boxes):
+    root = make_root()
+    for box in boxes:
+        root.append_child(box)
+    return root.freeze()
+
+
+class TestGrid:
+    def test_put_and_render_strips_trailing_space(self):
+        grid = Grid(5, 2)
+        grid.text(0, 0, "ab")
+        assert grid.render() == "ab\n"
+
+    def test_out_of_bounds_ignored(self):
+        grid = Grid(2, 2)
+        grid.text(0, 0, "abcdef")  # overflows silently
+        assert grid.render().split("\n")[0] == "ab"
+
+    def test_frame(self):
+        grid = Grid(4, 3)
+        from repro.render.geometry import Rect
+
+        grid.frame(Rect(0, 0, 4, 3))
+        lines = grid.render().split("\n")
+        assert lines[0] == "+--+"
+        assert lines[1] == "|  |"
+        assert lines[2] == "+--+"
+
+
+class TestRenderText:
+    def test_posts_appear(self):
+        shot = render_text(display(labelled("hello")), width=10)
+        assert "hello" in shot
+
+    def test_border_drawn(self):
+        shot = render_text(display(labelled("hi", border=1)), width=10)
+        assert "+--+" in shot and "|hi|" in shot
+
+    def test_background_shading(self):
+        """The I3 improvement's visibility: light blue rows shade as ░."""
+        shot = render_text(
+            display(labelled("row", background="light blue", width=6)),
+            width=10,
+        )
+        assert "░" in shot
+
+    def test_unknown_color_gets_generic_shade(self):
+        assert shade_for("octarine") == "░"
+        assert shade_for("") == " "
+
+    def test_selection_frame(self):
+        """The Fig. 2 red outline becomes a # frame."""
+        shot = render_text(
+            display(labelled("pick me", border=0)),
+            width=16,
+            selected_paths=[(0,)],
+        )
+        assert "#" in shot
+
+    def test_vertical_order(self):
+        shot = render_text(
+            display(labelled("first"), labelled("second")), width=12
+        )
+        assert shot.index("first") < shot.index("second")
+
+    def test_horizontal_layout(self):
+        row = Box()
+        row.append_attr("horizontal", ast.Num(1))
+        row.append_child(labelled("aa"))
+        row.append_child(labelled("bb"))
+        shot = render_text(display(row), width=10)
+        assert "aabb" in shot
+
+    def test_rejects_non_box(self):
+        with pytest.raises(ReproError):
+            render_text("not a box")

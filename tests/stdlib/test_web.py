@@ -1,0 +1,67 @@
+"""The simulated web substrate."""
+
+import pytest
+
+from repro.core.errors import NativeError
+from repro.stdlib.listings import generate_listings
+from repro.stdlib.web import (
+    DEFAULT_LATENCY,
+    SimulatedWeb,
+    make_services,
+    web_host_impls,
+)
+from repro.system.services import Services, VirtualClock
+
+
+class TestSimulatedWeb:
+    def test_fetch_charges_latency(self):
+        clock = VirtualClock()
+        web = SimulatedWeb(clock, latency=2.0)
+        web.fetch("/listings")
+        web.fetch("/listings")
+        assert clock.now == 4.0
+        assert web.request_count == 2
+
+    def test_listings_resource_shape(self):
+        web = SimulatedWeb(VirtualClock(), listing_count=5)
+        listings = web.fetch("/listings")
+        assert len(listings) == 5
+        for address, city, price in listings:
+            assert isinstance(address, str) and isinstance(city, str)
+            assert price == int(price)
+
+    def test_unknown_resource(self):
+        web = SimulatedWeb(VirtualClock())
+        with pytest.raises(NativeError):
+            web.fetch("/nope")
+
+    def test_add_resource(self):
+        web = SimulatedWeb(VirtualClock())
+        web.add_resource("/extra", [1, 2])
+        assert web.fetch("/extra") == [1, 2]
+
+
+class TestListingsDataset:
+    def test_deterministic(self):
+        assert generate_listings(8, seed=1) == generate_listings(8, seed=1)
+        assert generate_listings(8, seed=1) != generate_listings(8, seed=2)
+
+    def test_price_range(self):
+        for _addr, _city, price in generate_listings(50):
+            assert 250_000 <= price < 900_000
+            assert price % 1000 == 0
+
+
+class TestServicesWiring:
+    def test_make_services(self):
+        services = make_services(latency=0.5, listing_count=3)
+        web = services.get("web")
+        assert web.latency == 0.5
+        assert len(web.fetch("/listings")) == 3
+
+    def test_host_impls_use_the_service(self):
+        services = make_services(listing_count=4)
+        impls = web_host_impls()
+        listings = impls["fetch_listings"](services)
+        assert len(listings) == 4
+        assert services.clock.now == DEFAULT_LATENCY

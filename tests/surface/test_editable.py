@@ -1,0 +1,88 @@
+"""The ``editable g`` sugar (our answer to the Section 5 limitation)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.errors import TypeProblem
+from repro.surface.compile import compile_source
+from repro.system.runtime import Runtime
+
+
+def run(source):
+    compiled = compile_source(source)
+    return Runtime(compiled.code, natives=compiled.natives).start()
+
+
+class TestEditableSugar:
+    def test_number_global_round_trip(self):
+        runtime = run(
+            "global apr : number = 4.5\n"
+            "page start()\n  render\n    boxed\n      editable apr\n"
+        )
+        assert runtime.all_texts() == ["4.5"]
+        runtime.edit(runtime.find_text("4.5"), "6.25")
+        assert runtime.global_value("apr") == ast.Num(6.25)
+        assert runtime.all_texts() == ["6.25"]
+
+    def test_string_global_round_trip(self):
+        runtime = run(
+            'global name : string = "ada"\n'
+            "page start()\n  render\n    boxed\n      editable name\n"
+        )
+        runtime.edit(runtime.find_text("ada"), "grace")
+        assert runtime.global_value("name") == ast.Str("grace")
+
+    def test_marks_box_editable(self):
+        runtime = run(
+            "global n : number = 1\n"
+            "page start()\n  render\n    boxed\n      editable n\n"
+        )
+        (path, box), = runtime.find_boxes(
+            lambda b: b.has_attr("editable")
+        )
+        assert box.has_attr("onedit")
+
+    def test_desugaring_shape(self):
+        """editable = post + editable attr + onedit handler."""
+        compiled = compile_source(
+            "global n : number = 1\n"
+            "page start()\n  render\n    boxed\n      editable n\n"
+        )
+        render = compiled.code.page("start").render
+        kinds = [
+            type(node).__name__ for node in ast.walk(render)
+        ]
+        assert "Post" in kinds and "SetAttr" in kinds
+
+    def test_requires_a_global(self):
+        with pytest.raises(TypeProblem):
+            compile_source(
+                "page start()\n  render\n    boxed\n      editable ghost\n"
+            )
+
+    def test_rejects_structured_globals(self):
+        with pytest.raises(TypeProblem):
+            compile_source(
+                "global xs : list number = nil(number)\n"
+                "page start()\n  render\n    boxed\n      editable xs\n"
+            )
+
+    def test_render_context_only(self):
+        with pytest.raises(TypeProblem):
+            compile_source(
+                "global n : number = 1\n"
+                "page start()\n  init\n    editable n\n  render\n"
+                "    post n\n"
+            )
+
+    def test_bad_input_faults_at_runtime(self):
+        """Typing a non-number into a numeric editable is the documented
+        num_of_str fault, not silent corruption."""
+        runtime = run(
+            "global n : number = 1\n"
+            "page start()\n  render\n    boxed\n      editable n\n"
+        )
+        from repro.core.errors import EvalError
+
+        with pytest.raises(EvalError):
+            runtime.edit(runtime.find_text("1"), "not a number")

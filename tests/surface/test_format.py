@@ -1,0 +1,112 @@
+"""The source formatter: idempotent, semantics-preserving, minimal parens."""
+
+import pytest
+
+from repro.apps.calculator import SOURCE as CALCULATOR
+from repro.apps.converter import SOURCE as CONVERTER
+from repro.apps.counter import SOURCE as COUNTER
+from repro.apps.mortgage import BASE_SOURCE as MORTGAGE
+from repro.apps.shopping import SOURCE as SHOPPING
+from repro.surface.compile import compile_source
+from repro.surface.format import format_source
+
+APPS = {
+    "counter": (COUNTER, None),
+    "shopping": (SHOPPING, None),
+    "mortgage": (MORTGAGE, "web"),
+    "converter": (CONVERTER, None),
+    "calculator": (CALCULATOR, None),
+}
+
+
+def impls_for(marker):
+    if marker == "web":
+        from repro.stdlib.web import web_host_impls
+
+        return web_host_impls()
+    return None
+
+
+class TestOnRealApps:
+    @pytest.mark.parametrize("app", sorted(APPS), ids=sorted(APPS))
+    def test_idempotent(self, app):
+        source, _marker = APPS[app]
+        once = format_source(source)
+        assert format_source(once) == once
+
+    @pytest.mark.parametrize("app", sorted(APPS), ids=sorted(APPS))
+    def test_semantics_preserved_exactly(self, app):
+        """Formatting compiles to the *identical* core program."""
+        source, marker = APPS[app]
+        impls = impls_for(marker)
+        original = compile_source(source, impls)
+        formatted = compile_source(format_source(source), impls)
+        assert formatted.code == original.code
+
+
+class TestCanonicalization:
+    def test_spacing_normalized(self):
+        messy = "global   g:number=  4\npage start()\n  render\n    post g\n"
+        assert format_source(messy).startswith("global g : number = 4")
+
+    def test_minimal_parentheses(self):
+        source = (
+            "page start()\n  render\n"
+            "    post to_string(((1 + 2)) * 3)\n"
+            "    post to_string((1 * 2) + 3)\n"
+        )
+        formatted = format_source(source)
+        assert "post to_string((1 + 2) * 3)" in formatted
+        assert "post to_string(1 * 2 + 3)" in formatted
+
+    def test_needed_parentheses_kept(self):
+        source = (
+            "page start()\n  render\n    post to_string(1 - (2 - 3))\n"
+        )
+        assert "1 - (2 - 3)" in format_source(source)
+
+    def test_elif_resugared(self):
+        source = (
+            "page start()\n  render\n"
+            "    if 1 then\n      post 1\n"
+            "    elif 2 then\n      post 2\n"
+            "    else\n      post 3\n"
+        )
+        formatted = format_source(source)
+        assert "elif 2 then" in formatted
+        assert formatted.count("else") == 1  # no nested else-if ladder
+
+    def test_string_escapes_round_trip(self):
+        source = (
+            'page start()\n  render\n    post "a\\"b\\\\c\\nd"\n'
+        )
+        formatted = format_source(source)
+        assert format_source(formatted) == formatted
+        compiled_a = compile_source(source)
+        compiled_b = compile_source(formatted)
+        assert compiled_a.code == compiled_b.code
+
+    def test_font_size_spelling(self):
+        source = (
+            "page start()\n  render\n    boxed\n      box.font_size := 2\n"
+        )
+        assert "box.font_size := 2" in format_source(source)
+
+    def test_blank_line_between_decls(self):
+        source = "global a : number = 1\nglobal b : number = 2\n"
+        formatted = format_source(source)
+        assert "= 1\n\nglobal b" in formatted
+
+    def test_manipulated_source_normalizes(self):
+        """Direct manipulation output stays canonical after formatting."""
+        from repro.live.session import LiveSession
+
+        session = LiveSession(
+            'page start()\n  render\n    boxed\n      post "x"\n'
+        )
+        session.manipulate(
+            session.runtime.find_text("x"), "margin", 2
+        )
+        formatted = format_source(session.source)
+        assert format_source(formatted) == formatted
+        assert "box.margin := 2" in formatted

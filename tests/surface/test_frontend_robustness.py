@@ -1,0 +1,90 @@
+"""Front-end robustness: arbitrary input must produce *diagnostics*,
+never internal exceptions.
+
+The live editor runs the pipeline on every keystroke, so it sees every
+half-typed state of every program; a crash anywhere in
+lex/parse/resolve/check would take the IDE down.  These properties fuzz
+with (a) arbitrary text, (b) randomly mutated well-formed programs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.apps.mortgage import BASE_SOURCE
+from repro.core.errors import ReproError
+from repro.surface.compile import compile_source
+from repro.surface.lexer import tokenize
+from repro.surface.parser import parse
+from repro.surface.typecheck import typecheck_problems
+
+_SETTINGS = settings(
+    max_examples=120, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_SOURCE_ALPHABET = (
+    "abcxyz0123456789 \n\t\"'()[]:=+-*/%<>|.,_"
+    "globalpagefunrenderinitboxedpostontapifthenelsefordowhile"
+)
+
+
+def pipeline(source):
+    """Run the full front end; diagnostics are fine, crashes are not."""
+    try:
+        compile_source(source)
+    except ReproError:
+        pass  # SyntaxProblem / TypeProblem / ReproError: all reportable
+
+
+class TestArbitraryText:
+    @_SETTINGS
+    @given(source=st.text(alphabet=_SOURCE_ALPHABET, max_size=200))
+    def test_never_crashes(self, source):
+        pipeline(source)
+
+    @_SETTINGS
+    @given(source=st.text(max_size=100))
+    def test_full_unicode_never_crashes(self, source):
+        pipeline(source)
+
+    @_SETTINGS
+    @given(source=st.text(alphabet=_SOURCE_ALPHABET, max_size=200))
+    def test_lexer_total(self, source):
+        try:
+            tokens = tokenize(source)
+        except ReproError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+
+class TestMutatedPrograms:
+    """Keystroke simulation: valid programs with point mutations."""
+
+    @_SETTINGS
+    @given(
+        base=st.sampled_from([COUNTER, BASE_SOURCE]),
+        position=st.integers(0, 10_000),
+        action=st.sampled_from(["delete", "insert", "truncate"]),
+        char=st.sampled_from(list(" :=()\"x1\n")),
+    )
+    def test_point_mutations_never_crash(self, base, position, action, char):
+        position = position % max(len(base), 1)
+        if action == "delete":
+            mutated = base[:position] + base[position + 1:]
+        elif action == "insert":
+            mutated = base[:position] + char + base[position:]
+        else:
+            mutated = base[:position]
+        pipeline(mutated)
+
+    @_SETTINGS
+    @given(
+        cut=st.integers(1, 60),
+    )
+    def test_every_prefix_of_the_mortgage_app(self, cut):
+        """Typing the program top to bottom: every line-prefix state."""
+        lines = BASE_SOURCE.split("\n")
+        prefix = "\n".join(lines[: cut % len(lines)])
+        pipeline(prefix)

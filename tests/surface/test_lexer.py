@@ -1,0 +1,132 @@
+"""The indentation-aware lexer."""
+
+import pytest
+
+from repro.core.errors import SyntaxProblem
+from repro.surface.lexer import tokenize
+from repro.surface.tokens import (
+    DEDENT,
+    EOF,
+    IDENT,
+    INDENT,
+    KEYWORD,
+    NEWLINE,
+    NUMBER,
+    OP,
+    STRING,
+)
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source, kind=None):
+    return [
+        token.text
+        for token in tokenize(source)
+        if kind is None or token.kind == kind
+    ]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == [EOF]
+
+    def test_numbers(self):
+        assert texts("1 2.5 0.25", NUMBER) == ["1", "2.5", "0.25"]
+
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("if foo then")
+        assert [t.kind for t in tokens[:3]] == [KEYWORD, IDENT, KEYWORD]
+
+    def test_operators_longest_match(self):
+        assert texts("a := b == c <= d", OP) == [":=", "==", "<="]
+
+    def test_concat_operator(self):
+        assert texts('a || b', OP) == ["||"]
+
+    def test_single_equals(self):
+        assert texts("for i = 1 to 2 do", OP) == ["="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SyntaxProblem):
+            tokenize("a @ b")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert texts('"hello world"', STRING) == ["hello world"]
+
+    def test_escapes(self):
+        assert texts(r'"a\"b\\c\nd"', STRING) == ['a"b\\c\nd']
+
+    def test_unterminated(self):
+        with pytest.raises(SyntaxProblem):
+            tokenize('"oops')
+
+    def test_newline_inside(self):
+        with pytest.raises(SyntaxProblem):
+            tokenize('"oops\n"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(SyntaxProblem):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\nb", IDENT) == ["a", "b"]
+
+    def test_comment_only_line_produces_nothing(self):
+        source = "a\n// note\nb\n"
+        assert kinds(source).count(NEWLINE) == 2
+
+
+class TestIndentation:
+    def test_indent_dedent_pairing(self):
+        source = "a\n  b\n  c\nd\n"
+        sequence = kinds(source)
+        assert sequence.count(INDENT) == 1
+        assert sequence.count(DEDENT) == 1
+
+    def test_nested_blocks(self):
+        source = "a\n  b\n    c\nd\n"
+        sequence = kinds(source)
+        assert sequence.count(INDENT) == 2
+        assert sequence.count(DEDENT) == 2
+
+    def test_dedents_closed_at_eof(self):
+        sequence = kinds("a\n  b")
+        assert sequence.count(DEDENT) == 1
+        assert sequence[-1] == EOF
+
+    def test_blank_lines_ignored(self):
+        source = "a\n\n  b\n\n  c\n"
+        assert kinds(source).count(INDENT) == 1
+
+    def test_inconsistent_dedent_rejected(self):
+        source = "a\n    b\n  c\n"
+        with pytest.raises(SyntaxProblem):
+            tokenize(source)
+
+    def test_tabs_count_as_four(self):
+        source = "a\n\tb\n    c\n"
+        assert kinds(source).count(INDENT) == 1
+
+    @pytest.mark.parametrize(
+        "source", ["a\n\t", "a\n   ", "\t", "  ", "a\n  \t  "],
+        ids=repr,
+    )
+    def test_trailing_indentation_terminates(self, source):
+        """Regression: a file ending in bare indentation must lex, not
+        hang ('' in ' \\t' is True — found by the fuzz suite)."""
+        assert kinds(source)[-1] == EOF
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize('x\n  post "hi"\n')
+        post = [t for t in tokens if t.text == "post"][0]
+        assert post.span.start.line == 2
+        assert post.span.start.column == 2

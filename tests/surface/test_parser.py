@@ -1,0 +1,215 @@
+"""The recursive-descent parser."""
+
+import pytest
+
+from repro.core.errors import SyntaxProblem
+from repro.surface import surface_ast as S
+from repro.surface.parser import parse
+
+
+def parse_stmts(body):
+    """Parse a start page whose render body is ``body`` (indented by 4)."""
+    lines = ["page start()", "  render"]
+    lines += ["    " + line for line in body.split("\n")]
+    program = parse("\n".join(lines) + "\n")
+    return program.decls[0].render_block.stmts
+
+
+def parse_expr(text):
+    (stmt,) = parse_stmts(text)
+    assert isinstance(stmt, S.SExprStmt)
+    return stmt.value
+
+
+class TestDeclarations:
+    def test_global(self):
+        program = parse("global g : number = 42\n")
+        (decl,) = program.decls
+        assert isinstance(decl, S.DGlobal)
+        assert decl.name == "g"
+        assert isinstance(decl.type_expr, S.TNumber)
+        assert decl.init.value == 42
+
+    def test_record(self):
+        program = parse("record point\n  x : number\n  y : number\n")
+        (decl,) = program.decls
+        assert isinstance(decl, S.DRecord)
+        assert [name for name, _t, _s in decl.fields] == ["x", "y"]
+
+    def test_fun_with_params_and_return(self):
+        program = parse(
+            "fun f(a : number, b : string) : number\n  return a\n"
+        )
+        (decl,) = program.decls
+        assert isinstance(decl, S.DFun)
+        assert [name for name, _ in decl.params] == ["a", "b"]
+        assert isinstance(decl.return_type, S.TNumber)
+
+    def test_extern(self):
+        program = parse(
+            "extern fun fetch() : list number is state\n"
+        )
+        (decl,) = program.decls
+        assert isinstance(decl, S.DExtern)
+        assert decl.effect_name == "state"
+        assert isinstance(decl.return_type, S.TList)
+
+    def test_extern_defaults_to_state(self):
+        program = parse("extern fun fetch() : number\n")
+        assert program.decls[0].effect_name == "state"
+
+    def test_page_with_both_bodies(self):
+        program = parse(
+            "page start()\n  init\n    pop\n  render\n    post 1\n"
+        )
+        (decl,) = program.decls
+        assert decl.init_block is not None
+        assert decl.render_block is not None
+
+    def test_page_render_only(self):
+        program = parse("page start()\n  render\n    post 1\n")
+        assert program.decls[0].init_block is None
+
+    def test_duplicate_render_body_rejected(self):
+        with pytest.raises(SyntaxProblem):
+            parse(
+                "page start()\n  render\n    post 1\n  render\n    post 2\n"
+            )
+
+    def test_unknown_declaration(self):
+        with pytest.raises(SyntaxProblem):
+            parse("banana x\n")
+
+
+class TestTypes:
+    def test_all_type_forms(self):
+        program = parse(
+            "fun f(a : number, b : string, c : (), d : list number, "
+            "e : point) : ()\n  pop\n"
+        )
+        types = [t for _n, t in program.decls[0].params]
+        assert isinstance(types[0], S.TNumber)
+        assert isinstance(types[1], S.TString)
+        assert isinstance(types[2], S.TUnit)
+        assert isinstance(types[3], S.TList)
+        assert isinstance(types[4], S.TName)
+
+    def test_nested_list_type(self):
+        program = parse("global g : list list number = nil(list number)\n")
+        outer = program.decls[0].type_expr
+        assert isinstance(outer.element, S.TList)
+
+
+class TestStatements:
+    def test_var_and_assign(self):
+        stmts = parse_stmts("var x := 1\nx := 2")
+        assert isinstance(stmts[0], S.SVarDecl)
+        assert isinstance(stmts[1], S.SAssign)
+
+    def test_if_elif_else_desugars_to_nested_if(self):
+        stmts = parse_stmts(
+            "if a then\n  post 1\nelif b then\n  post 2\nelse\n  post 3"
+        )
+        (conditional,) = stmts
+        assert isinstance(conditional, S.SIf)
+        (nested,) = conditional.else_block.stmts
+        assert isinstance(nested, S.SIf)
+        assert nested.else_block is not None
+
+    def test_loops(self):
+        for_in, for_range, while_ = parse_stmts(
+            "for x in items do\n  post x\n"
+            "for i = 1 to 10 do\n  post i\n"
+            "while c do\n  post 1"
+        )
+        assert isinstance(for_in, S.SForIn) and for_in.var == "x"
+        assert isinstance(for_range, S.SForRange)
+        assert isinstance(while_, S.SWhile)
+
+    def test_boxed_gets_sequential_ids(self):
+        stmts = parse_stmts("boxed\n  post 1\nboxed\n  post 2")
+        assert stmts[0].box_id == 0
+        assert stmts[1].box_id == 1
+
+    def test_box_attr_with_underscore_mapping(self):
+        (stmt,) = parse_stmts("box.font_size := 2")
+        assert stmt.attr == "font size"
+
+    def test_handlers(self):
+        tap, edit = parse_stmts(
+            "on tap do\n  pop\non edit(t) do\n  pop"
+        )
+        assert tap.kind == "tap" and tap.param is None
+        assert edit.kind == "edit" and edit.param == "t"
+
+    def test_push_pop_return(self):
+        push, pop = parse_stmts("push detail(1, x)\npop")
+        assert push.page == "detail" and len(push.args) == 2
+        assert isinstance(pop, S.SPop)
+
+    def test_return_forms(self):
+        program = parse("fun f() : number\n  return 1\n")
+        assert program.decls[0].body.stmts[0].value is not None
+        program = parse("fun g()\n  return\n")
+        assert program.decls[0].body.stmts[0].value is None
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_concat_binds_looser_than_add(self):
+        expr = parse_expr('"n: " || 1 + 2')
+        assert expr.op == "||"
+        assert expr.right.op == "+"
+
+    def test_comparison_over_concat(self):
+        expr = parse_expr('a || b == c || d')
+        assert expr.op == "=="
+
+    def test_and_or_not(self):
+        expr = parse_expr("not a and b or c")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+        assert expr.left.left.op == "not"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x + 1")
+        assert expr.op == "+"
+        assert expr.left.op == "-"
+
+    def test_field_access_chain(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, S.EField) and expr.name == "c"
+        assert expr.target.name == "b"
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, g(2), x)")
+        assert isinstance(expr, S.ECall)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], S.ECall)
+
+    def test_list_literal_and_nil(self):
+        lst = parse_expr("[1, 2, 3]")
+        assert isinstance(lst, S.EListLit) and len(lst.items) == 3
+        nil = parse_expr("nil(number)")
+        assert isinstance(nil, S.ENil)
+
+    def test_booleans(self):
+        expr = parse_expr("true")
+        assert isinstance(expr, S.EBool) and expr.value is True
+
+    def test_missing_expression(self):
+        with pytest.raises(SyntaxProblem):
+            parse_stmts("post ")
+
+    def test_missing_then(self):
+        with pytest.raises(SyntaxProblem):
+            parse_stmts("if a\n  post 1")

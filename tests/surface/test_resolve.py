@@ -1,0 +1,133 @@
+"""Name resolution: symbol tables, record resolution, cycles."""
+
+import pytest
+
+from repro.core.effects import PURE, STATE
+from repro.core.errors import TypeProblem
+from repro.core.types import NUMBER, STRING, TupleType
+from repro.surface import surface_ast as S
+from repro.surface.parser import parse
+from repro.surface.resolve import resolve
+
+
+PROGRAM = """\
+record point
+  x : number
+  y : number
+
+record path
+  label : string
+  points : list point
+
+global origin : point = point(0, 0)
+
+extern fun fetch() : list point is state
+
+fun norm(p : point) : number
+  return sqrt(p.x * p.x + p.y * p.y)
+
+page start()
+  render
+    post 1
+
+page detail(p : point, title : string)
+  render
+    post title
+"""
+
+
+@pytest.fixture
+def env():
+    return resolve(parse(PROGRAM))
+
+
+class TestTables:
+    def test_records(self, env):
+        point = env.records["point"]
+        assert point.field_names == ("x", "y")
+        assert point.field_index("y") == 2
+        assert point.field_index("z") is None
+        assert point.field_type("x") == S.S_NUMBER
+
+    def test_record_core_erasure(self, env):
+        assert env.records["point"].core_type(env.records) == TupleType(
+            (NUMBER, NUMBER)
+        )
+
+    def test_nested_record_erasure(self, env):
+        core = env.records["path"].core_type(env.records)
+        assert str(core) == "(string, list (number, number))"
+
+    def test_globals(self, env):
+        assert env.globals["origin"].stype == S.SRec("point")
+
+    def test_functions(self, env):
+        sig = env.funs["norm"]
+        assert sig.param_names == ("p",)
+        assert sig.param_stypes == (S.SRec("point"),)
+        assert sig.return_stype == S.S_NUMBER
+
+    def test_externs(self, env):
+        sig = env.externs["fetch"]
+        assert sig.effect is STATE
+        assert sig.return_stype == S.SList(S.SRec("point"))
+
+    def test_pages(self, env):
+        sig = env.pages["detail"]
+        assert sig.param_names == ("p", "title")
+
+    def test_lookup_callable(self, env):
+        assert env.lookup_callable("norm")[0] == "fun"
+        assert env.lookup_callable("fetch")[0] == "extern"
+        assert env.lookup_callable("point")[0] == "record"
+        assert env.lookup_callable("nothing") == (None, None)
+
+
+class TestErrors:
+    def test_duplicate_names_across_kinds(self):
+        source = "global x : number = 1\nfun x()\n  pop\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_duplicate_record_fields(self):
+        source = "record r\n  a : number\n  a : string\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_duplicate_parameters(self):
+        source = "fun f(a : number, a : number)\n  pop\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_unknown_record_type(self):
+        source = "global g : ghost = 1\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_callable_shadowing_builtin(self):
+        source = "fun floor(x : number) : number\n  return x\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_global_may_share_builtin_name(self):
+        """Globals aren't callable, so 'count' can be a global (the
+        paper's own example uses cents->count AND a count-like global)."""
+        source = "global count : number = 0\n"
+        env = resolve(parse(source))
+        assert "count" in env.globals
+
+    def test_directly_recursive_record(self):
+        source = "record node\n  next : node\n"
+        with pytest.raises(TypeProblem) as caught:
+            resolve(parse(source))
+        assert "recursive" in str(caught.value)
+
+    def test_mutually_recursive_records(self):
+        source = "record a\n  b : b\nrecord b\n  a : list a\n"
+        with pytest.raises(TypeProblem):
+            resolve(parse(source))
+
+    def test_forward_reference_allowed(self):
+        source = "record a\n  b : b\nrecord b\n  n : number\n"
+        env = resolve(parse(source))
+        assert set(env.records) == {"a", "b"}

@@ -1,0 +1,83 @@
+"""The UI-code source map: boxed statements ↔ source spans."""
+
+import pytest
+
+from repro.surface.parser import parse
+from repro.surface.sourcemap import build_sourcemap
+
+SOURCE = """\
+page start()
+  render
+    boxed
+      box.margin := 1
+      post "header"
+    for i = 1 to 3 do
+      boxed
+        post i
+        boxed
+          post "nested"
+
+fun helper()
+  boxed
+    post "in helper"
+"""
+
+
+@pytest.fixture
+def sourcemap():
+    return build_sourcemap(parse(SOURCE))
+
+
+class TestCollection:
+    def test_all_boxed_statements_found(self, sourcemap):
+        assert len(sourcemap) == 4
+        assert sourcemap.box_ids() == (0, 1, 2, 3)
+
+    def test_spans_cover_the_statement(self, sourcemap):
+        header = sourcemap.entry(0)
+        assert header.span.start.line == 3
+        assert header.span.contains_line(5)
+
+    def test_owner_recorded(self, sourcemap):
+        assert sourcemap.entry(0).page == "start"
+        assert sourcemap.entry(3).page == "helper"
+
+    def test_attr_spans_only_direct_children(self, sourcemap):
+        header = sourcemap.entry(0)
+        assert set(header.attr_spans) == {"margin"}
+        loop_box = sourcemap.entry(1)
+        assert loop_box.attr_spans == {}
+
+    def test_body_indent(self, sourcemap):
+        assert sourcemap.entry(0).body_indent == 6
+        assert sourcemap.entry(2).body_indent == 10
+
+
+class TestLookup:
+    def test_boxed_at_line_innermost(self, sourcemap):
+        assert sourcemap.boxed_at_line(10).box_id == 2  # nested box
+        assert sourcemap.boxed_at_line(8).box_id == 1
+        assert sourcemap.boxed_at_line(4).box_id == 0
+
+    def test_boxed_at_line_outside(self, sourcemap):
+        assert sourcemap.boxed_at_line(1) is None
+
+    def test_boxed_at_offset(self, sourcemap):
+        source = SOURCE
+        offset = source.index('"nested"')
+        assert sourcemap.boxed_at_offset(offset).box_id == 2
+
+    def test_span_of(self, sourcemap):
+        assert sourcemap.span_of(0) is not None
+        assert sourcemap.span_of(99) is None
+
+
+class TestHandlersAndBranches:
+    def test_boxed_inside_if_and_handler_found(self):
+        source = (
+            "page start()\n  render\n"
+            "    if 1 then\n      boxed\n        post 1\n"
+            "    boxed\n      on tap do\n        pop\n"
+        )
+        sourcemap = build_sourcemap(parse(source))
+        assert len(sourcemap) == 2

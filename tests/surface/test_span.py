@@ -1,0 +1,58 @@
+"""Source positions and spans."""
+
+import pytest
+
+from repro.surface.span import Pos, Span, dummy_span
+
+
+def span(l1, c1, o1, l2, c2, o2):
+    return Span(Pos(l1, c1, o1), Pos(l2, c2, o2))
+
+
+class TestFormatting:
+    def test_pos_one_based_column_display(self):
+        assert str(Pos(3, 0, 10)) == "3:1"
+
+    def test_single_line_span(self):
+        assert str(span(2, 4, 10, 2, 9, 15)) == "line 2, cols 5-10"
+
+    def test_multi_line_span(self):
+        assert str(span(2, 0, 10, 5, 3, 40)) == "lines 2-5"
+
+
+class TestContainment:
+    def test_offsets_half_open(self):
+        region = span(1, 0, 10, 1, 5, 15)
+        assert region.contains_offset(10)
+        assert region.contains_offset(14)
+        assert not region.contains_offset(15)
+        assert not region.contains_offset(9)
+
+    def test_lines_inclusive(self):
+        region = span(2, 0, 0, 4, 0, 0)
+        assert region.contains_line(2)
+        assert region.contains_line(4)
+        assert not region.contains_line(5)
+
+    def test_length(self):
+        assert span(1, 0, 3, 1, 0, 9).length == 6
+
+
+class TestMerge:
+    def test_merge_covers_both(self):
+        left = span(1, 0, 0, 1, 4, 4)
+        right = span(3, 0, 20, 3, 2, 22)
+        merged = left.merge(right)
+        assert merged.start.offset == 0
+        assert merged.end.offset == 22
+
+    def test_merge_order_independent(self):
+        left = span(1, 0, 0, 1, 4, 4)
+        right = span(3, 0, 20, 3, 2, 22)
+        assert left.merge(right) == right.merge(left)
+
+
+class TestDummy:
+    def test_dummy_is_empty(self):
+        region = dummy_span()
+        assert region.length == 0

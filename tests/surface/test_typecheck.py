@@ -1,0 +1,299 @@
+"""Surface type/effect checking, including effect inference."""
+
+import pytest
+
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import TypeProblem
+from repro.surface.parser import parse
+from repro.surface.typecheck import typecheck, typecheck_problems
+
+START = "page start()\n  render\n    post 1\n"
+
+
+def check(source):
+    return typecheck(parse(source))
+
+
+def problems_of(source):
+    _env, problems = typecheck_problems(parse(source))
+    return problems
+
+
+def rejected(source, fragment=None):
+    problems = problems_of(source)
+    assert problems, "expected a type problem"
+    if fragment is not None:
+        assert any(fragment in str(p) for p in problems), problems[0]
+    return problems
+
+
+class TestEffectInference:
+    def test_pure_function(self):
+        env = check(START + "fun f(x : number) : number\n  return x + 1\n")
+        assert env.funs["f"].effect is PURE
+
+    def test_render_function(self):
+        env = check(START + "fun show()\n  boxed\n    post 1\n")
+        assert env.funs["show"].effect is RENDER
+
+    def test_state_function(self):
+        env = check(
+            "global g : number = 0\n" + START
+            + "fun bump()\n  g := g + 1\n"
+        )
+        assert env.funs["bump"].effect is STATE
+
+    def test_effect_propagates_through_calls(self):
+        env = check(
+            START
+            + "fun outer()\n  inner()\nfun inner()\n  boxed\n    post 1\n"
+        )
+        assert env.funs["outer"].effect is RENDER
+
+    def test_recursive_function_effect_converges(self):
+        env = check(
+            "global g : number = 0\n" + START
+            + "fun down(n : number)\n"
+            + "  if n > 0 then\n    g := g - 1\n    down(n - 1)\n"
+        )
+        assert env.funs["down"].effect is STATE
+
+    def test_handler_body_does_not_make_function_stateful(self):
+        """on-tap bodies are separate s closures inside render code."""
+        env = check(
+            "global g : number = 0\n" + START
+            + "fun cell()\n  boxed\n    post g\n    on tap do\n"
+            + "      g := g + 1\n"
+        )
+        assert env.funs["cell"].effect is RENDER
+
+    def test_mixed_effects_rejected(self):
+        rejected(
+            "global g : number = 0\n" + START
+            + "fun bad()\n  g := 1\n  boxed\n    post 1\n",
+            "both render and state",
+        )
+
+
+class TestEffectPlacement:
+    def test_render_code_cannot_assign_globals(self):
+        rejected(
+            "global g : number = 0\n"
+            "page start()\n  render\n    g := 1\n",
+            "render code can only read",
+        )
+
+    def test_init_code_cannot_build_boxes(self):
+        rejected(
+            "page start()\n  init\n    boxed\n      post 1\n  render\n"
+            "    post 1\n",
+            "render code",
+        )
+
+    def test_handler_can_push_and_assign(self):
+        check(
+            "global g : number = 0\n"
+            "page start()\n  render\n    boxed\n      post g\n"
+            "      on tap do\n        g := 1\n        pop\n"
+        )
+
+    def test_handler_cannot_post(self):
+        rejected(
+            "page start()\n  render\n    boxed\n      on tap do\n"
+            "        post 1\n"
+        )
+
+    def test_push_outside_state_rejected(self):
+        rejected(
+            "page start()\n  render\n    push start()\n",
+            "mutates program state",
+        )
+
+    def test_state_extern_not_callable_from_render(self):
+        rejected(
+            "extern fun fetch() : number is state\n"
+            "page start()\n  render\n    post fetch()\n",
+            "cannot be called from",
+        )
+
+    def test_pure_extern_callable_from_render(self):
+        check(
+            "extern fun f(x : number) : number is pure\n"
+            "page start()\n  render\n    post f(1)\n"
+        )
+
+
+class TestLocals:
+    def test_var_shadowing_global_rejected(self):
+        rejected(
+            "global g : number = 0\n"
+            "page start()\n  render\n    var g := 1\n    post g\n",
+            "shadow",
+        )
+
+    def test_double_declaration_rejected(self):
+        rejected(
+            "page start()\n  render\n    var x := 1\n    var x := 2\n"
+        )
+
+    def test_assignment_type_must_match(self):
+        rejected(
+            'page start()\n  render\n    var x := 1\n    x := "two"\n'
+        )
+
+    def test_loop_variable_immutable(self):
+        rejected(
+            "page start()\n  render\n    for i = 1 to 3 do\n"
+            "      i := 5\n",
+            "immutable",
+        )
+
+    def test_parameter_immutable(self):
+        rejected(
+            START + "fun f(x : number)\n  x := 1\n", "immutable"
+        )
+
+    def test_handler_cannot_assign_enclosing_local(self):
+        """Handlers capture by value; assigning a copy is rejected."""
+        rejected(
+            "page start()\n  render\n    var x := 1\n    boxed\n"
+            "      post x\n      on tap do\n        x := 2\n",
+            "immutable",
+        )
+
+    def test_undefined_variable(self):
+        rejected("page start()\n  render\n    post ghost\n", "undefined")
+
+    def test_block_scoping(self):
+        rejected(
+            "page start()\n  render\n    if 1 then\n      var x := 1\n"
+            "    post x\n",
+            "undefined",
+        )
+
+
+class TestExpressions:
+    def test_record_construction_and_field_access(self):
+        check(
+            "record p\n  x : number\n" + START
+            + "fun f() : number\n  var v := p(3)\n  return v.x\n"
+        )
+
+    def test_record_constructor_arity(self):
+        rejected(
+            "record p\n  x : number\n" + START
+            + "fun f() : p\n  return p(1, 2)\n"
+        )
+
+    def test_field_access_on_non_record(self):
+        rejected(START + "fun f() : number\n  return 1.x\n", "non-record")
+
+    def test_unknown_field(self):
+        rejected(
+            "record p\n  x : number\n" + START
+            + "fun f(v : p) : number\n  return v.y\n",
+            "no field",
+        )
+
+    def test_concat_coerces_numbers(self):
+        check(START + 'fun f() : string\n  return "n=" || 42\n')
+
+    def test_concat_rejects_records(self):
+        rejected(
+            "record p\n  x : number\n" + START
+            + 'fun f(v : p) : string\n  return "" || v\n'
+        )
+
+    def test_equality_needs_same_types(self):
+        rejected(START + 'fun f() : number\n  return 1 == "1"\n')
+
+    def test_arith_needs_numbers(self):
+        rejected(START + 'fun f() : number\n  return 1 + "2"\n')
+
+    def test_list_literal_homogeneous(self):
+        rejected(START + 'fun f() : list number\n  return [1, "2"]\n')
+
+    def test_empty_list_needs_nil(self):
+        rejected(
+            START + "fun f() : list number\n  return []\n", "nil"
+        )
+
+    def test_list_builtins(self):
+        check(
+            START
+            + "fun f() : number\n  var xs := [1, 2, 3]\n"
+            + "  return length(xs) + get(xs, 0)\n"
+        )
+
+    def test_builtin_arity(self):
+        rejected(START + "fun f() : number\n  return floor(1, 2)\n")
+
+    def test_unknown_function(self):
+        rejected(START + "fun f() : number\n  return zorp(1)\n", "unknown")
+
+
+class TestStatements:
+    def test_return_must_be_last(self):
+        rejected(
+            START + "fun f() : number\n  return 1\n  post 2\n",
+            "final statement",
+        )
+
+    def test_missing_return_for_nonunit(self):
+        rejected(
+            START + "fun f() : number\n  var x := 1\n",
+            "must end with 'return'",
+        )
+
+    def test_return_type_mismatch(self):
+        rejected(START + 'fun f() : number\n  return "one"\n')
+
+    def test_return_in_page_rejected(self):
+        rejected(
+            "page start()\n  render\n    return 1\n",
+            "function bodies",
+        )
+
+    def test_for_in_requires_list(self):
+        rejected(
+            "page start()\n  render\n    for x in 5 do\n      post x\n",
+            "needs a list",
+        )
+
+    def test_condition_must_be_number(self):
+        rejected(
+            'page start()\n  render\n    if "yes" then\n      post 1\n'
+        )
+
+    def test_push_arity_and_types(self):
+        source = (
+            "page start()\n  render\n    boxed\n      on tap do\n"
+            "        push detail(1)\n"
+            "page detail(a : number, b : number)\n  render\n    post a\n"
+        )
+        rejected(source, "argument")
+
+    def test_attr_value_types(self):
+        rejected(
+            'page start()\n  render\n    box.margin := "wide"\n'
+        )
+
+    def test_handlers_not_assignable_as_attrs(self):
+        rejected(
+            "page start()\n  render\n    box.ontap := 1\n",
+            "on tap do",
+        )
+
+    def test_global_initializer_must_be_constant(self):
+        rejected(
+            "global g : number = 1 + 2\n" + START, "constant"
+        )
+
+    def test_global_initializer_type(self):
+        rejected('global g : number = "one"\n' + START)
+
+    def test_start_page_cannot_take_parameters(self):
+        rejected(
+            "page start(n : number)\n  render\n    post n\n",
+            "start",
+        )

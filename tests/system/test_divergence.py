@@ -1,0 +1,54 @@
+"""Divergent user code at the system level.
+
+"The execution of user code may of course diverge" (Section 4.2) — the
+model accepts this (the system simply never reaches a stable state); the
+implementation bounds it with fuel so the live environment can report it
+instead of freezing.
+"""
+
+import pytest
+
+from repro.core.errors import EvalError, FuelExhausted
+from repro.surface.compile import compile_source
+from repro.system.runtime import Runtime
+
+SPINNER = (
+    "global n : number = 0\n"
+    "page start()\n  render\n    boxed\n      post \"spin\"\n"
+    "      on tap do\n        spin()\n"
+    "fun spin()\n  var i := 0\n  while true do\n    i := i + 1\n"
+)
+
+
+def runtime(fault_policy="raise", fuel=None):
+    compiled = compile_source(SPINNER)
+    rt = Runtime(
+        compiled.code, natives=compiled.natives, fault_policy=fault_policy
+    )
+    if fuel is not None:
+        # Shrink the budget so the test is instant.
+        original = rt.system._evaluator.run_state
+
+        def limited(store, queue, expr, fuel=fuel):
+            return original(store, queue, expr, fuel=fuel)
+
+        rt.system._evaluator.run_state = limited
+    return rt.start()
+
+
+class TestDivergence:
+    def test_divergent_handler_exhausts_fuel(self):
+        rt = runtime(fuel=20_000)
+        with pytest.raises(FuelExhausted):
+            rt.tap_text("spin")
+
+    def test_fuel_exhaustion_is_a_recordable_fault(self):
+        rt = runtime(fault_policy="record", fuel=20_000)
+        rt.tap_text("spin")
+        assert rt.faults
+        assert isinstance(rt.faults[0].error, FuelExhausted)
+        # The environment survives its user's infinite loop.
+        assert rt.contains_text("spin")
+
+    def test_fuel_exhausted_is_an_eval_error(self):
+        assert issubclass(FuelExhausted, EvalError)

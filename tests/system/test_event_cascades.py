@@ -1,0 +1,150 @@
+"""Event cascades: transitions that enqueue more events (Section 4.2).
+
+"Some of these transitions can enqueue more events onto the queue (for
+example, executing a push or pop expression in user code enqueues a push
+or pop event)."
+"""
+
+import pytest
+
+from helpers import page_code, render_lam, seq, state_lam
+from repro.core import ast
+from repro.core.defs import Code, GlobalDef, PageDef
+from repro.core.effects import RENDER, STATE
+from repro.core.types import NUMBER, UNIT
+from repro.system.transitions import System
+
+
+def page(name, init_body=None, render_body=None, arg_type=UNIT):
+    return PageDef(
+        name,
+        arg_type,
+        ast.Lam("a", arg_type,
+                init_body if init_body is not None else ast.UNIT_VALUE,
+                STATE),
+        ast.Lam("a", arg_type,
+                render_body if render_body is not None else ast.UNIT_VALUE,
+                RENDER),
+    )
+
+
+class TestInitCascades:
+    def test_init_pushing_another_page(self):
+        """start's init pushes a splash page: both land on the stack, and
+        the display shows the page pushed LAST."""
+        code = Code(
+            [
+                page(
+                    "start",
+                    init_body=ast.Push("splash", ast.UNIT_VALUE),
+                    render_body=ast.Post(ast.Str("start")),
+                ),
+                page("splash", render_body=ast.Post(ast.Str("splash"))),
+            ]
+        )
+        system = System(code)
+        system.run_to_stable()
+        assert [n for n, _ in system.state.stack.entries()] == [
+            "start", "splash",
+        ]
+        leaves = [
+            leaf for _p, box in system.display.walk()
+            for leaf in box.leaves()
+        ]
+        assert leaves == [ast.Str("splash")]
+
+    def test_init_popping_itself(self):
+        """init runs pop: the page is pushed, then popped — and with the
+        stack empty again, STARTUP re-boots (an init-pop loop is caught
+        by the transition bound)."""
+        code = Code([page("start", init_body=ast.Pop())])
+        system = System(code)
+        from repro.core.errors import SystemError_
+
+        with pytest.raises(SystemError_):
+            system.run_to_stable(max_transitions=50)
+
+    def test_chained_inits(self):
+        """A 3-deep push chain processes strictly FIFO."""
+        code = Code(
+            [
+                page("start", init_body=ast.Push("a", ast.UNIT_VALUE)),
+                page("a", init_body=ast.Push("b", ast.UNIT_VALUE)),
+                page("b", render_body=ast.Post(ast.Str("leaf"))),
+            ]
+        )
+        system = System(code)
+        system.run_to_stable()
+        assert [n for n, _ in system.state.stack.entries()] == [
+            "start", "a", "b",
+        ]
+        rules = [t.rule for t in system.trace]
+        assert rules == ["STARTUP", "PUSH", "PUSH", "PUSH", "RENDER"]
+
+
+class TestHandlerCascades:
+    def _tappable(self, body):
+        handler = ast.Lam("u", UNIT, body, STATE)
+        return page_code(
+            seq(RENDER, ast.Boxed(ast.SetAttr("ontap", handler), box_id=1)),
+            globals_=[GlobalDef("n", NUMBER, ast.Num(0))],
+        )
+
+    def test_handler_pushing_twice(self):
+        detail = page("detail", render_body=ast.Post(ast.Str("detail")),
+                      arg_type=UNIT)
+        handler_body = seq(
+            STATE,
+            ast.Push("detail", ast.UNIT_VALUE),
+            ast.Push("detail", ast.UNIT_VALUE),
+        )
+        handler = ast.Lam("u", UNIT, handler_body, STATE)
+        code = page_code(
+            seq(RENDER, ast.Boxed(ast.SetAttr("ontap", handler), box_id=1)),
+            extra_defs=[detail],
+        )
+        system = System(code)
+        system.run_to_stable()
+        system.tap((0,))
+        system.run_to_stable()
+        assert [n for n, _ in system.state.stack.entries()] == [
+            "start", "detail", "detail",
+        ]
+
+    def test_handler_mixing_writes_and_navigation(self):
+        body = seq(
+            STATE,
+            ast.GlobalWrite("n", ast.Num(7)),
+            ast.Pop(),
+            ast.GlobalWrite("n", ast.Num(9)),
+        )
+        code = self._tappable(body)
+        system = System(code)
+        system.run_to_stable()
+        system.tap((0,))
+        system.run_to_stable()
+        # Both writes landed (the pop is an *event*, processed after the
+        # whole handler finishes), then the pop rebooted us to start.
+        assert system.state.store.lookup("n") == ast.Num(9)
+        assert system.state.stack.top()[0] == "start"
+
+    def test_events_processed_before_render(self):
+        """The display is only rebuilt once the queue drains: no flicker
+        of intermediate states."""
+        detail = page("detail", render_body=ast.Post(ast.Str("detail")))
+        handler = ast.Lam(
+            "u", UNIT, ast.Push("detail", ast.UNIT_VALUE), STATE
+        )
+        code = page_code(
+            seq(RENDER, ast.Boxed(ast.SetAttr("ontap", handler), box_id=1)),
+            extra_defs=[detail],
+        )
+        system = System(code)
+        system.run_to_stable()
+        system.tap((0,))
+        renders_before = sum(
+            1 for t in system.trace if t.rule == "RENDER"
+        )
+        system.run_to_stable()
+        renders_after = sum(1 for t in system.trace if t.rule == "RENDER")
+        assert renders_after - renders_before == 1

@@ -1,0 +1,79 @@
+"""Events q and the queue Q (Fig. 7): FIFO with the paper's orientation."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.effects import STATE
+from repro.core.errors import ReproError
+from repro.core.types import UNIT
+from repro.system.events import EventQueue, ExecEvent, PopEvent, PushEvent
+
+THUNK = ast.Lam("u", UNIT, ast.UNIT_VALUE, STATE)
+
+
+class TestEvents:
+    def test_exec_requires_value(self):
+        with pytest.raises(ReproError):
+            ExecEvent(ast.GlobalRead("g"))
+
+    def test_push_requires_value_argument(self):
+        with pytest.raises(ReproError):
+            PushEvent("p", ast.GlobalRead("g"))
+
+    def test_str_forms(self):
+        assert str(ExecEvent(THUNK)) == "[exec v]"
+        assert str(PushEvent("detail", ast.Num(1))) == "[push detail v]"
+        assert str(PopEvent()) == "[pop]"
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        """Enqueue left, dequeue right: first enqueued, first handled."""
+        queue = EventQueue()
+        queue.enqueue(PushEvent("a", ast.UNIT_VALUE))
+        queue.enqueue(PopEvent())
+        assert isinstance(queue.dequeue(), PushEvent)
+        assert isinstance(queue.dequeue(), PopEvent)
+
+    def test_events_snapshot_left_to_right(self):
+        queue = EventQueue()
+        queue.enqueue(PopEvent())
+        queue.enqueue(PushEvent("a", ast.UNIT_VALUE))
+        kinds = [type(e).__name__ for e in queue.events()]
+        # Newest on the left, exactly like the paper writes "[q] Q".
+        assert kinds == ["PushEvent", "PopEvent"]
+
+    def test_peek_is_next_dequeued(self):
+        queue = EventQueue()
+        queue.enqueue(PopEvent())
+        queue.enqueue(PushEvent("a", ast.UNIT_VALUE))
+        assert queue.peek() is queue.dequeue()
+
+    def test_empty_behaviour(self):
+        queue = EventQueue()
+        assert queue.is_empty() and queue.peek() is None
+        with pytest.raises(ReproError):
+            queue.dequeue()
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.enqueue(PopEvent())
+        queue.clear()
+        assert queue.is_empty()
+
+    def test_copy_is_independent(self):
+        queue = EventQueue()
+        queue.enqueue(PopEvent())
+        copy = queue.copy()
+        copy.dequeue()
+        assert len(queue) == 1 and len(copy) == 0
+
+    def test_only_events_accepted(self):
+        with pytest.raises(ReproError):
+            EventQueue().enqueue("pop")
+
+    def test_equality(self):
+        a, b = EventQueue(), EventQueue()
+        a.enqueue(PopEvent())
+        b.enqueue(PopEvent())
+        assert a == b

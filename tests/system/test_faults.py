@@ -1,0 +1,90 @@
+"""Runtime faults: what happens when user code traps (division by zero…).
+
+The paper does not formalize partial operations; a usable live system
+still needs a story.  Ours: under the default ``"raise"`` policy faults
+propagate (deterministic for tests); under ``"record"`` the environment
+stays live — event faults are logged and the queue keeps draining, render
+faults show an error screen instead of looping.
+"""
+
+import pytest
+
+from repro.core import ast
+from repro.core.errors import EvalError, ReproError
+from repro.surface.compile import compile_source
+from repro.system.runtime import Runtime
+
+CRASHY_HANDLER = (
+    "global d : number = 1\n"
+    "page start()\n  render\n    boxed\n      post \"n = \" || 10 / d\n"
+    "      on tap do\n        d := 0\n"
+    "    boxed\n      post \"crash\"\n"
+    "      on tap do\n        d := 1 / 0\n"
+    "    boxed\n      post \"fix\"\n"
+    "      on tap do\n        d := 2\n"
+)
+
+
+def runtime(fault_policy="raise"):
+    compiled = compile_source(CRASHY_HANDLER)
+    return Runtime(
+        compiled.code, natives=compiled.natives, fault_policy=fault_policy
+    ).start()
+
+
+class TestRaisePolicy:
+    def test_handler_fault_propagates(self):
+        rt = runtime("raise")
+        with pytest.raises(EvalError):
+            rt.tap_text("crash")
+
+    def test_policy_validated(self):
+        compiled = compile_source(CRASHY_HANDLER)
+        with pytest.raises(ReproError):
+            Runtime(compiled.code, fault_policy="explode")
+
+
+class TestRecordPolicy:
+    def test_handler_fault_recorded_and_system_lives(self):
+        rt = runtime("record")
+        rt.tap_text("crash")
+        assert len(rt.faults) == 1
+        assert rt.faults[0].during == "EVENT"
+        # Still alive and interactive:
+        rt.tap_text("fix")
+        assert rt.contains_text("n = 5")
+        assert len(rt.faults) == 1
+
+    def test_render_fault_shows_error_screen(self):
+        rt = runtime("record")
+        rt.tap_text("n = 10")  # sets d := 0 → render divides by zero
+        assert any(fault.during == "RENDER" for fault in rt.faults)
+        assert rt.contains_text("runtime fault while rendering:")
+
+    def test_recovery_after_render_fault(self):
+        rt = runtime("record")
+        rt.tap_text("n = 10")  # breaks rendering
+        # The error screen has no handlers — recovery goes through a
+        # live code update (the programmer fixes the bug).
+        compiled = compile_source(CRASHY_HANDLER)
+        rt.update_code(compiled.code, natives=compiled.natives)
+        # d is still 0 in the model, so rendering faults again — but the
+        # environment is still alive and showing the error screen.
+        assert rt.contains_text("runtime fault while rendering:")
+
+    def test_partial_execution_is_kept(self):
+        """Faults keep the store exactly as far as evaluation got — the
+        small-step semantics has no transactions."""
+        source = (
+            "global a : number = 0\n"
+            "global b : number = 0\n"
+            "page start()\n  render\n    boxed\n      post \"go\"\n"
+            "      on tap do\n        a := 1\n        b := 1 / 0\n"
+        )
+        compiled = compile_source(source)
+        rt = Runtime(
+            compiled.code, natives=compiled.natives, fault_policy="record"
+        ).start()
+        rt.tap_text("go")
+        assert rt.global_value("a") == ast.Num(1)   # executed
+        assert rt.global_value("b") == ast.Num(0)   # never reached

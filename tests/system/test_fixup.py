@@ -1,0 +1,164 @@
+"""The Fig. 12 fix-up relations: C' : S ▷ S' and C' : P ▷ P'."""
+
+import pytest
+
+from helpers import page_code, render_lam, state_lam
+from repro.core import ast
+from repro.core.defs import Code, GlobalDef, PageDef
+from repro.core.effects import RENDER, STATE
+from repro.core.types import NUMBER, STRING, UNIT, list_of, tuple_of
+from repro.system.fixup import fixup, fixup_stack, fixup_store
+from repro.system.state import PageStack, Store
+
+
+def code_with(globals_=(), pages=()):
+    defs = list(globals_)
+    defs.append(
+        PageDef(
+            "start", UNIT, state_lam(ast.UNIT_VALUE),
+            render_lam(ast.UNIT_VALUE),
+        )
+    )
+    defs.extend(pages)
+    return Code(defs)
+
+
+def number_page(name):
+    return PageDef(
+        name,
+        NUMBER,
+        ast.Lam("a", NUMBER, ast.UNIT_VALUE, STATE),
+        ast.Lam("a", NUMBER, ast.UNIT_VALUE, RENDER),
+    )
+
+
+class TestStoreFixup:
+    def test_s_okay_keeps_well_typed_entries(self):
+        new_code = code_with([GlobalDef("g", NUMBER, ast.Num(0))])
+        store = Store()
+        store.assign("g", ast.Num(42))
+        fixed, report = fixup_store(new_code, store)
+        assert fixed.lookup("g") == ast.Num(42)
+        assert report.clean
+
+    def test_s_skip_deleted_global(self):
+        new_code = code_with()  # g no longer declared
+        store = Store()
+        store.assign("g", ast.Num(42))
+        fixed, report = fixup_store(new_code, store)
+        assert "g" not in fixed
+        assert report.dropped_globals == ["g"]
+
+    def test_s_skip_type_changed(self):
+        """The paper's radical rule: 'it just deletes whatever does not
+        type' — so the global reverts to its new initial value."""
+        new_code = code_with([GlobalDef("g", STRING, ast.Str("fresh"))])
+        store = Store()
+        store.assign("g", ast.Num(42))
+        fixed, _report = fixup_store(new_code, store)
+        assert "g" not in fixed  # EP-GLOBAL-2 now yields "fresh"
+
+    def test_subtype_shaped_values_survive_structural_change(self):
+        new_type = tuple_of(NUMBER, STRING)
+        new_code = code_with(
+            [GlobalDef("g", new_type, ast.Tuple((ast.Num(0), ast.Str(""))))]
+        )
+        store = Store()
+        store.assign("g", ast.Tuple((ast.Num(1), ast.Str("a"))))
+        fixed, _ = fixup_store(new_code, store)
+        assert "g" in fixed
+
+    def test_list_entries(self):
+        new_code = code_with(
+            [GlobalDef("g", list_of(NUMBER), ast.ListLit((), NUMBER))]
+        )
+        store = Store()
+        store.assign("g", ast.ListLit((ast.Num(1),), NUMBER))
+        fixed, _ = fixup_store(new_code, store)
+        assert "g" in fixed
+        store2 = Store()
+        store2.assign("g", ast.ListLit((ast.Str("x"),), STRING))
+        fixed2, _ = fixup_store(new_code, store2)
+        assert "g" not in fixed2
+
+    def test_order_preserved(self):
+        new_code = code_with(
+            [
+                GlobalDef("a", NUMBER, ast.Num(0)),
+                GlobalDef("b", NUMBER, ast.Num(0)),
+                GlobalDef("c", NUMBER, ast.Num(0)),
+            ]
+        )
+        store = Store()
+        for name in ("c", "a", "b"):
+            store.assign(name, ast.Num(1))
+        fixed, _ = fixup_store(new_code, store)
+        assert fixed.domain() == ("c", "a", "b")
+
+    def test_input_store_untouched(self):
+        new_code = code_with()
+        store = Store()
+        store.assign("g", ast.Num(1))
+        fixup_store(new_code, store)
+        assert "g" in store
+
+
+class TestStackFixup:
+    def test_p_okay(self):
+        new_code = code_with(pages=[number_page("detail")])
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("detail", ast.Num(3))
+        fixed, report = fixup_stack(new_code, stack)
+        assert [n for n, _ in fixed.entries()] == ["start", "detail"]
+        assert report.clean
+
+    def test_p_skip_deleted_page(self):
+        new_code = code_with()  # detail page gone
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("detail", ast.Num(3))
+        fixed, report = fixup_stack(new_code, stack)
+        assert [n for n, _ in fixed.entries()] == ["start"]
+        assert report.dropped_pages == ["detail"]
+
+    def test_p_skip_argument_type_changed(self):
+        string_detail = PageDef(
+            "detail",
+            STRING,
+            ast.Lam("a", STRING, ast.UNIT_VALUE,
+                    STATE),
+            ast.Lam("a", STRING, ast.UNIT_VALUE,
+                    RENDER),
+        )
+        new_code = code_with(pages=[string_detail])
+        stack = PageStack()
+        stack.push("detail", ast.Num(3))  # number arg, now takes string
+        fixed, _ = fixup_stack(new_code, stack)
+        assert fixed.is_empty()
+
+    def test_middle_of_stack_removable(self):
+        new_code = code_with()
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("ghost", ast.Num(1))
+        stack.push("start", ast.UNIT_VALUE)
+        fixed, _ = fixup_stack(new_code, stack)
+        assert [n for n, _ in fixed.entries()] == ["start", "start"]
+
+
+class TestCombined:
+    def test_fixup_returns_both_plus_report(self):
+        new_code = code_with([GlobalDef("keep", NUMBER, ast.Num(0))])
+        store = Store()
+        store.assign("keep", ast.Num(1))
+        store.assign("drop", ast.Num(2))
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("gone", ast.Num(1))
+        new_store, new_stack, report = fixup(new_code, store, stack)
+        assert "keep" in new_store and "drop" not in new_store
+        assert len(new_stack) == 1
+        assert report.dropped_globals == ["drop"]
+        assert report.dropped_pages == ["gone"]
+        assert not report.clean

@@ -1,0 +1,83 @@
+"""The Runtime facade: user actions, queries, screenshots."""
+
+import pytest
+
+from helpers import counter_core_code
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.system.runtime import Runtime
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, counter_runtime):
+        trace_length = len(counter_runtime.trace)
+        counter_runtime.start()
+        assert len(counter_runtime.trace) == trace_length
+
+    def test_display_before_start_raises(self, counter_code):
+        runtime = Runtime(counter_code)
+        with pytest.raises(ReproError):
+            runtime.display
+
+
+class TestQueries:
+    def test_find_text(self, counter_runtime):
+        assert counter_runtime.find_text("count: 0") == (0,)
+        assert counter_runtime.find_text("missing") is None
+
+    def test_require_text_raises_with_dump(self, counter_runtime):
+        with pytest.raises(ReproError) as caught:
+            counter_runtime.require_text("missing")
+        assert "box#" in str(caught.value)  # includes the display dump
+
+    def test_all_texts(self, counter_runtime):
+        assert counter_runtime.all_texts() == ["count: 0", "reset"]
+
+    def test_contains_text(self, counter_runtime):
+        assert counter_runtime.contains_text("reset")
+        assert not counter_runtime.contains_text("nope")
+
+    def test_find_boxes(self, counter_runtime):
+        tappable = counter_runtime.find_boxes(
+            lambda box: box.has_attr("ontap")
+        )
+        assert [path for path, _ in tappable] == [(0,), (1,)]
+
+    def test_page_and_stack(self, counter_runtime):
+        assert counter_runtime.page_name() == "start"
+        assert counter_runtime.stack_pages() == ("start",)
+
+
+class TestGlobalValue:
+    def test_reads_store_after_assignment(self, counter_runtime):
+        counter_runtime.tap_text("count: 0")
+        assert counter_runtime.global_value("count") == ast.Num(1)
+
+    def test_falls_back_to_initial_value(self, counter_runtime):
+        """Mirrors EP-GLOBAL-2: unassigned globals read their initializer."""
+        assert counter_runtime.global_value("count") == ast.Num(0)
+
+    def test_unknown_global(self, counter_runtime):
+        with pytest.raises(ReproError):
+            counter_runtime.global_value("ghost")
+
+
+class TestActions:
+    def test_tap_text_sequence(self, counter_runtime):
+        counter_runtime.tap_text("count: 0")
+        counter_runtime.tap_text("count: 1")
+        counter_runtime.tap_text("reset")
+        assert counter_runtime.all_texts()[0] == "count: 0"
+
+    def test_actions_chain(self, counter_runtime):
+        result = counter_runtime.tap_text("count: 0").back()
+        assert result is counter_runtime
+
+    def test_update_code_returns_report(self, counter_runtime):
+        report = counter_runtime.update_code(counter_core_code("n: "))
+        assert report.clean
+        assert counter_runtime.all_texts()[0] == "n: 0"
+
+    def test_screenshot_contains_text(self, counter_runtime):
+        shot = counter_runtime.screenshot(width=24)
+        assert "count: 0" in shot and "reset" in shot

@@ -1,0 +1,56 @@
+"""Host services and the virtual clock."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.system.services import Services, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ReproError):
+            VirtualClock().advance(-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(3)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestServices:
+    def test_provide_and_get(self):
+        services = Services()
+        web = object()
+        assert services.provide("web", web) is web
+        assert services.get("web") is web
+        assert services.has("web")
+        assert services.names() == ("web",)
+
+    def test_double_provide_rejected(self):
+        services = Services()
+        services.provide("web", object())
+        with pytest.raises(ReproError):
+            services.provide("web", object())
+
+    def test_missing_service_error_names_it(self):
+        with pytest.raises(ReproError) as caught:
+            Services().get("web")
+        assert "web" in str(caught.value)
+
+    def test_default_clock_attached(self):
+        assert isinstance(Services().clock, VirtualClock)
+
+    def test_custom_clock(self):
+        clock = VirtualClock()
+        clock.advance(5)
+        assert Services(clock=clock).clock.now == 5.0

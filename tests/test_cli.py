@@ -1,0 +1,173 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.cli import main
+
+
+@pytest.fixture
+def counter_file(tmp_path):
+    path = tmp_path / "counter.live"
+    path.write_text(COUNTER)
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestCheck:
+    def test_ok(self, counter_file):
+        status, output = run_cli("check", counter_file)
+        assert status == 0 and "ok" in output
+
+    def test_type_error_listed(self, tmp_path):
+        path = tmp_path / "bad.live"
+        path.write_text(
+            "global g : number = 0\n"
+            "page start()\n  render\n    g := 1\n"
+        )
+        status, output = run_cli("check", str(path))
+        assert status == 1
+        assert "render code can only read" in output
+
+    def test_syntax_error(self, tmp_path):
+        path = tmp_path / "bad.live"
+        path.write_text("page start(\n")
+        status, output = run_cli("check", str(path))
+        assert status == 1 and "syntax error" in output
+
+    def test_missing_file(self):
+        status, output = run_cli("check", "/no/such/file.live")
+        assert status == 1 and "cannot read" in output
+
+
+class TestRun:
+    def test_screenshot(self, counter_file):
+        status, output = run_cli("run", counter_file, "--width", "24")
+        assert status == 0
+        assert "count: 0" in output
+
+    def test_taps_drive_the_app(self, counter_file):
+        status, output = run_cli(
+            "run", counter_file,
+            "--tap", "count: 0", "--tap", "count: 1",
+        )
+        assert status == 0 and "count: 2" in output
+
+    def test_trace(self, counter_file):
+        _status, output = run_cli("run", counter_file, "--trace")
+        assert "STARTUP" in output and "RENDER" in output
+
+    def test_edit_action(self, tmp_path):
+        path = tmp_path / "editable.live"
+        path.write_text(
+            "global apr : number = 4.5\n"
+            "page start()\n  render\n    boxed\n      editable apr\n"
+        )
+        status, output = run_cli(
+            "run", str(path), "--edit", "4.5=6.25"
+        )
+        assert status == 0 and "6.25" in output
+
+
+class TestCompileAndProbe:
+    def test_compile_prints_core(self, counter_file):
+        status, output = run_cli("compile", counter_file)
+        assert status == 0
+        assert "global count : number = 0" in output
+        assert "page start" in output
+
+    def test_compile_mentions_generated_loops(self, tmp_path):
+        path = tmp_path / "loops.live"
+        path.write_text(
+            "page start()\n  render\n    for i = 1 to 3 do\n      post i\n"
+        )
+        _status, output = run_cli("compile", str(path))
+        assert "generated loop functions" in output
+
+    def test_probe_expression(self, counter_file):
+        status, output = run_cli(
+            "probe", counter_file, "count + 41"
+        )
+        assert status == 0 and "41.0" in output
+
+    def test_probe_type_error(self, counter_file):
+        status, output = run_cli("probe", counter_file, '1 + "x"')
+        assert status == 1 and "error" in output
+
+
+class TestHtml:
+    def test_html_to_stdout(self, counter_file):
+        status, output = run_cli("html", counter_file)
+        assert status == 0
+        assert output.startswith("<!DOCTYPE html>")
+
+    def test_html_to_file(self, counter_file, tmp_path):
+        target = tmp_path / "page.html"
+        status, output = run_cli(
+            "html", counter_file, "-o", str(target)
+        )
+        assert status == 0
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestFmt:
+    def test_fmt_to_stdout(self, tmp_path):
+        path = tmp_path / "messy.live"
+        path.write_text("global   g:number=  4\npage start()\n  render\n    post g\n")
+        status, output = run_cli("fmt", str(path))
+        assert status == 0
+        assert output.startswith("global g : number = 4")
+
+    def test_fmt_in_place(self, tmp_path):
+        path = tmp_path / "messy.live"
+        path.write_text("global   g:number=4\npage start()\n  render\n    post g\n")
+        status, _output = run_cli("fmt", str(path), "-i")
+        assert status == 0
+        assert path.read_text().startswith("global g : number = 4")
+
+    def test_fmt_reports_syntax_errors(self, tmp_path):
+        path = tmp_path / "broken.live"
+        path.write_text("page start(\n")
+        status, output = run_cli("fmt", str(path))
+        assert status == 1 and "error" in output
+
+
+class TestSaveResume:
+    def test_round_trip(self, counter_file, tmp_path):
+        image = str(tmp_path / "session.img")
+        status, output = run_cli(
+            "save", counter_file, "--tap", "count: 0", "-o", image
+        )
+        assert status == 0 and "saved image" in output
+        status, output = run_cli("resume", image)
+        assert status == 0 and "count: 1" in output
+
+    def test_resume_with_edited_source(self, counter_file, tmp_path):
+        image = str(tmp_path / "session.img")
+        run_cli("save", counter_file, "--tap", "count: 0", "-o", image)
+        edited = tmp_path / "edited.live"
+        edited.write_text(COUNTER.replace('"count: "', '"taps: "'))
+        status, output = run_cli(
+            "resume", image, "--source", str(edited)
+        )
+        assert status == 0 and "taps: 1" in output
+
+
+class TestWebWiring:
+    def test_mortgage_runs_via_cli(self, tmp_path):
+        from repro.apps.mortgage import BASE_SOURCE
+
+        path = tmp_path / "mortgage.live"
+        path.write_text(BASE_SOURCE)
+        status, output = run_cli(
+            "run", str(path), "--latency", "0.0", "--width", "44"
+        )
+        assert status == 0
+        assert "House" in output and "$" in output

@@ -1,0 +1,61 @@
+"""Package-level checks: public API surface, version, optional tkinter."""
+
+import importlib
+
+import pytest
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_from_docstring(self):
+        """The module docstring's quickstart must actually work."""
+        from repro import LiveSession
+        from repro.apps.counter import SOURCE
+
+        session = LiveSession(SOURCE)
+        session.tap_text("count: 0")
+        session.replace_text('"count: "', '"n = "')
+        assert "n = 1" in session.screenshot()
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.typing",
+            "repro.eval",
+            "repro.boxes",
+            "repro.system",
+            "repro.render",
+            "repro.surface",
+            "repro.live",
+            "repro.apps",
+            "repro.baselines",
+            "repro.metatheory",
+            "repro.stdlib",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+
+class TestOptionalTk:
+    def test_module_imports_without_tkinter(self):
+        """ui_tk must be importable headlessly; tkinter loads lazily."""
+        import repro.ui_tk as ui_tk
+
+        assert callable(ui_tk.tk_available)
+
+    def test_availability_probe_does_not_raise(self):
+        from repro.ui_tk import tk_available
+
+        assert tk_available() in (True, False)

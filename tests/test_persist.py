@@ -1,0 +1,129 @@
+"""Session images: save, edit-while-suspended, load (= UPDATE on boot)."""
+
+import json
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.core import ast
+from repro.core.errors import ReproError
+from repro.core.types import NUMBER, STRING, TupleType, list_of, tuple_of
+from repro.live.session import LiveSession
+from repro.persist import (
+    FORMAT,
+    load_image,
+    save_image,
+    save_image_text,
+    value_from_data,
+    value_to_data,
+)
+
+
+class TestValueSerialization:
+    CASES = [
+        ast.Num(3.5),
+        ast.Str("hello\nworld"),
+        ast.Tuple((ast.Num(1), ast.Str("a"))),
+        ast.ListLit((ast.Num(1), ast.Num(2)), NUMBER),
+        ast.ListLit((), STRING),
+        ast.ListLit(
+            (ast.Tuple((ast.Str("x"), ast.Num(1))),),
+            tuple_of(STRING, NUMBER),
+        ),
+        ast.UNIT_VALUE,
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_round_trip(self, value):
+        data = value_to_data(value)
+        json.dumps(data)  # must be JSON-clean
+        assert value_from_data(data) == value
+
+    def test_closures_rejected(self):
+        from repro.core.effects import PURE
+
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        with pytest.raises(ReproError):
+            value_to_data(lam)
+
+
+class TestImages:
+    def test_save_load_round_trip(self):
+        session = LiveSession(COUNTER)
+        session.tap_text("count: 0")
+        session.tap_text("count: 1")
+        image = save_image_text(session)
+
+        restored = load_image(image)
+        assert restored.runtime.global_value("count") == ast.Num(2)
+        assert restored.runtime.all_texts()[0] == "count: 2"
+        assert restored.last_restore_report.clean
+
+    def test_page_stack_restored(self):
+        source = (
+            "page start()\n  render\n    boxed\n      post \"go\"\n"
+            "      on tap do\n        push detail(7)\n"
+            "page detail(n : number)\n  render\n    post n\n"
+        )
+        session = LiveSession(source)
+        session.tap_text("go")
+        restored = load_image(save_image(session))
+        assert restored.runtime.page_name() == "detail"
+        assert restored.runtime.all_texts() == ["7"]
+
+    def test_edit_while_suspended_applies_fixup(self):
+        """Loading into changed code IS an update: Fig. 12 decides."""
+        session = LiveSession(COUNTER)
+        session.tap_text("count: 0")
+        image = save_image(session)
+        edited = COUNTER.replace(
+            "global count : number = 0",
+            'global count : string = "fresh"',
+        ).replace("count := count + 1", 'count := "tapped"').replace(
+            "count := 0", 'count := ""'
+        )
+        restored = load_image(image, source=edited)
+        assert restored.last_restore_report.dropped_globals == ["count"]
+        assert restored.runtime.global_value("count") == ast.Str("fresh")
+
+    def test_stack_entries_dropped_with_their_pages(self):
+        source = (
+            "page start()\n  render\n    boxed\n      post \"go\"\n"
+            "      on tap do\n        push detail(7)\n"
+            "page detail(n : number)\n  render\n    post n\n"
+        )
+        session = LiveSession(source)
+        session.tap_text("go")
+        image = save_image(session)
+        without_detail = (
+            "page start()\n  render\n    post \"only start\"\n"
+        )
+        restored = load_image(image, source=without_detail)
+        assert restored.last_restore_report.dropped_pages == ["detail"]
+        assert restored.runtime.page_name() == "start"
+
+    def test_init_not_rerun_for_restored_pages(self):
+        """Restored pages keep their state; init ran in the original
+        session (pushing re-runs it, loading does not)."""
+        source = (
+            "global boots : number = 0\n"
+            "page start()\n  init\n    boots := boots + 1\n"
+            "  render\n    post boots\n"
+        )
+        session = LiveSession(source)
+        assert session.runtime.global_value("boots") == ast.Num(1)
+        restored = load_image(save_image(session))
+        # The restored session booted once itself (boots := 2 during its
+        # own construction) but the restore then re-imposed the saved
+        # store, so the image's value wins.
+        assert restored.runtime.global_value("boots") == ast.Num(1)
+
+    def test_format_guard(self):
+        with pytest.raises(ReproError):
+            load_image({"format": "something-else"})
+
+    def test_image_is_plain_json(self):
+        session = LiveSession(COUNTER)
+        parsed = json.loads(save_image_text(session))
+        assert parsed["format"] == FORMAT
+        assert "source" in parsed

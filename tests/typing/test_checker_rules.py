@@ -1,0 +1,325 @@
+"""Expression typing, rule by rule (Fig. 10).
+
+Each class covers one rule with derivable and non-derivable cases; the
+negative cases also assert the *rule name* in the diagnostic, so the
+checker provably rejects for the right reason.
+"""
+
+import pytest
+
+from repro.core import ast
+from repro.core.defs import Code, FunDef, GlobalDef, PageDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import EffectProblem, TypeProblem
+from repro.core.types import (
+    FunType,
+    NUMBER,
+    STRING,
+    UNIT,
+    fun,
+    list_of,
+    tuple_of,
+)
+from repro.typing.checker import check
+from repro.typing.context import TypeEnv
+
+GLOBAL_G = GlobalDef("g", NUMBER, ast.Num(0))
+FUN_INC = FunDef(
+    "inc",
+    fun(NUMBER, NUMBER, PURE),
+    ast.Lam("x", NUMBER, ast.Prim("add", (ast.Var("x"), ast.Num(1))), PURE),
+)
+PAGE_P = PageDef(
+    "p",
+    NUMBER,
+    ast.Lam("a", NUMBER, ast.UNIT_VALUE, STATE),
+    ast.Lam("a", NUMBER, ast.UNIT_VALUE, RENDER),
+)
+CODE = Code([GLOBAL_G, FUN_INC, PAGE_P])
+
+
+def check_in(expr, effect=PURE, env=None):
+    return check(CODE, expr, effect=effect, env=env)
+
+
+def rejected(expr, effect=PURE, env=None, rule=None, effect_problem=False):
+    expected = EffectProblem if effect_problem else TypeProblem
+    with pytest.raises(expected) as caught:
+        check_in(expr, effect=effect, env=env)
+    if rule is not None:
+        assert caught.value.rule == rule
+    return caught.value
+
+
+class TestLiteralsAndVars:
+    def test_t_int(self):
+        assert check_in(ast.Num(3)) == NUMBER
+
+    def test_t_string(self):
+        assert check_in(ast.Str("x")) == STRING
+
+    def test_t_var(self):
+        env = TypeEnv.empty().extend("x", STRING)
+        assert check_in(ast.Var("x"), env=env) == STRING
+
+    def test_t_var_unbound(self):
+        rejected(ast.Var("x"), rule="T-VAR")
+
+
+class TestTuplesAndProjection:
+    def test_t_tuple(self):
+        expr = ast.Tuple((ast.Num(1), ast.Str("a")))
+        assert check_in(expr) == tuple_of(NUMBER, STRING)
+
+    def test_unit(self):
+        assert check_in(ast.UNIT_VALUE) == UNIT
+
+    def test_t_proj(self):
+        expr = ast.Proj(ast.Tuple((ast.Num(1), ast.Str("a"))), 2)
+        assert check_in(expr) == STRING
+
+    def test_t_proj_out_of_range(self):
+        rejected(
+            ast.Proj(ast.Tuple((ast.Num(1),)), 2), rule="T-PROJ"
+        )
+
+    def test_t_proj_non_tuple(self):
+        rejected(ast.Proj(ast.Num(1), 1), rule="T-PROJ")
+
+
+class TestLambdaAndApplication:
+    def test_t_lam_effect_goes_on_arrow(self):
+        lam = ast.Lam("x", NUMBER, ast.GlobalWrite("g", ast.Var("x")), STATE)
+        assert check_in(lam) == fun(NUMBER, UNIT, STATE)
+
+    def test_t_lam_typable_under_any_outer_effect(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        for effect in (PURE, STATE, RENDER):
+            assert check_in(lam, effect=effect) == fun(NUMBER, NUMBER, PURE)
+
+    def test_t_lam_body_must_type_under_its_effect(self):
+        lam = ast.Lam("x", NUMBER, ast.GlobalWrite("g", ast.Var("x")), PURE)
+        rejected(lam, rule="T-ASSIGN", effect_problem=True)
+
+    def test_t_app(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        assert check_in(ast.App(lam, ast.Num(1))) == NUMBER
+
+    def test_t_app_argument_mismatch(self):
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        rejected(ast.App(lam, ast.Str("no")), rule="T-APP")
+
+    def test_t_app_non_function(self):
+        rejected(ast.App(ast.Num(1), ast.Num(2)), rule="T-APP")
+
+    def test_t_sub_pure_function_usable_anywhere(self):
+        """T-SUB: a pure arrow lifts to the ambient effect."""
+        lam = ast.Lam("x", NUMBER, ast.Var("x"), PURE)
+        for effect in (STATE, RENDER):
+            assert check_in(ast.App(lam, ast.Num(1)), effect=effect) == NUMBER
+
+    def test_stateful_call_rejected_in_render(self):
+        lam = ast.Lam("x", NUMBER, ast.GlobalWrite("g", ast.Var("x")), STATE)
+        rejected(
+            ast.App(lam, ast.Num(1)), effect=RENDER,
+            rule="T-APP", effect_problem=True,
+        )
+
+    def test_render_call_rejected_in_state(self):
+        lam = ast.Lam("x", NUMBER, ast.Post(ast.Var("x")), RENDER)
+        rejected(
+            ast.App(lam, ast.Num(1)), effect=STATE,
+            rule="T-APP", effect_problem=True,
+        )
+
+
+class TestFunAndGlobals:
+    def test_t_fun(self):
+        assert check_in(ast.FunRef("inc")) == fun(NUMBER, NUMBER, PURE)
+
+    def test_t_fun_undefined(self):
+        rejected(ast.FunRef("nope"), rule="T-FUN")
+
+    def test_t_global_read_any_effect(self):
+        for effect in (PURE, STATE, RENDER):
+            assert check_in(ast.GlobalRead("g"), effect=effect) == NUMBER
+
+    def test_t_global_undefined(self):
+        rejected(ast.GlobalRead("nope"), rule="T-GLOBAL")
+
+    def test_t_assign(self):
+        expr = ast.GlobalWrite("g", ast.Num(5))
+        assert check_in(expr, effect=STATE) == UNIT
+
+    def test_t_assign_requires_state(self):
+        """Render code can only READ globals — the paper's core rule."""
+        expr = ast.GlobalWrite("g", ast.Num(5))
+        rejected(expr, effect=RENDER, rule="T-ASSIGN", effect_problem=True)
+        rejected(expr, effect=PURE, rule="T-ASSIGN", effect_problem=True)
+
+    def test_t_assign_type_mismatch(self):
+        rejected(
+            ast.GlobalWrite("g", ast.Str("no")), effect=STATE,
+            rule="T-ASSIGN",
+        )
+
+    def test_t_assign_undefined(self):
+        rejected(
+            ast.GlobalWrite("nope", ast.Num(1)), effect=STATE,
+            rule="T-ASSIGN",
+        )
+
+
+class TestPagesNavigation:
+    def test_t_push(self):
+        expr = ast.Push("p", ast.Num(1))
+        assert check_in(expr, effect=STATE) == UNIT
+
+    def test_t_push_requires_state(self):
+        expr = ast.Push("p", ast.Num(1))
+        rejected(expr, effect=RENDER, rule="T-PUSH", effect_problem=True)
+
+    def test_t_push_argument_type(self):
+        rejected(
+            ast.Push("p", ast.Str("no")), effect=STATE, rule="T-PUSH"
+        )
+
+    def test_t_push_unknown_page(self):
+        rejected(
+            ast.Push("nowhere", ast.Num(1)), effect=STATE, rule="T-PUSH"
+        )
+
+    def test_t_pop(self):
+        assert check_in(ast.Pop(), effect=STATE) == UNIT
+
+    def test_t_pop_requires_state(self):
+        rejected(ast.Pop(), effect=RENDER, rule="T-POP", effect_problem=True)
+
+
+class TestRenderConstructs:
+    def test_t_boxed_passes_body_type_through(self):
+        expr = ast.Boxed(ast.Num(7))
+        assert check_in(expr, effect=RENDER) == NUMBER
+
+    def test_t_boxed_requires_render(self):
+        """Handlers and init code cannot produce boxes."""
+        rejected(
+            ast.Boxed(ast.Num(1)), effect=STATE,
+            rule="T-BOXED", effect_problem=True,
+        )
+        rejected(
+            ast.Boxed(ast.Num(1)), effect=PURE,
+            rule="T-BOXED", effect_problem=True,
+        )
+
+    def test_t_post(self):
+        assert check_in(ast.Post(ast.Str("x")), effect=RENDER) == UNIT
+
+    def test_t_post_accepts_any_type(self):
+        assert check_in(ast.Post(ast.Num(1)), effect=RENDER) == UNIT
+        assert (
+            check_in(ast.Post(ast.Tuple((ast.Num(1),))), effect=RENDER)
+            == UNIT
+        )
+
+    def test_t_post_requires_render(self):
+        rejected(
+            ast.Post(ast.Num(1)), effect=STATE,
+            rule="T-POST", effect_problem=True,
+        )
+
+    def test_t_attr_margin_number(self):
+        expr = ast.SetAttr("margin", ast.Num(2))
+        assert check_in(expr, effect=RENDER) == UNIT
+
+    def test_t_attr_ontap_handler_type(self):
+        handler = ast.Lam("u", UNIT, ast.GlobalWrite("g", ast.Num(1)), STATE)
+        expr = ast.SetAttr("ontap", handler)
+        assert check_in(expr, effect=RENDER) == UNIT
+
+    def test_t_attr_pure_handler_accepted_by_subtyping(self):
+        handler = ast.Lam("u", UNIT, ast.UNIT_VALUE, PURE)
+        assert check_in(ast.SetAttr("ontap", handler), effect=RENDER) == UNIT
+
+    def test_t_attr_render_handler_rejected(self):
+        handler = ast.Lam("u", UNIT, ast.UNIT_VALUE, RENDER)
+        rejected(
+            ast.SetAttr("ontap", handler), effect=RENDER, rule="T-ATTR"
+        )
+
+    def test_t_attr_wrong_value_type(self):
+        rejected(
+            ast.SetAttr("margin", ast.Str("two")), effect=RENDER,
+            rule="T-ATTR",
+        )
+
+    def test_t_attr_unknown_attribute(self):
+        rejected(
+            ast.SetAttr("zorp", ast.Num(1)), effect=RENDER, rule="T-ATTR"
+        )
+
+    def test_t_attr_requires_render(self):
+        rejected(
+            ast.SetAttr("margin", ast.Num(1)), effect=STATE,
+            rule="T-ATTR", effect_problem=True,
+        )
+
+
+class TestExtensions:
+    def test_t_if(self):
+        expr = ast.If(ast.Num(1), ast.Num(2), ast.Num(3))
+        assert check_in(expr) == NUMBER
+
+    def test_t_if_condition_must_be_number(self):
+        rejected(
+            ast.If(ast.Str("no"), ast.Num(1), ast.Num(2)), rule="T-IF"
+        )
+
+    def test_t_if_branch_mismatch(self):
+        rejected(
+            ast.If(ast.Num(1), ast.Num(1), ast.Str("x")), rule="T-IF"
+        )
+
+    def test_t_if_joins_branch_effects(self):
+        pure_thunk = ast.Lam("u", UNIT, ast.UNIT_VALUE, PURE)
+        state_thunk = ast.Lam("u", UNIT, ast.Pop(), STATE)
+        expr = ast.If(ast.Num(1), pure_thunk, state_thunk)
+        assert check_in(expr) == fun(UNIT, UNIT, STATE)
+
+    def test_t_list(self):
+        expr = ast.ListLit((ast.Num(1), ast.Num(2)), NUMBER)
+        assert check_in(expr) == list_of(NUMBER)
+
+    def test_t_list_empty_uses_annotation(self):
+        assert check_in(ast.ListLit((), STRING)) == list_of(STRING)
+
+    def test_t_list_item_mismatch(self):
+        rejected(
+            ast.ListLit((ast.Str("x"),), NUMBER), rule="T-LIST"
+        )
+
+    def test_t_prim(self):
+        expr = ast.Prim("add", (ast.Num(1), ast.Num(2)))
+        assert check_in(expr) == NUMBER
+
+    def test_t_prim_unknown(self):
+        rejected(ast.Prim("zorp", ()), rule="T-PRIM")
+
+    def test_t_prim_arg_mismatch(self):
+        rejected(ast.Prim("add", (ast.Num(1), ast.Str("x"))), rule="T-PRIM")
+
+    def test_t_prim_native_effect_confinement(self):
+        """A state-effect native types under s only."""
+        from repro.core.prims import PrimSig
+        from repro.eval.natives import NativeTable
+
+        natives = NativeTable()
+        natives.register(
+            PrimSig("fetch", (), NUMBER, STATE), lambda services: 1.0
+        )
+        expr = ast.Prim("fetch", ())
+        assert check(CODE, expr, effect=STATE, natives=natives) == NUMBER
+        with pytest.raises(EffectProblem):
+            check(CODE, expr, effect=RENDER, natives=natives)
+        with pytest.raises(EffectProblem):
+            check(CODE, expr, effect=PURE, natives=natives)

@@ -1,0 +1,58 @@
+"""The least-upper-bound used by T-IF (branch-type joins under T-SUB)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.defs import Code
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import TypeProblem
+from repro.core.types import NUMBER, STRING, UNIT, fun, list_of, tuple_of
+from repro.typing.checker import _lub, check
+
+
+class TestLub:
+    def test_equal_types(self):
+        assert _lub(NUMBER, NUMBER) == NUMBER
+        assert _lub(list_of(STRING), list_of(STRING)) == list_of(STRING)
+
+    def test_effect_join_on_arrows(self):
+        pure_fn = fun(UNIT, UNIT, PURE)
+        state_fn = fun(UNIT, UNIT, STATE)
+        assert _lub(pure_fn, state_fn) == state_fn
+        assert _lub(state_fn, pure_fn) == state_fn
+
+    def test_incompatible_effects_fail(self):
+        state_fn = fun(UNIT, UNIT, STATE)
+        render_fn = fun(UNIT, UNIT, RENDER)
+        assert _lub(state_fn, render_fn) is None
+
+    def test_unrelated_base_types_fail(self):
+        assert _lub(NUMBER, STRING) is None
+        assert _lub(tuple_of(NUMBER), tuple_of(STRING)) is None
+
+    def test_nested_arrow_results(self):
+        left = fun(NUMBER, fun(UNIT, UNIT, PURE), PURE)
+        right = fun(NUMBER, fun(UNIT, UNIT, STATE), PURE)
+        joined = _lub(left, right)
+        assert joined == fun(NUMBER, fun(UNIT, UNIT, STATE), PURE)
+
+
+class TestIfUsesLub:
+    def test_branches_with_joinable_arrows(self):
+        code = Code([])
+        expr = ast.If(
+            ast.Num(1),
+            ast.Lam("u", UNIT, ast.UNIT_VALUE, PURE),
+            ast.Lam("u", UNIT, ast.Pop(), STATE),
+        )
+        assert check(code, expr, effect=PURE) == fun(UNIT, UNIT, STATE)
+
+    def test_branches_with_unjoinable_arrows(self):
+        code = Code([])
+        expr = ast.If(
+            ast.Num(1),
+            ast.Lam("u", UNIT, ast.Pop(), STATE),
+            ast.Lam("u", UNIT, ast.Post(ast.Num(1)), RENDER),
+        )
+        with pytest.raises(TypeProblem):
+            check(code, expr, effect=PURE)

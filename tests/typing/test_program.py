@@ -1,0 +1,202 @@
+"""Program typing C ⊢ C (rules T-C-GLOBAL / T-C-FUN / T-C-PAGE / T-SYS)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.defs import Code, FunDef, GlobalDef, PageDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import TypeProblem
+from repro.core.types import NUMBER, STRING, UNIT, fun, tuple_of
+from repro.typing.program import check_code, code_problems, is_well_typed
+
+
+def blank_page(name="start", arg_type=UNIT):
+    return PageDef(
+        name,
+        arg_type,
+        ast.Lam("a", arg_type, ast.UNIT_VALUE, STATE),
+        ast.Lam("a", arg_type, ast.UNIT_VALUE, RENDER),
+    )
+
+
+def rules_of(code):
+    return [problem.rule for problem in code_problems(code)]
+
+
+class TestWellTypedPrograms:
+    def test_minimal(self):
+        assert is_well_typed(Code([blank_page()]))
+
+    def test_full(self):
+        code = Code(
+            [
+                GlobalDef("g", NUMBER, ast.Num(0)),
+                FunDef(
+                    "f",
+                    fun(NUMBER, NUMBER, PURE),
+                    ast.Lam("x", NUMBER, ast.Var("x"), PURE),
+                ),
+                blank_page(),
+                blank_page("detail", NUMBER),
+            ]
+        )
+        assert code_problems(code) == []
+
+    def test_check_code_returns_code(self):
+        code = Code([blank_page()])
+        assert check_code(code) is code
+
+
+class TestTSys:
+    def test_missing_start_page(self):
+        code = Code([blank_page("other")])
+        assert "T-SYS" in rules_of(code)
+
+    def test_start_page_with_argument_rejected(self):
+        """STARTUP pushes [push start ()]; a non-unit start can't boot."""
+        code = Code([blank_page("start", NUMBER)])
+        assert "T-SYS" in rules_of(code)
+
+    def test_empty_program_rejected(self):
+        assert "T-SYS" in rules_of(Code([]))
+
+
+class TestTCGlobal:
+    def test_function_typed_global_rejected(self):
+        handler_type = fun(UNIT, UNIT, STATE)
+        bad = GlobalDef(
+            "h", handler_type, ast.Lam("u", UNIT, ast.UNIT_VALUE, STATE)
+        )
+        code = Code([bad, blank_page()])
+        assert "T-C-GLOBAL" in rules_of(code)
+
+    def test_function_nested_in_tuple_rejected(self):
+        nested = tuple_of(NUMBER, fun(UNIT, UNIT, STATE))
+        bad = GlobalDef(
+            "h",
+            nested,
+            ast.Tuple(
+                (ast.Num(1), ast.Lam("u", UNIT, ast.UNIT_VALUE, STATE))
+            ),
+        )
+        assert not is_well_typed(Code([bad, blank_page()]))
+
+    def test_init_value_type_mismatch(self):
+        bad = GlobalDef("g", NUMBER, ast.Str("zero"))
+        code = Code([bad, blank_page()])
+        assert "T-C-GLOBAL" in rules_of(code)
+
+
+class TestTCFun:
+    def test_body_must_match_declared_type(self):
+        bad = FunDef(
+            "f",
+            fun(NUMBER, STRING, PURE),
+            ast.Lam("x", NUMBER, ast.Var("x"), PURE),
+        )
+        code = Code([bad, blank_page()])
+        assert "T-C-FUN" in rules_of(code)
+
+    def test_pure_body_satisfies_stateful_declaration(self):
+        """T-SUB at the definition level: p ⊑ s."""
+        definition = FunDef(
+            "f",
+            fun(NUMBER, NUMBER, STATE),
+            ast.Lam("x", NUMBER, ast.Var("x"), PURE),
+        )
+        assert is_well_typed(Code([definition, blank_page()]))
+
+    def test_stateful_body_fails_pure_declaration(self):
+        g = GlobalDef("g", NUMBER, ast.Num(0))
+        bad = FunDef(
+            "f",
+            fun(NUMBER, UNIT, PURE),
+            ast.Lam("x", NUMBER, ast.GlobalWrite("g", ast.Var("x")), STATE),
+        )
+        assert not is_well_typed(Code([g, bad, blank_page()]))
+
+    def test_recursion_types(self):
+        """Loops are recursion through global functions (Section 4.1)."""
+        body = ast.Lam(
+            "n",
+            NUMBER,
+            ast.If(
+                ast.Prim("le", (ast.Var("n"), ast.Num(0))),
+                ast.Num(0),
+                ast.App(
+                    ast.FunRef("down"),
+                    ast.Prim("sub", (ast.Var("n"), ast.Num(1))),
+                ),
+            ),
+            PURE,
+        )
+        rec = FunDef("down", fun(NUMBER, NUMBER, PURE), body)
+        assert is_well_typed(Code([rec, blank_page()]))
+
+
+class TestTCPage:
+    def test_function_typed_page_argument_rejected(self):
+        handler_type = fun(UNIT, UNIT, STATE)
+        bad = PageDef(
+            "p",
+            handler_type,
+            ast.Lam("a", handler_type, ast.UNIT_VALUE, STATE),
+            ast.Lam("a", handler_type, ast.UNIT_VALUE, RENDER),
+        )
+        code = Code([blank_page(), bad])
+        assert "T-C-PAGE" in rules_of(code)
+
+    def test_init_body_with_render_effect_rejected(self):
+        bad = PageDef(
+            "start",
+            UNIT,
+            ast.Lam("a", UNIT, ast.Post(ast.Num(1)), RENDER),
+            ast.Lam("a", UNIT, ast.UNIT_VALUE, RENDER),
+        )
+        assert not is_well_typed(Code([bad]))
+
+    def test_render_body_with_state_effect_rejected(self):
+        g = GlobalDef("g", NUMBER, ast.Num(0))
+        bad = PageDef(
+            "start",
+            UNIT,
+            ast.Lam("a", UNIT, ast.UNIT_VALUE, STATE),
+            ast.Lam("a", UNIT, ast.GlobalWrite("g", ast.Num(1)), STATE),
+        )
+        assert not is_well_typed(Code([g, bad]))
+
+    def test_render_body_wrong_result_type(self):
+        bad = PageDef(
+            "start",
+            UNIT,
+            ast.Lam("a", UNIT, ast.UNIT_VALUE, STATE),
+            ast.Lam("a", UNIT, ast.Num(7), RENDER),
+        )
+        assert not is_well_typed(Code([bad]))
+
+
+class TestNamespaces:
+    def test_native_shadowing_rejected(self):
+        from repro.core.prims import PrimSig
+        from repro.eval.natives import NativeTable
+
+        natives = NativeTable()
+        natives.register(PrimSig("fetch", (), NUMBER, STATE), lambda s: 1.0)
+        clash = GlobalDef("fetch", NUMBER, ast.Num(0))
+        problems = code_problems(Code([clash, blank_page()]), natives)
+        assert any("shadows" in str(p) for p in problems)
+
+    def test_builtin_operator_shadowing_rejected(self):
+        clash = GlobalDef("add", NUMBER, ast.Num(0))
+        problems = code_problems(Code([clash, blank_page()]))
+        assert any("shadows" in str(p) for p in problems)
+
+    def test_all_problems_collected(self):
+        code = Code(
+            [
+                GlobalDef("a", NUMBER, ast.Str("no")),
+                GlobalDef("b", NUMBER, ast.Str("no")),
+            ]
+        )
+        problems = code_problems(code)
+        assert len(problems) >= 3  # two bad globals + missing start page

@@ -1,0 +1,159 @@
+"""System-state typing ⊢ σ (Fig. 11): display, store, stack, queue."""
+
+import pytest
+
+from repro.boxes.tree import Box, STALE, make_root
+from repro.core import ast
+from repro.core.defs import Code, GlobalDef, PageDef
+from repro.core.effects import PURE, RENDER, STATE
+from repro.core.errors import TypeProblem
+from repro.core.types import NUMBER, STRING, UNIT
+from repro.system.events import EventQueue, ExecEvent, PopEvent, PushEvent
+from repro.system.state import PageStack, Store, SystemState
+from repro.typing.state import (
+    check_system,
+    display_problems,
+    queue_problems,
+    stack_problems,
+    store_problems,
+    system_problems,
+)
+
+
+def blank_page(name="start", arg_type=UNIT):
+    return PageDef(
+        name,
+        arg_type,
+        ast.Lam("a", arg_type, ast.UNIT_VALUE, STATE),
+        ast.Lam("a", arg_type, ast.UNIT_VALUE, RENDER),
+    )
+
+
+CODE = Code(
+    [
+        GlobalDef("g", NUMBER, ast.Num(0)),
+        blank_page(),
+        blank_page("detail", NUMBER),
+    ]
+)
+
+STATE_HANDLER = ast.Lam("u", UNIT, ast.UNIT_VALUE, STATE)
+
+
+class TestDisplayTyping:
+    def test_stale_display_types(self):
+        """T-D-INV: ⊥ is always well-typed."""
+        assert display_problems(CODE, STALE) == []
+
+    def test_content_and_attrs(self):
+        root = make_root()
+        root.append_leaf(ast.Str("hello"))
+        child = Box(box_id=1)
+        child.append_attr("margin", ast.Num(2))
+        child.append_attr("ontap", STATE_HANDLER)
+        root.append_child(child)
+        assert display_problems(CODE, root.freeze()) == []
+
+    def test_bad_attribute_value(self):
+        root = make_root()
+        root.append_attr("margin", ast.Str("two"))
+        problems = display_problems(CODE, root.freeze())
+        assert problems and problems[0].rule == "T-B-ATTR"
+
+    def test_render_effect_handler_rejected(self):
+        root = make_root()
+        root.append_attr(
+            "ontap", ast.Lam("u", UNIT, ast.UNIT_VALUE, RENDER)
+        )
+        assert display_problems(CODE, root.freeze())
+
+    def test_unknown_attribute(self):
+        root = make_root()
+        root.append_attr("zorp", ast.Num(1))
+        assert display_problems(CODE, root.freeze())
+
+
+class TestStoreTyping:
+    def test_entries_type(self):
+        store = Store()
+        store.assign("g", ast.Num(5))
+        assert store_problems(CODE, store) == []
+
+    def test_strict_requires_declaration(self):
+        store = Store()
+        store.assign("phantom", ast.Num(1))
+        assert store_problems(CODE, store, strict=False) == []
+        assert store_problems(CODE, store, strict=True)
+
+    def test_strict_requires_declared_type(self):
+        store = Store()
+        store.assign("g", ast.Str("five"))
+        problems = store_problems(CODE, store, strict=True)
+        assert problems and problems[0].rule == "T-S-ENTRY"
+
+
+class TestStackTyping:
+    def test_well_typed_entries(self):
+        stack = PageStack()
+        stack.push("start", ast.UNIT_VALUE)
+        stack.push("detail", ast.Num(3))
+        assert stack_problems(CODE, stack) == []
+
+    def test_unknown_page(self):
+        stack = PageStack()
+        stack.push("ghost", ast.UNIT_VALUE)
+        problems = stack_problems(CODE, stack)
+        assert problems and problems[0].rule == "T-R-ENTRY"
+
+    def test_argument_type_mismatch(self):
+        stack = PageStack()
+        stack.push("detail", ast.Str("no"))
+        assert stack_problems(CODE, stack)
+
+
+class TestQueueTyping:
+    def test_all_event_kinds(self):
+        queue = EventQueue()
+        queue.enqueue(ExecEvent(STATE_HANDLER))
+        queue.enqueue(PushEvent("detail", ast.Num(1)))
+        queue.enqueue(PopEvent())
+        assert queue_problems(CODE, queue) == []
+
+    def test_exec_thunk_must_be_unit_to_unit_state(self):
+        queue = EventQueue()
+        queue.enqueue(ExecEvent(ast.Lam("x", NUMBER, ast.Var("x"), PURE)))
+        problems = queue_problems(CODE, queue)
+        assert problems and problems[0].rule == "T-Q-EXEC"
+
+    def test_pure_thunk_accepted_by_subtyping(self):
+        queue = EventQueue()
+        queue.enqueue(ExecEvent(ast.Lam("u", UNIT, ast.UNIT_VALUE, PURE)))
+        assert queue_problems(CODE, queue) == []
+
+    def test_push_to_unknown_page(self):
+        queue = EventQueue()
+        queue.enqueue(PushEvent("ghost", ast.Num(1)))
+        problems = queue_problems(CODE, queue)
+        assert problems and problems[0].rule == "T-Q-PUSH"
+
+    def test_push_argument_mismatch(self):
+        queue = EventQueue()
+        queue.enqueue(PushEvent("detail", ast.Str("no")))
+        assert queue_problems(CODE, queue)
+
+
+class TestWholeState:
+    def test_initial_state_types(self):
+        state = SystemState.initial(CODE)
+        assert system_problems(state) == []
+        assert check_system(state) is state
+
+    def test_check_system_raises_first(self):
+        state = SystemState.initial(CODE)
+        state.stack.push("ghost", ast.UNIT_VALUE)
+        with pytest.raises(TypeProblem):
+            check_system(state)
+
+    def test_code_problems_included(self):
+        state = SystemState.initial(Code([]))  # no start page
+        assert any(p.rule == "T-SYS" for p in system_problems(state))
