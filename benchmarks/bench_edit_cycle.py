@@ -33,7 +33,7 @@ def _nav_script():
     return [("tap_text", "{}, {}".format(address, city))]
 
 
-def test_live_edit(benchmark):
+def test_live_edit(benchmark, obs_records):
     workflow = LiveWorkflow(
         BASE_SOURCE, host_impls=host_impls(), latency=LATENCY
     )
@@ -46,12 +46,13 @@ def test_live_edit(benchmark):
         return workflow.apply_edit(source)
 
     metrics = benchmark(one_edit)
+    obs_records.emit_benchmark("edit_cycle/live", benchmark)
     assert metrics.visible
     assert metrics.virtual_seconds == 0.0
     assert metrics.navigation_actions == 0
 
 
-def test_restart_edit(benchmark):
+def test_restart_edit(benchmark, obs_records):
     workflow = RestartWorkflow(
         BASE_SOURCE,
         host_impls=host_impls(),
@@ -66,11 +67,12 @@ def test_restart_edit(benchmark):
         return workflow.apply_edit(source)
 
     metrics = benchmark(one_edit)
+    obs_records.emit_benchmark("edit_cycle/restart", benchmark)
     assert metrics.virtual_seconds == LATENCY  # re-downloaded every time
     assert metrics.navigation_actions == 1
 
 
-def test_replay_edit(benchmark):
+def test_replay_edit(benchmark, obs_records):
     workflow = ReplayWorkflow(
         BASE_SOURCE, host_impls=host_impls(), latency=LATENCY
     )
@@ -85,8 +87,39 @@ def test_replay_edit(benchmark):
         return workflow.apply_edit(source)
 
     outcome = benchmark(one_edit)
+    obs_records.emit_benchmark("edit_cycle/replay", benchmark)
     assert outcome.virtual_seconds == LATENCY
     assert outcome.replayed_actions == 3  # the whole history, every edit
+
+
+def test_traced_live_edit(benchmark, obs_records):
+    """The same live edit under a real Tracer: measures observability
+    overhead head-to-head with test_live_edit, and emits the per-phase
+    breakdown the paper's responsiveness table wants."""
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    workflow = LiveWorkflow(
+        BASE_SOURCE, host_impls=host_impls(), latency=LATENCY,
+        session_kwargs={"tracer": tracer},
+    )
+    workflow.act(*_nav_script()[0])
+    sources = [EDITED, BASE_SOURCE]
+
+    def one_edit():
+        source = sources[0]
+        sources.reverse()
+        return workflow.apply_edit(source)
+
+    metrics = benchmark(one_edit)
+    result = workflow.session.edit_log[-1]
+    obs_records.emit_benchmark(
+        "edit_cycle/live_traced", benchmark,
+        phases={name: seconds
+                for name, seconds in result.phase_seconds.items()},
+    )
+    assert metrics.visible
+    assert dict(result.phases)  # the breakdown is populated when traced
 
 
 def test_shapes_summary():

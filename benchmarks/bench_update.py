@@ -34,20 +34,23 @@ def _wide_program(globals_count):
 @pytest.mark.parametrize(
     "entries", (8, 64, 512), ids=lambda n: "store={}".format(n)
 )
-def test_store_fixup_scales_linearly(benchmark, entries):
+def test_store_fixup_scales_linearly(benchmark, obs_records, entries):
     compiled = _wide_program(entries)
     store = Store()
     for index in range(entries):
         store.assign("g{}".format(index), ast.Num(index))
 
     _fixed, report = benchmark(lambda: fixup_store(compiled.code, store))
+    obs_records.emit_benchmark(
+        "update/store_fixup", benchmark, entries=entries
+    )
     assert report.clean
 
 
 @pytest.mark.parametrize(
     "depth", (4, 32, 256), ids=lambda n: "stack={}".format(n)
 )
-def test_stack_fixup_scales_linearly(benchmark, depth):
+def test_stack_fixup_scales_linearly(benchmark, obs_records, depth):
     compiled = compile_source(
         "page start()\n  render\n    post 1\n"
         "page detail(n : number)\n  render\n    post n\n"
@@ -59,10 +62,11 @@ def test_stack_fixup_scales_linearly(benchmark, depth):
         stack.push("detail", ast.Tuple((ast.Num(level),)))
 
     _fixed, report = benchmark(lambda: fixup_stack(compiled.code, stack))
+    obs_records.emit_benchmark("update/stack_fixup", benchmark, depth=depth)
     assert report.clean
 
 
-def test_full_update_and_rerender_mortgage(benchmark):
+def test_full_update_and_rerender_mortgage(benchmark, obs_records):
     """What one accepted live edit costs end to end (no compile)."""
     base = compile_mortgage()
     edited = compile_mortgage(apply_i2(BASE_SOURCE))
@@ -77,3 +81,4 @@ def test_full_update_and_rerender_mortgage(benchmark):
         runtime.update_code(code, natives=natives)
 
     benchmark(update)
+    obs_records.emit_benchmark("update/full_update_rerender", benchmark)

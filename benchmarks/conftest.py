@@ -5,11 +5,68 @@ Absolute numbers are this machine's; EXPERIMENTS.md records the *shapes*
 the paper's claims predict, and the benches assert those shapes where they
 are deterministic (virtual-clock costs, operation counts) while leaving
 wall-clock comparisons to the pytest-benchmark tables.
+
+The ``obs_records`` fixture routes benchmark numbers through the same
+:class:`repro.obs.JsonlSink` the runtime uses, appending one JSON line
+per measurement to ``BENCH_obs.json`` next to this file — a
+machine-readable perf trajectory that accumulates across PRs.
 """
 
 from __future__ import annotations
 
+import platform
 import sys
+import time
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+OBS_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
+
+
+class _BenchRecorder:
+    """Session-wide JSONL emitter for benchmark results (appends)."""
+
+    def __init__(self, path):
+        from repro.obs import JsonlSink
+
+        self._handle = open(path, "a")
+        self._sink = JsonlSink(self._handle)
+        self._stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    def emit(self, name, **fields):
+        self._sink.write_record(
+            name,
+            recorded_at=self._stamp,
+            python=platform.python_version(),
+            **fields
+        )
+
+    def emit_benchmark(self, name, benchmark, **fields):
+        """Emit a pytest-benchmark result's headline stats."""
+        metadata = getattr(benchmark, "stats", None)
+        stats = getattr(metadata, "stats", None)
+        if stats is None:  # --benchmark-disable runs have no stats
+            self.emit(name, **fields)
+            return
+        self.emit(
+            name,
+            mean_seconds=stats.mean,
+            min_seconds=stats.min,
+            stddev_seconds=stats.stddev,
+            rounds=stats.rounds,
+            **fields
+        )
+
+    def close(self):
+        self._sink.close()
+        self._handle.close()
+
+
+@pytest.fixture(scope="session")
+def obs_records():
+    recorder = _BenchRecorder(OBS_PATH)
+    yield recorder
+    recorder.close()

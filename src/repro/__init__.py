@@ -21,7 +21,9 @@ The package implements the paper's whole stack:
 * :mod:`repro.baselines` — the conventional workflows of Section 2 for
   comparison;
 * :mod:`repro.metatheory` — executable preservation/progress and random
-  program generators.
+  program generators;
+* :mod:`repro.obs` — structured tracing, metrics and profiling for the
+  whole stack (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -43,6 +45,7 @@ from .core.errors import (
     UpdateRejected,
 )
 from .live.session import EditResult, LiveSession
+from .obs import InMemorySink, JsonlSink, TextSink, Tracer
 from .persist import load_image, save_image, save_image_text
 from .surface.compile import CompiledProgram, compile_source
 from .system.runtime import Runtime
@@ -57,6 +60,8 @@ __all__ = [
     "EditResult",
     "FunDef",
     "GlobalDef",
+    "InMemorySink",
+    "JsonlSink",
     "LiveSession",
     "PageDef",
     "load_image",
@@ -68,6 +73,8 @@ __all__ = [
     "SyntaxProblem",
     "System",
     "SystemError_",
+    "TextSink",
+    "Tracer",
     "TypeProblem",
     "UpdateRejected",
     "VirtualClock",

@@ -18,10 +18,10 @@ invisible under fix-and-continue until the user pokes the app.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..boxes.diff import tree_equal
+from ..obs.trace import Stopwatch
 from ..stdlib.web import make_services
 from ..surface.compile import compile_source
 from ..system.runtime import Runtime
@@ -51,7 +51,7 @@ class FixAndContinueWorkflow:
 
     def apply_edit(self, new_source):
         """Swap the code in, but keep showing the retained widget tree."""
-        started = time.perf_counter()
+        watch = Stopwatch()
         compiled = compile_source(new_source, self.host_impls)
         # The swap itself is the UPDATE transition; we then deliberately
         # do NOT present the refreshed display — the retained tree stays.
@@ -60,7 +60,7 @@ class FixAndContinueWorkflow:
         visible = tree_equal(self.runtime.display, fresh_before)
         # What the user still sees is the retained tree.
         return EditMetrics(
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=watch.elapsed(),
             virtual_seconds=0.0,
             navigation_actions=0,
             transitions=2,  # UPDATE + the suppressed re-render

@@ -18,10 +18,10 @@ replays.  Two pathologies the paper predicts are both measurable:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..core.errors import ReproError
+from ..obs.trace import Stopwatch
 from ..stdlib.web import make_services
 from ..surface.compile import compile_source
 from ..system.runtime import Runtime
@@ -73,7 +73,7 @@ class ReplayWorkflow:
     def apply_edit(self, new_source):
         """Restart under the new code and replay the recorded trace."""
         self.source = new_source
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._boot(new_source)
         replayed = 0
         diverged = False
@@ -88,7 +88,7 @@ class ReplayWorkflow:
                 break
         clock = self.runtime.system.services.clock
         return ReplayOutcome(
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=watch.elapsed(),
             virtual_seconds=clock.now,
             navigation_actions=len(self.trace),
             transitions=len(self.runtime.trace),

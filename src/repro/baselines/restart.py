@@ -14,10 +14,10 @@ Costs are reported both in wall-clock seconds (compile + execute) and in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..core.errors import ReproError
+from ..obs.trace import Stopwatch
 from ..stdlib.web import make_services
 from ..surface.compile import compile_source
 from ..system.runtime import Runtime
@@ -76,13 +76,13 @@ class RestartWorkflow:
     def apply_edit(self, new_source):
         """Stop, recompile, restart, re-navigate; return the metrics."""
         self.source = new_source
-        started = time.perf_counter()
+        watch = Stopwatch()
         transitions_before = 0
         self._boot(new_source)  # restart from scratch: init re-runs
         clock = self.runtime.system.services.clock
         steps = self._navigate()
         return EditMetrics(
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=watch.elapsed(),
             virtual_seconds=clock.now,
             navigation_actions=steps,
             transitions=len(self.runtime.trace) - transitions_before,

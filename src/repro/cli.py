@@ -9,7 +9,12 @@ Commands:
 * ``html``    — render the booted program's display as a standalone
   HTML document;
 * ``probe``   — evaluate an expression in the program's context;
+* ``trace``   — run a scripted interaction under a real tracer and
+  print the span tree + metric table (see ``docs/OBSERVABILITY.md``);
 * ``ide``     — open the tkinter live viewer (if a display is available).
+
+``run``, ``trace`` and ``ide`` accept ``--trace-jsonl PATH`` to stream
+every finished span (plus a final metrics record) as JSON lines.
 
 Programs that declare the stdlib externs (``fetch_listings``) are wired
 to the simulated web automatically; ``--latency`` tunes its virtual
@@ -22,8 +27,16 @@ import argparse
 import sys
 
 from .core.errors import ReproError, SyntaxProblem, TypeProblem
+from .core.names import ATTR_ONTAP
 from .core.pretty import pretty_code
 from .live.session import LiveSession
+from .obs import (
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    format_metric_table,
+    format_span_tree,
+)
 from .stdlib.web import DEFAULT_LATENCY, make_services, web_host_impls
 from .surface.parser import parse
 from .surface.typecheck import typecheck_problems
@@ -37,11 +50,71 @@ def _read(path):
         raise ReproError("cannot read {}: {}".format(path, error))
 
 
-def _session(path, latency):
+def _load_program_source(path):
+    """The surface source at ``path``.
+
+    ``.live`` files are read verbatim.  A ``.py`` path (the repository's
+    examples) is executed as a module — without running its ``main()``,
+    which hides behind the ``__main__`` guard — and must leave a string
+    ``SOURCE`` in its namespace, e.g. ``examples/quickstart.py``'s
+    ``from repro.apps.counter import SOURCE``.
+    """
+    if not path.endswith(".py"):
+        return _read(path)
+    import runpy
+
+    try:
+        namespace = runpy.run_path(path, run_name="repro.trace.target")
+    except OSError as error:
+        raise ReproError("cannot read {}: {}".format(path, error))
+    source = namespace.get("SOURCE")
+    if not isinstance(source, str):
+        raise ReproError(
+            "{} defines no string SOURCE to trace".format(path)
+        )
+    return source
+
+
+def _make_tracer(args):
+    """A real tracer when observability output was requested, else None.
+
+    With ``--trace-jsonl`` the tracer streams spans to the file as they
+    finish *and* keeps them in memory for the on-screen report.
+    """
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    if not jsonl_path:
+        return None
+    try:
+        # Validate the target now, before any spans are recorded — the
+        # sink itself opens lazily, which would otherwise surface a bad
+        # path as a traceback from the middle of the parse span.
+        open(jsonl_path, "w").close()
+    except OSError as error:
+        raise ReproError(
+            "cannot write {}: {}".format(jsonl_path, error)
+        )
+    return Tracer(sinks=[InMemorySink(), JsonlSink(jsonl_path)])
+
+
+def _finish_jsonl(tracer, args, out):
+    """Write the final metrics record and close the JSONL stream."""
+    if tracer is None:
+        return
+    for sink in tracer.sinks:
+        if isinstance(sink, JsonlSink):
+            sink.write_metrics(tracer.metrics())
+            sink.close()
+            print(
+                "wrote trace to {}".format(args.trace_jsonl), file=out
+            )
+
+
+def _session(path, latency, tracer=None, **session_kwargs):
     source = _read(path)
     services = make_services(latency=latency)
     return LiveSession(
-        source, host_impls=web_host_impls(), services=services
+        source, host_impls=web_host_impls(), services=services,
+        tracer=tracer, **session_kwargs
     )
 
 
@@ -89,7 +162,8 @@ def _apply_actions(session, args, out):
 
 
 def cmd_run(args, out):
-    session = _session(args.file, args.latency)
+    tracer = _make_tracer(args)
+    session = _session(args.file, args.latency, tracer=tracer)
     _apply_actions(session, args, out)
     print(session.screenshot(width=args.width), file=out)
     if args.trace:
@@ -97,6 +171,48 @@ def cmd_run(args, out):
             "trace: " + " ".join(str(t) for t in session.runtime.trace),
             file=out,
         )
+    _finish_jsonl(tracer, args, out)
+    return 0
+
+
+def _auto_interact(session, taps=2):
+    """The default ``trace`` script: tap the first tappable box ``taps``
+    times (re-resolving each time — the display changes under us)."""
+    performed = 0
+    for _ in range(taps):
+        tappable = session.runtime.find_boxes(
+            lambda box: box.get_attr(ATTR_ONTAP) is not None
+        )
+        if not tappable:
+            break
+        session.tap(tappable[0][0])
+        performed += 1
+    return performed
+
+
+def cmd_trace(args, out):
+    source = _load_program_source(args.file)
+    tracer = _make_tracer(args) or Tracer()
+    services = make_services(latency=args.latency)
+    # Turn the Section 5 optimizations on so their metrics are live.
+    session = LiveSession(
+        source,
+        host_impls=web_host_impls(),
+        services=services,
+        tracer=tracer,
+        reuse_boxes=True,
+        memo_render=True,
+    )
+    if args.actions:
+        _apply_actions(session, args, out)
+    else:
+        _auto_interact(session)
+    print("trace of {}:".format(args.file), file=out)
+    print(file=out)
+    print(format_span_tree(tracer.spans()), file=out)
+    print(file=out)
+    print(format_metric_table(tracer.metrics()), file=out)
+    _finish_jsonl(tracer, args, out)
     return 0
 
 
@@ -177,8 +293,10 @@ def cmd_ide(args, out):
     if not tk_available():
         print("tkinter is not available in this environment", file=out)
         return 1
-    viewer = TkLiveViewer(_session(args.file, args.latency))
+    tracer = _make_tracer(args)
+    viewer = TkLiveViewer(_session(args.file, args.latency, tracer=tracer))
     viewer.run()
+    _finish_jsonl(tracer, args, out)
     return 0
 
 
@@ -227,11 +345,26 @@ def build_parser():
     p_compile.add_argument("file")
     p_compile.set_defaults(handler=cmd_compile)
 
+    def jsonl_option(p):
+        p.add_argument(
+            "--trace-jsonl", metavar="PATH", default=None,
+            help="stream spans + metrics as JSON lines to PATH",
+        )
+
     p_run = sub.add_parser("run", help="run and screenshot a program")
     common(p_run, actions=True)
     p_run.add_argument("--trace", action="store_true",
                        help="print the fired transitions")
+    jsonl_option(p_run)
     p_run.set_defaults(handler=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a scripted interaction; print span tree + metrics",
+    )
+    common(p_trace, actions=True)
+    jsonl_option(p_trace)
+    p_trace.set_defaults(handler=cmd_trace)
 
     p_html = sub.add_parser("html", help="render the display to HTML")
     common(p_html, actions=True)
@@ -268,6 +401,7 @@ def build_parser():
 
     p_ide = sub.add_parser("ide", help="open the tkinter live viewer")
     common(p_ide)
+    jsonl_option(p_ide)
     p_ide.set_defaults(handler=cmd_ide)
 
     return parser

@@ -33,6 +33,7 @@ from ..core.errors import (
     StuckExpression,
 )
 from ..core.prims import PRIM_SIGS
+from ..obs.trace import NULL_TRACER
 from . import contexts
 from .natives import EMPTY_NATIVES, apply_prim
 from .values import truthy
@@ -74,12 +75,14 @@ class SmallStep:
     relations of Fig. 8 thread them.
     """
 
-    def __init__(self, code, natives=EMPTY_NATIVES, services=None):
+    def __init__(self, code, natives=EMPTY_NATIVES, services=None,
+                 tracer=NULL_TRACER):
         if not isinstance(code, Code):
             raise ReproError("SmallStep expects Code")
         self.code = code
         self.natives = natives
         self.services = services
+        self.tracer = tracer
 
     # -- single steps ---------------------------------------------------------
 
@@ -204,13 +207,18 @@ class SmallStep:
             fuel=DEFAULT_FUEL):
         """Reduce ``expr`` to a value under →µ*, threading the components."""
         steps = 0
-        while not expr.is_value():
-            if steps >= fuel:
-                raise FuelExhausted(
-                    "small-step budget of {} exhausted".format(fuel)
-                )
-            expr = self.step(expr, mode, store, queue, box, counters)
-            steps += 1
+        try:
+            while not expr.is_value():
+                if steps >= fuel:
+                    raise FuelExhausted(
+                        "small-step budget of {} exhausted".format(fuel)
+                    )
+                expr = self.step(expr, mode, store, queue, box, counters)
+                steps += 1
+        finally:
+            # One counter update per run, not per step — the faithful
+            # machine is slow enough without per-step bookkeeping.
+            self.tracer.add("eval_steps", steps)
         return expr
 
     # -- Evaluator protocol (what system.transitions consumes) ------------------
@@ -272,13 +280,15 @@ class BigStep:
     ``tests/eval/test_memo.py``.
     """
 
-    def __init__(self, code, natives=EMPTY_NATIVES, services=None, memo=None):
+    def __init__(self, code, natives=EMPTY_NATIVES, services=None, memo=None,
+                 tracer=NULL_TRACER):
         if not isinstance(code, Code):
             raise ReproError("BigStep expects Code")
         self.code = code
         self.natives = natives
         self.services = services
         self.memo = memo
+        self.tracer = tracer
 
     def _run(self, expr, mode, store, queue, box, counters, fuel):
         """The machine loop.  ``box`` is the current box in render mode."""
@@ -286,22 +296,27 @@ class BigStep:
         control = expr
         is_value = control.is_value()
         steps = 0
-        while True:
-            steps += 1
-            if steps > fuel:
-                raise FuelExhausted(
-                    "big-step budget of {} exhausted".format(fuel)
+        try:
+            while True:
+                steps += 1
+                if steps > fuel:
+                    raise FuelExhausted(
+                        "big-step budget of {} exhausted".format(fuel)
+                    )
+                if not is_value:
+                    control, is_value, box = self._eval(
+                        control, mode, store, queue, box, counters, stack
+                    )
+                    continue
+                if not stack:
+                    return control
+                control, is_value, box = self._apply_frame(
+                    stack, control, mode, store, queue, box, counters
                 )
-            if not is_value:
-                control, is_value, box = self._eval(
-                    control, mode, store, queue, box, counters, stack
-                )
-                continue
-            if not stack:
-                return control
-            control, is_value, box = self._apply_frame(
-                stack, control, mode, store, queue, box, counters
-            )
+        finally:
+            # One counter update per machine run keeps the hot loop free
+            # of instrumentation (the NullTracer call is a no-op anyway).
+            self.tracer.add("eval_steps", steps)
 
     # -- eval dispatch: control is a non-value expression ------------------------
 
@@ -543,7 +558,8 @@ class BigStep:
         )
 
 
-def make_evaluator(code, natives=EMPTY_NATIVES, services=None, faithful=False):
+def make_evaluator(code, natives=EMPTY_NATIVES, services=None, faithful=False,
+                   tracer=NULL_TRACER):
     """Factory: the production CEK machine, or the faithful small-stepper."""
     cls = SmallStep if faithful else BigStep
-    return cls(code, natives=natives, services=services)
+    return cls(code, natives=natives, services=services, tracer=tracer)

@@ -34,6 +34,7 @@ from ..core import ast
 from ..core.defs import Code
 from ..core.effects import RENDER
 from ..core.errors import ReproError
+from ..obs.trace import NULL_TRACER
 
 
 def global_read_sets(code):
@@ -66,7 +67,7 @@ def global_read_sets(code):
 class RenderMemo:
     """The per-code-version cache of render-function results."""
 
-    def __init__(self, code, max_entries=4096):
+    def __init__(self, code, max_entries=4096, tracer=NULL_TRACER):
         if not isinstance(code, Code):
             raise ReproError("RenderMemo expects Code")
         self._read_sets = global_read_sets(code)
@@ -77,6 +78,7 @@ class RenderMemo:
         }
         self._cache = {}
         self._max_entries = max_entries
+        self.tracer = tracer
         self.hits = 0
         self.misses = 0
 
@@ -104,12 +106,14 @@ class RenderMemo:
         entry = self._cache.get(key)
         if entry is not None:
             self.hits += 1
+            self.tracer.add("memo_hits")
         return entry
 
     def store_result(self, key, items, value):
         if len(self._cache) >= self._max_entries:
             self._cache.clear()  # simple safety valve; keys are versioned
         self.misses += 1
+        self.tracer.add("memo_misses")
         self._cache[key] = (tuple(items), value)
 
     def stats(self):

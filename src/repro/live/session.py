@@ -20,7 +20,6 @@ which is the paper's entire point.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..core.errors import (
@@ -29,6 +28,7 @@ from ..core.errors import (
     TypeProblem,
     UpdateRejected,
 )
+from ..obs.trace import NULL_TRACER, Stopwatch
 from ..surface.compile import compile_source
 from ..system.runtime import Runtime
 from .editor import CodeBuffer
@@ -38,16 +38,31 @@ from .navigation import box_to_code, code_to_boxes, selection_chain
 
 @dataclass(frozen=True)
 class EditResult:
-    """Outcome of one live edit."""
+    """Outcome of one live edit.
+
+    ``phases`` is the per-phase wall-second breakdown of the edit cycle
+    (``parse`` / ``typecheck`` / ``lower`` / ``update`` / ``render``),
+    populated when the session was created with a real tracer; with the
+    default NullTracer it is empty and only ``elapsed`` is measured.
+    """
 
     status: str                    # "applied" or "rejected"
     problems: tuple = ()           # diagnostics when rejected
     report: object = None          # FixupReport when applied
     elapsed: float = 0.0           # wall seconds for compile+update+render
+    phases: tuple = ()             # ((phase_name, wall_seconds), ...)
 
     @property
     def applied(self):
         return self.status == "applied"
+
+    @property
+    def phase_seconds(self):
+        """The breakdown as a dict (sums repeated phases)."""
+        breakdown = {}
+        for name, seconds in self.phases:
+            breakdown[name] = breakdown.get(name, 0.0) + seconds
+        return breakdown
 
 
 class LiveSession:
@@ -60,15 +75,25 @@ class LiveSession:
         services=None,
         faithful=False,
         reuse_boxes=False,
+        memo_render=False,
+        tracer=None,
     ):
         self.host_impls = dict(host_impls or {})
-        self.compiled = compile_source(source, self.host_impls)
+        #: Shared observability hook (repro.obs) for the whole session:
+        #: the compile pipeline, the system transitions and the machines
+        #: all record into it.  NullTracer (the default) disables it all.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.compiled = compile_source(
+            source, self.host_impls, tracer=self.tracer
+        )
         self.runtime = Runtime(
             self.compiled.code,
             natives=self.compiled.natives,
             services=services,
             faithful=faithful,
             reuse_boxes=reuse_boxes,
+            memo_render=memo_render,
+            tracer=self.tracer,
         )
         self.runtime.start()
         self.buffer = CodeBuffer(source)
@@ -102,45 +127,61 @@ class LiveSession:
         compiles and the UPDATE transition accepts it.
         """
         self.buffer.set_source(new_source)
-        started = time.perf_counter()
-        try:
-            compiled = compile_source(new_source, self.host_impls)
-        except (SyntaxProblem, TypeProblem) as problem:
-            self.problems = (problem,)
+        watch = Stopwatch()
+        with self.tracer.span("edit_cycle") as cycle:
+            try:
+                compiled = compile_source(
+                    new_source, self.host_impls, tracer=self.tracer
+                )
+            except (SyntaxProblem, TypeProblem) as problem:
+                self.problems = (problem,)
+                result = EditResult(
+                    status="rejected",
+                    problems=self.problems,
+                    elapsed=watch.elapsed(),
+                    phases=self._cycle_phases(cycle),
+                )
+                self.edit_log.append(result)
+                return result
+            try:
+                report = self.runtime.update_code(
+                    compiled.code, natives=compiled.natives
+                )
+            except UpdateRejected as rejected:
+                # The surface checker should have caught everything; if
+                # the core checker disagrees, surface it rather than
+                # crash.
+                self.problems = tuple(rejected.problems)
+                result = EditResult(
+                    status="rejected",
+                    problems=self.problems,
+                    elapsed=watch.elapsed(),
+                    phases=self._cycle_phases(cycle),
+                )
+                self.edit_log.append(result)
+                return result
+            self.compiled = compiled
+            self.problems = ()
+            if new_source != self._undo_stack[-1]:
+                self._undo_stack.append(new_source)
+                self._redo_stack.clear()
             result = EditResult(
-                status="rejected",
-                problems=self.problems,
-                elapsed=time.perf_counter() - started,
+                status="applied",
+                report=report,
+                elapsed=watch.elapsed(),
+                phases=self._cycle_phases(cycle),
             )
             self.edit_log.append(result)
             return result
-        try:
-            report = self.runtime.update_code(
-                compiled.code, natives=compiled.natives
-            )
-        except UpdateRejected as rejected:
-            # The surface checker should have caught everything; if the
-            # core checker disagrees, surface it rather than crash.
-            self.problems = tuple(rejected.problems)
-            result = EditResult(
-                status="rejected",
-                problems=self.problems,
-                elapsed=time.perf_counter() - started,
-            )
-            self.edit_log.append(result)
-            return result
-        self.compiled = compiled
-        self.problems = ()
-        if new_source != self._undo_stack[-1]:
-            self._undo_stack.append(new_source)
-            self._redo_stack.clear()
-        result = EditResult(
-            status="applied",
-            report=report,
-            elapsed=time.perf_counter() - started,
+
+    def _cycle_phases(self, cycle):
+        """Per-phase durations: the finished children of the cycle span."""
+        if cycle.span_id is None:
+            return ()
+        return tuple(
+            (span.name, span.duration)
+            for span in self.tracer.children_of(cycle.span_id)
         )
-        self.edit_log.append(result)
-        return result
 
     def can_undo(self):
         return len(self._undo_stack) > 1

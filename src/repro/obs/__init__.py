@@ -1,0 +1,42 @@
+"""``repro.obs`` — structured tracing, metrics and profiling.
+
+Zero-dependency observability for the live runtime: nestable spans,
+counters/gauges, pluggable sinks, and a shared wall-clock helper.  See
+``docs/OBSERVABILITY.md`` for the span model and the metric catalog, and
+note that everything here sits *outside* the formal semantics — an
+instrumented run and an uninstrumented run are observably identical.
+"""
+
+from .sinks import (
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    TextSink,
+    format_metric_table,
+    format_span_tree,
+)
+from .trace import (
+    CATALOG,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Stopwatch,
+    Tracer,
+    clock,
+)
+
+__all__ = [
+    "CATALOG",
+    "InMemorySink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sink",
+    "Span",
+    "Stopwatch",
+    "TextSink",
+    "Tracer",
+    "clock",
+    "format_metric_table",
+    "format_span_tree",
+]

@@ -1,0 +1,206 @@
+"""Span/metric sinks and the human-readable trace report.
+
+A sink is anything with ``on_span(span)``; the tracer calls it once per
+*finished* span, innermost first (children finish before their parent).
+Three implementations cover the repository's needs:
+
+* :class:`InMemorySink` — keeps spans in a list, queryable by tests and
+  by :meth:`repro.system.runtime.Runtime.spans`;
+* :class:`JsonlSink` — one JSON object per line (spans as they finish,
+  plus explicit metric records), for offline analysis and the benchmark
+  trajectory file ``BENCH_obs.json``;
+* :class:`TextSink` — collects spans and renders the flame-style tree +
+  metric table the ``repro trace`` subcommand prints.
+
+The formatting helpers (:func:`format_span_tree`,
+:func:`format_metric_table`) are module functions so the CLI can use
+them on any collection of spans.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Sink:
+    """Base class — documents the protocol; subclassing is optional."""
+
+    def on_span(self, span):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class InMemorySink(Sink):
+    """Collect finished spans in memory (bounded; oldest dropped first)."""
+
+    def __init__(self, max_spans=100_000):
+        self.spans = []
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    def on_span(self, span):
+        if len(self.spans) >= self.max_spans:
+            # Keep the newest spans: a long session should still be able
+            # to explain its most recent edit cycle.
+            del self.spans[: self.max_spans // 2]
+            self.dropped += self.max_spans // 2
+        self.spans.append(span)
+
+    def named(self, name):
+        """All finished spans called ``name``, in finish order."""
+        return [span for span in self.spans if span.name == name]
+
+    def first(self, name):
+        """The first span called ``name``, or ``None``."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def children_of(self, span_id):
+        return [span for span in self.spans if span.parent_id == span_id]
+
+    def roots(self):
+        """Spans with no parent (top-level transitions), in start order."""
+        parentless = [span for span in self.spans if span.parent_id is None]
+        return sorted(parentless, key=lambda span: span.start)
+
+    def clear(self):
+        self.spans = []
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self.spans)
+
+
+class JsonlSink(Sink):
+    """Stream spans (and explicit metric records) as JSON lines.
+
+    ``target`` is a path (opened lazily, ``w`` mode) or any object with
+    ``write``.  Each line round-trips through ``json.loads``; consumers
+    dispatch on the ``type`` field (``"span"`` / ``"metrics"`` /
+    ``"record"``).
+    """
+
+    def __init__(self, target):
+        self._path = target if isinstance(target, str) else None
+        self._handle = None if isinstance(target, str) else target
+
+    def _out(self):
+        if self._handle is None:
+            self._handle = open(self._path, "w")
+        return self._handle
+
+    def _write(self, payload):
+        out = self._out()
+        out.write(json.dumps(payload, sort_keys=True))
+        out.write("\n")
+
+    def on_span(self, span):
+        self._write(span.to_dict())
+
+    def write_metrics(self, metrics):
+        """Emit the final counter/gauge snapshot as one line."""
+        self._write({"type": "metrics", "metrics": dict(metrics)})
+
+    def write_record(self, name, **fields):
+        """Emit an arbitrary named record (benchmark results use this)."""
+        payload = {"type": "record", "name": name}
+        payload.update(fields)
+        self._write(payload)
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.flush()
+            if self._path is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering
+# ---------------------------------------------------------------------------
+
+
+def _format_attrs(span):
+    shown = {
+        key: value for key, value in span.attrs.items() if value != ""
+    }
+    if not shown:
+        return ""
+    inner = ", ".join(
+        "{}={}".format(key, value) for key, value in sorted(shown.items())
+    )
+    return " ({})".format(inner)
+
+
+def format_span_tree(spans, unit="ms"):
+    """Render finished spans as an indented tree with durations.
+
+    ``spans`` is any iterable of :class:`~repro.obs.trace.Span`; parent
+    links are resolved within the collection, so partial collections
+    (e.g. only the last edit cycle) render fine — orphans become roots.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    ids = {span.span_id for span in spans}
+    children = {}
+    roots = []
+    for span in spans:
+        if span.parent_id in ids:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+
+    labeled = []  # (label, span) rows in depth-first order
+
+    def walk(span, depth):
+        labeled.append(
+            ("{}{}{}".format("  " * depth, span.name, _format_attrs(span)),
+             span)
+        )
+        for child in sorted(
+            children.get(span.span_id, ()), key=lambda s: s.start
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda span: span.start):
+        walk(root, 0)
+    scale = 1000.0 if unit == "ms" else 1.0
+    width = max(len(label) for label, _ in labeled)
+    return "\n".join(
+        "{}  {:>10.3f} {}".format(label.ljust(width),
+                                  span.duration * scale, unit)
+        for label, span in labeled
+    )
+
+
+def format_metric_table(metrics):
+    """Render a counter/gauge dict as an aligned two-column table."""
+    if not metrics:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in metrics)
+    lines = ["{}  {}".format("metric".ljust(width), "value")]
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, float):
+            value = "{:.6f}".format(value)
+        lines.append("{}  {}".format(name.ljust(width), value))
+    return "\n".join(lines)
+
+
+class TextSink(InMemorySink):
+    """An in-memory sink that renders the full human-readable report."""
+
+    def report(self, metrics=None, unit="ms"):
+        parts = ["span tree:", format_span_tree(self.spans, unit=unit)]
+        if metrics is not None:
+            parts += ["", "metrics:", format_metric_table(metrics)]
+        return "\n".join(parts)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..core.errors import ReproError, TypeProblem
 from ..eval.natives import NativeTable
+from ..obs.trace import NULL_TRACER
 from ..typing.program import code_problems
 from .lower import lower_program
 from .parser import parse
@@ -37,27 +38,35 @@ class CompiledProgram:
     generated_functions: tuple
 
 
-def compile_source(source, host_impls=None, check_core=True):
+def compile_source(source, host_impls=None, check_core=True,
+                   tracer=NULL_TRACER):
     """Compile surface ``source`` to a :class:`CompiledProgram`.
 
     ``host_impls`` maps each declared ``extern fun`` name to its Python
     implementation ``impl(services, *args)``.  Raises
     :class:`~repro.core.errors.SyntaxProblem` or
     :class:`~repro.core.errors.TypeProblem` on the first error.
+
+    ``tracer`` (repro.obs) records one span per pipeline phase —
+    ``parse`` / ``typecheck`` / ``lower`` — so a live edit cycle can be
+    broken down end to end.
     """
-    program = parse(source)
-    env, problems = typecheck_problems(program)
+    with tracer.span("parse"):
+        program = parse(source)
+    with tracer.span("typecheck"):
+        env, problems = typecheck_problems(program)
     if problems:
         raise problems[0]
-    lowered = lower_program(program, env)
-    natives = _bind_externs(lowered.extern_sigs, host_impls or {})
-    if check_core:
-        core_issues = code_problems(lowered.code, natives)
-        if core_issues:
-            raise ReproError(
-                "internal lowering error — the lowered program fails the "
-                "core checker: {}".format(core_issues[0])
-            )
+    with tracer.span("lower"):
+        lowered = lower_program(program, env)
+        natives = _bind_externs(lowered.extern_sigs, host_impls or {})
+        if check_core:
+            core_issues = code_problems(lowered.code, natives)
+            if core_issues:
+                raise ReproError(
+                    "internal lowering error — the lowered program fails "
+                    "the core checker: {}".format(core_issues[0])
+                )
     return CompiledProgram(
         source=source,
         program=program,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.trace import NULL_TRACER
 from ..typing.checker import check_value_type
 from .state import PageStack, Store
 
@@ -39,7 +40,8 @@ class FixupReport:
         return not self.dropped_globals and not self.dropped_pages
 
 
-def fixup_store(new_code, store, natives=None, report=None):
+def fixup_store(new_code, store, natives=None, report=None,
+                tracer=NULL_TRACER):
     """``C' : S ▷ S'`` — rules S-EMPTY / S-SKIP / S-OKAY.
 
     Returns a *new* :class:`Store`; the input is not modified.
@@ -55,10 +57,12 @@ def fixup_store(new_code, store, natives=None, report=None):
             result.assign(name, value)  # S-OKAY
         else:
             report.dropped_globals.append(name)  # S-SKIP
+            tracer.add("store_entries_deleted")
     return result, report
 
 
-def fixup_stack(new_code, stack, natives=None, report=None):
+def fixup_stack(new_code, stack, natives=None, report=None,
+                tracer=NULL_TRACER):
     """``C' : P ▷ P'`` — rules P-EMPTY / P-SKIP / P-OKAY.
 
     Returns a *new* :class:`PageStack`; the input is not modified.
@@ -74,12 +78,13 @@ def fixup_stack(new_code, stack, natives=None, report=None):
             surviving.append((page_name, value))  # P-OKAY
         else:
             report.dropped_pages.append(page_name)  # P-SKIP
+            tracer.add("stack_frames_fixed")
     return PageStack(surviving), report
 
 
-def fixup(new_code, store, stack, natives=None):
+def fixup(new_code, store, stack, natives=None, tracer=NULL_TRACER):
     """Run both relations; returns ``(store', stack', report)``."""
     report = FixupReport()
-    new_store, _ = fixup_store(new_code, store, natives, report)
-    new_stack, _ = fixup_stack(new_code, stack, natives, report)
+    new_store, _ = fixup_store(new_code, store, natives, report, tracer)
+    new_stack, _ = fixup_stack(new_code, stack, natives, report, tracer)
     return new_store, new_stack, report

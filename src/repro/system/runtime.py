@@ -10,20 +10,32 @@ on — find a box by its text, read the current page, snapshot the model.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
 from ..boxes.tree import Box
 from ..core import ast
 from ..core.errors import EvalError, ReproError
 from ..eval.natives import EMPTY_NATIVES
 from ..eval.values import format_for_post
+from ..obs.trace import NULL_TRACER
 from .transitions import System
 
 
+@dataclass(frozen=True)
 class Fault:
-    """A runtime fault recorded under the ``"record"`` fault policy."""
+    """A runtime fault recorded under the ``"record"`` fault policy.
 
-    def __init__(self, error, during):
-        self.error = error
-        self.during = during  # the transition that was executing
+    ``timestamp`` is wall-clock (``time.time``) at the moment the fault
+    was recorded; ``span_id`` names the tracer span of the transition
+    that failed (``None`` when tracing is disabled), so a fault can be
+    correlated with the span tree and the JSONL trace.
+    """
+
+    error: object
+    during: str        # the transition that was executing
+    timestamp: float = 0.0
+    span_id: object = None
 
     def __repr__(self):
         return "Fault({} during {})".format(self.error, self.during)
@@ -46,12 +58,18 @@ class Runtime:
         reuse_boxes=False,
         memo_render=False,
         fault_policy="raise",
+        tracer=None,
     ):
         if fault_policy not in ("raise", "record"):
             raise ReproError(
                 "fault_policy must be 'raise' or 'record', got "
                 "{!r}".format(fault_policy)
             )
+        #: Observability (repro.obs): a shared tracer for spans and
+        #: metrics.  The NullTracer default keeps the runtime overhead-
+        #: free; pass ``Tracer()`` to collect spans queryable via
+        #: :meth:`spans` / :meth:`metrics`.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.system = System(
             code,
             natives=natives,
@@ -59,6 +77,7 @@ class Runtime:
             faithful=faithful,
             reuse_boxes=reuse_boxes,
             memo_render=memo_render,
+            tracer=self.tracer,
         )
         self._started = False
         #: ``"raise"`` propagates handler/init faults to the caller (the
@@ -88,7 +107,15 @@ class Runtime:
             try:
                 choice = self.system.step()
             except EvalError as error:
-                self.faults.append(Fault(error, attempting))
+                # The failing transition's span closed during unwinding,
+                # so the tracer's last finished span names it.
+                self.faults.append(Fault(
+                    error,
+                    attempting,
+                    timestamp=time.time(),
+                    span_id=self.tracer.last_span_id,
+                ))
+                self.tracer.add("faults_recorded")
                 if attempting == "RENDER":
                     # A render fault would recur forever (the display
                     # stays ⊥); show an error screen instead — the live
@@ -142,8 +169,24 @@ class Runtime:
 
     @property
     def trace(self):
-        """All fired transitions, in order."""
+        """All fired transitions, in order (timing-enriched: each
+        :class:`~repro.system.transitions.Transition` carries ``elapsed``
+        wall seconds and, when tracing is on, its ``span_id``)."""
         return tuple(self.system.trace)
+
+    # -- observability -----------------------------------------------------
+
+    def metrics(self):
+        """Counter/gauge snapshot from the tracer (``{}`` when disabled).
+
+        See ``docs/OBSERVABILITY.md`` for the catalog
+        (``boxes_rendered``, ``memo_hits``, ``eval_steps``, …).
+        """
+        return self.tracer.metrics()
+
+    def spans(self):
+        """Finished tracer spans (``()`` with the default NullTracer)."""
+        return self.tracer.spans()
 
     # -- box queries -------------------------------------------------------------
 

@@ -27,7 +27,7 @@ identical either way; tests assert that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..boxes import diff as box_diff
 from ..boxes.paths import innermost_box_with_attr, resolve
@@ -40,6 +40,7 @@ from ..core.names import ATTR_EDITABLE, ATTR_ONEDIT, ATTR_ONTAP, START_PAGE
 from ..core.types import UNIT
 from ..eval.machine import BigStep, SmallStep
 from ..eval.natives import EMPTY_NATIVES
+from ..obs.trace import NULL_TRACER, clock
 from ..typing.program import code_problems
 from .events import EventQueue, ExecEvent, PopEvent, PushEvent
 from .fixup import fixup
@@ -49,10 +50,18 @@ from .state import SystemState
 
 @dataclass(frozen=True)
 class Transition:
-    """One fired ``→g`` transition, recorded in the system's trace."""
+    """One fired ``→g`` transition, recorded in the system's trace.
+
+    ``elapsed`` and ``span_id`` are observability enrichment (wall
+    seconds spent firing the rule, and the id of the matching tracer
+    span when tracing is on); they do not participate in equality, so
+    traces still compare by ``(rule, detail)``.
+    """
 
     rule: str
     detail: str = ""
+    elapsed: float = field(default=0.0, compare=False)
+    span_id: object = field(default=None, compare=False)
 
     def __str__(self):
         if self.detail:
@@ -79,10 +88,15 @@ class System:
         reuse_boxes=False,
         memo_render=False,
         check_updates=True,
+        tracer=None,
     ):
         if not isinstance(code, Code):
             raise ReproError("System expects Code")
         self.natives = natives
+        #: Observability hook (repro.obs).  The default NullTracer makes
+        #: every instrumentation point a no-op; a real Tracer records a
+        #: span per fired transition plus the metric catalog.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.services = services if services is not None else Services()
         self.faithful = faithful
         self.reuse_boxes = reuse_boxes
@@ -114,20 +128,27 @@ class System:
     def _make_evaluator(self, code):
         if self.faithful:
             return SmallStep(
-                code, natives=self.natives, services=self.services
+                code, natives=self.natives, services=self.services,
+                tracer=self.tracer,
             )
         memo = None
         if self.memo_render:
             from ..eval.memo import RenderMemo
 
-            memo = RenderMemo(code)
+            memo = RenderMemo(code, tracer=self.tracer)
         self.render_memo = memo
         return BigStep(
-            code, natives=self.natives, services=self.services, memo=memo
+            code, natives=self.natives, services=self.services, memo=memo,
+            tracer=self.tracer,
         )
 
-    def _record(self, rule, detail=""):
-        self.trace.append(Transition(rule, detail))
+    def _record(self, rule, detail="", started=None, span=None):
+        self.trace.append(Transition(
+            rule,
+            detail,
+            elapsed=0.0 if started is None else clock() - started,
+            span_id=None if span is None else span.span_id,
+        ))
 
     @property
     def code(self):
@@ -148,9 +169,12 @@ class System:
             raise SystemError_(
                 "STARTUP is only enabled with an empty page stack and queue"
             )
-        self.state.queue.enqueue(PushEvent(START_PAGE, ast.UNIT_VALUE))
-        self._invalidate()
-        self._record("STARTUP")
+        started = clock()
+        with self.tracer.span("startup") as span:
+            self.state.queue.enqueue(PushEvent(START_PAGE, ast.UNIT_VALUE))
+            self.tracer.add("events_queued")
+            self._invalidate()
+        self._record("STARTUP", started=started, span=span)
 
     def tap(self, path=()):
         """(TAP): fire the ``ontap`` handler of the box at ``path``.
@@ -162,19 +186,26 @@ class System:
         """
         if not self.state.display_is_valid():
             raise SystemError_("TAP requires a valid (non-stale) display")
-        handler_path, box = innermost_box_with_attr(
-            self.state.display, tuple(path), ATTR_ONTAP
-        )
-        if box is None:
-            raise SystemError_(
-                "no box at or above {} has an ontap handler".format(
-                    list(path)
-                )
+        started = clock()
+        with self.tracer.span("tap") as span:
+            handler_path, box = innermost_box_with_attr(
+                self.state.display, tuple(path), ATTR_ONTAP
             )
-        handler = box.get_attr(ATTR_ONTAP)
-        self.state.queue.enqueue(ExecEvent(handler))
-        self._invalidate()
-        self._record("TAP", detail="/".join(str(i) for i in handler_path))
+            if box is None:
+                raise SystemError_(
+                    "no box at or above {} has an ontap handler".format(
+                        list(path)
+                    )
+                )
+            handler = box.get_attr(ATTR_ONTAP)
+            self.state.queue.enqueue(ExecEvent(handler))
+            self.tracer.add("events_queued")
+            self._invalidate()
+            span.annotate(path="/".join(str(i) for i in handler_path))
+        self._record(
+            "TAP", detail="/".join(str(i) for i in handler_path),
+            started=started, span=span,
+        )
         return handler_path
 
     def edit(self, path, text):
@@ -187,27 +218,33 @@ class System:
         """
         if not self.state.display_is_valid():
             raise SystemError_("EDIT requires a valid (non-stale) display")
-        box = resolve(self.state.display, tuple(path))
-        handler = box.get_attr(ATTR_ONEDIT)
-        if handler is None:
-            raise SystemError_(
-                "box at {} has no onedit handler".format(list(path))
+        started = clock()
+        with self.tracer.span("edit") as span:
+            box = resolve(self.state.display, tuple(path))
+            handler = box.get_attr(ATTR_ONEDIT)
+            if handler is None:
+                raise SystemError_(
+                    "box at {} has no onedit handler".format(list(path))
+                )
+            thunk = ast.Lam(
+                ast.fresh_name("ignored"),
+                UNIT,
+                ast.App(handler, ast.Str(text)),
+                STATE,
             )
-        thunk = ast.Lam(
-            ast.fresh_name("ignored"),
-            UNIT,
-            ast.App(handler, ast.Str(text)),
-            STATE,
-        )
-        self.state.queue.enqueue(ExecEvent(thunk))
-        self._invalidate()
-        self._record("EDIT", detail=text)
+            self.state.queue.enqueue(ExecEvent(thunk))
+            self.tracer.add("events_queued")
+            self._invalidate()
+        self._record("EDIT", detail=text, started=started, span=span)
 
     def back(self):
         """(BACK): always enabled; enqueues ``[pop]``."""
-        self.state.queue.enqueue(PopEvent())
-        self._invalidate()
-        self._record("BACK")
+        started = clock()
+        with self.tracer.span("back") as span:
+            self.state.queue.enqueue(PopEvent())
+            self.tracer.add("events_queued")
+            self._invalidate()
+        self._record("BACK", started=started, span=span)
 
     # -- rules that handle events -------------------------------------------------
 
@@ -218,33 +255,41 @@ class System:
             raise SystemError_("the event queue is empty")
         event = queue.dequeue()
         store = self.state.store
-        if isinstance(event, ExecEvent):
-            # (THUNK): reduce ``v ()`` in standard mode.
-            self._evaluator.run_state(
-                store, queue, ast.App(event.thunk, ast.UNIT_VALUE)
-            )
-            self._invalidate()
-            self._record("THUNK")
-        elif isinstance(event, PushEvent):
-            # (PUSH): C(p) = (fi, fr); push (p, v); reduce ``fi v``.
-            page = self.code.page(event.page)
-            if page is None:
-                raise SystemError_(
-                    "push of undefined page '{}'".format(event.page)
+        started = clock()
+        with self.tracer.span("event", event=str(event)) as span:
+            pending_before = len(queue)
+            if isinstance(event, ExecEvent):
+                # (THUNK): reduce ``v ()`` in standard mode.
+                self._evaluator.run_state(
+                    store, queue, ast.App(event.thunk, ast.UNIT_VALUE)
                 )
-            self.state.stack.push(event.page, event.arg)
-            self._evaluator.run_state(
-                store, queue, ast.App(page.init, event.arg)
-            )
-            self._invalidate()
-            self._record("PUSH", detail=event.page)
-        elif isinstance(event, PopEvent):
-            # (POP): pop the top page, or do nothing on an empty stack.
-            self.state.stack.pop()
-            self._invalidate()
-            self._record("POP")
-        else:
-            raise SystemError_("unknown event {!r}".format(event))
+                self._invalidate()
+                rule, detail = "THUNK", ""
+            elif isinstance(event, PushEvent):
+                # (PUSH): C(p) = (fi, fr); push (p, v); reduce ``fi v``.
+                page = self.code.page(event.page)
+                if page is None:
+                    raise SystemError_(
+                        "push of undefined page '{}'".format(event.page)
+                    )
+                self.state.stack.push(event.page, event.arg)
+                self._evaluator.run_state(
+                    store, queue, ast.App(page.init, event.arg)
+                )
+                self._invalidate()
+                rule, detail = "PUSH", event.page
+            elif isinstance(event, PopEvent):
+                # (POP): pop the top page, or do nothing on an empty stack.
+                self.state.stack.pop()
+                self._invalidate()
+                rule, detail = "POP", ""
+            else:
+                raise SystemError_("unknown event {!r}".format(event))
+            # Events the handler itself enqueued (nested push/pop).
+            cascaded = len(queue) - pending_before
+            if cascaded > 0:
+                self.tracer.add("events_queued", cascaded)
+        self._record(rule, detail, started=started, span=span)
         return event
 
     # -- the one rule that refreshes the display ------------------------------------
@@ -272,14 +317,23 @@ class System:
                 "page '{}' is on the stack but not in the code — the "
                 "UPDATE fix-up should have removed it".format(page_name)
             )
-        tree = self._evaluator.run_render(
-            state.store, ast.App(page.render, arg)
-        )
-        if self.reuse_boxes:
-            tree = box_diff.reuse(self._last_valid_display, tree)
-        state.display = tree
-        self._last_valid_display = tree
-        self._record("RENDER", detail=page_name)
+        tracer = self.tracer
+        started = clock()
+        with tracer.span("render", page=page_name) as span:
+            tree = self._evaluator.run_render(
+                state.store, ast.App(page.render, arg)
+            )
+            if self.reuse_boxes:
+                stats = box_diff.DiffStats()
+                with tracer.span("reuse"):
+                    tree = box_diff.reuse(
+                        self._last_valid_display, tree, stats
+                    )
+                tracer.add("reuse_shared_subtrees", stats.reused_boxes)
+            tracer.add("boxes_rendered", tree.count_boxes())
+            state.display = tree
+            self._last_valid_display = tree
+        self._record("RENDER", detail=page_name, started=started, span=span)
         return tree
 
     # -- the code-update rule ---------------------------------------------------------
@@ -301,28 +355,41 @@ class System:
             raise SystemError_("UPDATE requires an empty event queue")
         if natives is not None:
             self.natives = natives
-        if self.check_updates:
-            problems = code_problems(new_code, self.natives)
-            if problems:
-                raise UpdateRejected(
-                    "the new program is not well-typed ({} problem{})".format(
-                        len(problems), "" if len(problems) == 1 else "s"
-                    ),
-                    problems=problems,
+        started = clock()
+        with self.tracer.span("update") as span:
+            if self.check_updates:
+                with self.tracer.span("typecheck_update"):
+                    problems = code_problems(new_code, self.natives)
+                if problems:
+                    raise UpdateRejected(
+                        "the new program is not well-typed "
+                        "({} problem{})".format(
+                            len(problems), "" if len(problems) == 1 else "s"
+                        ),
+                        problems=problems,
+                    )
+            with self.tracer.span("fixup"):
+                new_store, new_stack, report = fixup(
+                    new_code, self.state.store, self.state.stack,
+                    self.natives, tracer=self.tracer,
                 )
-        new_store, new_stack, report = fixup(
-            new_code, self.state.store, self.state.stack, self.natives
-        )
-        self.state.code = new_code
-        self.state.store = new_store
-        self.state.stack = new_stack
-        self._invalidate()
-        self._evaluator = self._make_evaluator(new_code)
+            self.state.code = new_code
+            self.state.store = new_store
+            self.state.stack = new_stack
+            self._invalidate()
+            self._evaluator = self._make_evaluator(new_code)
+            if not report.clean:
+                span.annotate(
+                    dropped=", ".join(
+                        report.dropped_globals + report.dropped_pages
+                    )
+                )
         self._record(
             "UPDATE",
             detail="" if report.clean else "dropped {}".format(
                 ", ".join(report.dropped_globals + report.dropped_pages)
             ),
+            started=started, span=span,
         )
         return report
 

@@ -1,0 +1,154 @@
+"""The sinks: in-memory queries, JSONL round-tripping, text reports."""
+
+import io
+import json
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    TextSink,
+    Tracer,
+    format_metric_table,
+    format_span_tree,
+)
+
+
+def traced_tracer(sink):
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("edit_cycle"):
+        with tracer.span("parse"):
+            pass
+        with tracer.span("update"):
+            with tracer.span("fixup"):
+                pass
+        with tracer.span("render", page="start"):
+            tracer.add("boxes_rendered", 4)
+    return tracer
+
+
+class TestInMemorySink:
+    def test_collects_and_queries(self):
+        sink = InMemorySink()
+        tracer = traced_tracer(sink)
+        assert len(sink) == 5
+        assert [s.name for s in sink.named("parse")] == ["parse"]
+        assert sink.first("render").attrs == {"page": "start"}
+        assert sink.first("missing") is None
+        cycle = sink.first("edit_cycle")
+        child_names = {s.name for s in sink.children_of(cycle.span_id)}
+        assert child_names == {"parse", "update", "render"}
+        assert [s.name for s in sink.roots()] == ["edit_cycle"]
+        assert tracer.spans() == tuple(sink.spans)
+
+    def test_bounded_keeps_newest(self):
+        sink = InMemorySink(max_spans=10)
+        tracer = Tracer(sinks=[sink])
+        for index in range(25):
+            with tracer.span("s{}".format(index)):
+                pass
+        assert len(sink) <= 10
+        assert sink.dropped > 0
+        assert sink.spans[-1].name == "s24"
+
+    def test_clear(self):
+        sink = InMemorySink()
+        traced_tracer(sink)
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_every_line_round_trips(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        tracer = traced_tracer(sink)
+        sink.write_metrics(tracer.metrics())
+        sink.write_record("bench", mean_seconds=0.25)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 7  # 5 spans + metrics + record
+        objects = [json.loads(line) for line in lines]
+        kinds = [obj["type"] for obj in objects]
+        assert kinds == ["span"] * 5 + ["metrics", "record"]
+        assert objects[-2]["metrics"]["boxes_rendered"] == 4
+        assert objects[-1] == {
+            "name": "bench", "type": "record", "mean_seconds": 0.25,
+        }
+
+    def test_span_payload_shape(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("render", page="start", depth=2):
+            pass
+        payload = json.loads(buffer.getvalue())
+        assert payload["name"] == "render"
+        assert payload["attrs"] == {"page": "start", "depth": 2}
+        assert payload["parent_id"] is None
+        assert payload["duration"] >= 0.0
+
+    def test_writes_to_a_path(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sinks=[sink])
+            with tracer.span("a"):
+                pass
+            sink.write_metrics(tracer.metrics())
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == [
+            "span", "metrics",
+        ]
+
+    def test_non_json_attr_values_are_stringified(self):
+        buffer = io.StringIO()
+        tracer = Tracer(sinks=[JsonlSink(buffer)])
+        with tracer.span("a", value=object()):
+            pass
+        payload = json.loads(buffer.getvalue())
+        assert isinstance(payload["attrs"]["value"], str)
+
+
+class TestTextRendering:
+    def test_span_tree_shows_nesting_and_attrs(self):
+        sink = InMemorySink()
+        traced_tracer(sink)
+        tree = format_span_tree(sink.spans)
+        lines = tree.splitlines()
+        assert lines[0].startswith("edit_cycle")
+        assert any(line.startswith("  parse") for line in lines)
+        assert any(line.startswith("    fixup") for line in lines)
+        assert any("render (page=start)" in line for line in lines)
+        assert all("ms" in line for line in lines)
+
+    def test_orphans_render_as_roots(self):
+        sink = InMemorySink()
+        tracer = traced_tracer(sink)
+        cycle = sink.first("edit_cycle")
+        partial = [s for s in sink.spans if s.span_id != cycle.span_id]
+        tree = format_span_tree(partial)
+        assert tree.splitlines()[0].startswith("parse")
+
+    def test_empty_inputs(self):
+        assert "no spans" in format_span_tree([])
+        assert "no metrics" in format_metric_table({})
+
+    def test_metric_table_sorted_and_aligned(self):
+        table = format_metric_table(
+            {"boxes_rendered": 4, "a_metric": 1, "ratio": 0.5}
+        )
+        lines = table.splitlines()
+        assert lines[0].split() == ["metric", "value"]
+        assert [line.split()[0] for line in lines[1:]] == [
+            "a_metric", "boxes_rendered", "ratio",
+        ]
+        assert "0.500000" in table
+
+    def test_text_sink_full_report(self):
+        sink = TextSink()
+        tracer = traced_tracer(sink)
+        report = sink.report(metrics=tracer.metrics())
+        assert "span tree:" in report
+        assert "metrics:" in report
+        assert "boxes_rendered" in report
+        report_without_metrics = sink.report()
+        assert "metrics:" not in report_without_metrics

@@ -1,0 +1,159 @@
+"""The tracer core: spans, nesting, counters, the null implementation."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Stopwatch, Tracer
+from repro.obs.trace import CATALOG
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.finished
+        assert span.end >= span.start
+        assert span.duration >= 0.0
+
+    def test_nesting_sets_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_children_finish_before_parent_in_sink_order(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["parent", "child"][::-1]
+
+    def test_attrs_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("render", page="start") as span:
+            span.annotate(boxes=7)
+        assert span.attrs == {"page": "start", "boxes": 7}
+
+    def test_exception_annotates_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.finished
+        assert "ValueError" in span.attrs["error"]
+        # The tracer stack unwound: a new span is a root again.
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_current_and_last_span_id(self):
+        tracer = Tracer()
+        assert tracer.current_span_id is None
+        with tracer.span("a") as a:
+            assert tracer.current_span_id == a.span_id
+        assert tracer.current_span_id is None
+        assert tracer.last_span_id == a.span_id
+
+    def test_out_of_order_finish_closes_abandoned_children(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")  # never explicitly finished
+        outer.finish()
+        names = {span.name for span in tracer.spans()}
+        assert names == {"outer", "inner"}
+        assert all(span.finished for span in tracer.spans())
+
+    def test_children_of(self):
+        tracer = Tracer()
+        with tracer.span("p") as p:
+            with tracer.span("c1"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("c2"):
+                pass
+        assert [s.name for s in tracer.children_of(p.span_id)] == ["c1", "c2"]
+
+    def test_summed_child_durations_bounded_by_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            for _ in range(5):
+                with tracer.span("child"):
+                    sum(range(100))
+        children = tracer.children_of(parent.span_id)
+        assert len(children) == 5
+        assert sum(c.duration for c in children) <= parent.duration
+
+
+class TestMetrics:
+    def test_catalog_preregistered_at_zero(self):
+        metrics = Tracer().metrics()
+        for name in CATALOG:
+            assert metrics[name] == 0
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.add("boxes_rendered", 3)
+        tracer.add("boxes_rendered")
+        tracer.inc("custom_counter", 2)
+        metrics = tracer.metrics()
+        assert metrics["boxes_rendered"] == 4
+        assert metrics["custom_counter"] == 2
+
+    def test_gauges_last_write_wins(self):
+        tracer = Tracer()
+        tracer.gauge("queue_depth", 4)
+        tracer.gauge("queue_depth", 1)
+        assert tracer.metrics()["queue_depth"] == 1
+
+    def test_counter_shadows_gauge_in_merged_view(self):
+        tracer = Tracer()
+        tracer.gauge("eval_steps", 99)
+        assert tracer.metrics()["eval_steps"] == 0  # the counter wins
+
+
+class TestNullTracer:
+    def test_is_disabled_and_stateless(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+        span = NULL_TRACER.span("anything", page="x")
+        assert span.span_id is None
+        assert span.duration == 0.0
+        with span as entered:
+            assert entered is span
+        NULL_TRACER.add("boxes_rendered", 10)
+        NULL_TRACER.gauge("depth", 3)
+        assert NULL_TRACER.metrics() == {}
+        assert NULL_TRACER.spans() == ()
+        assert NULL_TRACER.children_of(1) == ()
+
+    def test_shared_singleton_span(self):
+        assert NullTracer().span("a") is NULL_TRACER.span("b")
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotonic(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert 0.0 <= first <= second
+
+    def test_restart(self):
+        watch = Stopwatch()
+        watch.elapsed()
+        watch.restart()
+        assert watch.elapsed() < 10.0  # restarted recently

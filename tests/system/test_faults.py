@@ -10,7 +10,7 @@ faults show an error screen instead of looping.
 import pytest
 
 from repro.core import ast
-from repro.core.errors import EvalError, ReproError
+from repro.core.errors import EvalError, ReproError, SystemError_
 from repro.surface.compile import compile_source
 from repro.system.runtime import Runtime
 
@@ -71,6 +71,36 @@ class TestRecordPolicy:
         # d is still 0 in the model, so rendering faults again — but the
         # environment is still alive and showing the error screen.
         assert rt.contains_text("runtime fault while rendering:")
+
+    def test_fault_display_shows_the_banner_and_the_error(self):
+        rt = runtime("record")
+        rt.tap_text("n = 10")
+        texts = rt.all_texts()
+        banner = texts.index("runtime fault while rendering:")
+        assert "division by zero" in texts[banner + 1]
+
+    def test_system_stays_live_behind_the_fault_display(self):
+        """The error screen replaces the display, not the model: globals
+        are still readable and the event queue still drains."""
+        rt = runtime("record")
+        rt.tap_text("n = 10")
+        assert rt.global_value("d") == ast.Num(0)
+        # The error screen has no handlers, so a tap is cleanly refused —
+        # and the system is still standing afterwards.
+        with pytest.raises(SystemError_):
+            rt.system.tap(())
+        assert rt.contains_text("runtime fault while rendering:")
+        assert rt.global_value("d") == ast.Num(0)
+
+    def test_taps_work_again_after_the_code_is_fixed(self):
+        rt = runtime("record")
+        rt.tap_text("n = 10")
+        fixed = compile_source(CRASHY_HANDLER.replace("10 / d", "10 + d"))
+        rt.update_code(fixed.code, natives=fixed.natives)
+        assert rt.contains_text("n = 10")      # d == 0, 10 + 0
+        rt.tap_text("fix")                      # handlers live again
+        assert rt.contains_text("n = 12")      # d := 2
+        assert len(rt.faults) == 1             # no new faults
 
     def test_partial_execution_is_kept(self):
         """Faults keep the store exactly as far as evaluation got — the

@@ -76,6 +76,66 @@ class TestRun:
         assert status == 0 and "6.25" in output
 
 
+class TestTrace:
+    def test_trace_prints_span_tree_and_metric_table(self, counter_file):
+        status, output = run_cli("trace", counter_file)
+        assert status == 0
+        assert "trace of" in output
+        # The span tree mirrors the transitions that actually fired.
+        for span_name in ("startup", "event", "render"):
+            assert span_name in output
+        # The metric table always shows the full catalog.
+        for metric in ("boxes_rendered", "memo_hits", "memo_misses"):
+            assert metric in output
+
+    def test_trace_auto_interacts_when_no_actions_given(self, counter_file):
+        _status, output = run_cli("trace", counter_file)
+        assert "tap" in output          # the auto-driver tapped the app
+
+    def test_trace_with_explicit_taps(self, counter_file):
+        status, output = run_cli(
+            "trace", counter_file, "--tap", "count: 0", "--tap", "count: 1"
+        )
+        assert status == 0 and "tap" in output
+
+    def test_trace_accepts_python_example_files(self):
+        from pathlib import Path
+
+        quickstart = Path(__file__).parent.parent / "examples/quickstart.py"
+        status, output = run_cli("trace", str(quickstart))
+        assert status == 0
+        assert "boxes_rendered" in output
+
+    def test_trace_jsonl_is_valid(self, counter_file, tmp_path):
+        import json
+
+        target = str(tmp_path / "trace.jsonl")
+        status, output = run_cli(
+            "trace", counter_file, "--trace-jsonl", target
+        )
+        assert status == 0 and "wrote trace" in output
+        with open(target) as handle:
+            lines = handle.read().splitlines()
+        assert lines
+        objects = [json.loads(line) for line in lines]
+        assert {obj["type"] for obj in objects} == {"span", "metrics"}
+        metrics = [o for o in objects if o["type"] == "metrics"][0]
+        assert metrics["metrics"]["boxes_rendered"] > 0
+
+    def test_run_trace_jsonl(self, counter_file, tmp_path):
+        import json
+
+        target = str(tmp_path / "run.jsonl")
+        status, _output = run_cli(
+            "run", counter_file, "--tap", "count: 0",
+            "--trace-jsonl", target,
+        )
+        assert status == 0
+        with open(target) as handle:
+            for line in handle.read().splitlines():
+                json.loads(line)
+
+
 class TestCompileAndProbe:
     def test_compile_prints_core(self, counter_file):
         status, output = run_cli("compile", counter_file)
