@@ -11,10 +11,15 @@ Commands:
 * ``probe``   — evaluate an expression in the program's context;
 * ``trace``   — run a scripted interaction under a real tracer and
   print the span tree + metric table (see ``docs/OBSERVABILITY.md``);
+* ``serve``   — run the multi-session JSON API server with an LRU
+  session pool (see ``docs/SERVER.md``);
 * ``ide``     — open the tkinter live viewer (if a display is available).
 
-``run``, ``trace`` and ``ide`` accept ``--trace-jsonl PATH`` to stream
-every finished span (plus a final metrics record) as JSON lines.
+``run``, ``trace``, ``serve`` and ``ide`` accept ``--trace-jsonl PATH``
+to stream every finished span (plus a final metrics record) as JSON
+lines.  Every command that takes a source file accepts either a
+``.live`` file or a ``.py`` example module exposing a string ``SOURCE``
+(e.g. ``examples/quickstart.py``).
 
 Programs that declare the stdlib externs (``fetch_listings``) are wired
 to the simulated web automatically; ``--latency`` tunes its virtual
@@ -50,27 +55,28 @@ def _read(path):
         raise ReproError("cannot read {}: {}".format(path, error))
 
 
-def _load_program_source(path):
-    """The surface source at ``path``.
+def _load_source(path):
+    """The surface source at ``path`` — shared by every subcommand.
 
     ``.live`` files are read verbatim.  A ``.py`` path (the repository's
     examples) is executed as a module — without running its ``main()``,
     which hides behind the ``__main__`` guard — and must leave a string
     ``SOURCE`` in its namespace, e.g. ``examples/quickstart.py``'s
-    ``from repro.apps.counter import SOURCE``.
+    ``from repro.apps.counter import SOURCE``.  ``run``, ``html``,
+    ``probe``, ``save``, ``trace`` and ``serve`` all accept both forms.
     """
     if not path.endswith(".py"):
         return _read(path)
     import runpy
 
     try:
-        namespace = runpy.run_path(path, run_name="repro.trace.target")
+        namespace = runpy.run_path(path, run_name="repro.cli.target")
     except OSError as error:
         raise ReproError("cannot read {}: {}".format(path, error))
     source = namespace.get("SOURCE")
     if not isinstance(source, str):
         raise ReproError(
-            "{} defines no string SOURCE to trace".format(path)
+            "{} defines no string SOURCE to load".format(path)
         )
     return source
 
@@ -110,7 +116,7 @@ def _finish_jsonl(tracer, args, out):
 
 
 def _session(path, latency, tracer=None, **session_kwargs):
-    source = _read(path)
+    source = _load_source(path)
     services = make_services(latency=latency)
     return LiveSession(
         source, host_impls=web_host_impls(), services=services,
@@ -191,7 +197,7 @@ def _auto_interact(session, taps=2):
 
 
 def cmd_trace(args, out):
-    source = _load_program_source(args.file)
+    source = _load_source(args.file)
     tracer = _make_tracer(args) or Tracer()
     services = make_services(latency=args.latency)
     # Turn the Section 5 optimizations on so their metrics are live.
@@ -264,17 +270,45 @@ def cmd_save(args, out):
     return 0
 
 
+def _print_rejection(problems, out):
+    """Diagnostics for a rejected update, one per line.
+
+    The same formatting a rejected :meth:`LiveSession.edit_source`
+    carries in ``result.problems`` — ``[RULE] span: message`` — so
+    ``resume --source`` and the live editor read identically.
+    """
+    print("update rejected ({} problem{}):".format(
+        len(problems), "" if len(problems) == 1 else "s"
+    ), file=out)
+    for problem in problems:
+        print("  {}".format(problem), file=out)
+
+
 def cmd_resume(args, out):
+    from .core.errors import UpdateRejected
     from .persist import load_image
 
-    with open(args.image) as handle:
-        data = handle.read()
-    session = load_image(
-        data,
-        host_impls=web_host_impls(),
-        services=make_services(latency=args.latency),
-        source=_read(args.source) if args.source else None,
-    )
+    data = _read(args.image)
+    services = lambda: make_services(latency=args.latency)
+    status = 0
+    try:
+        session = load_image(
+            data,
+            host_impls=web_host_impls(),
+            services=services(),
+            source=_load_source(args.source) if args.source else None,
+        )
+    except (SyntaxProblem, TypeProblem, UpdateRejected) as rejected:
+        # The edited source did not compile.  Exactly like a live edit,
+        # the rejection keeps the last good code running: resume the
+        # image's own source and report the diagnostics.
+        _print_rejection(
+            tuple(getattr(rejected, "problems", ())) or (rejected,), out
+        )
+        session = load_image(
+            data, host_impls=web_host_impls(), services=services()
+        )
+        status = 1
     report = session.last_restore_report
     if not report.clean:
         print(
@@ -284,6 +318,46 @@ def cmd_resume(args, out):
             file=out,
         )
     print(session.screenshot(width=args.width), file=out)
+    return status
+
+
+def cmd_serve(args, out):
+    from .obs import Tracer
+    from .serve.app import make_server
+    from .serve.host import SessionHost
+
+    source = _load_source(args.file)
+    tracer = _make_tracer(args) or Tracer()
+    host = SessionHost(
+        pool_size=args.pool_size,
+        default_source=source,
+        make_host_impls=web_host_impls,
+        make_services=lambda: make_services(latency=args.latency),
+        tracer=tracer,
+        # The Section 5 optimizations are semantics-preserving; a server
+        # wants them on.
+        session_kwargs={"reuse_boxes": True, "memo_render": True},
+    )
+    server = make_server(host, port=args.port, bind=args.bind)
+    port = server.server_address[1]
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(str(port))
+    print(
+        "serving {} on http://{}:{} (pool size {})".format(
+            args.file, args.bind, port, args.pool_size
+        ),
+        file=out,
+    )
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        _finish_jsonl(tracer, args, out)
     return 0
 
 
@@ -403,6 +477,31 @@ def build_parser():
     common(p_ide)
     jsonl_option(p_ide)
     p_ide.set_defaults(handler=cmd_ide)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-session JSON API server (see docs/SERVER.md)",
+    )
+    p_serve.add_argument("file", help="default app served to create requests")
+    p_serve.add_argument(
+        "--port", type=int, default=8737,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument("--bind", default="127.0.0.1")
+    p_serve.add_argument(
+        "--pool-size", type=int, default=16,
+        help="resident sessions before LRU eviction to session images",
+    )
+    p_serve.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port to PATH (for scripts using --port 0)",
+    )
+    p_serve.add_argument(
+        "--latency", type=float, default=DEFAULT_LATENCY,
+        help="simulated web latency in virtual seconds",
+    )
+    jsonl_option(p_serve)
+    p_serve.set_defaults(handler=cmd_serve)
 
     return parser
 

@@ -319,6 +319,29 @@ class LiveSession:
             self.display, width=width, selected_paths=selected_paths
         )
 
+    def html(self, title="repro page"):
+        """The live view as a standalone HTML document (second backend).
+
+        This is what the :mod:`repro.serve` protocol's ``render`` op
+        returns; tests use it to check that an evicted-and-rehydrated
+        session's display is byte-identical to a never-evicted one.
+        """
+        from ..render.html_backend import render_html
+
+        return render_html(self.display, title=title)
+
+    def apply_events(self, events):
+        """Apply a batch of queued user events with one render at the end.
+
+        ``events`` is a sequence of ``("tap", path)`` / ``("tap_text",
+        text)`` / ``("edit", path, text)`` / ``("back",)`` tuples.  See
+        :mod:`repro.serve.batching` — N events produce a single RENDER,
+        the semantics' "render only on quiescence".
+        """
+        from ..serve.batching import apply_batch
+
+        return apply_batch(self, events)
+
     def side_by_side(self, width=44, selection=None, code_window=None):
         """The Fig. 2 split screen: live view left, code view right."""
         from .screenshot import side_by_side

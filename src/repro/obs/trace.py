@@ -47,6 +47,12 @@ CATALOG = (
     "events_queued",
     "eval_steps",
     "faults_recorded",
+    # repro.serve — the multi-session server (docs/SERVER.md).
+    "sessions_created",
+    "sessions_evicted",
+    "sessions_rehydrated",
+    "renders_coalesced",
+    "bytes_served",
 )
 
 

@@ -113,16 +113,22 @@ def value_from_data(data):
 # ---------------------------------------------------------------------------
 
 
-def save_image(session):
+def save_image(session, meta=None):
     """Snapshot a :class:`~repro.live.session.LiveSession` to a dict.
 
     Captures the *last successfully compiled* source (the running code),
     the store and the page stack.  The display and event queue are not
     saved: the queue is empty in stable states, and the display is a
     function of the rest (it is re-rendered on load).
+
+    ``meta`` is an optional JSON-clean dict stored verbatim under the
+    ``"meta"`` key — the server's session host uses it to stamp evicted
+    sessions with their token and display generation.  It is carried, not
+    interpreted: loading ignores it apart from re-exposing it on
+    ``session.last_restore_meta``.
     """
     state = session.runtime.system.state
-    return {
+    image = {
         "format": FORMAT,
         "source": session.compiled.source,
         "store": [
@@ -133,11 +139,14 @@ def save_image(session):
             for page, value in state.stack.entries()
         ],
     }
+    if meta is not None:
+        image["meta"] = dict(meta)
+    return image
 
 
-def save_image_text(session, indent=2):
+def save_image_text(session, indent=2, meta=None):
     """:func:`save_image` as a JSON string."""
-    return json.dumps(save_image(session), indent=indent)
+    return json.dumps(save_image(session, meta=meta), indent=indent)
 
 
 def load_image(data, host_impls=None, services=None, source=None,
@@ -186,4 +195,5 @@ def load_image(data, host_impls=None, services=None, source=None,
     state.invalidate_display()
     session.runtime._settle()
     session.last_restore_report = report
+    session.last_restore_meta = data.get("meta")
     return session

@@ -100,3 +100,18 @@ def render_html(display, title="repro page"):
             html_escape.escape(title), render_html_fragment(display, 1)
         )
     )
+
+
+def display_fingerprint(display):
+    """A stable content hash of a display's HTML rendition.
+
+    The markup is deterministic (inline styles, document-order
+    traversal), so two displays fingerprint equal iff their HTML bytes
+    are identical — which is exactly the "did the client's view change?"
+    question the server's 304-style render generation answers
+    (:mod:`repro.serve.host`).
+    """
+    import hashlib
+
+    fragment = render_html_fragment(display)
+    return hashlib.sha256(fragment.encode("utf-8")).hexdigest()

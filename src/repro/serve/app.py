@@ -1,0 +1,131 @@
+"""The HTTP face of the server: stdlib-only JSON over POST.
+
+* ``POST /`` (or ``/api``) — body is one protocol request
+  (:mod:`repro.serve.protocol`), response is one protocol response;
+* ``GET /stats`` — the ``stats`` op, for dashboards and smoke tests;
+* ``GET /healthz`` — liveness probe.
+
+:class:`http.server.ThreadingHTTPServer` gives one thread per request;
+the :class:`~repro.serve.host.SessionHost` locks make that safe.  No
+framework, no dependency — the whole wire format is ``json`` +
+``Content-Length``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .host import SessionHost
+from .protocol import handle_request
+
+#: Cap request bodies (sources, batches) well above any legitimate use.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def make_handler(host, quiet=True):
+    """The request-handler class bound to one :class:`SessionHost`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1"
+
+        def log_message(self, fmt, *args):  # pragma: no cover - noise
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+        def _respond(self, payload, status=200):
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            if self.path == "/healthz":
+                self._respond({"ok": True})
+            elif self.path == "/stats":
+                self._respond(handle_request(host, {"op": "stats"}))
+            else:
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "BadRequest",
+                               "message": "GET serves /stats and /healthz; "
+                                          "POST protocol requests to /"}},
+                    status=404,
+                )
+
+        def do_POST(self):
+            if self.path not in ("/", "/api"):
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "BadRequest",
+                               "message": "POST to / or /api"}},
+                    status=404,
+                )
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY_BYTES:
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "BadRequest",
+                               "message": "missing or oversized body"}},
+                    status=400,
+                )
+                return
+            try:
+                request = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, UnicodeDecodeError):
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "BadRequest",
+                               "message": "body is not valid JSON"}},
+                    status=400,
+                )
+                return
+            try:
+                response = handle_request(host, request)
+            except Exception as error:  # a server bug, not a client error
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "InternalError",
+                               "message": "{}: {}".format(
+                                   type(error).__name__, error)}},
+                    status=500,
+                )
+                return
+            self._respond(response)
+
+    return Handler
+
+
+def make_server(host, port=0, bind="127.0.0.1", quiet=True):
+    """A ready-to-serve :class:`ThreadingHTTPServer` on ``bind:port``.
+
+    ``port=0`` picks an ephemeral port; read the actual one from
+    ``server.server_address[1]``.
+    """
+    if not isinstance(host, SessionHost):
+        raise TypeError("make_server expects a SessionHost")
+    server = ThreadingHTTPServer((bind, port), make_handler(host, quiet=quiet))
+    server.daemon_threads = True
+    server.repro_host = host
+    return server
+
+
+def serve(host, port=0, bind="127.0.0.1", quiet=True, ready=None):
+    """Blocking serve loop; ``ready(server)`` is called once listening."""
+    server = make_server(host, port=port, bind=bind, quiet=quiet)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return server

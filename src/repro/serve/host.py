@@ -1,0 +1,395 @@
+"""The multi-session host: registry, locks, LRU pool, image eviction.
+
+A :class:`SessionHost` owns many live programs at once.  Each session is
+keyed by an opaque token and guarded by its own lock, so HTTP worker
+threads can drive different sessions concurrently while operations on
+one session stay serialized.
+
+**Pooling.**  Only ``pool_size`` sessions are *resident* (a full
+:class:`~repro.live.session.LiveSession`: compiled code, evaluator,
+display).  When the pool overflows, the least-recently-used idle
+sessions are **evicted**: serialized to session images with
+:func:`repro.persist.save_image` and dropped.  The next request for an
+evicted session transparently **rehydrates** it with
+:func:`~repro.persist.load_image`.  Because loading an image *is* an
+UPDATE (the saved state is fixed up against the code with the Fig. 12
+relation), eviction is invisible to clients: the rehydrated display is
+byte-identical to a never-evicted one, and an ``edit_source`` arriving
+while the session is paged out behaves exactly like a live edit.
+
+**Generations.**  Every session carries a display generation — a counter
+bumped whenever the HTML rendition of its display actually changes
+(content-hashed via
+:func:`repro.render.html_backend.display_fingerprint`).  ``render``
+requests carrying the client's last generation get a 304-style
+"not modified" answer without re-rendering.
+
+**Metrics.**  The host records ``sessions_created`` /
+``sessions_evicted`` / ``sessions_rehydrated`` / ``renders_coalesced`` /
+``bytes_served`` into the shared metric catalog (``repro.obs.CATALOG``);
+counter updates are serialized behind a lock because
+:class:`~repro.obs.Tracer` itself is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from collections import OrderedDict
+
+from ..core.errors import ReproError
+from ..live.session import LiveSession
+from ..obs.trace import NULL_TRACER
+from ..persist import load_image, save_image
+from ..render.html_backend import display_fingerprint, render_html
+from ..system.services import Services
+from .batching import apply_batch
+
+
+class UnknownToken(ReproError):
+    """No session (resident or evicted) is registered under this token."""
+
+
+class _Entry:
+    """One hosted session: either resident (``session``) or an image."""
+
+    __slots__ = (
+        "token", "lock", "session", "image",
+        "generation", "html", "fingerprint", "dirty", "title",
+    )
+
+    def __init__(self, token, session, title):
+        self.token = token
+        # Deliberately non-reentrant: eviction probes busyness with a
+        # non-blocking acquire, which must fail even when the probing
+        # thread itself is the one using the session.
+        self.lock = threading.Lock()
+        self.session = session     # LiveSession when resident, else None
+        self.image = None          # persist image dict when evicted
+        self.generation = 0        # bumped when the HTML bytes change
+        self.html = None           # last rendered document
+        self.fingerprint = None    # content hash behind ``generation``
+        self.dirty = True          # a mutation may have changed the view
+        self.title = title
+
+    @property
+    def resident(self):
+        return self.session is not None
+
+
+class SessionHost:
+    """A registry of live sessions behind an LRU pool.
+
+    ``make_services`` / ``make_host_impls`` are factories called once per
+    session construction *and* once per rehydration, so every session
+    gets a fresh virtual clock and substrate set (virtual time and
+    request counts are not part of the persistent image — only code and
+    state are, exactly as in :mod:`repro.persist`).
+
+    ``session_kwargs`` (e.g. ``reuse_boxes=True, memo_render=True``) are
+    passed to every session; sessions always run with the null tracer —
+    host-level metrics live on ``self.tracer``.
+    """
+
+    def __init__(
+        self,
+        pool_size=16,
+        default_source=None,
+        make_host_impls=None,
+        make_services=None,
+        tracer=None,
+        session_kwargs=None,
+    ):
+        if pool_size < 1:
+            raise ReproError("pool_size must be at least 1")
+        self.pool_size = pool_size
+        self.default_source = default_source
+        self._make_host_impls = make_host_impls or dict
+        self._make_services = make_services or Services
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.session_kwargs = dict(session_kwargs or {})
+        self._lock = threading.Lock()          # registry + LRU order
+        self._metrics_lock = threading.Lock()  # tracer counter updates
+        self._entries = OrderedDict()          # token -> _Entry, LRU order
+
+    # -- metrics ------------------------------------------------------------
+
+    def _count(self, name, amount=1):
+        with self._metrics_lock:
+            self.tracer.add(name, amount)
+
+    def metrics(self):
+        """Counter/gauge snapshot (``{}`` with the null tracer)."""
+        with self._metrics_lock:
+            return self.tracer.metrics()
+
+    # -- session lifecycle --------------------------------------------------
+
+    def create(self, source=None, title=None):
+        """Boot a new live session; returns its token.
+
+        ``source`` defaults to the host's ``default_source`` (the app the
+        server was started with).
+        """
+        if source is None:
+            source = self.default_source
+        if source is None:
+            raise ReproError(
+                "create needs a source (the host has no default app)"
+            )
+        session = LiveSession(
+            source,
+            host_impls=self._make_host_impls(),
+            services=self._make_services(),
+            **self.session_kwargs
+        )
+        token = "s-" + secrets.token_hex(8)
+        entry = _Entry(token, session, title or token)
+        with self._lock:
+            self._entries[token] = entry
+        self._count("sessions_created")
+        self._enforce_capacity(protect=entry)
+        return token
+
+    def tokens(self):
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def _checkout(self, token):
+        """Find + LRU-touch an entry (registry lock only)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                raise UnknownToken(
+                    "no session with token {!r}".format(token)
+                )
+            self._entries.move_to_end(token)
+            return entry
+
+    def session(self, token):
+        """Context manager: the entry, locked and resident.
+
+        Rehydrates an evicted session before yielding.  All public
+        per-session operations go through this, so a session is only
+        ever touched by one thread at a time.
+        """
+        return _LockedSession(self, token)
+
+    def _rehydrate(self, entry):
+        """Entry lock held: rebuild the LiveSession from its image."""
+        entry.session = load_image(
+            entry.image,
+            host_impls=self._make_host_impls(),
+            services=self._make_services(),
+            **self.session_kwargs
+        )
+        entry.image = None
+        entry.dirty = True  # recompute + compare; generation is stable
+        self._count("sessions_rehydrated")
+        self._enforce_capacity(protect=entry)
+
+    # -- eviction -----------------------------------------------------------
+
+    def _resident_count(self):
+        return sum(1 for e in self._entries.values() if e.resident)
+
+    def _enforce_capacity(self, protect=None):
+        """Evict LRU idle residents until the pool fits ``pool_size``.
+
+        Busy sessions (their lock is held) are skipped — they are in use,
+        hence not idle; the pool may transiently overflow if everything
+        is busy.  Lock order is registry → entry(non-blocking), which
+        cannot deadlock against the entry → registry order used by
+        rehydration.
+        """
+        with self._lock:
+            excess = self._resident_count() - self.pool_size
+            if excess <= 0:
+                return 0
+            evicted = 0
+            for entry in list(self._entries.values()):  # LRU order
+                if excess <= 0:
+                    break
+                if entry is protect or not entry.resident:
+                    continue
+                if not entry.lock.acquire(blocking=False):
+                    continue
+                try:
+                    self._evict_entry(entry)
+                    evicted += 1
+                    excess -= 1
+                finally:
+                    entry.lock.release()
+            return evicted
+
+    def _evict_entry(self, entry):
+        """Entry lock held: serialize to an image and drop the session."""
+        entry.image = save_image(
+            entry.session,
+            meta={"token": entry.token, "generation": entry.generation},
+        )
+        entry.session = None
+        self._count("sessions_evicted")
+
+    def evict(self, token):
+        """Force-evict one session (idempotent; returns True if evicted)."""
+        entry = self._checkout(token)
+        with entry.lock:
+            if not entry.resident:
+                return False
+            self._evict_entry(entry)
+            return True
+
+    def evicted(self, token):
+        """Is the session currently paged out to an image?"""
+        return not self._checkout(token).resident
+
+    # -- per-session operations --------------------------------------------
+
+    def tap(self, token, path=None, text=None):
+        with self.session(token) as entry:
+            if text is not None:
+                entry.session.tap_text(text)
+            elif path is not None:
+                entry.session.tap(tuple(path))
+            else:
+                raise ReproError("tap needs a path or a text")
+            entry.dirty = True
+            return entry.session.runtime.page_name()
+
+    def back(self, token):
+        with self.session(token) as entry:
+            entry.session.back()
+            entry.dirty = True
+            return entry.session.runtime.page_name()
+
+    def edit_box(self, token, path, text):
+        with self.session(token) as entry:
+            entry.session.edit_box(tuple(path), text)
+            entry.dirty = True
+            return entry.session.runtime.page_name()
+
+    def batch(self, token, events):
+        """Apply a burst of events with one render (see ``batching``)."""
+        with self.session(token) as entry:
+            report = apply_batch(entry.session, events)
+            entry.dirty = True
+        if report.coalesced:
+            self._count("renders_coalesced", report.coalesced)
+        return report
+
+    def edit_source(self, token, new_source):
+        """Live-apply an edit; works identically on evicted sessions.
+
+        Rehydration runs first (load = UPDATE with the Fig. 12 fix-up),
+        then the edit takes the ordinary
+        :meth:`~repro.live.session.LiveSession.edit_source` path — so an
+        edit-while-evicted is exactly a save → edit → resume.
+        """
+        with self.session(token) as entry:
+            result = entry.session.edit_source(new_source)
+            if result.applied:
+                entry.dirty = True
+            return result
+
+    def probe(self, token, expression):
+        with self.session(token) as entry:
+            return entry.session.probe_expr(expression)
+
+    def render(self, token, if_generation=None):
+        """``(html, generation, modified)`` for the session's display.
+
+        When the client's ``if_generation`` still matches (and nothing
+        mutated since the last render), the HTML is not even recomputed —
+        the 304 path costs a dirty-flag check.  ``html`` is ``None`` iff
+        ``modified`` is False.
+        """
+        with self.session(token) as entry:
+            if not entry.dirty and if_generation == entry.generation:
+                return None, entry.generation, False
+            html = render_html(entry.session.display, title=entry.title)
+            fingerprint = display_fingerprint(entry.session.display)
+            if fingerprint != entry.fingerprint:
+                entry.generation += 1
+                entry.fingerprint = fingerprint
+            entry.html = html
+            entry.dirty = False
+            if if_generation == entry.generation:
+                return None, entry.generation, False
+            self._count("bytes_served", len(html.encode("utf-8")))
+            return html, entry.generation, True
+
+    def screenshot(self, token, width=48):
+        with self.session(token) as entry:
+            return entry.session.screenshot(width=width)
+
+    def snapshot(self, token):
+        """The session's persist image, without evicting it."""
+        with self.session(token) as entry:
+            return save_image(
+                entry.session,
+                meta={
+                    "token": entry.token,
+                    "generation": entry.generation,
+                },
+            )
+
+    def source(self, token):
+        with self.session(token) as entry:
+            return entry.session.source
+
+    def destroy(self, token):
+        """Forget a session entirely (resident or evicted)."""
+        with self._lock:
+            entry = self._entries.pop(token, None)
+        return entry is not None
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self):
+        """Pool + metric snapshot for the ``stats`` protocol op."""
+        with self._lock:
+            resident = self._resident_count()
+            total = len(self._entries)
+        stats = {
+            "sessions": total,
+            "resident": resident,
+            "evicted": total - resident,
+            "pool_size": self.pool_size,
+        }
+        stats["metrics"] = self.metrics()
+        return stats
+
+
+class _LockedSession:
+    """``with host.session(token) as entry:`` — locked and resident."""
+
+    __slots__ = ("_host", "_token", "_entry")
+
+    def __init__(self, host, token):
+        self._host = host
+        self._token = token
+        self._entry = None
+
+    def __enter__(self):
+        entry = self._host._checkout(self._token)
+        entry.lock.acquire()
+        self._entry = entry
+        try:
+            if not entry.resident:
+                self._host._rehydrate(entry)
+        except BaseException:
+            entry.lock.release()
+            self._entry = None
+            raise
+        return entry
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        entry, self._entry = self._entry, None
+        if entry is not None:
+            entry.lock.release()
+        return False

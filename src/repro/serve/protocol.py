@@ -1,0 +1,238 @@
+"""The versioned JSON wire protocol.
+
+One request is one JSON object with an ``"op"`` field; one response is
+one JSON object with ``"ok"``, ``"protocol"`` and ``"op"`` fields plus
+op-specific payload.  The transition system of Fig. 6–9 already is an
+event/render protocol — this module only names its messages:
+
+======================  ====================================================
+op                      request fields → response payload
+======================  ====================================================
+``create``              ``source?``, ``title?`` → ``token``, ``page``
+``tap``                 ``token``, ``path`` | ``text`` → ``page``
+``back``                ``token`` → ``page``
+``edit_box``            ``token``, ``path``, ``text`` → ``page``
+``batch``               ``token``, ``events`` → ``events``, ``renders``,
+                        ``coalesced``
+``edit_source``         ``token``, ``source`` → ``status``, ``problems``,
+                        ``dropped_globals``, ``dropped_pages``
+``probe``               ``token``, ``expression`` → ``result``
+``render``              ``token``, ``generation?``, ``width?`` →
+                        ``html`` + ``generation``, or ``not_modified``
+``snapshot``            ``token`` → ``image`` (a ``repro-image/1`` dict)
+``evict``               ``token`` → ``evicted``
+``stats``               → ``stats``
+======================  ====================================================
+
+A request may carry ``"protocol": N``; a version other than
+:data:`PROTOCOL_VERSION` is rejected up front so clients fail loudly
+instead of misparsing.  Errors come back as
+``{"ok": false, "error": {"type": ..., "message": ...}}`` — the type is
+the raising :class:`~repro.core.errors.ReproError` subclass name, so
+clients can dispatch on e.g. ``"UnknownToken"`` or ``"SyntaxProblem"``.
+
+``render`` responses carry the display generation; a request whose
+``generation`` still matches gets ``{"not_modified": true}`` with no
+HTML — the 304 of this protocol.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+PROTOCOL_VERSION = 1
+
+
+def _ok(op, **payload):
+    response = {"ok": True, "protocol": PROTOCOL_VERSION, "op": op}
+    response.update(payload)
+    return response
+
+
+def _error(op, type_, message):
+    return {
+        "ok": False,
+        "protocol": PROTOCOL_VERSION,
+        "op": op,
+        "error": {"type": type_, "message": message},
+    }
+
+
+class BadRequest(ReproError):
+    """The request object itself is malformed (shape, not semantics)."""
+
+
+def _require(request, field, types):
+    value = request.get(field)
+    if not isinstance(value, types):
+        raise BadRequest(
+            "op {!r} requires field {!r}".format(
+                request.get("op"), field
+            )
+        )
+    return value
+
+
+def _batch_events(raw):
+    """Decode the wire event list into batching tuples."""
+    if not isinstance(raw, list):
+        raise BadRequest("batch requires an 'events' list")
+    events = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise BadRequest("batch events must be objects")
+        kind = item.get("kind")
+        if kind == "tap" and "text" in item:
+            events.append(("tap_text", item["text"]))
+        elif kind == "tap":
+            events.append(("tap", tuple(item.get("path", ()))))
+        elif kind == "edit":
+            events.append(
+                ("edit", tuple(item.get("path", ())), item.get("text", ""))
+            )
+        elif kind == "back":
+            events.append(("back",))
+        else:
+            raise BadRequest(
+                "unknown batch event kind {!r}".format(kind)
+            )
+    return events
+
+
+def handle_request(host, request):
+    """Dispatch one decoded request against a
+    :class:`~repro.serve.host.SessionHost`; always returns a response
+    dict (semantic failures are ``ok: false`` responses, never raises
+    for anything a remote client can trigger)."""
+    if not isinstance(request, dict):
+        return _error(None, "BadRequest", "request must be a JSON object")
+    op = request.get("op")
+    version = request.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        return _error(
+            op, "BadRequest",
+            "unsupported protocol version {!r} (this server speaks "
+            "{})".format(version, PROTOCOL_VERSION),
+        )
+    handler = _OPS.get(op)
+    if handler is None:
+        return _error(
+            op, "BadRequest",
+            "unknown op {!r}; valid ops: {}".format(
+                op, ", ".join(sorted(_OPS))
+            ),
+        )
+    try:
+        return handler(host, request)
+    except ReproError as error:
+        return _error(op, type(error).__name__, str(error))
+
+
+# -- op handlers ------------------------------------------------------------
+
+
+def _op_create(host, request):
+    source = request.get("source")
+    if source is not None and not isinstance(source, str):
+        raise BadRequest("create: 'source' must be a string")
+    token = host.create(source=source, title=request.get("title"))
+    with host.session(token) as entry:
+        page = entry.session.runtime.page_name()
+    return _ok("create", token=token, page=page)
+
+
+def _op_tap(host, request):
+    token = _require(request, "token", str)
+    if "text" in request:
+        page = host.tap(token, text=_require(request, "text", str))
+    else:
+        page = host.tap(token, path=_require(request, "path", list))
+    return _ok("tap", token=token, page=page)
+
+
+def _op_back(host, request):
+    token = _require(request, "token", str)
+    return _ok("back", token=token, page=host.back(token))
+
+
+def _op_edit_box(host, request):
+    token = _require(request, "token", str)
+    page = host.edit_box(
+        token,
+        _require(request, "path", list),
+        _require(request, "text", str),
+    )
+    return _ok("edit_box", token=token, page=page)
+
+
+def _op_batch(host, request):
+    token = _require(request, "token", str)
+    report = host.batch(token, _batch_events(request.get("events")))
+    return _ok(
+        "batch",
+        token=token,
+        events=report.events,
+        renders=report.renders,
+        coalesced=report.coalesced,
+    )
+
+
+def _op_edit_source(host, request):
+    token = _require(request, "token", str)
+    result = host.edit_source(token, _require(request, "source", str))
+    payload = {"status": result.status}
+    if result.applied:
+        payload["dropped_globals"] = list(result.report.dropped_globals)
+        payload["dropped_pages"] = list(result.report.dropped_pages)
+    else:
+        payload["problems"] = [str(p) for p in result.problems]
+    return _ok("edit_source", token=token, **payload)
+
+
+def _op_probe(host, request):
+    token = _require(request, "token", str)
+    result = host.probe(token, _require(request, "expression", str))
+    return _ok("probe", token=token, result=result.describe())
+
+
+def _op_render(host, request):
+    token = _require(request, "token", str)
+    if_generation = request.get("generation")
+    html, generation, modified = host.render(
+        token, if_generation=if_generation
+    )
+    if not modified:
+        return _ok(
+            "render", token=token, generation=generation,
+            not_modified=True,
+        )
+    return _ok("render", token=token, generation=generation, html=html)
+
+
+def _op_snapshot(host, request):
+    token = _require(request, "token", str)
+    return _ok("snapshot", token=token, image=host.snapshot(token))
+
+
+def _op_evict(host, request):
+    token = _require(request, "token", str)
+    return _ok("evict", token=token, evicted=host.evict(token))
+
+
+def _op_stats(host, _request):
+    return _ok("stats", stats=host.stats())
+
+
+_OPS = {
+    "create": _op_create,
+    "tap": _op_tap,
+    "back": _op_back,
+    "edit_box": _op_edit_box,
+    "batch": _op_batch,
+    "edit_source": _op_edit_source,
+    "probe": _op_probe,
+    "render": _op_render,
+    "snapshot": _op_snapshot,
+    "evict": _op_evict,
+    "stats": _op_stats,
+}

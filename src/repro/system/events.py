@@ -60,6 +60,25 @@ class PushEvent(Event):
         return "[push {} v]".format(self.page)
 
 
+def edit_thunk(handler, text):
+    """The ``[exec v]`` thunk the EDIT extension wraps around ``onedit``.
+
+    Shared by :meth:`repro.system.transitions.System.edit` and the
+    server's event batcher (:mod:`repro.serve.batching`) so both enqueue
+    byte-identical events: a unit-taking lambda applying the handler to
+    the new text in standard mode.
+    """
+    from ..core.effects import STATE
+    from ..core.types import UNIT
+
+    return ast.Lam(
+        ast.fresh_name("ignored"),
+        UNIT,
+        ast.App(handler, ast.Str(text)),
+        STATE,
+    )
+
+
 @dataclass(frozen=True)
 class PopEvent(Event):
     """``[pop]`` — pop the current page (POP)."""

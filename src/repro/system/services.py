@@ -10,9 +10,17 @@ sleeping) and, for the example apps, the simulated web of
 Services are *only* reachable from natives, natives carry a declared
 effect, and the type system confines effectful natives to standard mode —
 so render code provably never touches a service.
+
+Both classes are **thread-safe**: the :mod:`repro.serve` session host
+runs sessions on HTTP worker threads, so clock advances and substrate
+registration may race.  The locks are uncontended in single-threaded use
+(every test and example before the server) and cost one uncontended
+acquire per operation.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..core.errors import ReproError
 
@@ -24,25 +32,33 @@ class VirtualClock:
     edit-cycle benchmark (E2) then reports *virtual* seconds per iteration,
     which is how we reproduce the paper's "waiting for the list to
     download" cost without making the test-suite slow.
+
+    ``advance`` is atomic: ``self._now += seconds`` is a read-modify-write
+    that loses updates when two server threads race it, so the clock
+    serializes all mutation behind a lock.
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._now = 0.0
 
     @property
     def now(self):
         """Current virtual time in seconds since the clock's creation."""
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds):
         """Advance virtual time; negative advances are rejected."""
         if seconds < 0:
             raise ReproError("cannot advance the clock by a negative amount")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def reset(self):
-        self._now = 0.0
+        with self._lock:
+            self._now = 0.0
 
 
 class Services:
@@ -50,27 +66,33 @@ class Services:
 
     def __init__(self, clock=None):
         self.clock = clock if clock is not None else VirtualClock()
+        self._lock = threading.Lock()
         self._substrates = {}
 
     def provide(self, name, substrate):
         """Register substrate ``name`` (e.g. ``"web"``); returns it."""
-        if name in self._substrates:
-            raise ReproError("service '{}' already provided".format(name))
-        self._substrates[name] = substrate
-        return substrate
+        with self._lock:
+            if name in self._substrates:
+                raise ReproError("service '{}' already provided".format(name))
+            self._substrates[name] = substrate
+            return substrate
 
     def get(self, name):
         """Fetch substrate ``name``; raises if the host never wired it up."""
-        try:
-            return self._substrates[name]
-        except KeyError:
-            raise ReproError(
-                "service '{}' is not provided — natives that need it "
-                "cannot run in this configuration".format(name)
-            )
+        with self._lock:
+            try:
+                return self._substrates[name]
+            except KeyError:
+                pass
+        raise ReproError(
+            "service '{}' is not provided — natives that need it "
+            "cannot run in this configuration".format(name)
+        )
 
     def has(self, name):
-        return name in self._substrates
+        with self._lock:
+            return name in self._substrates
 
     def names(self):
-        return tuple(self._substrates)
+        with self._lock:
+            return tuple(self._substrates)

@@ -34,15 +34,13 @@ from ..boxes.paths import innermost_box_with_attr, resolve
 from ..boxes.tree import STALE
 from ..core import ast
 from ..core.defs import Code
-from ..core.effects import STATE
 from ..core.errors import ReproError, SystemError_, UpdateRejected
 from ..core.names import ATTR_EDITABLE, ATTR_ONEDIT, ATTR_ONTAP, START_PAGE
-from ..core.types import UNIT
 from ..eval.machine import BigStep, SmallStep
 from ..eval.natives import EMPTY_NATIVES
 from ..obs.trace import NULL_TRACER, clock
 from ..typing.program import code_problems
-from .events import EventQueue, ExecEvent, PopEvent, PushEvent
+from .events import EventQueue, ExecEvent, PopEvent, PushEvent, edit_thunk
 from .fixup import fixup
 from .services import Services
 from .state import SystemState
@@ -226,13 +224,7 @@ class System:
                 raise SystemError_(
                     "box at {} has no onedit handler".format(list(path))
                 )
-            thunk = ast.Lam(
-                ast.fresh_name("ignored"),
-                UNIT,
-                ast.App(handler, ast.Str(text)),
-                STATE,
-            )
-            self.state.queue.enqueue(ExecEvent(thunk))
+            self.state.queue.enqueue(ExecEvent(edit_thunk(handler, text)))
             self.tracer.add("events_queued")
             self._invalidate()
         self._record("EDIT", detail=text, started=started, span=span)

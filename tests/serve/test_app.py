@@ -1,0 +1,122 @@
+"""The HTTP JSON API: ThreadingHTTPServer on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.obs import Tracer
+from repro.serve.app import make_server
+from repro.serve.host import SessionHost
+
+
+@pytest.fixture
+def server():
+    host = SessionHost(
+        pool_size=4, default_source=COUNTER, tracer=Tracer()
+    )
+    server = make_server(host)  # port 0: ephemeral
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def url(server, path="/"):
+    return "http://127.0.0.1:{}{}".format(server.server_address[1], path)
+
+
+def post(server, payload, path="/"):
+    request = urllib.request.Request(
+        url(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def get(server, path):
+    with urllib.request.urlopen(url(server, path)) as response:
+        return json.loads(response.read())
+
+
+class TestHTTP:
+    def test_full_session_flow_over_http(self, server):
+        created = post(server, {"op": "create"})
+        assert created["ok"]
+        token = created["token"]
+        post(server, {"op": "tap", "token": token, "text": "count: 0"})
+        rendered = post(server, {"op": "render", "token": token})
+        assert "count: 1" in rendered["html"]
+        # Evict over the wire, then render again: the 304 survives the
+        # round trip through the session image.
+        assert post(server, {"op": "evict", "token": token})["evicted"]
+        again = post(
+            server,
+            {"op": "render", "token": token,
+             "generation": rendered["generation"]},
+        )
+        assert again["not_modified"]
+
+    def test_api_alias_path(self, server):
+        assert post(server, {"op": "stats"}, path="/api")["ok"]
+
+    def test_get_stats_and_healthz(self, server):
+        assert get(server, "/healthz")["ok"]
+        stats = get(server, "/stats")
+        assert stats["ok"] and "pool_size" in stats["stats"]
+
+    def test_unknown_get_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            get(server, "/nope")
+        assert caught.value.code == 404
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            url(server), data=b"{not json", headers={}
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 400
+
+    def test_semantic_errors_are_200_with_ok_false(self, server):
+        response = post(
+            server, {"op": "tap", "token": "nope", "text": "count: 0"}
+        )
+        assert not response["ok"]
+        assert response["error"]["type"] == "UnknownToken"
+
+    def test_concurrent_clients(self, server):
+        tokens = [
+            post(server, {"op": "create"})["token"] for _ in range(6)
+        ]
+        errors = []
+
+        def client(token):
+            try:
+                for n in range(3):
+                    post(server, {
+                        "op": "tap", "token": token,
+                        "text": "count: {}".format(n),
+                    })
+                rendered = post(server, {"op": "render", "token": token})
+                assert "count: 3" in rendered["html"]
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(t,)) for t in tokens
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

@@ -1,0 +1,130 @@
+"""Event batching and render coalescing: N events, one RENDER."""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.core.errors import ReproError, SystemError_
+from repro.live.session import LiveSession
+from repro.obs import Tracer
+from repro.serve.batching import apply_batch
+
+
+def counter_session(**kwargs):
+    return LiveSession(COUNTER, **kwargs)
+
+
+def tap_path(session):
+    return session.runtime.find_text("count: 0") or \
+        session.runtime.find_text("count: 1")
+
+
+class TestCoalescing:
+    def test_three_taps_one_render(self):
+        session = counter_session()
+        path = session.runtime.find_text("count: 0")
+        report = apply_batch(
+            session, [("tap", path), ("tap", path), ("tap", path)]
+        )
+        assert report.events == 3
+        assert report.renders == 1
+        assert report.coalesced == 2
+        assert session.runtime.contains_text("count: 3")
+
+    def test_render_trace_shows_a_single_render(self):
+        session = counter_session()
+        path = session.runtime.find_text("count: 0")
+        before = [t.rule for t in session.runtime.trace]
+        apply_batch(session, [("tap", path)] * 4)
+        fired = [t.rule for t in session.runtime.trace[len(before):]]
+        assert fired.count("RENDER") == 1
+        assert fired.count("TAP") == 4
+
+    def test_batch_equals_sequential_taps(self):
+        batched = counter_session()
+        sequential = counter_session()
+        path = batched.runtime.find_text("count: 0")
+        apply_batch(batched, [("tap", path)] * 5)
+        for _ in range(5):
+            sequential.tap(path)
+        assert batched.screenshot() == sequential.screenshot()
+
+    def test_coalesced_metric_recorded_on_the_session_tracer(self):
+        tracer = Tracer()
+        session = counter_session(tracer=tracer)
+        path = session.runtime.find_text("count: 0")
+        apply_batch(session, [("tap", path)] * 3)
+        assert tracer.metrics()["renders_coalesced"] == 2
+
+    def test_session_convenience_method(self):
+        session = counter_session()
+        path = session.runtime.find_text("count: 0")
+        report = session.apply_events([("tap", path), ("back",)])
+        assert report.events == 2 and report.quiescent_render
+
+
+class TestEventKinds:
+    def test_tap_text_resolves_against_the_reference_display(self):
+        """Both taps name the text the *client* saw — the display from
+        before the batch — even though the first tap changes it."""
+        session = counter_session()
+        report = apply_batch(
+            session,
+            [("tap_text", "count: 0"), ("tap_text", "count: 0")],
+        )
+        assert report.events == 2
+        assert session.runtime.contains_text("count: 2")
+
+    def test_back_pops_a_pushed_page(self):
+        source = (
+            "page start()\n  render\n    boxed\n      post \"go\"\n"
+            "      on tap do\n        push detail(7)\n"
+            "page detail(n : number)\n  render\n    post n\n"
+        )
+        session = LiveSession(source)
+        session.tap_text("go")
+        report = apply_batch(session, [("back",)])
+        assert report.events == 1
+        assert session.runtime.page_name() == "start"
+
+    def test_edit_event(self):
+        session = LiveSession(
+            "global apr : number = 4.5\n"
+            "page start()\n  render\n    boxed\n      editable apr\n"
+        )
+        path = session.runtime.find_text("4.5")
+        report = apply_batch(session, [("edit", path, "6.25")])
+        assert report.events == 1
+        assert session.runtime.contains_text("6.25")
+
+    def test_mixed_batch(self):
+        session = counter_session()
+        path = session.runtime.find_text("count: 0")
+        report = apply_batch(
+            session, [("tap", path), ("back",), ("tap", path)]
+        )
+        assert report.renders == 1
+        assert session.runtime.contains_text("count: 2")
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self):
+        session = counter_session()
+        with pytest.raises(ReproError):
+            apply_batch(session, [("sing",)])
+
+    def test_tap_without_handler_rejected(self):
+        session = counter_session()
+        with pytest.raises(SystemError_):
+            apply_batch(session, [("tap", ())])
+
+    def test_missing_text_rejected(self):
+        session = counter_session()
+        with pytest.raises(ReproError):
+            apply_batch(session, [("tap_text", "no such label")])
+
+    def test_empty_batch_is_a_noop(self):
+        session = counter_session()
+        report = apply_batch(session, [])
+        assert report.events == 0
+        assert report.renders == 0
+        assert session.runtime.contains_text("count: 0")

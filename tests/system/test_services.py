@@ -54,3 +54,83 @@ class TestServices:
         clock = VirtualClock()
         clock.advance(5)
         assert Services(clock=clock).clock.now == 5.0
+
+
+class TestThreadSafety:
+    """The repro.serve session host drives services from worker threads;
+    clock advances and substrate registration must not lose updates."""
+
+    def test_clock_hammered_from_worker_threads(self):
+        import threading
+
+        clock = VirtualClock()
+        threads_n, advances, step = 8, 2000, 0.25
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(advances):
+                clock.advance(step)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Unsynchronized ``self._now += seconds`` loses increments under
+        # contention; the lock makes the total exact (0.25 is a binary
+        # fraction, so float addition here is associative and lossless).
+        assert clock.now == threads_n * advances * step
+
+    def test_concurrent_provide_admits_exactly_one_winner(self):
+        import threading
+
+        services = Services()
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def race(n):
+            barrier.wait()
+            try:
+                services.provide("web", n)
+                outcomes.append(("won", n))
+            except ReproError:
+                outcomes.append(("lost", n))
+
+        threads = [
+            threading.Thread(target=race, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [o for o in outcomes if o[0] == "won"]
+        assert len(winners) == 1
+        assert services.get("web") == winners[0][1]
+
+    def test_clock_reads_race_advances(self):
+        import threading
+
+        clock = VirtualClock()
+        seen = []
+
+        def reader():
+            for _ in range(2000):
+                seen.append(clock.now)
+
+        def writer():
+            for _ in range(2000):
+                clock.advance(0.5)
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=writer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now == 1000.0
+        assert seen == sorted(seen)  # time is monotonic under races

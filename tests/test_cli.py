@@ -231,3 +231,143 @@ class TestWebWiring:
         )
         assert status == 0
         assert "House" in output and "$" in output
+
+
+class TestPythonSources:
+    """Every source-taking command accepts ``.py`` modules exposing
+    ``SOURCE``, the way ``repro trace`` always has."""
+
+    @pytest.fixture
+    def quickstart(self):
+        from pathlib import Path
+
+        return str(Path(__file__).parent.parent / "examples/quickstart.py")
+
+    def test_run(self, quickstart):
+        status, output = run_cli("run", quickstart, "--tap", "count: 0")
+        assert status == 0 and "count: 1" in output
+
+    def test_html(self, quickstart):
+        status, output = run_cli("html", quickstart)
+        assert status == 0 and "count: 0" in output
+
+    def test_probe(self, quickstart):
+        status, output = run_cli("probe", quickstart, "count + 1")
+        assert status == 0 and "1.0" in output
+
+    def test_save(self, quickstart, tmp_path):
+        image = str(tmp_path / "session.img")
+        status, output = run_cli("save", quickstart, "-o", image)
+        assert status == 0 and "saved image" in output
+
+    def test_module_without_source_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.py"
+        path.write_text("x = 1\n")
+        status, output = run_cli("run", str(path))
+        assert status == 1 and "SOURCE" in output
+
+
+class TestResumeRejection:
+    """``resume --source`` reports rejected updates exactly like a live
+    ``edit_source`` — formatted diagnostics, the saved code keeps
+    running, exit status 1."""
+
+    @pytest.fixture
+    def image(self, counter_file, tmp_path):
+        path = str(tmp_path / "session.img")
+        run_cli("save", counter_file, "--tap", "count: 0", "-o", path)
+        return path
+
+    def test_type_error_reported_and_saved_source_resumed(
+        self, image, tmp_path
+    ):
+        edited = tmp_path / "edited.live"
+        edited.write_text(
+            COUNTER.replace("count := count + 1", 'count := "oops"')
+        )
+        status, output = run_cli("resume", image, "--source", str(edited))
+        assert status == 1
+        assert "update rejected (1 problem):" in output
+        # The same span-prefixed diagnostic edit_source carries.
+        assert "assigning string to global 'count'" in output
+        # The last good code keeps running: the image's own source.
+        assert "count: 1" in output
+
+    def test_syntax_error_reported(self, image, tmp_path):
+        edited = tmp_path / "edited.live"
+        edited.write_text("page start(\n")
+        status, output = run_cli("resume", image, "--source", str(edited))
+        assert status == 1
+        assert "update rejected" in output and "count: 1" in output
+
+    def test_diagnostics_match_live_edit_formatting(
+        self, image, tmp_path
+    ):
+        from repro.live.session import LiveSession
+
+        broken = COUNTER.replace("count := count + 1", 'count := "oops"')
+        live = LiveSession(COUNTER)
+        result = live.edit_source(broken)
+        assert result.status == "rejected"
+        edited = tmp_path / "edited.live"
+        edited.write_text(broken)
+        _status, output = run_cli("resume", image, "--source", str(edited))
+        for problem in result.problems:
+            assert str(problem) in output
+
+
+class TestServeCLI:
+    def test_serve_smoke_over_subprocess(self, counter_file, tmp_path):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", counter_file,
+                "--port", "0", "--port-file", str(port_file),
+                "--pool-size", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.time() + 30
+            while not port_file.exists() and time.time() < deadline:
+                assert process.poll() is None, process.stdout.read()
+                time.sleep(0.05)
+            assert port_file.exists(), "server never wrote its port"
+            port = int(port_file.read_text())
+
+            def post(payload):
+                request = urllib.request.Request(
+                    "http://127.0.0.1:{}/".format(port),
+                    data=json.dumps(payload).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=10) as r:
+                    return json.loads(r.read())
+
+            token = post({"op": "create"})["token"]
+            post({"op": "tap", "token": token, "text": "count: 0"})
+            rendered = post({"op": "render", "token": token})
+            assert "count: 1" in rendered["html"]
+            assert post({"op": "evict", "token": token})["evicted"]
+            again = post({"op": "render", "token": token,
+                          "generation": rendered["generation"]})
+            assert again["not_modified"]
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait()

@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.apps.counter import SOURCE as COUNTER
 from repro.core import ast
@@ -127,3 +129,81 @@ class TestImages:
         parsed = json.loads(save_image_text(session))
         assert parsed["format"] == FORMAT
         assert "source" in parsed
+
+
+class TestEditWhileSuspendedProperty:
+    """Eviction is save/resume, so editing a suspended session must be a
+    live UPDATE: for random function-free store values, loading a saved
+    image under edited code applies the Fig. 12 fix-up *identically* to
+    ``edit_source`` on a running session — same drops, same store, same
+    stack, same rendered HTML.
+    """
+
+    SOURCE_A = (
+        "global g_num : number = 1\n"
+        'global g_str : string = "a"\n'
+        "global g_list : list number = [1]\n"
+        "page start()\n"
+        "  render\n"
+        '    post "A: " || g_num\n'
+    )
+    # The edit: g_str is retyped, g_ghost is new, the render changes.
+    SOURCE_B = (
+        "global g_num : number = 1\n"
+        "global g_str : number = 9\n"
+        "global g_list : list number = [1]\n"
+        "global g_ghost : string = \"new\"\n"
+        "page start()\n"
+        "  render\n"
+        '    post "B: " || g_num || g_ghost\n'
+    )
+
+    @staticmethod
+    def _prepared_session(injected):
+        session = LiveSession(TestEditWhileSuspendedProperty.SOURCE_A)
+        store = session.runtime.system.state.store
+        for name, value in injected:
+            store.assign(name, value)
+        return session
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.data())
+    def test_rehydrate_under_new_source_equals_live_update(self, data):
+        from repro.metatheory.generators import (
+            function_free_types,
+            values_of,
+        )
+        from repro.render.html_backend import render_html
+
+        # Random function-free values poked into the saved store under
+        # the names SOURCE_B declares (plus one it does not): each is
+        # kept by the fix-up iff its type matches B's declaration, and
+        # both restore paths must agree on every single one.
+        injected = []
+        for name in ("g_num", "g_str", "g_list", "g_stale"):
+            type_ = data.draw(function_free_types(), label=name)
+            injected.append((name, data.draw(values_of(type_))))
+
+        live = self._prepared_session(injected)
+        result = live.edit_source(self.SOURCE_B)
+        assert result.applied, result.problems
+
+        suspended = self._prepared_session(injected)
+        image = json.loads(json.dumps(save_image(suspended)))
+        restored = load_image(image, source=self.SOURCE_B)
+        report = restored.last_restore_report
+
+        assert sorted(report.dropped_globals) == sorted(
+            result.report.dropped_globals
+        )
+        assert report.dropped_pages == result.report.dropped_pages
+        live_state = live.runtime.system.state
+        restored_state = restored.runtime.system.state
+        assert dict(restored_state.store.items()) == dict(
+            live_state.store.items()
+        )
+        assert restored_state.stack == live_state.stack
+        assert render_html(restored.display) == render_html(live.display)
