@@ -34,6 +34,7 @@ import sys
 from .core.errors import ReproError, SyntaxProblem, TypeProblem
 from .core.names import ATTR_ONTAP
 from .core.pretty import pretty_code
+from .eval.machine import DEFAULT_FUEL
 from .live.session import LiveSession
 from .obs import (
     InMemorySink,
@@ -323,21 +324,41 @@ def cmd_resume(args, out):
 
 def cmd_serve(args, out):
     from .obs import Tracer
+    from .resilience import Budget, Journal, recover
     from .serve.app import make_server
     from .serve.host import SessionHost
 
     source = _load_source(args.file)
     tracer = _make_tracer(args) or Tracer()
+    budget = Budget(fuel=args.fuel, deadline=args.deadline)
     host = SessionHost(
         pool_size=args.pool_size,
         default_source=source,
         make_host_impls=web_host_impls,
         make_services=lambda: make_services(latency=args.latency),
         tracer=tracer,
+        quarantine_after=args.quarantine_after,
         # The Section 5 optimizations are semantics-preserving; a server
-        # wants them on.
-        session_kwargs={"reuse_boxes": True, "memo_render": True},
+        # wants them on.  Faults are recorded, budgeted and supervised
+        # (repro.resilience): a user's division by zero degrades one
+        # session, it never kills the server.
+        session_kwargs={
+            "reuse_boxes": True,
+            "memo_render": True,
+            "fault_policy": args.fault_policy,
+            "budget": budget,
+            "supervised": True,
+        },
     )
+    if args.journal_dir:
+        journal = Journal(
+            args.journal_dir,
+            checkpoint_every=args.checkpoint_every,
+            tracer=tracer,
+        )
+        report = recover(host, journal)
+        if report.sessions:
+            print(str(report), file=out)
     server = make_server(host, port=args.port, bind=args.bind)
     port = server.server_address[1]
     if args.port_file:
@@ -499,6 +520,34 @@ def build_parser():
     p_serve.add_argument(
         "--latency", type=float, default=DEFAULT_LATENCY,
         help="simulated web latency in virtual seconds",
+    )
+    p_serve.add_argument(
+        "--journal-dir", metavar="PATH", default=None,
+        help="write-ahead journal + checkpoints here; on boot, recover "
+             "every journaled session (docs/RESILIENCE.md)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=50,
+        help="journaled events per session between image checkpoints",
+    )
+    p_serve.add_argument(
+        "--fault-policy", choices=("record", "raise"), default="record",
+        help="'record' keeps faulting sessions alive with a fault "
+             "screen; 'raise' surfaces faults as typed protocol errors",
+    )
+    p_serve.add_argument(
+        "--fuel", type=int, default=DEFAULT_FUEL,
+        help="evaluation fuel per transition (FuelExhausted beyond it)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="virtual-seconds budget per transition "
+             "(DeadlineExceeded beyond it)",
+    )
+    p_serve.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="consecutive faults before a session's circuit breaker "
+             "opens (it then serves its last-good display, degraded)",
     )
     jsonl_option(p_serve)
     p_serve.set_defaults(handler=cmd_serve)

@@ -49,11 +49,14 @@ from .effects import (
     subeffect,
 )
 from .errors import (
+    DeadlineExceeded,
     EffectProblem,
     EvalError,
     FuelExhausted,
+    InjectedFault,
     NativeError,
     ReproError,
+    SessionQuarantined,
     StuckExpression,
     SyntaxProblem,
     SystemError_,

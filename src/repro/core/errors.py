@@ -110,3 +110,35 @@ class UpdateRejected(SystemError_):
 
 class NativeError(EvalError):
     """A native (host-implemented) function failed."""
+
+
+class DeadlineExceeded(EvalError):
+    """A single transition consumed more virtual time than its budget.
+
+    Raised by the supervision layer (``repro.resilience``) when a
+    :class:`~repro.resilience.supervisor.Budget` carries a virtual-clock
+    deadline and one handler or render charged more simulated latency
+    than the deadline allows — the live system's answer to "slow I/O
+    must not wedge a session forever".
+    """
+
+
+class InjectedFault(EvalError):
+    """A fault deliberately injected by the chaos harness.
+
+    Only ever raised by :mod:`repro.resilience.chaos` under a seeded
+    :class:`~repro.resilience.chaos.FaultPlan`; seeing one outside a
+    chaos test means an injector leaked into production wiring.
+    """
+
+
+class SessionQuarantined(ReproError):
+    """The session's circuit breaker is open.
+
+    A session that faults repeatedly is quarantined by the
+    :class:`~repro.serve.host.SessionHost`: interactions are refused
+    with this typed error while ``render`` keeps serving the last-good
+    display (degraded, but never a dead session).  A successful
+    ``edit_source`` — the programmer fixing the bug — closes the
+    breaker again.
+    """

@@ -44,9 +44,15 @@ class EditResult:
     (``parse`` / ``typecheck`` / ``lower`` / ``update`` / ``render``),
     populated when the session was created with a real tracer; with the
     default NullTracer it is empty and only ``elapsed`` is measured.
+
+    ``status`` is ``"applied"``, ``"rejected"`` (did not compile /
+    did not type), or — only for sessions created with
+    ``supervised=True`` — ``"rolled_back"``: the new program was
+    well-typed but faulted on its very first render, so the supervisor
+    restored the last-good code and the old program is still running.
     """
 
-    status: str                    # "applied" or "rejected"
+    status: str                    # "applied", "rejected", "rolled_back"
     problems: tuple = ()           # diagnostics when rejected
     report: object = None          # FixupReport when applied
     elapsed: float = 0.0           # wall seconds for compile+update+render
@@ -77,6 +83,10 @@ class LiveSession:
         reuse_boxes=False,
         memo_render=False,
         tracer=None,
+        fault_policy="raise",
+        budget=None,
+        chaos=None,
+        supervised=False,
     ):
         self.host_impls = dict(host_impls or {})
         #: Shared observability hook (repro.obs) for the whole session:
@@ -94,7 +104,19 @@ class LiveSession:
             reuse_boxes=reuse_boxes,
             memo_render=memo_render,
             tracer=self.tracer,
+            fault_policy=fault_policy,
+            budget=budget,
+            chaos=chaos,
         )
+        #: Resilience (repro.resilience): with ``supervised=True`` every
+        #: live edit goes through a Supervisor — an update whose first
+        #: render faults is rolled back to the last-good code, so the
+        #: programmer sees ``"rolled_back"`` instead of a dead view.
+        self.supervisor = None
+        if supervised:
+            from ..resilience.supervisor import Supervisor
+
+            self.supervisor = Supervisor(self.runtime, tracer=self.tracer)
         self.runtime.start()
         self.buffer = CodeBuffer(source)
         #: Diagnostics for the *current buffer* (empty when it compiled).
@@ -144,9 +166,28 @@ class LiveSession:
                 self.edit_log.append(result)
                 return result
             try:
-                report = self.runtime.update_code(
-                    compiled.code, natives=compiled.natives
-                )
+                if self.supervisor is not None:
+                    outcome = self.supervisor.apply_update(
+                        compiled.code, natives=compiled.natives
+                    )
+                    if outcome.rolled_back:
+                        # The new code typed but could not draw a frame;
+                        # the last-good program is running again.  The
+                        # buffer keeps the programmer's text.
+                        self.problems = (outcome.fault,)
+                        result = EditResult(
+                            status="rolled_back",
+                            problems=self.problems,
+                            elapsed=watch.elapsed(),
+                            phases=self._cycle_phases(cycle),
+                        )
+                        self.edit_log.append(result)
+                        return result
+                    report = outcome.report
+                else:
+                    report = self.runtime.update_code(
+                        compiled.code, natives=compiled.natives
+                    )
             except UpdateRejected as rejected:
                 # The surface checker should have caught everything; if
                 # the core checker disagrees, surface it rather than

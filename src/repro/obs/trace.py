@@ -53,6 +53,14 @@ CATALOG = (
     "sessions_rehydrated",
     "renders_coalesced",
     "bytes_served",
+    # repro.resilience — supervision, journaling, chaos
+    # (docs/RESILIENCE.md).
+    "faults_injected",
+    "rollbacks",
+    "journal_events",
+    "journal_checkpoints",
+    "journal_replays",
+    "sessions_quarantined",
 )
 
 

@@ -139,6 +139,23 @@ def save_image(session, meta=None):
             for page, value in state.stack.entries()
         ],
     }
+    # The fault history travels with the session: evicting a faulty
+    # session to an image and rehydrating it must not launder its
+    # record (the server's circuit breaker and the ``repro.resilience``
+    # docs both rely on evict → rehydrate preserving faults).  Errors
+    # are stored as strings — the exception object does not survive
+    # JSON, its description and timing do.
+    faults = getattr(session.runtime, "faults", ())
+    if faults:
+        image["faults"] = [
+            {
+                "error": str(fault.error),
+                "during": fault.during,
+                "timestamp": fault.timestamp,
+                "vtimestamp": fault.vtimestamp,
+            }
+            for fault in faults
+        ]
     if meta is not None:
         image["meta"] = dict(meta)
     return image
@@ -194,6 +211,22 @@ def load_image(data, host_impls=None, services=None, source=None,
         state.stack = new_stack
     state.invalidate_display()
     session.runtime._settle()
+    # Re-instate the saved fault history *before* any faults the settle
+    # above just recorded (a render that faulted pre-save faults again
+    # on load — that is a fresh occurrence, not the restored record).
+    saved_faults = data.get("faults")
+    if saved_faults:
+        from .system.runtime import Fault
+
+        session.runtime.faults[:0] = [
+            Fault(
+                fault.get("error"),
+                fault.get("during", "?"),
+                timestamp=fault.get("timestamp", 0.0),
+                vtimestamp=fault.get("vtimestamp", 0.0),
+            )
+            for fault in saved_faults
+        ]
     session.last_restore_report = report
     session.last_restore_meta = data.get("meta")
     return session

@@ -1,0 +1,316 @@
+"""Durability: a write-ahead event journal plus image checkpoints.
+
+A process crash must not cost a user their session.  Two mechanisms,
+both built on facts the semantics already guarantees, make the
+multi-session server recoverable:
+
+* every state-changing request (``create`` / ``tap`` / ``back`` /
+  ``edit_box`` / ``batch`` / ``edit_source`` / ``destroy``) is appended
+  to a JSONL **journal** *before* it executes (write-ahead), and
+* periodically a session's full image (:func:`repro.persist.save_image`
+  — code + store + stack, the paper's "program = code and persistent
+  data") is appended as a **checkpoint**, truncating the tail that must
+  be replayed.
+
+Recovery (:func:`recover`) rebuilds every journaled session: load the
+latest checkpoint (loading an image *is* an UPDATE, so the Fig. 12
+fix-up governs what survives) and re-apply the events journaled after
+it.  The system between user actions is deterministic — "exactly one
+internal transition is enabled" — and sessions run against virtual
+clocks and seeded substrates, so replay reconstructs **byte-identical
+HTML**.  A torn trailing line (crash mid-append) is treated as never
+written: the request was not acknowledged, so dropping it is correct.
+
+Record shapes (one JSON object per line)::
+
+    {"kind": "create",     "seq": N, "token": t, "source": s, "title": u}
+    {"kind": "event",      "seq": N, "token": t, "op": o, "args": {...}}
+    {"kind": "checkpoint", "seq": N, "token": t, "image": {...}}
+    {"kind": "destroy",    "seq": N, "token": t}
+
+``seq`` is a global monotone counter; per-token order in the file
+matches execution order because appends happen under the session's
+lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from ..core.errors import ReproError
+from ..obs.trace import NULL_TRACER
+
+#: Journal file name inside a ``--journal-dir`` directory.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Ops that may appear in ``event`` records and how to replay them.
+REPLAYABLE_OPS = ("tap", "back", "edit_box", "batch", "edit_source")
+
+
+class Journal:
+    """Append-only JSONL journal for one :class:`SessionHost`.
+
+    ``checkpoint_every`` is the per-session event count between image
+    checkpoints (the replay-tail bound).  Opening an existing journal
+    resumes its sequence counter, so restarts keep appending rather
+    than renumbering.
+    """
+
+    def __init__(self, directory, checkpoint_every=50, tracer=None):
+        if checkpoint_every < 1:
+            raise ReproError("checkpoint_every must be at least 1")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, JOURNAL_FILE)
+        self.checkpoint_every = checkpoint_every
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._lock = threading.Lock()
+        self._since_checkpoint = {}     # token -> events since last image
+        self._seq = 0
+        for record in self.read():
+            self._seq = max(self._seq, record.get("seq", 0))
+            self._note_for_checkpoint(record)
+
+    def _note_for_checkpoint(self, record):
+        token = record.get("token")
+        kind = record.get("kind")
+        if kind in ("create", "checkpoint"):
+            self._since_checkpoint[token] = 0
+        elif kind == "event":
+            self._since_checkpoint[token] = (
+                self._since_checkpoint.get(token, 0) + 1
+            )
+        elif kind == "destroy":
+            self._since_checkpoint.pop(token, None)
+
+    # -- appending ----------------------------------------------------------
+
+    def _append(self, record):
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            line = json.dumps(record, separators=(",", ":"))
+            # Open-append-close per record: survives process death (the
+            # recovery contract) without holding an fd hostage; the OS
+            # page cache makes this cheap, and fsync-per-request would
+            # buy whole-machine-crash durability at ~10x the latency.
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+            self._note_for_checkpoint(record)
+            return self._seq
+
+    def record_create(self, token, source, title):
+        self._append({
+            "kind": "create", "token": token,
+            "source": source, "title": title,
+        })
+
+    def record_event(self, token, op, args):
+        """Write-ahead one state-changing op; returns ``True`` when the
+        session is due for a checkpoint."""
+        if op not in REPLAYABLE_OPS:
+            raise ReproError("op {!r} is not journalable".format(op))
+        self._append({
+            "kind": "event", "token": token, "op": op, "args": args,
+        })
+        self.tracer.add("journal_events")
+        return self._since_checkpoint.get(token, 0) >= self.checkpoint_every
+
+    def record_checkpoint(self, token, image):
+        self._append({"kind": "checkpoint", "token": token, "image": image})
+        self.tracer.add("journal_checkpoints")
+
+    def record_destroy(self, token):
+        self._append({"kind": "destroy", "token": token})
+
+    # -- reading ------------------------------------------------------------
+
+    def read(self):
+        """All intact records, in order; a torn tail is dropped.
+
+        Reading stops at the first undecodable line: a crash tears at
+        most the final append, and everything after a torn write is
+        unacknowledged by construction.
+        """
+        records = []
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        break
+                    if not isinstance(record, dict):
+                        break
+                    records.append(record)
+        except OSError:
+            return []
+        return records
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover` rebuilt."""
+
+    sessions: int = 0
+    events_replayed: int = 0
+    checkpoints_used: int = 0
+    faults_during_replay: int = 0
+    torn_tail: bool = False
+
+    def __str__(self):
+        return (
+            "recovered {} session{} ({} event{} replayed, "
+            "{} checkpoint{})".format(
+                self.sessions, "" if self.sessions == 1 else "s",
+                self.events_replayed,
+                "" if self.events_replayed == 1 else "s",
+                self.checkpoints_used,
+                "" if self.checkpoints_used == 1 else "s",
+            )
+        )
+
+
+class _SessionLog:
+    """Everything the journal says about one token."""
+
+    __slots__ = ("token", "source", "title", "checkpoint", "checkpoint_seq",
+                 "events", "destroyed", "created")
+
+    def __init__(self, token):
+        self.token = token
+        self.source = None
+        self.title = None
+        self.checkpoint = None
+        self.checkpoint_seq = -1
+        self.events = []           # (seq, op, args)
+        self.destroyed = False
+        self.created = False
+
+
+def _collate(records):
+    logs = {}
+    order = []
+    for record in records:
+        token = record.get("token")
+        if token is None:
+            continue
+        log = logs.get(token)
+        if log is None:
+            log = logs[token] = _SessionLog(token)
+            order.append(log)
+        kind = record.get("kind")
+        if kind == "create":
+            log.created = True
+            log.source = record.get("source")
+            log.title = record.get("title")
+            log.destroyed = False
+        elif kind == "event":
+            log.events.append(
+                (record["seq"], record.get("op"), record.get("args") or {})
+            )
+        elif kind == "checkpoint":
+            log.checkpoint = record.get("image")
+            log.checkpoint_seq = record["seq"]
+        elif kind == "destroy":
+            log.destroyed = True
+    return order
+
+
+def _replay_event(host, token, op, args):
+    if op == "tap":
+        if args.get("text") is not None:
+            host.tap(token, text=args["text"])
+        else:
+            host.tap(token, path=tuple(args.get("path") or ()))
+    elif op == "back":
+        host.back(token)
+    elif op == "edit_box":
+        host.edit_box(token, tuple(args.get("path") or ()), args.get("text"))
+    elif op == "batch":
+        host.batch(token, decode_batch_events(args.get("events") or []))
+    elif op == "edit_source":
+        host.edit_source(token, args.get("source"))
+    else:
+        raise ReproError("journal holds unknown op {!r}".format(op))
+
+
+def encode_batch_events(events):
+    """Batching tuples → JSON-clean lists (paths become lists)."""
+    return [
+        [list(part) if isinstance(part, tuple) else part for part in event]
+        for event in events
+    ]
+
+
+def decode_batch_events(events):
+    """JSON lists → the batching tuples ``apply_batch`` consumes."""
+    decoded = []
+    for event in events:
+        kind = event[0]
+        if kind in ("tap", "edit"):
+            decoded.append(tuple([kind, tuple(event[1])] + event[2:]))
+        else:
+            decoded.append(tuple(event))
+    return decoded
+
+
+def recover(host, journal):
+    """Rebuild every journaled session into ``host``, then attach the
+    journal so new traffic keeps appending.
+
+    The host must not be journaling yet (replayed events would be
+    re-journaled); sessions already registered under a journaled token
+    are left alone.  Errors during replay are *expected*: write-ahead
+    means the journal also holds ops that then failed live (a tap on a
+    missing box, a rejected edit, a handler fault) — each fails
+    identically on replay, which is exactly how the fault history is
+    reconstructed — so they are counted (``faults_during_replay`` for
+    evaluation faults), never propagated.
+    """
+    from ..core.errors import EvalError, ReproError
+
+    if getattr(host, "journal", None) is not None:
+        raise ReproError("recover() must run before the host journals")
+    report_sessions = 0
+    events_replayed = 0
+    checkpoints_used = 0
+    faults = 0
+    existing = set(host.tokens())
+    for log in _collate(journal.read()):
+        if log.destroyed or log.token in existing:
+            continue
+        if log.checkpoint is not None:
+            host.restore(log.token, image=log.checkpoint, title=log.title)
+            checkpoints_used += 1
+        elif log.created and log.source is not None:
+            host.restore(log.token, source=log.source, title=log.title)
+        else:
+            continue  # nothing intact enough to rebuild from
+        for seq, op, args in log.events:
+            if seq <= log.checkpoint_seq:
+                continue  # already inside the checkpoint image
+            try:
+                _replay_event(host, log.token, op, args)
+            except EvalError:
+                faults += 1  # replayed faults rebuild the fault history
+            except ReproError:
+                pass  # failed identically live; the client saw the error
+            events_replayed += 1
+        report_sessions += 1
+        host.tracer.add("journal_replays")
+    host.attach_journal(journal)
+    return RecoveryReport(
+        sessions=report_sessions,
+        events_replayed=events_replayed,
+        checkpoints_used=checkpoints_used,
+        faults_during_replay=faults,
+    )

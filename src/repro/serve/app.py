@@ -16,15 +16,23 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..core.errors import ReproError
 from .host import SessionHost
-from .protocol import handle_request
+from .protocol import describe_error, handle_request
 
 #: Cap request bodies (sources, batches) well above any legitimate use.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
-def make_handler(host, quiet=True):
-    """The request-handler class bound to one :class:`SessionHost`."""
+def make_handler(host, quiet=True, chaos=None):
+    """The request-handler class bound to one :class:`SessionHost`.
+
+    ``chaos`` is an optional
+    :class:`~repro.resilience.chaos.FaultInjector`: when its ``"http"``
+    point fires, the request is refused *before* dispatch with a typed
+    503 — the chaos suite's way of proving clients see overload as a
+    first-class protocol error, never a hung socket or an untyped 500.
+    """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -87,8 +95,31 @@ def make_handler(host, quiet=True):
                     status=400,
                 )
                 return
+            if chaos is not None and chaos.should_fail("http"):
+                self._respond(
+                    {"ok": False,
+                     "error": {"type": "Injected",
+                               "message": "injected fault at http: "
+                                          "request refused"}},
+                    status=503,
+                )
+                return
             try:
                 response = handle_request(host, request)
+            except ReproError as error:
+                # A fault that escaped the protocol dispatcher (e.g.
+                # raised while *serializing* a response) is still a
+                # session-level event, not a server bug: answer with
+                # the same typed shape the protocol uses — an
+                # EvalFault / FuelExhausted / UpdateRejected must never
+                # reach a client as an opaque 500.
+                type_, extra = describe_error(error, tracer=host.tracer)
+                payload = {"type": type_, "message": str(error)}
+                payload.update(extra)
+                self._respond(
+                    {"ok": False, "error": payload}, status=500,
+                )
+                return
             except Exception as error:  # a server bug, not a client error
                 self._respond(
                     {"ok": False,
@@ -103,7 +134,7 @@ def make_handler(host, quiet=True):
     return Handler
 
 
-def make_server(host, port=0, bind="127.0.0.1", quiet=True):
+def make_server(host, port=0, bind="127.0.0.1", quiet=True, chaos=None):
     """A ready-to-serve :class:`ThreadingHTTPServer` on ``bind:port``.
 
     ``port=0`` picks an ephemeral port; read the actual one from
@@ -111,7 +142,9 @@ def make_server(host, port=0, bind="127.0.0.1", quiet=True):
     """
     if not isinstance(host, SessionHost):
         raise TypeError("make_server expects a SessionHost")
-    server = ThreadingHTTPServer((bind, port), make_handler(host, quiet=quiet))
+    server = ThreadingHTTPServer(
+        (bind, port), make_handler(host, quiet=quiet, chaos=chaos)
+    )
     server.daemon_threads = True
     server.repro_host = host
     return server

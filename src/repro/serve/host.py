@@ -24,11 +24,24 @@ bumped whenever the HTML rendition of its display actually changes
 requests carrying the client's last generation get a 304-style
 "not modified" answer without re-rendering.
 
+**Resilience.**  Every state-changing op runs through a per-session
+**circuit breaker**: ``quarantine_after`` consecutive faulting
+operations open it, after which interactions are refused with the typed
+:class:`~repro.core.errors.SessionQuarantined` error while ``render``
+keeps serving the last-good document — degraded, never dead.  An
+``edit_source`` that applies cleanly (the programmer fixing the bug)
+closes the breaker.  Attaching a
+:class:`~repro.resilience.journal.Journal` additionally write-ahead
+logs every state-changing op with periodic image checkpoints, so
+:func:`repro.resilience.recover` can rebuild every session after a
+crash.  See ``docs/RESILIENCE.md``.
+
 **Metrics.**  The host records ``sessions_created`` /
 ``sessions_evicted`` / ``sessions_rehydrated`` / ``renders_coalesced`` /
-``bytes_served`` into the shared metric catalog (``repro.obs.CATALOG``);
-counter updates are serialized behind a lock because
-:class:`~repro.obs.Tracer` itself is single-threaded by design.
+``bytes_served`` / ``sessions_quarantined`` / ``journal_events`` into
+the shared metric catalog (``repro.obs.CATALOG``); counter updates are
+serialized behind a lock because :class:`~repro.obs.Tracer` itself is
+single-threaded by design.
 """
 
 from __future__ import annotations
@@ -36,8 +49,9 @@ from __future__ import annotations
 import secrets
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 
-from ..core.errors import ReproError
+from ..core.errors import EvalError, ReproError, SessionQuarantined
 from ..live.session import LiveSession
 from ..obs.trace import NULL_TRACER
 from ..persist import load_image, save_image
@@ -56,6 +70,7 @@ class _Entry:
     __slots__ = (
         "token", "lock", "session", "image",
         "generation", "html", "fingerprint", "dirty", "title",
+        "consecutive_faults", "quarantined",
     )
 
     def __init__(self, token, session, title):
@@ -71,6 +86,11 @@ class _Entry:
         self.fingerprint = None    # content hash behind ``generation``
         self.dirty = True          # a mutation may have changed the view
         self.title = title
+        # Circuit breaker (repro.resilience): faults on consecutive
+        # operations open the breaker; the entry outlives eviction, so
+        # paging a faulty session out does not reset its record.
+        self.consecutive_faults = 0
+        self.quarantined = False
 
     @property
     def resident(self):
@@ -99,15 +119,31 @@ class SessionHost:
         make_services=None,
         tracer=None,
         session_kwargs=None,
+        quarantine_after=3,
+        journal=None,
     ):
         if pool_size < 1:
             raise ReproError("pool_size must be at least 1")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ReproError("quarantine_after must be at least 1 or None")
         self.pool_size = pool_size
         self.default_source = default_source
         self._make_host_impls = make_host_impls or dict
         self._make_services = make_services or Services
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.session_kwargs = dict(session_kwargs or {})
+        #: Circuit breaker threshold: this many *consecutive* faulting
+        #: operations quarantine a session (``None`` disables).  A
+        #: quarantined session refuses interactions with the typed
+        #: :class:`~repro.core.errors.SessionQuarantined` error but
+        #: keeps serving its last-good display — degraded, never dead —
+        #: and a successfully *applied* ``edit_source`` (the programmer
+        #: fixing the bug) closes the breaker again.
+        self.quarantine_after = quarantine_after
+        #: Write-ahead journal (repro.resilience) — attach one and every
+        #: state-changing op is logged before it runs, with periodic
+        #: image checkpoints; see :func:`repro.resilience.recover`.
+        self.journal = journal
         self._lock = threading.Lock()          # registry + LRU order
         self._metrics_lock = threading.Lock()  # tracer counter updates
         self._entries = OrderedDict()          # token -> _Entry, LRU order
@@ -137,19 +173,59 @@ class SessionHost:
             raise ReproError(
                 "create needs a source (the host has no default app)"
             )
-        session = LiveSession(
+        session = self._make_session(source)
+        token = "s-" + secrets.token_hex(8)
+        entry = _Entry(token, session, title or token)
+        with self._lock:
+            self._entries[token] = entry
+        if self.journal is not None:
+            self.journal.record_create(token, source, entry.title)
+        self._count("sessions_created")
+        self._enforce_capacity(protect=entry)
+        return token
+
+    def _make_session(self, source):
+        return LiveSession(
             source,
             host_impls=self._make_host_impls(),
             services=self._make_services(),
             **self.session_kwargs
         )
-        token = "s-" + secrets.token_hex(8)
+
+    def restore(self, token, source=None, image=None, title=None):
+        """Install a session under a *known* token (journal recovery).
+
+        ``image`` restores a checkpoint (loading is an UPDATE with the
+        Fig. 12 fix-up); ``source`` boots fresh, for sessions journaled
+        before their first checkpoint.  The journal replays events on
+        top afterwards.
+        """
+        if image is not None:
+            session = load_image(
+                image,
+                host_impls=self._make_host_impls(),
+                services=self._make_services(),
+                **self.session_kwargs
+            )
+        elif source is not None:
+            session = self._make_session(source)
+        else:
+            raise ReproError("restore needs an image or a source")
         entry = _Entry(token, session, title or token)
+        meta = getattr(session, "last_restore_meta", None) or {}
+        entry.generation = meta.get("generation", 0)
         with self._lock:
+            if token in self._entries:
+                raise ReproError(
+                    "token {!r} is already registered".format(token)
+                )
             self._entries[token] = entry
-        self._count("sessions_created")
         self._enforce_capacity(protect=entry)
         return token
+
+    def attach_journal(self, journal):
+        """Start write-ahead journaling (after recovery has replayed)."""
+        self.journal = journal
 
     def tokens(self):
         with self._lock:
@@ -248,36 +324,112 @@ class SessionHost:
         """Is the session currently paged out to an image?"""
         return not self._checkout(token).resident
 
+    # -- circuit breaker + write-ahead journaling ---------------------------
+
+    @contextmanager
+    def _guarded(self, entry, op=None, args=None):
+        """Wrap one state-changing op on a locked, resident entry.
+
+        Order matters: the quarantine gate first (refused ops are never
+        journaled — they do not run), then the write-ahead journal
+        append (the op is durable *before* it executes, so a crash
+        mid-op replays it), then breaker accounting around the op
+        itself.  Faults count whether they propagate (``"raise"``
+        policy) or are recorded in the session (``"record"`` policy).
+        """
+        if entry.quarantined and op != "edit_source":
+            raise SessionQuarantined(
+                "session {} is quarantined after {} consecutive faulting "
+                "operations; fix it with edit_source or read its "
+                "degraded display via render".format(
+                    entry.token, entry.consecutive_faults
+                )
+            )
+        checkpoint_due = False
+        if self.journal is not None and op is not None:
+            checkpoint_due = self.journal.record_event(
+                entry.token, op, args or {}
+            )
+        faults_before = len(entry.session.runtime.faults)
+        try:
+            yield
+        except EvalError:
+            self._note_fault(entry)
+            raise
+        recorded = len(entry.session.runtime.faults) - faults_before
+        if recorded > 0:
+            # Sessions run with the null tracer; surface their recorded
+            # faults in the host-level metrics.
+            self._count("faults_recorded", recorded)
+            self._note_fault(entry)
+        else:
+            entry.consecutive_faults = 0
+        if checkpoint_due:
+            self._checkpoint(entry)
+
+    def _note_fault(self, entry):
+        entry.consecutive_faults += 1
+        if (self.quarantine_after is not None
+                and not entry.quarantined
+                and entry.consecutive_faults >= self.quarantine_after):
+            entry.quarantined = True
+            self._count("sessions_quarantined")
+
+    def _checkpoint(self, entry):
+        """Entry lock held: append a full image checkpoint to the journal."""
+        self.journal.record_checkpoint(
+            entry.token,
+            save_image(
+                entry.session,
+                meta={"token": entry.token, "generation": entry.generation},
+            ),
+        )
+
+    def is_quarantined(self, token):
+        """Is the session's circuit breaker currently open?"""
+        return self._checkout(token).quarantined
+
     # -- per-session operations --------------------------------------------
 
     def tap(self, token, path=None, text=None):
+        if text is None and path is None:
+            raise ReproError("tap needs a path or a text")
+        args = {"text": text} if text is not None else {"path": list(path)}
         with self.session(token) as entry:
-            if text is not None:
-                entry.session.tap_text(text)
-            elif path is not None:
-                entry.session.tap(tuple(path))
-            else:
-                raise ReproError("tap needs a path or a text")
-            entry.dirty = True
+            with self._guarded(entry, "tap", args):
+                if text is not None:
+                    entry.session.tap_text(text)
+                else:
+                    entry.session.tap(tuple(path))
+                entry.dirty = True
             return entry.session.runtime.page_name()
 
     def back(self, token):
         with self.session(token) as entry:
-            entry.session.back()
-            entry.dirty = True
+            with self._guarded(entry, "back"):
+                entry.session.back()
+                entry.dirty = True
             return entry.session.runtime.page_name()
 
     def edit_box(self, token, path, text):
         with self.session(token) as entry:
-            entry.session.edit_box(tuple(path), text)
-            entry.dirty = True
+            with self._guarded(
+                entry, "edit_box", {"path": list(path), "text": text}
+            ):
+                entry.session.edit_box(tuple(path), text)
+                entry.dirty = True
             return entry.session.runtime.page_name()
 
     def batch(self, token, events):
         """Apply a burst of events with one render (see ``batching``)."""
+        from ..resilience.journal import encode_batch_events
+
         with self.session(token) as entry:
-            report = apply_batch(entry.session, events)
-            entry.dirty = True
+            with self._guarded(
+                entry, "batch", {"events": encode_batch_events(events)}
+            ):
+                report = apply_batch(entry.session, events)
+                entry.dirty = True
         if report.coalesced:
             self._count("renders_coalesced", report.coalesced)
         return report
@@ -289,11 +441,23 @@ class SessionHost:
         then the edit takes the ordinary
         :meth:`~repro.live.session.LiveSession.edit_source` path — so an
         edit-while-evicted is exactly a save → edit → resume.
+
+        This is also the *repair path* for a quarantined session: it is
+        the one state-changing op the quarantine gate admits, and an
+        edit that applies cleanly closes the circuit breaker.
         """
         with self.session(token) as entry:
-            result = entry.session.edit_source(new_source)
-            if result.applied:
-                entry.dirty = True
+            faults_before = len(entry.session.runtime.faults)
+            with self._guarded(
+                entry, "edit_source", {"source": new_source}
+            ):
+                result = entry.session.edit_source(new_source)
+                if result.applied:
+                    entry.dirty = True
+            clean = len(entry.session.runtime.faults) == faults_before
+            if entry.quarantined and result.applied and clean:
+                entry.quarantined = False
+                entry.consecutive_faults = 0
             return result
 
     def probe(self, token, expression):
@@ -309,6 +473,13 @@ class SessionHost:
         ``modified`` is False.
         """
         with self.session(token) as entry:
+            if entry.quarantined and entry.html is not None:
+                # Degraded service: the last-good document, no recompute
+                # — a quarantined session never dies, it dims.
+                if if_generation == entry.generation:
+                    return None, entry.generation, False
+                self._count("bytes_served", len(entry.html.encode("utf-8")))
+                return entry.html, entry.generation, True
             if not entry.dirty and if_generation == entry.generation:
                 return None, entry.generation, False
             html = render_html(entry.session.display, title=entry.title)
@@ -346,6 +517,8 @@ class SessionHost:
         """Forget a session entirely (resident or evicted)."""
         with self._lock:
             entry = self._entries.pop(token, None)
+        if entry is not None and self.journal is not None:
+            self.journal.record_destroy(token)
         return entry is not None
 
     # -- introspection ------------------------------------------------------
@@ -355,10 +528,14 @@ class SessionHost:
         with self._lock:
             resident = self._resident_count()
             total = len(self._entries)
+            quarantined = sum(
+                1 for e in self._entries.values() if e.quarantined
+            )
         stats = {
             "sessions": total,
             "resident": resident,
             "evicted": total - resident,
+            "quarantined": quarantined,
             "pool_size": self.pool_size,
         }
         stats["metrics"] = self.metrics()

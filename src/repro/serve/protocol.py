@@ -31,6 +31,16 @@ instead of misparsing.  Errors come back as
 the raising :class:`~repro.core.errors.ReproError` subclass name, so
 clients can dispatch on e.g. ``"UnknownToken"`` or ``"SyntaxProblem"``.
 
+**Runtime faults are typed, never opaque.**  A handler fault surfaces
+as ``"EvalFault"`` (subclasses keep their names: ``"FuelExhausted"``,
+``"DeadlineExceeded"``, ``"InjectedFault"``, ``"NativeError"``), a
+refused code update as ``"UpdateRejected"`` with its ``problems``, and
+an open circuit breaker as ``"SessionQuarantined"`` — each carrying a
+``span_id`` when tracing is on, so a client error correlates with the
+server's span tree.  ``render`` on a quarantined session succeeds with
+``"degraded": true`` and the last-good document: a faulting session is
+served degraded, never dropped with an untyped 500.
+
 ``render`` responses carry the display generation; a request whose
 ``generation`` still matches gets ``{"not_modified": true}`` with no
 HTML — the 304 of this protocol.
@@ -38,7 +48,7 @@ HTML — the 304 of this protocol.
 
 from __future__ import annotations
 
-from ..core.errors import ReproError
+from ..core.errors import EvalError, ReproError, UpdateRejected
 
 PROTOCOL_VERSION = 1
 
@@ -49,13 +59,38 @@ def _ok(op, **payload):
     return response
 
 
-def _error(op, type_, message):
+def _error(op, type_, message, **extra):
+    error = {"type": type_, "message": message}
+    error.update(extra)
     return {
         "ok": False,
         "protocol": PROTOCOL_VERSION,
         "op": op,
-        "error": {"type": type_, "message": message},
+        "error": error,
     }
+
+
+def describe_error(error, tracer=None):
+    """``(type, extra)`` for one :class:`ReproError` — the shared
+    fault-to-wire translation (the HTTP layer's last-resort handler
+    uses it too, so *no* session fault ever leaves as an untyped 500).
+
+    A bare :class:`~repro.core.errors.EvalError` is named
+    ``"EvalFault"`` (the class name would shadow the whole subtree);
+    subclasses keep their own names.  ``extra`` carries ``problems``
+    for :class:`~repro.core.errors.UpdateRejected` and a ``span_id``
+    whenever the tracer saw the failing transition.
+    """
+    type_ = type(error).__name__
+    if type(error) is EvalError:
+        type_ = "EvalFault"
+    extra = {}
+    if isinstance(error, UpdateRejected):
+        extra["problems"] = [str(problem) for problem in error.problems]
+    span_id = getattr(tracer, "last_span_id", None)
+    if span_id is not None:
+        extra["span_id"] = span_id
+    return type_, extra
 
 
 class BadRequest(ReproError):
@@ -125,7 +160,8 @@ def handle_request(host, request):
     try:
         return handler(host, request)
     except ReproError as error:
-        return _error(op, type(error).__name__, str(error))
+        type_, extra = describe_error(error, tracer=host.tracer)
+        return _error(op, type_, str(error), **extra)
 
 
 # -- op handlers ------------------------------------------------------------
@@ -201,12 +237,20 @@ def _op_render(host, request):
     html, generation, modified = host.render(
         token, if_generation=if_generation
     )
+    degraded = {}
+    if host.is_quarantined(token):
+        # The typed "Degraded" envelope: still a successful render —
+        # the last-good document — but flagged so clients can tell the
+        # session needs a code fix before it interacts again.
+        degraded = {"degraded": True}
     if not modified:
         return _ok(
             "render", token=token, generation=generation,
-            not_modified=True,
+            not_modified=True, **degraded
         )
-    return _ok("render", token=token, generation=generation, html=html)
+    return _ok(
+        "render", token=token, generation=generation, html=html, **degraded
+    )
 
 
 def _op_snapshot(host, request):

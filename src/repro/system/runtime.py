@@ -27,7 +27,11 @@ class Fault:
     """A runtime fault recorded under the ``"record"`` fault policy.
 
     ``timestamp`` is wall-clock (``time.time``) at the moment the fault
-    was recorded; ``span_id`` names the tracer span of the transition
+    was recorded; ``vtimestamp`` is the session's *virtual-clock* time
+    at the same moment, which — unlike wall time — is deterministic
+    under :class:`~repro.system.services.VirtualClock` and therefore
+    comparable across journal replays and re-runs of the same seeded
+    chaos plan.  ``span_id`` names the tracer span of the transition
     that failed (``None`` when tracing is disabled), so a fault can be
     correlated with the span tree and the JSONL trace.
     """
@@ -36,6 +40,7 @@ class Fault:
     during: str        # the transition that was executing
     timestamp: float = 0.0
     span_id: object = None
+    vtimestamp: float = 0.0
 
     def __repr__(self):
         return "Fault({} during {})".format(self.error, self.during)
@@ -59,6 +64,8 @@ class Runtime:
         memo_render=False,
         fault_policy="raise",
         tracer=None,
+        budget=None,
+        chaos=None,
     ):
         if fault_policy not in ("raise", "record"):
             raise ReproError(
@@ -78,6 +85,8 @@ class Runtime:
             reuse_boxes=reuse_boxes,
             memo_render=memo_render,
             tracer=self.tracer,
+            budget=budget,
+            chaos=chaos,
         )
         self._started = False
         #: ``"raise"`` propagates handler/init faults to the caller (the
@@ -98,32 +107,49 @@ class Runtime:
             self._started = True
         return self
 
+    def step(self):
+        """Fire one internal transition under the fault policy.
+
+        The supervised single-step: budgets (fuel + virtual-clock
+        deadline, :class:`~repro.resilience.supervisor.Budget`) are
+        enforced by the system underneath, and under ``"record"`` a
+        faulting transition is logged — with wall *and* virtual
+        timestamps — instead of propagating.  Returns the rule name that
+        fired (faulting or not), or ``None`` when the system is stable
+        with a valid display.
+        """
+        if self.fault_policy == "raise":
+            return self.system.step()
+        attempting = self.system.enabled_internal_transition()
+        try:
+            return self.system.step()
+        except EvalError as error:
+            # The failing transition's span closed during unwinding,
+            # so the tracer's last finished span names it.
+            self._record_fault(error, attempting)
+            if attempting == "RENDER":
+                # A render fault would recur forever (the display
+                # stays ⊥); show an error screen instead — the live
+                # IDE's equivalent of a red exception banner.
+                self._show_fault_display(error)
+            return attempting  # event faults: the queue may hold more
+
+    def _record_fault(self, error, attempting):
+        self.faults.append(Fault(
+            error,
+            attempting,
+            timestamp=time.time(),
+            span_id=self.tracer.last_span_id,
+            vtimestamp=self.system.services.clock.now,
+        ))
+        self.tracer.add("faults_recorded")
+
     def _settle(self):
         if self.fault_policy == "raise":
             self.system.run_to_stable()
             return
-        while True:
-            attempting = self.system.enabled_internal_transition()
-            try:
-                choice = self.system.step()
-            except EvalError as error:
-                # The failing transition's span closed during unwinding,
-                # so the tracer's last finished span names it.
-                self.faults.append(Fault(
-                    error,
-                    attempting,
-                    timestamp=time.time(),
-                    span_id=self.tracer.last_span_id,
-                ))
-                self.tracer.add("faults_recorded")
-                if attempting == "RENDER":
-                    # A render fault would recur forever (the display
-                    # stays ⊥); show an error screen instead — the live
-                    # IDE's equivalent of a red exception banner.
-                    self._show_fault_display(error)
-                continue  # event faults: the queue may hold more; stay live
-            if choice is None:
-                return
+        while self.step() is not None:
+            pass  # faults are recorded; the system stays live
 
     def _show_fault_display(self, error):
         from ..boxes.tree import make_root

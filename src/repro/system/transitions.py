@@ -87,6 +87,8 @@ class System:
         memo_render=False,
         check_updates=True,
         tracer=None,
+        budget=None,
+        chaos=None,
     ):
         if not isinstance(code, Code):
             raise ReproError("System expects Code")
@@ -95,7 +97,25 @@ class System:
         #: every instrumentation point a no-op; a real Tracer records a
         #: span per fired transition plus the metric catalog.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Supervision (repro.resilience): per-transition limits.  Every
+        #: handler/render run gets ``budget.fuel``; a transition that
+        #: charges more virtual time than ``budget.deadline`` raises
+        #: :class:`~repro.core.errors.DeadlineExceeded` — enforcement
+        #: lives here so it composes with both fault policies.
+        if budget is None:
+            from ..resilience.supervisor import UNLIMITED
+
+            budget = UNLIMITED
+        self.budget = budget
         self.services = services if services is not None else Services()
+        #: Chaos (repro.resilience): when a FaultInjector is given, the
+        #: services boundary and every evaluator run go through its
+        #: wrappers so seeded faults fire deterministically.
+        self.chaos = chaos
+        if chaos is not None:
+            from ..resilience.chaos import ChaosServices
+
+            self.services = ChaosServices(self.services, chaos)
         self.faithful = faithful
         self.reuse_boxes = reuse_boxes
         #: Render-function memoization (repro.eval.memo) — only the CEK
@@ -125,20 +145,40 @@ class System:
 
     def _make_evaluator(self, code):
         if self.faithful:
-            return SmallStep(
+            evaluator = SmallStep(
                 code, natives=self.natives, services=self.services,
                 tracer=self.tracer,
             )
-        memo = None
-        if self.memo_render:
-            from ..eval.memo import RenderMemo
+        else:
+            memo = None
+            if self.memo_render:
+                from ..eval.memo import RenderMemo
 
-            memo = RenderMemo(code, tracer=self.tracer)
-        self.render_memo = memo
-        return BigStep(
-            code, natives=self.natives, services=self.services, memo=memo,
-            tracer=self.tracer,
-        )
+                memo = RenderMemo(code, tracer=self.tracer)
+            self.render_memo = memo
+            evaluator = BigStep(
+                code, natives=self.natives, services=self.services,
+                memo=memo, tracer=self.tracer,
+            )
+        if self.chaos is not None:
+            from ..resilience.chaos import ChaosEvaluator
+
+            evaluator = ChaosEvaluator(evaluator, self.chaos)
+        return evaluator
+
+    def _check_deadline(self, rule, virtual_before):
+        """Enforce the budget's virtual-clock deadline for one transition."""
+        deadline = self.budget.deadline
+        if deadline is None:
+            return
+        spent = self.services.clock.now - virtual_before
+        if spent > deadline:
+            from ..core.errors import DeadlineExceeded
+
+            raise DeadlineExceeded(
+                "{} charged {:.3f} virtual seconds; the budget allows "
+                "{:.3f}".format(rule, spent, deadline)
+            )
 
     def _record(self, rule, detail="", started=None, span=None):
         self.trace.append(Transition(
@@ -248,14 +288,18 @@ class System:
         event = queue.dequeue()
         store = self.state.store
         started = clock()
+        virtual_before = self.services.clock.now
+        fuel = self.budget.fuel
         with self.tracer.span("event", event=str(event)) as span:
             pending_before = len(queue)
             if isinstance(event, ExecEvent):
                 # (THUNK): reduce ``v ()`` in standard mode.
                 self._evaluator.run_state(
-                    store, queue, ast.App(event.thunk, ast.UNIT_VALUE)
+                    store, queue, ast.App(event.thunk, ast.UNIT_VALUE),
+                    fuel=fuel,
                 )
                 self._invalidate()
+                self._check_deadline("THUNK", virtual_before)
                 rule, detail = "THUNK", ""
             elif isinstance(event, PushEvent):
                 # (PUSH): C(p) = (fi, fr); push (p, v); reduce ``fi v``.
@@ -266,9 +310,11 @@ class System:
                     )
                 self.state.stack.push(event.page, event.arg)
                 self._evaluator.run_state(
-                    store, queue, ast.App(page.init, event.arg)
+                    store, queue, ast.App(page.init, event.arg),
+                    fuel=fuel,
                 )
                 self._invalidate()
+                self._check_deadline("PUSH", virtual_before)
                 rule, detail = "PUSH", event.page
             elif isinstance(event, PopEvent):
                 # (POP): pop the top page, or do nothing on an empty stack.
@@ -311,10 +357,13 @@ class System:
             )
         tracer = self.tracer
         started = clock()
+        virtual_before = self.services.clock.now
         with tracer.span("render", page=page_name) as span:
             tree = self._evaluator.run_render(
-                state.store, ast.App(page.render, arg)
+                state.store, ast.App(page.render, arg),
+                fuel=self.budget.fuel,
             )
+            self._check_deadline("RENDER", virtual_before)
             if self.reuse_boxes:
                 stats = box_diff.DiffStats()
                 with tracer.span("reuse"):

@@ -1,0 +1,41 @@
+"""Shared apps and helpers for the resilience suite.
+
+``CRASHY`` is a counter with three buttons: one that works, one whose
+handler divides by zero, and one that poisons a global so the *render*
+divides by zero (the fault screen path).  ``DOWNLOADING`` charges
+virtual latency through the simulated web — the deadline tests' clock
+source.
+"""
+
+import pytest
+
+CRASHY = (
+    "global d : number = 1\n"
+    "global count : number = 0\n"
+    "page start()\n  render\n    boxed\n      post \"n = \" || 10 / d\n"
+    "      on tap do\n        d := 0\n"
+    "    boxed\n      post \"crash\"\n"
+    "      on tap do\n        d := 1 / 0\n"
+    "    boxed\n      post \"bump\"\n"
+    "      on tap do\n        count := count + 1\n"
+)
+
+DOWNLOADING = (
+    "extern fun fetch_listings() : list number is state\n"
+    "global data : list number = nil(number)\n"
+    "page start()\n  render\n    boxed\n      post \"n = \" || length(data)\n"
+    "      on tap do\n        data := fetch_listings()\n"
+)
+
+
+def downloading_impls():
+    def fetch(services):
+        services.get("web").fetch("/listings")
+        return [1.0, 2.0, 3.0]
+
+    return {"fetch_listings": fetch}
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    return str(tmp_path / "journal")

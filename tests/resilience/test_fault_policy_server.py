@@ -1,0 +1,212 @@
+"""Faults through the whole server stack: typed errors, never a 500.
+
+Satellite coverage: ``fault_policy="record"`` end-to-end over HTTP (a
+faulting handler keeps the session live and the fault screen
+round-trips through the ``snapshot`` op), the typed protocol error
+taxonomy (``EvalFault`` / ``FuelExhausted`` / ``UpdateRejected`` with
+span ids) for ``fault_policy="raise"``, and the HTTP chaos point's
+typed 503.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Tracer
+from repro.resilience import Budget, FaultInjector, FaultPlan
+from repro.serve.app import make_server
+from repro.serve.host import SessionHost
+
+from .conftest import CRASHY
+
+BROKEN = CRASHY.replace("count + 1", 'count + "no"')
+
+
+def start_server(session_kwargs, chaos=None, quarantine_after=3):
+    host = SessionHost(
+        pool_size=4,
+        default_source=CRASHY,
+        tracer=Tracer(),
+        quarantine_after=quarantine_after,
+        session_kwargs=session_kwargs,
+    )
+    server = make_server(host, chaos=chaos)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return host, server, thread
+
+
+def stop_server(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def record_server():
+    host, server, thread = start_server(
+        {"fault_policy": "record", "supervised": True}
+    )
+    yield host, server
+    stop_server(server, thread)
+
+
+@pytest.fixture
+def raise_server():
+    host, server, thread = start_server({"fault_policy": "raise"})
+    yield host, server
+    stop_server(server, thread)
+
+
+def post(server, payload):
+    request = urllib.request.Request(
+        "http://127.0.0.1:{}/".format(server.server_address[1]),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+class TestRecordPolicyEndToEnd:
+    def test_faulting_handler_keeps_the_session_live(self, record_server):
+        host, server = record_server
+        token = post(server, {"op": "create"})["token"]
+        # The crash handler divides by zero — a 200 with ok: true; the
+        # fault was recorded, not surfaced as a request failure.
+        response = post(server, {"op": "tap", "token": token,
+                                 "text": "crash"})
+        assert response["ok"]
+        # Still live and interactive:
+        response = post(server, {"op": "tap", "token": token,
+                                 "text": "bump"})
+        assert response["ok"]
+        # ...and the obs counter saw it.
+        stats = post(server, {"op": "stats"})["stats"]
+        assert stats["metrics"]["faults_recorded"] == 1
+
+    def test_render_fault_screen_round_trips_through_snapshot(
+            self, record_server):
+        host, server = record_server
+        token = post(server, {"op": "create"})["token"]
+        # "n = 10" sets d := 0, so the *render* divides by zero and the
+        # fault screen goes up (the session survives).
+        post(server, {"op": "tap", "token": token, "text": "n = 10"})
+        rendered = post(server, {"op": "render", "token": token})
+        assert "runtime fault while rendering:" in rendered["html"]
+        image = post(server, {"op": "snapshot", "token": token})["image"]
+        assert image["faults"]
+        assert "division by zero" in image["faults"][0]["error"]
+
+    def test_quarantined_render_is_flagged_degraded(self, record_server):
+        host, server = record_server
+        token = post(server, {"op": "create"})["token"]
+        post(server, {"op": "render", "token": token})  # cache last-good
+        for _ in range(3):
+            post(server, {"op": "tap", "token": token, "text": "crash"})
+        refused = post(server, {"op": "tap", "token": token,
+                                "text": "bump"})
+        assert not refused["ok"]
+        assert refused["error"]["type"] == "SessionQuarantined"
+        rendered = post(server, {"op": "render", "token": token})
+        assert rendered["ok"] and rendered["degraded"]
+        assert "n = 10" in rendered["html"]  # the last-good document
+
+
+class TestTypedErrorTaxonomy:
+    def test_eval_fault_is_typed(self, raise_server):
+        host, server = raise_server
+        token = post(server, {"op": "create"})["token"]
+        response = post(server, {"op": "tap", "token": token,
+                                 "text": "crash"})
+        assert not response["ok"]
+        assert response["error"]["type"] == "EvalFault"
+        assert "division by zero" in response["error"]["message"]
+
+    def test_describe_error_attaches_the_span_id(self):
+        # When a session *is* traced, the failing transition's span id
+        # rides along so a client error correlates with the span tree.
+        from repro.core.errors import EvalError
+        from repro.live.session import LiveSession
+        from repro.serve.protocol import describe_error
+
+        tracer = Tracer()
+        session = LiveSession(CRASHY, tracer=tracer)
+        with pytest.raises(EvalError) as caught:
+            session.tap_text("crash")
+        type_, extra = describe_error(caught.value, tracer=tracer)
+        assert type_ == "EvalFault"
+        assert isinstance(extra["span_id"], int)
+        assert any(
+            span.span_id == extra["span_id"] for span in tracer.spans()
+        )
+
+    def test_fuel_exhausted_is_typed(self):
+        host, server, thread = start_server(
+            {"fault_policy": "raise", "budget": Budget(fuel=200)}
+        )
+        try:
+            token = post(server, {"op": "create"})["token"]
+            response = post(server, {"op": "tap", "token": token,
+                                     "text": "crash"})
+            assert not response["ok"]
+            # Either error is legitimate depending on where fuel runs
+            # out, but it must be *typed* — never InternalError.
+            assert response["error"]["type"] in (
+                "FuelExhausted", "EvalFault"
+            )
+        finally:
+            stop_server(server, thread)
+
+    def test_update_rejected_carries_problems(self, raise_server):
+        host, server = raise_server
+        token = post(server, {"op": "create"})["token"]
+        response = post(server, {"op": "edit_source", "token": token,
+                                 "source": BROKEN})
+        # Surface-checked rejections come back as a rejected result...
+        assert response["ok"] and response["status"] == "rejected"
+        assert response["problems"]
+
+    def test_no_untyped_500s_for_session_faults(self, raise_server):
+        # Sweep every kind of client-triggerable failure and assert the
+        # error type is never InternalError.
+        host, server = raise_server
+        token = post(server, {"op": "create"})["token"]
+        probes = [
+            {"op": "tap", "token": token, "text": "crash"},
+            {"op": "tap", "token": token, "text": "no such box"},
+            {"op": "tap", "token": "bogus", "text": "x"},
+            {"op": "edit_source", "token": token, "source": "page ??"},
+            {"op": "probe", "token": token, "expression": "1 /"},
+            {"op": "nonsense"},
+        ]
+        for payload in probes:
+            response = post(server, payload)
+            if not response.get("ok"):
+                assert response["error"]["type"] != "InternalError", payload
+
+
+class TestHTTPChaos:
+    def test_injected_http_refusal_is_a_typed_503(self):
+        chaos = FaultInjector(
+            FaultPlan(rates={"http": 1.0}, max_faults=2)
+        )
+        host, server, thread = start_server(
+            {"fault_policy": "record"}, chaos=chaos
+        )
+        try:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                post(server, {"op": "stats"})
+            assert caught.value.code == 503
+            body = json.loads(caught.value.read())
+            assert body["error"]["type"] == "Injected"
+            with pytest.raises(urllib.error.HTTPError):
+                post(server, {"op": "stats"})
+            # max_faults spent: service resumes.
+            assert post(server, {"op": "stats"})["ok"]
+            assert chaos.counts["http"] == 2
+        finally:
+            stop_server(server, thread)

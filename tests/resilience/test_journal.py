@@ -1,0 +1,118 @@
+"""The write-ahead journal: record shapes, ordering, torn tails."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs import Tracer
+from repro.resilience import (
+    Journal,
+    decode_batch_events,
+    encode_batch_events,
+    truncate_journal,
+)
+
+
+def make_journal(journal_dir, **kwargs):
+    return Journal(journal_dir, **kwargs)
+
+
+class TestJournal:
+    def test_validation(self, journal_dir):
+        with pytest.raises(ReproError):
+            Journal(journal_dir, checkpoint_every=0)
+
+    def test_records_are_one_json_object_per_line(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "page start()\n", "demo")
+        journal.record_event("s-1", "tap", {"text": "go"})
+        journal.record_checkpoint("s-1", {"format": "repro-image/1"})
+        journal.record_destroy("s-1")
+        with open(journal.path) as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert kinds == ["create", "event", "checkpoint", "destroy"]
+
+    def test_seq_is_globally_monotone_and_resumes(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        journal.record_event("s-1", "tap", {})
+        assert [r["seq"] for r in journal.read()] == [1, 2]
+        # A restart opens the same file and keeps counting.
+        reopened = make_journal(journal_dir)
+        reopened.record_event("s-1", "back", {})
+        assert [r["seq"] for r in reopened.read()] == [1, 2, 3]
+
+    def test_unjournalable_op_refused(self, journal_dir):
+        journal = make_journal(journal_dir)
+        with pytest.raises(ReproError):
+            journal.record_event("s-1", "render", {})
+
+    def test_checkpoint_due_after_n_events(self, journal_dir):
+        journal = make_journal(journal_dir, checkpoint_every=3)
+        journal.record_create("s-1", "x", None)
+        dues = [
+            journal.record_event("s-1", "tap", {}) for _ in range(3)
+        ]
+        assert dues == [False, False, True]
+        journal.record_checkpoint("s-1", {})
+        assert journal.record_event("s-1", "tap", {}) is False
+
+    def test_checkpoint_cadence_is_per_token(self, journal_dir):
+        journal = make_journal(journal_dir, checkpoint_every=2)
+        journal.record_create("a", "x", None)
+        journal.record_create("b", "x", None)
+        assert journal.record_event("a", "tap", {}) is False
+        assert journal.record_event("b", "tap", {}) is False
+        assert journal.record_event("a", "tap", {}) is True
+        assert journal.record_event("b", "tap", {}) is True
+
+    def test_torn_tail_is_dropped(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        journal.record_event("s-1", "tap", {"text": "go"})
+        journal.record_event("s-1", "back", {})
+        truncate_journal(journal.path, drop_bytes=10)
+        records = make_journal(journal_dir).read()
+        assert [r["kind"] for r in records] == ["create", "event"]
+
+    def test_torn_tail_then_append_keeps_reading_to_the_tear(self, journal_dir):
+        # The reader stops at the first undecodable line even if intact
+        # records follow — order is sacred; a hole means stop.
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        truncate_journal(journal.path, drop_bytes=5)
+        with open(journal.path, "a") as handle:
+            handle.write("\n")
+            handle.write(json.dumps({"kind": "destroy", "seq": 9}) + "\n")
+        assert make_journal(journal_dir).read() == []
+
+    def test_metrics(self, journal_dir):
+        tracer = Tracer()
+        journal = make_journal(journal_dir, tracer=tracer)
+        journal.record_create("s-1", "x", None)
+        journal.record_event("s-1", "tap", {})
+        journal.record_checkpoint("s-1", {})
+        metrics = tracer.metrics()
+        assert metrics["journal_events"] == 1
+        assert metrics["journal_checkpoints"] == 1
+
+    def test_truncate_returns_bytes_dropped(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        size = os.path.getsize(journal.path)
+        assert truncate_journal(journal.path, drop_bytes=size + 100) == size
+
+
+class TestBatchEncoding:
+    def test_round_trip(self):
+        events = [
+            ("tap", (0, 1)),
+            ("tap_text", "go"),
+            ("edit", (2,), "hello"),
+            ("back",),
+        ]
+        wire = encode_batch_events(events)
+        assert json.loads(json.dumps(wire)) == wire  # JSON-clean
+        assert decode_batch_events(wire) == events

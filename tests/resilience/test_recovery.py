@@ -1,0 +1,162 @@
+"""Crash recovery: journal replay rebuilds byte-identical sessions.
+
+These tests simulate the crash in-process: drive one journaled host,
+drop it on the floor (no clean shutdown exists to lean on), build a
+fresh host over the same directory and :func:`repro.resilience.recover`
+it.  Determinism — virtual clocks, seeded substrates, "exactly one
+internal transition is enabled" — makes the recovered HTML
+byte-identical, which is what the assertions pin.
+"""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.core.errors import ReproError
+from repro.obs import Tracer
+from repro.resilience import Journal, recover, truncate_journal
+from repro.serve.host import SessionHost
+
+from .conftest import CRASHY
+
+
+def make_host(source=COUNTER, journal=None, **kwargs):
+    kwargs.setdefault("session_kwargs", {"fault_policy": "record"})
+    return SessionHost(
+        pool_size=4,
+        default_source=source,
+        tracer=Tracer(),
+        journal=journal,
+        **kwargs
+    )
+
+
+def journaled_host(journal_dir, source=COUNTER, checkpoint_every=50,
+                   **kwargs):
+    journal = Journal(journal_dir, checkpoint_every=checkpoint_every)
+    return make_host(source=source, journal=journal, **kwargs), journal
+
+
+class TestRecovery:
+    def test_recover_replays_to_byte_identical_html(self, journal_dir):
+        host, _ = journaled_host(journal_dir)
+        token = host.create()
+        for _ in range(5):
+            host.tap(token, path=[0])
+        html, generation, _ = host.render(token)
+        assert "count: 5" in html
+
+        rebuilt = make_host()
+        report = recover(rebuilt, Journal(journal_dir))
+        assert report.sessions == 1
+        assert report.events_replayed == 5
+        html_after, generation_after, _ = rebuilt.render(token)
+        assert html_after == html
+
+    def test_recover_uses_the_latest_checkpoint(self, journal_dir):
+        host, _ = journaled_host(journal_dir, checkpoint_every=2)
+        token = host.create()
+        for _ in range(5):
+            host.tap(token, path=[0])
+        html, _, _ = host.render(token)
+
+        rebuilt = make_host()
+        report = recover(rebuilt, Journal(journal_dir))
+        assert report.checkpoints_used == 1
+        # Two checkpoints happened (after events 2 and 4); only the tail
+        # after the latest one is replayed.
+        assert report.events_replayed == 1
+        assert rebuilt.render(token)[0] == html
+
+    def test_recover_survives_a_torn_tail(self, journal_dir):
+        host, journal = journaled_host(journal_dir)
+        token = host.create()
+        for _ in range(3):
+            host.tap(token, path=[0])
+        truncate_journal(journal.path, drop_bytes=10)
+
+        rebuilt = make_host()
+        report = recover(rebuilt, Journal(journal_dir))
+        # The torn last tap was never acknowledged; two replay.
+        assert report.events_replayed == 2
+        assert "count: 2" in rebuilt.render(token)[0]
+
+    def test_destroyed_sessions_stay_destroyed(self, journal_dir):
+        host, _ = journaled_host(journal_dir)
+        keep = host.create()
+        gone = host.create()
+        host.destroy(gone)
+
+        rebuilt = make_host()
+        report = recover(rebuilt, Journal(journal_dir))
+        assert report.sessions == 1
+        assert set(rebuilt.tokens()) == {keep}
+
+    def test_replayed_faults_rebuild_the_fault_history(self, journal_dir):
+        host, _ = journaled_host(journal_dir, source=CRASHY)
+        token = host.create()
+        host.tap(token, text="crash")
+        host.tap(token, text="bump")
+
+        rebuilt = make_host(source=CRASHY)
+        report = recover(rebuilt, Journal(journal_dir))
+        assert report.events_replayed == 2
+        assert report.faults_during_replay == 0  # record policy: absorbed
+        with rebuilt.session(token) as entry:
+            faults = entry.session.runtime.faults
+        assert len(faults) == 1
+        assert "division by zero" in str(faults[0].error)
+
+    def test_quarantine_state_is_rebuilt_by_replay(self, journal_dir):
+        host, _ = journaled_host(journal_dir, source=CRASHY,
+                                 quarantine_after=2)
+        token = host.create()
+        host.tap(token, text="crash")
+        host.tap(token, text="crash")
+        assert host.is_quarantined(token)
+
+        rebuilt = make_host(source=CRASHY, quarantine_after=2)
+        recover(rebuilt, Journal(journal_dir))
+        assert rebuilt.is_quarantined(token)
+
+    def test_recovered_sessions_keep_journaling(self, journal_dir):
+        host, _ = journaled_host(journal_dir)
+        token = host.create()
+        host.tap(token, path=[0])
+
+        rebuilt = make_host()
+        recover(rebuilt, Journal(journal_dir))
+        rebuilt.tap(token, path=[0])  # journaled by the attached journal
+
+        third = make_host()
+        report = recover(third, Journal(journal_dir))
+        assert report.events_replayed == 2
+        assert "count: 2" in third.render(token)[0]
+
+    def test_recover_refuses_a_journaling_host(self, journal_dir):
+        host, journal = journaled_host(journal_dir)
+        with pytest.raises(ReproError):
+            recover(host, journal)
+
+    def test_recover_counts_replays_metric(self, journal_dir):
+        host, _ = journaled_host(journal_dir)
+        host.create()
+        host.create()
+        rebuilt = make_host()
+        recover(rebuilt, Journal(journal_dir))
+        assert rebuilt.metrics()["journal_replays"] == 2
+
+    def test_semantic_errors_in_the_journal_are_tolerated(self, journal_dir):
+        # Write-ahead means failed ops are journaled too: a tap on a
+        # text no box displays was refused live with a typed error, and
+        # replay must shrug it off the same way.
+        host, _ = journaled_host(journal_dir)
+        token = host.create()
+        with pytest.raises(ReproError):
+            host.tap(token, text="no such box")
+        host.tap(token, path=[0])
+
+        rebuilt = make_host()
+        report = recover(rebuilt, Journal(journal_dir))
+        assert report.events_replayed == 2
+        assert report.faults_during_replay == 0
+        assert "count: 1" in rebuilt.render(token)[0]

@@ -1,0 +1,79 @@
+"""The Supervisor: an UPDATE only sticks if it renders."""
+
+import pytest
+
+from repro.core.errors import UpdateRejected
+from repro.live.session import LiveSession
+from repro.obs import Tracer
+
+from .conftest import CRASHY
+
+#: A well-typed edit whose render divides by zero the moment it applies.
+RENDER_BOMB = CRASHY.replace("10 / d", "10 / (d - 1)")
+#: A harmless edit.
+RENAMED = CRASHY.replace('"n = "', '"m = "')
+#: An ill-typed edit.
+BROKEN = CRASHY.replace("count + 1", 'count + "no"')
+
+
+def session(fault_policy="raise"):
+    return LiveSession(
+        CRASHY, fault_policy=fault_policy, supervised=True, tracer=Tracer()
+    )
+
+
+class TestSupervisedEdits:
+    def test_clean_update_applies(self):
+        live = session()
+        result = live.edit_source(RENAMED)
+        assert result.status == "applied"
+        assert live.runtime.contains_text("m = 10")
+
+    def test_rejected_update_still_rejects(self):
+        live = session()
+        result = live.edit_source(BROKEN)
+        assert result.status == "rejected"
+        assert result.problems
+        assert live.runtime.contains_text("n = 10")  # old code running
+
+    @pytest.mark.parametrize("policy", ["raise", "record"])
+    def test_render_bomb_rolls_back(self, policy):
+        live = session(policy)
+        result = live.edit_source(RENDER_BOMB)
+        assert result.status == "rolled_back"
+        assert result.problems  # the fault that triggered the rollback
+        # The last-good program is running and can still draw:
+        assert live.runtime.contains_text("n = 10")
+        # The buffer keeps the programmer's text (never thrown away):
+        assert live.source == RENDER_BOMB
+        # ...and the session is still fully interactive.
+        live.tap_text("bump")
+        assert live.runtime.global_value("count").value == 1.0
+
+    def test_rollback_counts_and_logs(self):
+        live = session()
+        live.edit_source(RENDER_BOMB)
+        assert live.runtime.metrics()["rollbacks"] == 1
+        assert len(live.supervisor.rollbacks) == 1
+
+    def test_fixing_the_bomb_applies_afterwards(self):
+        live = session()
+        live.edit_source(RENDER_BOMB)
+        result = live.edit_source(RENAMED)
+        assert result.status == "applied"
+        assert live.runtime.contains_text("m = 10")
+
+    def test_state_survives_a_rollback(self):
+        live = session()
+        live.tap_text("bump")
+        live.tap_text("bump")
+        live.edit_source(RENDER_BOMB)
+        assert live.runtime.global_value("count").value == 2.0
+
+    def test_unsupervised_record_session_shows_fault_screen_instead(self):
+        # The contrast case: without a supervisor the bomb commits and
+        # the session shows the fault screen (still alive, but dimmer).
+        live = LiveSession(CRASHY, fault_policy="record")
+        result = live.edit_source(RENDER_BOMB)
+        assert result.status == "applied"
+        assert live.runtime.contains_text("runtime fault while rendering:")
