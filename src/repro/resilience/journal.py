@@ -27,10 +27,13 @@ Record shapes (one JSON object per line)::
     {"kind": "event",      "seq": N, "token": t, "op": o, "args": {...}}
     {"kind": "checkpoint", "seq": N, "token": t, "image": {...}}
     {"kind": "destroy",    "seq": N, "token": t}
+    {"kind": "recover",    "seq": N, "sessions": k}
 
 ``seq`` is a global monotone counter; per-token order in the file
 matches execution order because appends happen under the session's
-lock.
+lock.  A ``recover`` record marks each completed crash recovery — it
+names no token; its ``seq`` anchors the display-generation floor
+recovered sessions restart from (see :func:`recover`).
 """
 
 from __future__ import annotations
@@ -70,9 +73,42 @@ class Journal:
         self._lock = threading.Lock()
         self._since_checkpoint = {}     # token -> events since last image
         self._seq = 0
+        self._repair()
         for record in self.read():
             self._seq = max(self._seq, record.get("seq", 0))
             self._note_for_checkpoint(record)
+
+    def _repair(self):
+        """Truncate a torn trailing line left by a crash mid-append.
+
+        :meth:`read` drops the torn tail, but appends open the file in
+        append mode — left in place, the fragment would glue onto the
+        first post-recovery record, making *that* line undecodable and
+        silently cutting off everything after it on the next restart.
+        So opening an existing journal cuts the file back to the end of
+        the last intact record.  A final line missing its newline is
+        torn by definition (appends write record and newline in one
+        write), even if the fragment happens to parse.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                good_end = 0
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        break
+                    try:
+                        record = json.loads(line.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        break
+                    if not isinstance(record, dict):
+                        break
+                    good_end += len(line)
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if good_end < size:
+            with open(self.path, "ab") as handle:
+                handle.truncate(good_end)
 
     def _note_for_checkpoint(self, record):
         token = record.get("token")
@@ -125,6 +161,16 @@ class Journal:
 
     def record_destroy(self, token):
         self._append({"kind": "destroy", "token": token})
+
+    def record_recover(self, sessions):
+        """Mark a completed recovery; returns the marker's ``seq``.
+
+        The marker keeps the global sequence strictly increasing across
+        recoveries, which is what lets ``seq`` bound every display
+        generation the pre-crash server could have acknowledged (see
+        :func:`recover`).
+        """
+        return self._append({"kind": "recover", "sessions": sessions})
 
     # -- reading ------------------------------------------------------------
 
@@ -275,12 +321,22 @@ def recover(host, journal):
     identically on replay, which is exactly how the fault history is
     reconstructed — so they are counted (``faults_during_replay`` for
     evaluation faults), never propagated.
+
+    Renders are *not* journaled, so at crash time the live display
+    generations may have advanced past anything the journal knows.  To
+    keep a stale client from ever getting ``not_modified`` for changed
+    content, recovery appends a ``recover`` marker and restarts every
+    rebuilt session's generation counter at ``marker_seq + 2`` — the
+    global sequence bounds every generation the pre-crash server could
+    have acknowledged (each bump is enabled by one journaled op, plus
+    one initial render), so the floor is strictly past all of them and
+    recovered generations never collide with pre-crash ones.
     """
     from ..core.errors import EvalError, ReproError
 
     if getattr(host, "journal", None) is not None:
         raise ReproError("recover() must run before the host journals")
-    report_sessions = 0
+    recovered = []
     events_replayed = 0
     checkpoints_used = 0
     faults = 0
@@ -305,9 +361,14 @@ def recover(host, journal):
             except ReproError:
                 pass  # failed identically live; the client saw the error
             events_replayed += 1
-        report_sessions += 1
+        recovered.append(log.token)
         host.tracer.add("journal_replays")
+    if recovered:
+        floor = journal.record_recover(len(recovered)) + 2
+        for token in recovered:
+            host.complete_recovery(token, floor)
     host.attach_journal(journal)
+    report_sessions = len(recovered)
     return RecoveryReport(
         sessions=report_sessions,
         events_replayed=events_replayed,

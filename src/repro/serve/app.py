@@ -16,9 +16,9 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..core.errors import ReproError
+from ..core.errors import InjectedFault, ReproError
 from .host import SessionHost
-from .protocol import describe_error, handle_request
+from .protocol import error_response, handle_request
 
 #: Cap request bodies (sources, batches) well above any legitimate use.
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -95,12 +95,19 @@ def make_handler(host, quiet=True, chaos=None):
                     status=400,
                 )
                 return
+            op = request.get("op") if isinstance(request, dict) else None
             if chaos is not None and chaos.should_fail("http"):
+                # The same type ("InjectedFault") and protocol/op
+                # envelope every other injected fault reaches the wire
+                # with — clients dispatch on one name for one fault
+                # class.  No tracer: the refusal never entered a span.
                 self._respond(
-                    {"ok": False,
-                     "error": {"type": "Injected",
-                               "message": "injected fault at http: "
-                                          "request refused"}},
+                    error_response(
+                        op,
+                        InjectedFault(
+                            "injected fault at http: request refused"
+                        ),
+                    ),
                     status=503,
                 )
                 return
@@ -113,11 +120,9 @@ def make_handler(host, quiet=True, chaos=None):
                 # the same typed shape the protocol uses — an
                 # EvalFault / FuelExhausted / UpdateRejected must never
                 # reach a client as an opaque 500.
-                type_, extra = describe_error(error, tracer=host.tracer)
-                payload = {"type": type_, "message": str(error)}
-                payload.update(extra)
                 self._respond(
-                    {"ok": False, "error": payload}, status=500,
+                    error_response(op, error, tracer=host.tracer),
+                    status=500,
                 )
                 return
             except Exception as error:  # a server bug, not a client error

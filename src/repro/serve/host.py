@@ -97,6 +97,17 @@ class _Entry:
         return self.session is not None
 
 
+class _GuardedOutcome:
+    """What a ``_guarded`` body reports back: did the op actually run
+    against the runtime?  Rejected edits clear the flag so they leave
+    the breaker's fault streak untouched."""
+
+    __slots__ = ("executed",)
+
+    def __init__(self):
+        self.executed = True
+
+
 class SessionHost:
     """A registry of live sessions behind an LRU pool.
 
@@ -223,6 +234,23 @@ class SessionHost:
         self._enforce_capacity(protect=entry)
         return token
 
+    def complete_recovery(self, token, generation_floor):
+        """Seal one recovered session (see :func:`repro.resilience.recover`).
+
+        Renders are not journaled, so the pre-crash server may have
+        acknowledged display generations ahead of anything replay
+        rebuilds; re-issuing those numbers for different content would
+        let a stale client poll into ``not_modified`` forever.  The
+        floor (derived from the journal's global sequence, which bounds
+        every pre-crash generation) restarts the counter strictly past
+        them, and priming the fingerprint keeps the next render from
+        spending an extra bump on the restore itself.
+        """
+        with self.session(token) as entry:
+            entry.generation = max(entry.generation, generation_floor)
+            entry.fingerprint = display_fingerprint(entry.session.display)
+            entry.dirty = True
+
     def attach_journal(self, journal):
         """Start write-ahead journaling (after recovery has replayed)."""
         self.journal = journal
@@ -336,6 +364,12 @@ class SessionHost:
         mid-op replays it), then breaker accounting around the op
         itself.  Faults count whether they propagate (``"raise"``
         policy) or are recorded in the session (``"record"`` policy).
+
+        Yields a mutable outcome whose ``executed`` flag the body may
+        clear: only ops that actually ran against the runtime close the
+        fault streak — a rejected ``edit_source`` (compile/type error)
+        never touched it, so it must neither count as a fault nor
+        launder one.
         """
         if entry.quarantined and op != "edit_source":
             raise SessionQuarantined(
@@ -350,9 +384,10 @@ class SessionHost:
             checkpoint_due = self.journal.record_event(
                 entry.token, op, args or {}
             )
+        outcome = _GuardedOutcome()
         faults_before = len(entry.session.runtime.faults)
         try:
-            yield
+            yield outcome
         except EvalError:
             self._note_fault(entry)
             raise
@@ -362,7 +397,7 @@ class SessionHost:
             # faults in the host-level metrics.
             self._count("faults_recorded", recorded)
             self._note_fault(entry)
-        else:
+        elif outcome.executed:
             entry.consecutive_faults = 0
         if checkpoint_due:
             self._checkpoint(entry)
@@ -450,8 +485,11 @@ class SessionHost:
             faults_before = len(entry.session.runtime.faults)
             with self._guarded(
                 entry, "edit_source", {"source": new_source}
-            ):
+            ) as outcome:
                 result = entry.session.edit_source(new_source)
+                # A rejected edit never touched the runtime: it must
+                # not break (or pad) the breaker's fault streak.
+                outcome.executed = result.status != "rejected"
                 if result.applied:
                     entry.dirty = True
             clean = len(entry.session.runtime.faults) == faults_before

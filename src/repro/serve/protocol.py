@@ -93,6 +93,18 @@ def describe_error(error, tracer=None):
     return type_, extra
 
 
+def error_response(op, error, tracer=None):
+    """The full protocol error envelope for one :class:`ReproError` —
+    exactly what ``handle_request`` would answer had the error risen
+    inside dispatch.  The HTTP layer uses it for faults that surface
+    *outside* ``handle_request`` (chaos refusals, faults raised while
+    serializing a response), so every wire error carries the same
+    ``protocol`` / ``op`` / ``error.type`` shape and clients dispatch
+    on one taxonomy."""
+    type_, extra = describe_error(error, tracer=tracer)
+    return _error(op, type_, str(error), **extra)
+
+
 class BadRequest(ReproError):
     """The request object itself is malformed (shape, not semantics)."""
 

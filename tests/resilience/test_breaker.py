@@ -92,6 +92,29 @@ class TestBreaker:
         assert not result.applied
         assert host.is_quarantined(token)
 
+    def test_a_rejected_edit_does_not_break_the_streak(self):
+        # A rejected edit never touched the runtime, so interleaving
+        # rejected edits between faults must not keep resetting the
+        # count and hold a faulty session out of quarantine forever.
+        host = make_host()
+        token = host.create()
+        for _ in range(3):
+            host.tap(token, text="crash")
+            result = host.edit_source(token, "page start(\n")
+            assert result.status == "rejected"
+        assert host.is_quarantined(token)
+
+    def test_quarantine_message_survives_rejected_edits(self):
+        # On an open breaker, a rejected edit must not zero the streak
+        # the refusal message reports.
+        host = make_host()
+        token = host.create()
+        crash(host, token, 3)
+        host.edit_source(token, "page start(\n")
+        with pytest.raises(SessionQuarantined) as caught:
+            host.tap(token, text="bump")
+        assert "3 consecutive" in str(caught.value)
+
     def test_breaker_counts_raise_policy_faults_too(self):
         # Under "raise" a fault propagates to the client *and* trips the
         # breaker (with threshold 1 here: one strike quarantines — under

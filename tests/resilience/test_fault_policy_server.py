@@ -202,7 +202,12 @@ class TestHTTPChaos:
                 post(server, {"op": "stats"})
             assert caught.value.code == 503
             body = json.loads(caught.value.read())
-            assert body["error"]["type"] == "Injected"
+            # One name for one fault class, in the standard envelope —
+            # indistinguishable in shape from any other protocol error.
+            assert body["error"]["type"] == "InjectedFault"
+            assert body["ok"] is False
+            assert body["op"] == "stats"
+            assert body["protocol"] == 1
             with pytest.raises(urllib.error.HTTPError):
                 post(server, {"op": "stats"})
             # max_faults spent: service resumes.

@@ -79,7 +79,8 @@ class TestJournal:
 
     def test_torn_tail_then_append_keeps_reading_to_the_tear(self, journal_dir):
         # The reader stops at the first undecodable line even if intact
-        # records follow — order is sacred; a hole means stop.
+        # records follow — order is sacred; a hole means stop — and
+        # reopening cuts the file back to the tear.
         journal = make_journal(journal_dir)
         journal.record_create("s-1", "x", None)
         truncate_journal(journal.path, drop_bytes=5)
@@ -87,6 +88,45 @@ class TestJournal:
             handle.write("\n")
             handle.write(json.dumps({"kind": "destroy", "seq": 9}) + "\n")
         assert make_journal(journal_dir).read() == []
+
+    def test_torn_tail_is_repaired_on_reopen(self, journal_dir):
+        # Crash, recover, append, crash again: the torn fragment must
+        # be cut from disk on reopen, or the first post-recovery append
+        # glues onto it and the *second* recovery silently loses every
+        # record after the first crash.
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        journal.record_event("s-1", "tap", {})
+        journal.record_event("s-1", "back", {})
+        truncate_journal(journal.path, drop_bytes=10)
+
+        survivor = make_journal(journal_dir)
+        survivor.record_event("s-1", "tap", {})
+        survivor.record_event("s-1", "back", {})
+
+        records = make_journal(journal_dir).read()
+        assert [r["kind"] for r in records] == [
+            "create", "event", "event", "event"
+        ]
+        # The torn record's seq was never acknowledged; numbering
+        # resumes from the last intact record.
+        assert [r["seq"] for r in records] == [1, 2, 3, 4]
+
+    def test_unterminated_tail_counts_as_torn(self, journal_dir):
+        # A final line missing its newline is torn even if the fragment
+        # happens to parse: appends write record + newline in one
+        # write, so the record was never acknowledged.
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        with open(journal.path, "a") as handle:
+            handle.write(json.dumps(
+                {"kind": "destroy", "seq": 2, "token": "s-1"}
+            ))  # no trailing newline
+        reopened = make_journal(journal_dir)
+        assert [r["kind"] for r in reopened.read()] == ["create"]
+        reopened.record_event("s-1", "tap", {})
+        kinds = [r["kind"] for r in make_journal(journal_dir).read()]
+        assert kinds == ["create", "event"]
 
     def test_metrics(self, journal_dir):
         tracer = Tracer()

@@ -80,6 +80,50 @@ class TestRecovery:
         assert report.events_replayed == 2
         assert "count: 2" in rebuilt.render(token)[0]
 
+    def test_recovered_generations_never_collide_with_pre_crash(
+            self, journal_dir):
+        # Renders are not journaled, so at crash time the live
+        # generation can be ahead of anything recovery replays.  The
+        # recovered counter must never re-issue those numbers for
+        # different content — or a client polling with a pre-crash
+        # generation gets not_modified and displays stale HTML forever.
+        host, _ = journaled_host(journal_dir)
+        token = host.create()
+        host.tap(token, path=[0])
+        host.render(token)
+        host.tap(token, path=[0])
+        _, pre_crash_gen, _ = host.render(token)  # client saw "count: 2"
+
+        rebuilt = make_host()
+        recover(rebuilt, Journal(journal_dir))
+        rebuilt.render(token)
+        rebuilt.tap(token, path=[0])  # the recovered session moves on
+        html, generation, modified = rebuilt.render(
+            token, if_generation=pre_crash_gen
+        )
+        assert modified and html is not None
+        assert "count: 3" in html
+        assert generation > pre_crash_gen
+
+    def test_generations_stay_unique_across_repeated_recoveries(
+            self, journal_dir):
+        host, _ = journaled_host(journal_dir)
+        token = host.create()
+        host.tap(token, path=[0])
+        host.render(token)
+
+        second = make_host()
+        recover(second, Journal(journal_dir))
+        second.tap(token, path=[0])
+        _, gen2, _ = second.render(token)
+
+        third = make_host()
+        recover(third, Journal(journal_dir))
+        third.tap(token, path=[0])
+        html, gen3, modified = third.render(token, if_generation=gen2)
+        assert modified and gen3 > gen2
+        assert "count: 3" in html
+
     def test_destroyed_sessions_stay_destroyed(self, journal_dir):
         host, _ = journaled_host(journal_dir)
         keep = host.create()
