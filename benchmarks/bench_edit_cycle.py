@@ -96,7 +96,7 @@ def test_traced_live_edit(benchmark, obs_records):
     """The same live edit under a real Tracer: measures observability
     overhead head-to-head with test_live_edit, and emits the per-phase
     breakdown the paper's responsiveness table wants."""
-    from repro.obs import Tracer
+    from repro.api import Tracer
 
     tracer = Tracer()
     workflow = LiveWorkflow(

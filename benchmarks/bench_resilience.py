@@ -28,8 +28,9 @@ import time
 from pathlib import Path
 
 from repro.apps.counter import SOURCE as COUNTER
-from repro.obs import Tracer
-from repro.resilience import Journal, recover
+from repro.api import Tracer
+from repro.api import Journal
+from repro.resilience import recover
 from repro.serve.host import SessionHost
 
 RESILIENCE_PATH = Path(__file__).parent.parent / "BENCH_resilience.json"

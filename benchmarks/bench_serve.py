@@ -28,7 +28,7 @@ import time
 from pathlib import Path
 
 from repro.apps.counter import SOURCE as COUNTER
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.host import SessionHost
 
 SERVE_PATH = Path(__file__).parent.parent / "BENCH_serve.json"

@@ -7,7 +7,7 @@ versa; a statement in a loop selects ALL its boxes), and attribute edits
 made "on the display" are realized as code edits.
 """
 
-from repro.live import LiveSession
+from repro.api import LiveSession
 
 SOURCE = """\
 page start()

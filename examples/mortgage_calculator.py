@@ -17,7 +17,7 @@ from repro.apps.mortgage import (
     apply_i3,
     host_impls,
 )
-from repro.live import LiveSession
+from repro.api import LiveSession
 from repro.stdlib.web import make_services
 
 

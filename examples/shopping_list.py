@@ -9,7 +9,7 @@ Ends with a live edit that restyles the list while it is in use.
 """
 
 from repro.apps.shopping import SOURCE
-from repro.live import LiveSession
+from repro.api import LiveSession
 
 
 def heading(text):

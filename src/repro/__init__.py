@@ -36,6 +36,14 @@ Quickstart::
     print(session.screenshot())
 """
 
+from .api import (
+    EditResult,
+    Journal,
+    LiveSession,
+    Runtime,
+    SessionHost,
+    Tracer,
+)
 from .core.defs import Code, FunDef, GlobalDef, PageDef
 from .core.errors import (
     ReproError,
@@ -44,11 +52,9 @@ from .core.errors import (
     TypeProblem,
     UpdateRejected,
 )
-from .live.session import EditResult, LiveSession
-from .obs import InMemorySink, JsonlSink, TextSink, Tracer
+from .obs.sinks import InMemorySink, JsonlSink, TextSink
 from .persist import load_image, save_image, save_image_text
 from .surface.compile import CompiledProgram, compile_source
-from .system.runtime import Runtime
 from .system.services import Services, VirtualClock
 from .system.transitions import System
 
@@ -61,9 +67,11 @@ __all__ = [
     "FunDef",
     "GlobalDef",
     "InMemorySink",
+    "Journal",
     "JsonlSink",
     "LiveSession",
     "PageDef",
+    "SessionHost",
     "load_image",
     "save_image",
     "save_image_text",

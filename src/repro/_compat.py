@@ -1,0 +1,42 @@
+"""Deprecated-import shims for the ``repro.api`` consolidation.
+
+The five facade classes used to be re-exported eagerly from their
+sub-packages (``repro.live.LiveSession``, ``repro.obs.Tracer``, …).
+Those paths keep working, but through a module ``__getattr__`` that
+warns: the supported spelling is ``from repro.api import ...`` (or the
+defining module itself, which is not deprecated).  The shim hands back
+the *original* class — not the keyword-only ``repro.api`` subclass — so
+existing call sites keep their exact signatures.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+
+def deprecated_facade(package_name, mapping):
+    """A module ``__getattr__`` serving ``mapping``'s names with a warning.
+
+    ``mapping`` is ``exported_name → (defining_module, attr)``.
+    """
+
+    def __getattr__(name):
+        target = mapping.get(name)
+        if target is None:
+            raise AttributeError(
+                "module {!r} has no attribute {!r}".format(package_name, name)
+            )
+        module_path, attr = target
+        warnings.warn(
+            "importing {name} from {package} is deprecated; use "
+            "'from repro.api import {name}' (or the defining module "
+            "{module})".format(
+                name=name, package=package_name, module=module_path
+            ),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_path), attr)
+
+    return __getattr__

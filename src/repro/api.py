@@ -1,0 +1,151 @@
+"""``repro.api`` — the consolidated public surface.
+
+One front door for the five classes an embedding application needs:
+
+* :class:`LiveSession` — a running program plus its editable source
+  (the headless IDE of Fig. 2);
+* :class:`Runtime` — one program's transition system with a
+  conversational driver (tap/edit/back) and fault policies;
+* :class:`SessionHost` — the multi-session server: token-keyed pool,
+  image-backed eviction, circuit breakers;
+* :class:`Journal` — write-ahead durability for a host's sessions;
+* :class:`Tracer` — structured tracing and the metric catalog.
+
+Everything here takes **keyword-only** configuration (the one or two
+genuinely positional arguments — the source text, the code, the journal
+directory — stay positional), so call sites read as configuration and
+adding a parameter can never silently reinterpret an existing call.
+
+The deep paths (``repro.live.LiveSession``, ``repro.system.Runtime``,
+``repro.serve.SessionHost``, ``repro.resilience.Journal``,
+``repro.obs.Tracer``) still work but raise :class:`DeprecationWarning`
+via package ``__getattr__`` shims; the defining modules
+(``repro.live.session`` etc.) remain the implementation and are not
+deprecated — this module is the *name* consolidation, not a rewrite.
+"""
+
+from __future__ import annotations
+
+from .eval.natives import EMPTY_NATIVES
+from .live.session import EditResult
+from .live.session import LiveSession as _LiveSession
+from .obs.trace import Tracer as _Tracer
+from .resilience.journal import Journal as _Journal
+from .serve.host import SessionHost as _SessionHost
+from .system.runtime import Runtime as _Runtime
+
+__all__ = [
+    "EditResult",
+    "Journal",
+    "LiveSession",
+    "Runtime",
+    "SessionHost",
+    "Tracer",
+]
+
+
+class LiveSession(_LiveSession):
+    """:class:`repro.live.session.LiveSession` with keyword-only config."""
+
+    def __init__(
+        self,
+        source,
+        *,
+        host_impls=None,
+        services=None,
+        faithful=False,
+        reuse_boxes=False,
+        memo_render=False,
+        tracer=None,
+        fault_policy="raise",
+        budget=None,
+        chaos=None,
+        supervised=False,
+    ):
+        super().__init__(
+            source,
+            host_impls=host_impls,
+            services=services,
+            faithful=faithful,
+            reuse_boxes=reuse_boxes,
+            memo_render=memo_render,
+            tracer=tracer,
+            fault_policy=fault_policy,
+            budget=budget,
+            chaos=chaos,
+            supervised=supervised,
+        )
+
+
+class Runtime(_Runtime):
+    """:class:`repro.system.runtime.Runtime` with keyword-only config."""
+
+    def __init__(
+        self,
+        code,
+        *,
+        natives=EMPTY_NATIVES,
+        services=None,
+        faithful=False,
+        reuse_boxes=False,
+        memo_render=False,
+        fault_policy="raise",
+        tracer=None,
+        budget=None,
+        chaos=None,
+    ):
+        super().__init__(
+            code,
+            natives=natives,
+            services=services,
+            faithful=faithful,
+            reuse_boxes=reuse_boxes,
+            memo_render=memo_render,
+            fault_policy=fault_policy,
+            tracer=tracer,
+            budget=budget,
+            chaos=chaos,
+        )
+
+
+class SessionHost(_SessionHost):
+    """:class:`repro.serve.host.SessionHost` with keyword-only config."""
+
+    def __init__(
+        self,
+        *,
+        pool_size=16,
+        default_source=None,
+        make_host_impls=None,
+        make_services=None,
+        tracer=None,
+        session_kwargs=None,
+        quarantine_after=3,
+        journal=None,
+    ):
+        super().__init__(
+            pool_size=pool_size,
+            default_source=default_source,
+            make_host_impls=make_host_impls,
+            make_services=make_services,
+            tracer=tracer,
+            session_kwargs=session_kwargs,
+            quarantine_after=quarantine_after,
+            journal=journal,
+        )
+
+
+class Journal(_Journal):
+    """:class:`repro.resilience.journal.Journal` with keyword-only config."""
+
+    def __init__(self, directory, *, checkpoint_every=50, tracer=None):
+        super().__init__(
+            directory, checkpoint_every=checkpoint_every, tracer=tracer
+        )
+
+
+class Tracer(_Tracer):
+    """:class:`repro.obs.trace.Tracer` with keyword-only config."""
+
+    def __init__(self, *, sinks=None):
+        super().__init__(sinks=sinks)

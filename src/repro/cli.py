@@ -39,10 +39,10 @@ from .live.session import LiveSession
 from .obs import (
     InMemorySink,
     JsonlSink,
-    Tracer,
     format_metric_table,
     format_span_tree,
 )
+from .obs.trace import Tracer
 from .stdlib.web import DEFAULT_LATENCY, make_services, web_host_impls
 from .surface.parser import parse
 from .surface.typecheck import typecheck_problems
@@ -323,8 +323,9 @@ def cmd_resume(args, out):
 
 
 def cmd_serve(args, out):
-    from .obs import Tracer
-    from .resilience import Budget, Journal, recover
+    from .obs.trace import Tracer
+    from .resilience import Budget, recover
+    from .resilience.journal import Journal
     from .serve.app import make_server
     from .serve.host import SessionHost
 

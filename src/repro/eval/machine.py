@@ -35,6 +35,7 @@ from ..core.errors import (
 from ..core.prims import PRIM_SIGS
 from ..obs.trace import NULL_TRACER
 from . import contexts
+from .memo import replay_items
 from .natives import EMPTY_NATIVES, apply_prim
 from .values import truthy
 
@@ -510,27 +511,27 @@ class BigStep:
             return value, True, parent
         if tag == _F_MEMO_ARG:
             name = frame[1]
-            key = self.memo.key_for(name, value, frame[2], self.code)
-            cached = self.memo.lookup(key)
-            if cached is not None:
-                items, result = cached
+            entry = self.memo.probe(name, value, frame[2])
+            if entry is not None:
                 box._check_mutable()
-                box.items.extend(items)
-                return result, True, box
+                box.items.extend(replay_items(entry.items, counters))
+                return entry.value, True, box
             definition = self.code.function(name)
             if definition is None:
                 raise StuckExpression(
                     "undefined function '{}'".format(name)
                 )
-            stack.append((_F_MEMO_CAP, key, box, len(box.items)))
+            stack.append(
+                (_F_MEMO_CAP, name, value, frame[2], box, len(box.items))
+            )
             # Re-enter the normal path with the FunRef already resolved,
             # so this call is not intercepted a second time.
             call = ast.App(definition.body, value)
             return call, False, box
         if tag == _F_MEMO_CAP:
-            _tag, key, captured_box, start = frame
+            _tag, name, arg, call_store, captured_box, start = frame
             self.memo.store_result(
-                key, captured_box.items[start:], value
+                name, arg, call_store, captured_box.items[start:], value
             )
             return value, True, box
         raise ReproError("unknown frame tag {!r}".format(tag))

@@ -17,23 +17,39 @@ The machine (``BigStep(memo=...)``) consults the cache at every
 ``f(args)`` call in render mode; on a hit it splices the cached box items
 into the current box and skips execution entirely.
 
-Invalidation is automatic and total: model changes are captured by the
-key (the read-set values participate), and code changes create a fresh
-machine — and therefore a fresh cache — via the UPDATE transition.
+**Entries survive code updates** (repro.incremental).  The cache is keyed
+by ``(code digest, argument)`` — the digest hashes the function body
+closed over its transitive ``FunRef``\\ s (:mod:`repro.incremental.digest`)
+— and each entry carries a version-stamped snapshot of its read set.  A
+probe replays the entry iff the digest is unchanged *and* every read
+validates: by store write-version (an integer compare, the fast path) or,
+when versions differ, by value.  The UPDATE transition swaps in a fresh
+:class:`RenderMemo` per code version, but all versions share one
+:class:`~repro.incremental.store.MemoStore`, so the first render after an
+edit replays every call whose code and inputs did not change — the edit →
+re-render loop pays only for what the edit touched.
 
-One observable caveat, asserted and documented in the tests: occurrence
-numbers inside replayed subtrees are those of the original execution,
-so with memoization on they identify *which call produced a box* rather
-than global execution order.  ``box_id``-based navigation (the Fig. 2
-feature) is unaffected.
+The historical occurrence-number caveat is gone: replayed subtrees used
+to keep the occurrence numbers of their original execution, so with
+memoization on they identified *which call produced a box* rather than
+global execution order.  :func:`replay_items` now re-stamps occurrences
+from the current render pass's counters (copying a cached box only when
+its number actually differs), so a memoized render is **byte-identical**
+— HTML output included — to the unmemoized one; the property test in
+``tests/incremental`` asserts exactly that.  ``box_id``-based navigation
+(the Fig. 2 feature) was never affected, and box ids participate in the
+digest so an edit that renumbers them safely misses.
 """
 
 from __future__ import annotations
 
+from ..boxes.tree import Box
 from ..core import ast
 from ..core.defs import Code
 from ..core.effects import RENDER
 from ..core.errors import ReproError
+from ..incremental.digest import code_digests
+from ..incremental.store import MemoEntry, MemoStore
 from ..obs.trace import NULL_TRACER
 
 
@@ -64,58 +80,139 @@ def global_read_sets(code):
     return {name: frozenset(reads) for name, reads in direct.items()}
 
 
-class RenderMemo:
-    """The per-code-version cache of render-function results."""
+def replay_items(items, counters):
+    """Cached box items, re-stamped with this render pass's occurrences.
 
-    def __init__(self, code, max_entries=4096, tracer=NULL_TRACER):
+    Replay must be observably identical to execution, and executing the
+    call would have drawn fresh occurrence numbers from ``counters`` in
+    document order.  Walk the cached subtrees in that same order,
+    consuming the counters; a box whose cached number (and descendants)
+    already match is returned as-is — the common all-hits re-render
+    replays with zero copying — otherwise a shallow re-stamped copy is
+    made (still far cheaper than re-execution: no machine steps, and
+    leaves, attributes and unchanged subtrees stay shared).
+    """
+    out = []
+    for item in items:
+        if isinstance(item, Box):
+            item = _renumber(item, counters)
+        out.append(item)
+    return out
+
+
+def _renumber(box, counters):
+    occurrence = counters.next_for(box.box_id)
+    items = box.items
+    new_items = None
+    for index, item in enumerate(items):
+        if isinstance(item, Box):
+            replacement = _renumber(item, counters)
+            if replacement is not item:
+                if new_items is None:
+                    new_items = list(items)
+                new_items[index] = replacement
+    if occurrence == box.occurrence and new_items is None:
+        return box
+    return Box(
+        new_items if new_items is not None else list(items),
+        box_id=box.box_id,
+        occurrence=occurrence,
+    )
+
+
+class RenderMemo:
+    """One code version's view of the (possibly shared) memo store.
+
+    The per-version parts — digests, read sets, eligibility — are
+    recomputed from ``code``; the entries live in ``store``, which the
+    owning :class:`~repro.system.transitions.System` threads through
+    UPDATE so they survive it.  Constructed without a ``store`` (tests,
+    standalone machines) it owns a private one, which restores the old
+    cache-per-machine behaviour.
+    """
+
+    def __init__(self, code, store=None, max_entries=4096,
+                 tracer=NULL_TRACER):
         if not isinstance(code, Code):
             raise ReproError("RenderMemo expects Code")
+        self.code = code
         self._read_sets = global_read_sets(code)
+        self._digests = code_digests(code)
         self._eligible = {
             d.name
             for d in code.functions()
             if d.type.effect is RENDER and not d.name.startswith("$")
         }
-        self._cache = {}
-        self._max_entries = max_entries
+        self.memo_store = (
+            store if store is not None
+            else MemoStore(max_entries, tracer=tracer)
+        )
         self.tracer = tracer
         self.hits = 0
         self.misses = 0
+        self.replayed_boxes = 0
 
     def eligible(self, name):
         """Is ``name`` a memoizable (user-written, render-effect) function?"""
         return name in self._eligible
 
-    def key_for(self, name, arg_value, store, code):
-        """The complete memo key: function, argument, read-set values.
+    def _read_value(self, global_name, store):
+        """What the function would see: store value, else declared init
+        (rule EP-GLOBAL-2)."""
+        value = store.lookup(global_name)
+        if value is None:
+            definition = self.code.global_(global_name)
+            value = definition.init if definition else None
+        return value
 
-        Reads fall back to declared initial values (EP-GLOBAL-2), so a
-        store assignment that *creates* an entry changes the key exactly
-        when it changes what the function would see.
+    def probe(self, name, arg_value, store):
+        """The cached entry for ``name(arg_value)`` under ``store``, or
+        ``None`` — counting a hit exactly when the entry validates.
+
+        Validation per read slot: same write version (and not the
+        never-assigned version ``0``) is a hit by integer compare;
+        otherwise fall back to comparing the value the function would
+        read *now* with the stamped one, refreshing the stamp when they
+        agree so the next probe is integers again.  Version ``0`` always
+        value-compares, because an unassigned global reads its declared
+        init straight from the code — which an update can change while
+        the function's own digest stays fixed.
         """
-        reads = []
-        for global_name in sorted(self._read_sets.get(name, ())):
-            value = store.lookup(global_name)
-            if value is None:
-                definition = code.global_(global_name)
-                value = definition.init if definition else None
-            reads.append((global_name, value))
-        return (name, arg_value, tuple(reads))
-
-    def lookup(self, key):
-        entry = self._cache.get(key)
-        if entry is not None:
-            self.hits += 1
-            self.tracer.add("memo_hits")
+        entry = self.memo_store.get((self._digests.get(name), arg_value))
+        if entry is None:
+            return None
+        for slot in entry.reads:
+            global_name, version, value = slot
+            current = store.version(global_name)
+            if current == version and version != 0:
+                continue
+            if self._read_value(global_name, store) != value:
+                return None
+            slot[1] = current
+        self.hits += 1
+        self.replayed_boxes += entry.boxes
+        self.tracer.add("memo_hits")
         return entry
 
-    def store_result(self, key, items, value):
-        if len(self._cache) >= self._max_entries:
-            self._cache.clear()  # simple safety valve; keys are versioned
+    def store_result(self, name, arg_value, store, items, value):
+        """Record one executed call; counts the miss that caused it."""
         self.misses += 1
         self.tracer.add("memo_misses")
-        self._cache[key] = (tuple(items), value)
+        digest = self._digests.get(name)
+        reads = [
+            [global_name, store.version(global_name),
+             self._read_value(global_name, store)]
+            for global_name in sorted(self._read_sets.get(name, ()))
+        ]
+        items = tuple(items)
+        boxes = sum(
+            item.count_boxes() for item in items if isinstance(item, Box)
+        )
+        self.memo_store.put(
+            (digest, arg_value),
+            MemoEntry(digest, arg_value, reads, items, value, boxes),
+        )
 
     def stats(self):
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._cache)}
+                "entries": len(self.memo_store)}

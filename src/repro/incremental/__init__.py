@@ -1,0 +1,34 @@
+"""``repro.incremental`` — the update-surviving incremental render engine.
+
+The §5 self-adjusting-computation sketch, taken past a single code
+version: :mod:`repro.eval.memo` proves a render call is a pure function
+of ``(argument, read-set values)``, but the UPDATE transition used to
+swap in a fresh machine and drop the whole cache — so the hottest live
+loop (edit → re-render, the latency the paper is about) always paid a
+cold render.  This package supplies the two pieces that let memo entries
+outlive UPDATE:
+
+* :mod:`repro.incremental.digest` — per-function **code digests**: a
+  hash of the definition body closed over its transitive ``FunRef``\\ s,
+  alpha-normalized so compiler-generated fresh names don't shift it.
+  Keying entries by ``(digest, argument)`` instead of machine identity
+  makes "this function's code did not change" a dictionary lookup.
+* :mod:`repro.incremental.store` — the :class:`MemoStore`, a bounded
+  LRU of version-stamped entries that the
+  :class:`~repro.system.transitions.System` threads through UPDATE.
+
+An entry survives an update and replays without re-execution exactly
+when its function's digest is unchanged **and** its read-set versions
+(or, failing that, values) are unchanged — the rule ``docs/PERF.md``
+spells out.
+"""
+
+from .digest import code_digests, function_canon
+from .store import MemoEntry, MemoStore
+
+__all__ = [
+    "MemoEntry",
+    "MemoStore",
+    "code_digests",
+    "function_canon",
+]

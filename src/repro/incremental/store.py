@@ -1,0 +1,94 @@
+"""The update-surviving memo store — a bounded LRU of render results.
+
+One :class:`MemoStore` lives for the whole life of a
+:class:`~repro.system.transitions.System` (and therefore of a live
+session): UPDATE creates a fresh :class:`~repro.eval.memo.RenderMemo`
+*view* per code version, but every view shares this store, so entries
+for functions whose digest and read-set values are unchanged survive
+the edit and replay without re-execution.
+
+Entries are keyed by ``(code digest, argument value)`` — deliberately
+*not* by function name (a rename that keeps the body is a digest match
+and still hits) and *not* by read-set values (those are validated
+against the entry's version-stamped read snapshot at probe time, see
+:meth:`~repro.eval.memo.RenderMemo.probe`).
+
+The store is bounded: without a cap, surviving UPDATE turns the old
+per-machine cache into a leak across a long editing session.  Insertion
+beyond ``max_entries`` evicts the least recently used entry and counts
+``incremental.memo_evictions``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs.trace import NULL_TRACER
+
+
+class MemoEntry:
+    """One cached render call.
+
+    ``reads`` is the version-stamped read snapshot: a list of mutable
+    ``[global_name, store_version, value]`` slots.  Validation is an
+    integer compare per slot on the fast path; on a version mismatch it
+    falls back to a value compare and, when the value turns out equal,
+    refreshes the stamp in place so the *next* probe is integers again.
+    A version of ``0`` means "never assigned" — the value then came from
+    the code's declared initial value, which an update can change with
+    the digest fixed, so version-0 slots always deep-compare.
+    """
+
+    __slots__ = ("digest", "arg", "reads", "items", "value", "boxes")
+
+    def __init__(self, digest, arg, reads, items, value, boxes):
+        self.digest = digest
+        self.arg = arg
+        self.reads = reads
+        self.items = items          # the cached box items (frozen trees)
+        self.value = value          # the call's return value
+        self.boxes = boxes          # boxes in ``items``, for replay stats
+
+
+class MemoStore:
+    """A bounded, insertion-tracked LRU of :class:`MemoEntry`."""
+
+    def __init__(self, max_entries=4096, tracer=NULL_TRACER):
+        self._entries = OrderedDict()
+        self._max_entries = max_entries
+        self.tracer = tracer
+        self.evictions = 0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, entry):
+        entries = self._entries
+        if key not in entries and len(entries) >= self._max_entries:
+            entries.popitem(last=False)
+            self.evictions += 1
+            self.tracer.add("incremental.memo_evictions")
+        entries[key] = entry
+        entries.move_to_end(key)
+
+    def discard(self, key):
+        self._entries.pop(key, None)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def stats(self):
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "evictions": self.evictions,
+        }

@@ -10,6 +10,16 @@ from .manipulation import (
 from .navigation import Selection, box_to_code, code_to_boxes, selection_chain
 from .probe import ProbeResult, probe_expression, probe_function
 from .screenshot import code_pane, side_by_side
-from .session import EditResult, LiveSession
+from .session import EditResult
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+from .._compat import deprecated_facade
+
+__all__ = [name for name in dir() if not name.startswith("_")] + [
+    "LiveSession"
+]
+
+# ``repro.live.LiveSession`` still works, with a DeprecationWarning —
+# the supported spelling is ``from repro.api import LiveSession``.
+__getattr__ = deprecated_facade(
+    __name__, {"LiveSession": ("repro.live.session", "LiveSession")}
+)

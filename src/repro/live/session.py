@@ -50,6 +50,13 @@ class EditResult:
     ``supervised=True`` — ``"rolled_back"``: the new program was
     well-typed but faulted on its very first render, so the supervisor
     restored the last-good code and the old program is still running.
+
+    ``memo_hits`` / ``memo_misses`` / ``replayed_boxes`` describe the
+    re-render that applied the edit when the session runs with
+    ``memo_render=True`` (repro.incremental): how many render calls were
+    replayed from the update-surviving memo store versus re-executed,
+    and how many cached boxes were spliced in without re-execution.
+    They stay zero for unmemoized sessions and rejected edits.
     """
 
     status: str                    # "applied", "rejected", "rolled_back"
@@ -57,6 +64,9 @@ class EditResult:
     report: object = None          # FixupReport when applied
     elapsed: float = 0.0           # wall seconds for compile+update+render
     phases: tuple = ()             # ((phase_name, wall_seconds), ...)
+    memo_hits: int = 0             # render calls replayed from the memo
+    memo_misses: int = 0           # render calls re-executed
+    replayed_boxes: int = 0        # boxes spliced from cache, not rebuilt
 
     @property
     def applied(self):
@@ -206,11 +216,18 @@ class LiveSession:
             if new_source != self._undo_stack[-1]:
                 self._undo_stack.append(new_source)
                 self._redo_stack.clear()
+            # The re-render that applied this edit has already run
+            # (update_code settles the system), so the incremental
+            # engine's reuse numbers for it are final.
+            reuse = self.runtime.system.last_update_render_stats
             result = EditResult(
                 status="applied",
                 report=report,
                 elapsed=watch.elapsed(),
                 phases=self._cycle_phases(cycle),
+                memo_hits=reuse.get("hits", 0),
+                memo_misses=reuse.get("misses", 0),
+                replayed_boxes=reuse.get("replayed_boxes", 0),
             )
             self.edit_log.append(result)
             return result

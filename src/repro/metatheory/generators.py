@@ -258,6 +258,135 @@ def programs(draw, max_globals=3, body_depth=3, max_functions=2):
 
 
 @st.composite
+def live_programs(draw, max_globals=3, body_depth=3, max_functions=3):
+    """Strategy for programs whose view is drawn through *functions*.
+
+    Like :func:`programs`, but the helpers carry the **render** effect —
+    they may box, post, set attributes, read globals and call earlier
+    helpers — and the page's render body may call them.  These are
+    exactly the units the render memo (:mod:`repro.eval.memo`) and the
+    update-surviving incremental engine (:mod:`repro.incremental`)
+    operate on, so properties quantifying over live editing sessions
+    (memoized ≡ unmemoized, entries survive UPDATE) draw from here.
+    Still call-graph-acyclic and terminating by construction.
+    """
+    from ..core.defs import FunDef
+
+    globals_ = []
+    count = draw(st.integers(1, max_globals))
+    for index in range(count):
+        g_type = draw(function_free_types(1))
+        init = draw(values_of(g_type))
+        globals_.append(GlobalDef("g{}".format(index), g_type, init))
+    partial_code = Code(globals_)
+
+    functions = []
+    for index in range(draw(st.integers(1, max_functions))):
+        param_type = draw(st.sampled_from((NUMBER, STRING, UNIT)))
+        result_type = draw(st.sampled_from((NUMBER, STRING, UNIT)))
+        param = ast.fresh_name("p")
+        body = draw(
+            expressions_of(
+                partial_code,  # earlier helpers are callable (no cycles)
+                {param: param_type},
+                result_type,
+                RENDER,
+                body_depth - 1,
+            )
+        )
+        definition = FunDef(
+            "r{}".format(index),
+            FunType(param_type, result_type, RENDER),
+            ast.Lam(param, param_type, body, RENDER),
+        )
+        functions.append(definition)
+        partial_code = Code(globals_ + functions)
+
+    init_body = draw(
+        expressions_of(partial_code, {}, UNIT, STATE, body_depth)
+    )
+    render_body = draw(
+        expressions_of(partial_code, {}, UNIT, RENDER, body_depth)
+    )
+    page = PageDef(
+        "start",
+        UNIT,
+        ast.Lam(ast.fresh_name("a"), UNIT, init_body, STATE),
+        ast.Lam(ast.fresh_name("a"), UNIT, render_body, RENDER),
+    )
+    return Code(globals_ + functions + [page])
+
+
+@st.composite
+def edited_codes(draw, code, body_depth=2):
+    """Strategy for one random well-typed *edit* of ``code``.
+
+    Models what a programmer's keystroke commit does to the program: it
+    replaces one definition — a global's initial value, one helper
+    function's body (same signature), or the start page's render body —
+    and leaves everything else alone.  The result is well-typed by
+    construction, so the UPDATE transition accepts it.
+    """
+    from ..core.defs import FunDef
+
+    # ``with_def`` moves a replaced definition to the end of the table,
+    # so sort by generation name (r0 < r1 < …) — that order is the
+    # acyclic one and it is stable across any sequence of edits.
+    helpers = sorted(
+        (d for d in code.functions() if not d.name.startswith("$")),
+        key=lambda d: (len(d.name), d.name),
+    )
+    choices = ["global", "render"] + (["function"] if helpers else [])
+    choice = draw(st.sampled_from(choices))
+
+    if choice == "global":
+        target = draw(st.sampled_from(code.globals()))
+        new_init = draw(values_of(target.type))
+        return code.with_def(
+            GlobalDef(target.name, target.type, new_init)
+        )
+
+    if choice == "function":
+        index = draw(st.integers(0, len(helpers) - 1))
+        target = helpers[index]
+        # Only earlier helpers stay callable from the new body, keeping
+        # the call graph acyclic exactly as generation did.
+        earlier = Code(
+            list(code.globals()) + helpers[:index]
+        )
+        param = ast.fresh_name("p")
+        body = draw(
+            expressions_of(
+                earlier,
+                {param: target.type.param},
+                target.type.result,
+                target.type.effect,
+                body_depth,
+            )
+        )
+        return code.with_def(
+            FunDef(
+                target.name,
+                target.type,
+                ast.Lam(param, target.type.param, body, target.type.effect),
+            )
+        )
+
+    page = code.page("start")
+    render_body = draw(
+        expressions_of(code, {}, UNIT, RENDER, body_depth)
+    )
+    return code.with_def(
+        PageDef(
+            page.name,
+            page.arg_type,
+            page.init,
+            ast.Lam(ast.fresh_name("a"), UNIT, render_body, RENDER),
+        )
+    )
+
+
+@st.composite
 def typed_expressions(draw, effect=PURE, depth=3):
     """Strategy for ``(code, expr, type)`` triples under ``effect``."""
     code = draw(programs(body_depth=1))

@@ -21,8 +21,15 @@ from .trace import (
     NullTracer,
     Span,
     Stopwatch,
-    Tracer,
     clock,
+)
+
+from .._compat import deprecated_facade
+
+# ``repro.obs.Tracer`` still works, with a DeprecationWarning — the
+# supported spelling is ``from repro.api import Tracer``.
+__getattr__ = deprecated_facade(
+    __name__, {"Tracer": ("repro.obs.trace", "Tracer")}
 )
 
 __all__ = [

@@ -61,6 +61,15 @@ CATALOG = (
     "journal_checkpoints",
     "journal_replays",
     "sessions_quarantined",
+    # repro.incremental — the update-surviving memo store (docs/PERF.md).
+    # (The companion "incremental.update_reuse_ratio" is a gauge, set per
+    # post-update render, not a catalog counter.)
+    "incremental.memo_evictions",
+    "incremental.entries_carried",
+    "incremental.update_hits",
+    "incremental.update_misses",
+    "incremental.replayed_boxes",
+    "incremental.html_short_circuits",
 )
 
 

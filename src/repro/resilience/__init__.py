@@ -31,13 +31,20 @@ from .chaos import (
     truncate_journal,
 )
 from .journal import (
-    Journal,
     RecoveryReport,
     decode_batch_events,
     encode_batch_events,
     recover,
 )
 from .supervisor import Budget, Supervisor, UNLIMITED, UpdateOutcome
+
+from .._compat import deprecated_facade
+
+# ``repro.resilience.Journal`` still works, with a DeprecationWarning —
+# the supported spelling is ``from repro.api import Journal``.
+__getattr__ = deprecated_facade(
+    __name__, {"Journal": ("repro.resilience.journal", "Journal")}
+)
 
 __all__ = [
     "Budget",

@@ -520,8 +520,27 @@ class SessionHost:
                 return entry.html, entry.generation, True
             if not entry.dirty and if_generation == entry.generation:
                 return None, entry.generation, False
-            html = render_html(entry.session.display, title=entry.title)
-            fingerprint = display_fingerprint(entry.session.display)
+            html = None
+            fingerprint = None
+            if entry.html is not None and entry.fingerprint is not None:
+                # Incremental short-circuit (repro.incremental): when the
+                # render behind this dirty flag replayed every memoizable
+                # call (zero misses), check the cheap fragment hash first
+                # — if the display fingerprint is unchanged, the cached
+                # document is still exact and the full HTML build is
+                # skipped.
+                reuse = getattr(
+                    entry.session.runtime.system, "last_render_stats", None
+                )
+                if reuse and not reuse.get("misses"):
+                    fingerprint = display_fingerprint(entry.session.display)
+                    if fingerprint == entry.fingerprint:
+                        html = entry.html
+                        self._count("incremental.html_short_circuits")
+            if html is None:
+                html = render_html(entry.session.display, title=entry.title)
+                if fingerprint is None:
+                    fingerprint = display_fingerprint(entry.session.display)
             if fingerprint != entry.fingerprint:
                 entry.generation += 1
                 entry.fingerprint = fingerprint

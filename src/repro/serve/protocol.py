@@ -48,9 +48,52 @@ HTML — the 304 of this protocol.
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..core.errors import EvalError, ReproError, UpdateRejected
 
 PROTOCOL_VERSION = 1
+
+
+def wire_encode(value):
+    """The one dataclass → JSON-value codec for everything on the wire.
+
+    Every result object this protocol serializes — ``EditResult``,
+    ``FixupReport``, ``BatchReport``, error payloads — goes through this
+    single recursion instead of a hand-rolled per-endpoint encoding, so
+    a field added to a result dataclass (``memo_hits``, say) reaches the
+    wire without touching any op handler.  Dataclasses become dicts,
+    tuples become lists, JSON scalars pass through, and anything else
+    (diagnostics, exceptions) falls back to ``str`` — the wire never
+    carries a Python repr by accident, and never raises while encoding.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: wire_encode(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): wire_encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [wire_encode(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def result_payload(result, flatten=("report",)):
+    """``wire_encode`` a result dataclass into a flat op payload.
+
+    Nested one-level reports named in ``flatten`` are merged into the
+    top level (the wire shape predates the codec: ``dropped_globals``
+    lives beside ``status``, not under ``report``).
+    """
+    payload = wire_encode(result)
+    for name in flatten:
+        nested = payload.pop(name, None)
+        if isinstance(nested, dict):
+            payload.update(nested)
+    return payload
 
 
 def _ok(op, **payload):
@@ -61,7 +104,7 @@ def _ok(op, **payload):
 
 def _error(op, type_, message, **extra):
     error = {"type": type_, "message": message}
-    error.update(extra)
+    error.update(wire_encode(extra))
     return {
         "ok": False,
         "protocol": PROTOCOL_VERSION,
@@ -86,7 +129,7 @@ def describe_error(error, tracer=None):
         type_ = "EvalFault"
     extra = {}
     if isinstance(error, UpdateRejected):
-        extra["problems"] = [str(problem) for problem in error.problems]
+        extra["problems"] = wire_encode(error.problems)
     span_id = getattr(tracer, "last_span_id", None)
     if span_id is not None:
         extra["span_id"] = span_id
@@ -216,25 +259,13 @@ def _op_edit_box(host, request):
 def _op_batch(host, request):
     token = _require(request, "token", str)
     report = host.batch(token, _batch_events(request.get("events")))
-    return _ok(
-        "batch",
-        token=token,
-        events=report.events,
-        renders=report.renders,
-        coalesced=report.coalesced,
-    )
+    return _ok("batch", token=token, **result_payload(report))
 
 
 def _op_edit_source(host, request):
     token = _require(request, "token", str)
     result = host.edit_source(token, _require(request, "source", str))
-    payload = {"status": result.status}
-    if result.applied:
-        payload["dropped_globals"] = list(result.report.dropped_globals)
-        payload["dropped_pages"] = list(result.report.dropped_pages)
-    else:
-        payload["problems"] = [str(p) for p in result.problems]
-    return _ok("edit_source", token=token, **payload)
+    return _ok("edit_source", token=token, **result_payload(result))
 
 
 def _op_probe(host, request):

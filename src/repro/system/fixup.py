@@ -54,7 +54,11 @@ def fixup_store(new_code, store, natives=None, report=None,
         if definition is not None and check_value_type(
             new_code, value, definition.type, natives=natives
         ):
-            result.assign(name, value)  # S-OKAY
+            # S-OKAY — the entry survives *with its write version*: it is
+            # the same assignment event, so memo entries stamped against
+            # the old store keep probing by integer compare (see
+            # repro.incremental).
+            result.carry(name, value, store.version(name))
         else:
             report.dropped_globals.append(name)  # S-SKIP
             tracer.add("store_entries_deleted")

@@ -21,20 +21,46 @@ updates (UPDATE) may occur.
 
 from __future__ import annotations
 
+import itertools
+
 from ..boxes.tree import Box, STALE
 from ..core import ast
 from ..core.defs import Code
 from ..core.errors import ReproError
 from .events import EventQueue
 
+#: Write-version source for *all* stores in the process.  Globally unique
+#: monotonic ticks (rather than a per-store counter) mean a version number
+#: names one specific assignment event: the fix-up of Fig. 12 builds a
+#: *new* store on every UPDATE, and if each store restarted its own
+#: counter, version 7 of ``clicks`` before an edit and version 7 after it
+#: could stamp different values — and the incremental memo's O(1) probe
+#: (see :mod:`repro.incremental`) would replay a stale entry.
+_VERSION_TICK = itertools.count(1)
+
 
 class Store:
-    """The store ``S``: global-variable values, rightmost-write wins."""
+    """The store ``S``: global-variable values, rightmost-write wins.
 
-    __slots__ = ("_entries",)
+    Beyond the paper's mapping, each entry carries a **write version**
+    (a globally unique tick stamped by :meth:`assign`).  Versions are
+    implementation caching outside the semantics — equality and hashing
+    ignore them — and exist so memo probes on large models are O(read
+    set) integer compares instead of deep value comparisons.  A name
+    that was never assigned has version ``0``: its value comes lazily
+    from the code (EP-GLOBAL-2), which versioning cannot witness.
+    """
 
-    def __init__(self, entries=None):
+    __slots__ = ("_entries", "_versions")
+
+    def __init__(self, entries=None, versions=None):
         self._entries = dict(entries) if entries else {}
+        if versions is not None:
+            self._versions = dict(versions)
+        else:
+            self._versions = {
+                name: next(_VERSION_TICK) for name in self._entries
+            }
 
     def lookup(self, name):
         """``S(g)`` — the current value, or ``None`` when ``g ∉ dom S``."""
@@ -47,10 +73,30 @@ class Store:
                 "store can only hold values, got {!r}".format(value)
             )
         self._entries[name] = value
+        self._versions[name] = next(_VERSION_TICK)
+
+    def version(self, name):
+        """The write version of ``name`` — ``0`` when never assigned."""
+        return self._versions.get(name, 0)
+
+    def carry(self, name, value, version):
+        """Assign ``name`` while *keeping* an existing write version.
+
+        Used by the UPDATE fix-up (S-OKAY): the surviving value is the
+        same assignment event, so memo entries stamped against the old
+        store keep validating by integer compare in the new one.
+        """
+        if not isinstance(value, ast.Expr) or not value.is_value():
+            raise ReproError(
+                "store can only hold values, got {!r}".format(value)
+            )
+        self._entries[name] = value
+        self._versions[name] = version
 
     def delete(self, name):
         """Remove an entry (used by the Fig. 12 fix-up's S-SKIP)."""
         self._entries.pop(name, None)
+        self._versions.pop(name, None)
 
     def domain(self):
         """``dom S`` as a tuple, in first-assignment order."""
@@ -67,7 +113,7 @@ class Store:
         return len(self._entries)
 
     def copy(self):
-        return Store(self._entries)
+        return Store(self._entries, versions=self._versions)
 
     def __eq__(self, other):
         return isinstance(other, Store) and self._entries == other._entries

@@ -119,10 +119,24 @@ class System:
         self.faithful = faithful
         self.reuse_boxes = reuse_boxes
         #: Render-function memoization (repro.eval.memo) — only the CEK
-        #: machine supports it; a fresh cache is created per code version
-        #: (UPDATE swaps the whole evaluator).
+        #: machine supports it.  UPDATE swaps the whole evaluator (and
+        #: with it the per-code-version RenderMemo *view*), but entries
+        #: live in one update-surviving MemoStore (repro.incremental)
+        #: owned here for the life of the system.
         self.memo_render = memo_render and not faithful
         self.render_memo = None
+        self._memo_store = None
+        if self.memo_render:
+            from ..incremental.store import MemoStore
+
+            self._memo_store = MemoStore(tracer=self.tracer)
+        #: Per-render memo deltas of the most recent RENDER, and of the
+        #: first RENDER after the most recent UPDATE (what the edit →
+        #: re-render loop actually reused).  Empty dicts until the
+        #: respective transition has fired with memoization on.
+        self.last_render_stats = {}
+        self.last_update_render_stats = {}
+        self._render_after_update = False
         #: When True (default), UPDATE enforces its ``C' ⊢ C'`` premise —
         #: and so does construction, since rule T-SYS types every state.
         self.check_updates = check_updates
@@ -140,6 +154,17 @@ class System:
         self.trace = []
         self._last_valid_display = None
         self._evaluator = self._make_evaluator(code)
+        #: Host-side native implementations, by identity.  Digests hash
+        #: program code only — they cannot see host Python — so if an
+        #: update rebinds a native to a *different* callable, every
+        #: surviving memo entry is suspect and the store is cleared.
+        self._native_impls = self._snapshot_native_impls()
+
+    def _snapshot_native_impls(self):
+        return {
+            name: self.natives.implementation(name)
+            for name in self.natives.names()
+        }
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -154,7 +179,9 @@ class System:
             if self.memo_render:
                 from ..eval.memo import RenderMemo
 
-                memo = RenderMemo(code, tracer=self.tracer)
+                memo = RenderMemo(
+                    code, store=self._memo_store, tracer=self.tracer
+                )
             self.render_memo = memo
             evaluator = BigStep(
                 code, natives=self.natives, services=self.services,
@@ -358,6 +385,9 @@ class System:
         tracer = self.tracer
         started = clock()
         virtual_before = self.services.clock.now
+        memo = self.render_memo
+        if memo is not None:
+            memo_before = (memo.hits, memo.misses, memo.replayed_boxes)
         with tracer.span("render", page=page_name) as span:
             tree = self._evaluator.run_render(
                 state.store, ast.App(page.render, arg),
@@ -374,8 +404,37 @@ class System:
             tracer.add("boxes_rendered", tree.count_boxes())
             state.display = tree
             self._last_valid_display = tree
+            if memo is not None:
+                self._record_render_reuse(memo, memo_before)
         self._record("RENDER", detail=page_name, started=started, span=span)
         return tree
+
+    def _record_render_reuse(self, memo, before):
+        """Per-render memo deltas; extra accounting after an UPDATE.
+
+        The first render after UPDATE is the latency the live loop is
+        about, so it gets its own counters plus the ``update_reuse_ratio``
+        gauge — the fraction of memoizable calls the edit did *not*
+        invalidate.
+        """
+        hits_before, misses_before, replayed_before = before
+        stats = {
+            "hits": memo.hits - hits_before,
+            "misses": memo.misses - misses_before,
+            "replayed_boxes": memo.replayed_boxes - replayed_before,
+        }
+        self.last_render_stats = stats
+        self.tracer.add("incremental.replayed_boxes", stats["replayed_boxes"])
+        if self._render_after_update:
+            self._render_after_update = False
+            self.last_update_render_stats = stats
+            self.tracer.add("incremental.update_hits", stats["hits"])
+            self.tracer.add("incremental.update_misses", stats["misses"])
+            total = stats["hits"] + stats["misses"]
+            self.tracer.gauge(
+                "incremental.update_reuse_ratio",
+                stats["hits"] / total if total else 0.0,
+            )
 
     # -- the code-update rule ---------------------------------------------------------
 
@@ -418,6 +477,18 @@ class System:
             self.state.store = new_store
             self.state.stack = new_stack
             self._invalidate()
+            if self._memo_store is not None:
+                impls = self._snapshot_native_impls()
+                if self._native_impls.keys() != impls.keys() or any(
+                    self._native_impls[name] is not impls[name]
+                    for name in impls
+                ):
+                    self._memo_store.clear()
+                self._native_impls = impls
+                self.tracer.add(
+                    "incremental.entries_carried", len(self._memo_store)
+                )
+                self._render_after_update = True
             self._evaluator = self._make_evaluator(new_code)
             if not report.clean:
                 span.annotate(

@@ -1,0 +1,168 @@
+"""Code digests: invariant under name shifts, sensitive to meaning.
+
+The digest answers "did this function's code change?" for the
+update-surviving memo (docs/PERF.md).  These tests pin down both
+directions: edits that must NOT move a digest (alpha-renaming, fresh
+-name counter shifts from edits elsewhere in the file) and edits that
+MUST (body changes, callee changes, box-id shifts).
+"""
+
+from repro.core import ast
+from repro.core.defs import Code, FunDef, GlobalDef
+from repro.core.effects import PURE, RENDER
+from repro.core.types import FunType, NUMBER, UNIT
+from repro.incremental import code_digests, function_canon
+from repro.surface.compile import compile_source
+
+
+def num_fun(name, body_of, param="x"):
+    """fun name(param : number) : number = body_of(Var(param))"""
+    return FunDef(
+        name,
+        FunType(NUMBER, NUMBER, PURE),
+        ast.Lam(param, NUMBER, body_of(ast.Var(param)), PURE),
+    )
+
+
+class TestAlphaNormalization:
+    def test_bound_names_do_not_matter(self):
+        plus_one = lambda v: ast.Prim("add", (v, ast.Num(1.0)))
+        a = Code([num_fun("f", plus_one, param="x%3")])
+        b = Code([num_fun("f", plus_one, param="x%7")])
+        assert code_digests(a)["f"] == code_digests(b)["f"]
+
+    def test_shadowing_is_distinguished(self):
+        # lam x. lam y. x  vs  lam x. lam y. y — same names available,
+        # different binder: naive name-dropping would conflate them.
+        outer = lambda inner: ast.Lam(
+            "x", NUMBER,
+            ast.Lam("y", NUMBER, inner, PURE),
+            PURE,
+        )
+        code_x = Code([FunDef(
+            "f", FunType(NUMBER, FunType(NUMBER, NUMBER, PURE), PURE),
+            outer(ast.Var("x")),
+        )])
+        code_y = Code([FunDef(
+            "f", FunType(NUMBER, FunType(NUMBER, NUMBER, PURE), PURE),
+            outer(ast.Var("y")),
+        )])
+        assert code_digests(code_x)["f"] != code_digests(code_y)["f"]
+
+    def test_literal_change_changes_digest(self):
+        a = Code([num_fun("f", lambda v: ast.Prim("add", (v, ast.Num(1.0))))])
+        b = Code([num_fun("f", lambda v: ast.Prim("add", (v, ast.Num(2.0))))])
+        assert code_digests(a)["f"] != code_digests(b)["f"]
+
+
+class TestCalleeClosure:
+    def make(self, helper_body):
+        helper = num_fun("helper", helper_body)
+        caller = num_fun(
+            "caller", lambda v: ast.App(ast.FunRef("helper"), v)
+        )
+        return Code([helper, caller])
+
+    def test_callee_edit_propagates_to_caller(self):
+        a = self.make(lambda v: ast.Prim("add", (v, ast.Num(1.0))))
+        b = self.make(lambda v: ast.Prim("add", (v, ast.Num(2.0))))
+        assert code_digests(a)["caller"] != code_digests(b)["caller"]
+
+    def test_unrelated_function_edit_does_not_propagate(self):
+        base = self.make(lambda v: v)
+        other = lambda n: num_fun("other", lambda v: ast.Num(float(n)))
+        a = Code(list(base) + [other(1)])
+        b = Code(list(base) + [other(2)])
+        assert code_digests(a)["caller"] == code_digests(b)["caller"]
+        assert code_digests(a)["other"] != code_digests(b)["other"]
+
+    def test_rename_with_same_body_same_digest(self):
+        # Entries are keyed by digest, not name: a pure rename hits.
+        body = lambda v: ast.Prim("add", (v, ast.Num(1.0)))
+        a = Code([num_fun("before", body)])
+        b = Code([num_fun("after", body)])
+        assert code_digests(a)["before"] == code_digests(b)["after"]
+
+
+class TestSurfaceCompilerShifts:
+    """Editing *earlier* in the file shifts the compiler's fresh-name and
+    loop-function counters in later functions; digests must not move."""
+
+    TEMPLATE = """\
+global n : number = {init}
+
+fun first(x : number)
+  for i = 1 to {bound} do
+    post "" || x
+
+fun second(y : number)
+  for i = 1 to 3 do
+    post "" || y
+
+page start()
+  render
+    second(n)
+"""
+
+    def test_counter_shift_leaves_later_digest_fixed(self):
+        a = compile_source(self.TEMPLATE.format(init=1, bound=2)).code
+        b = compile_source(self.TEMPLATE.format(init=1, bound=9)).code
+        da, db = code_digests(a), code_digests(b)
+        assert da["first"] != db["first"]
+        # `second` follows `first` in the file, so its generated loop
+        # function got a different $-name — the digest inlines it away.
+        assert da["second"] == db["second"]
+
+    def test_generated_functions_are_not_digested(self):
+        code = compile_source(self.TEMPLATE.format(init=1, bound=2)).code
+        digests = code_digests(code)
+        assert all(not name.startswith("$") for name in digests)
+        assert any(
+            definition.name.startswith("$")
+            for definition in code.functions()
+        )
+
+
+class TestRenderSensitivity:
+    def render_fun(self, box_id):
+        return Code([FunDef(
+            "view",
+            FunType(UNIT, UNIT, RENDER),
+            ast.Lam(
+                "u", UNIT,
+                ast.Boxed(ast.Post(ast.Str("hi")), box_id=box_id),
+                RENDER,
+            ),
+        )])
+
+    def test_box_id_shift_changes_digest(self):
+        # Cached trees bake box ids in and navigation dereferences them,
+        # so a shifted id must be a (safe) miss, never a stale replay.
+        a = code_digests(self.render_fun(3))["view"]
+        b = code_digests(self.render_fun(4))["view"]
+        assert a != b
+
+    def test_canon_mentions_global_reads(self):
+        code = Code([
+            GlobalDef("g", NUMBER, ast.Num(0.0)),
+            FunDef(
+                "f", FunType(UNIT, NUMBER, PURE),
+                ast.Lam("u", UNIT, ast.GlobalRead("g"), PURE),
+            ),
+        ])
+        assert "g:g" in function_canon("f", code)
+
+    def test_unknown_nodes_fail_closed(self):
+        # A node type the canonicalizer does not know must still produce
+        # a token (repr-based), not silently vanish from the hash.
+        class Mystery(ast.Expr):
+            __slots__ = ()
+
+            def __repr__(self):
+                return "Mystery()"
+
+        code = Code([FunDef(
+            "f", FunType(UNIT, UNIT, PURE),
+            ast.Lam("u", UNIT, Mystery(), PURE),
+        )])
+        assert "Mystery()" in function_canon("f", code)

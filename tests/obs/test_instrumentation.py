@@ -9,7 +9,8 @@ yields a single ``edit_cycle`` span whose children cover
 parse/typecheck/lower/update/render.
 """
 
-from repro.obs import CATALOG, Tracer
+from repro.api import Tracer
+from repro.obs import CATALOG
 from repro.live.session import LiveSession
 from repro.surface.compile import compile_source
 from repro.system.runtime import Runtime

@@ -3,11 +3,11 @@
 import io
 import json
 
+from repro.api import Tracer
 from repro.obs import (
     InMemorySink,
     JsonlSink,
     TextSink,
-    Tracer,
     format_metric_table,
     format_span_tree,
 )

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs import NULL_TRACER, NullTracer, Stopwatch, Tracer
+from repro.api import Tracer
+from repro.obs import NULL_TRACER, NullTracer, Stopwatch
 from repro.obs.trace import CATALOG
 
 

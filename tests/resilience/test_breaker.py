@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ReproError, SessionQuarantined
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.host import SessionHost
 
 from .conftest import CRASHY

@@ -16,7 +16,7 @@ from repro.core.errors import (
     ReproError,
 )
 from repro.live.session import LiveSession
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.resilience import Budget, FaultInjector, FaultPlan
 from repro.stdlib.web import make_services
 

@@ -15,7 +15,7 @@ import urllib.request
 
 import pytest
 
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.resilience import Budget, FaultInjector, FaultPlan
 from repro.serve.app import make_server
 from repro.serve.host import SessionHost

@@ -6,9 +6,9 @@ import os
 import pytest
 
 from repro.core.errors import ReproError
-from repro.obs import Tracer
+from repro.api import Tracer
+from repro.api import Journal
 from repro.resilience import (
-    Journal,
     decode_batch_events,
     encode_batch_events,
     truncate_journal,

@@ -12,8 +12,9 @@ import pytest
 
 from repro.apps.counter import SOURCE as COUNTER
 from repro.core.errors import ReproError
-from repro.obs import Tracer
-from repro.resilience import Journal, recover, truncate_journal
+from repro.api import Tracer
+from repro.api import Journal
+from repro.resilience import recover, truncate_journal
 from repro.serve.host import SessionHost
 
 from .conftest import CRASHY

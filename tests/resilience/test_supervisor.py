@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import UpdateRejected
 from repro.live.session import LiveSession
-from repro.obs import Tracer
+from repro.api import Tracer
 
 from .conftest import CRASHY
 

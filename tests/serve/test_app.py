@@ -8,7 +8,7 @@ import urllib.request
 import pytest
 
 from repro.apps.counter import SOURCE as COUNTER
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.app import make_server
 from repro.serve.host import SessionHost
 

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.counter import SOURCE as COUNTER
 from repro.core.errors import ReproError, SystemError_
 from repro.live.session import LiveSession
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.batching import apply_batch
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.apps.counter import SOURCE as COUNTER
 from repro.core.errors import ReproError
 from repro.live.session import LiveSession
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.host import SessionHost, UnknownToken
 
 

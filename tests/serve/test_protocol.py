@@ -3,7 +3,7 @@
 import json
 
 from repro.apps.counter import SOURCE as COUNTER
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.serve.host import SessionHost
 from repro.serve.protocol import PROTOCOL_VERSION, handle_request
 
@@ -162,3 +162,72 @@ class TestSessionOps:
         assert stats["metrics"]["sessions_evicted"] == 1
         # The evicted session still answers.
         assert "count: 0" in call(host, op="render", token=token)["html"]
+
+
+class TestWireCodec:
+    """The single dataclass→JSON codec behind every op payload."""
+
+    def test_dataclasses_tuples_and_fallbacks(self):
+        import dataclasses
+
+        from repro.serve.protocol import wire_encode
+
+        @dataclasses.dataclass
+        class Inner:
+            xs: tuple
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            table: dict
+
+        encoded = wire_encode(
+            Outer("a", Inner((1, 2)), {"k": ValueError("boom")})
+        )
+        assert encoded == {
+            "name": "a",
+            "inner": {"xs": [1, 2]},
+            "table": {"k": "boom"},
+        }
+        json.dumps(encoded)
+
+    def test_result_payload_flattens_the_report(self):
+        import dataclasses
+
+        from repro.serve.protocol import result_payload
+
+        @dataclasses.dataclass
+        class Report:
+            dropped_globals: tuple = ("g",)
+
+        @dataclasses.dataclass
+        class Result:
+            status: str = "applied"
+            report: Report = dataclasses.field(default_factory=Report)
+
+        payload = result_payload(Result())
+        assert payload == {
+            "status": "applied", "dropped_globals": ["g"],
+        }
+
+    def test_edit_source_payload_carries_memo_fields(self):
+        # A field added to EditResult reaches the wire without touching
+        # the op handler — the point of the shared codec.
+        from repro.apps.gallery import function_gallery_source
+
+        source = function_gallery_source(rows=2, cols=2)
+        host = make_host(
+            default_source=source,
+            session_kwargs={"memo_render": True},
+        )
+        token = call(host, op="create")["token"]
+        response = call(
+            host, op="edit_source", token=token,
+            source=source.replace('"gallery"', '"edited"'),
+        )
+        assert response["status"] == "applied"
+        assert response["memo_hits"] == 2        # the two row calls
+        assert response["memo_misses"] == 0
+        assert response["replayed_boxes"] == 6   # 2 rows + 4 cells
+        assert response["dropped_globals"] == []

@@ -9,7 +9,7 @@ import threading
 
 from repro.apps.counter import SOURCE as COUNTER
 from repro.live.session import LiveSession
-from repro.obs import Tracer
+from repro.api import Tracer
 from repro.render.html_backend import render_html
 from repro.serve.host import SessionHost
 
