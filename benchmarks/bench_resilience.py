@@ -146,7 +146,7 @@ def run_durability(sessions=40, pool=16, workers=4, ops_per_worker=100,
                     identical = False
         recovery_seconds.sort()
 
-        records = journal.read()
+        records = list(journal.read())
         journal_events = sum(
             1 for record in records if record["kind"] == "event"
         )

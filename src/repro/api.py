@@ -11,6 +11,12 @@ One front door for the five classes an embedding application needs:
 * :class:`Journal` — write-ahead durability for a host's sessions;
 * :class:`Tracer` — structured tracing and the metric catalog.
 
+The journal's observability layer (:mod:`repro.provenance`) is
+re-exported by name: :class:`TimeMachine` plus the three query
+functions :func:`replay_to`, :func:`divergence_report` and :func:`why`
+— deterministic replay, trace replay against edited code, and
+provenance queries over a recorded session.
+
 Everything here takes **keyword-only** configuration (the one or two
 genuinely positional arguments — the source text, the code, the journal
 directory — stay positional), so call sites read as configuration and
@@ -30,17 +36,35 @@ from .eval.natives import EMPTY_NATIVES
 from .live.session import EditResult
 from .live.session import LiveSession as _LiveSession
 from .obs.trace import Tracer as _Tracer
+from .provenance import (
+    DivergenceReport,
+    ReplayResult,
+    TimeMachine,
+    WhyReport,
+    divergence_report,
+    replay_session,
+    replay_to,
+    why,
+)
 from .resilience.journal import Journal as _Journal
 from .serve.host import SessionHost as _SessionHost
 from .system.runtime import Runtime as _Runtime
 
 __all__ = [
+    "DivergenceReport",
     "EditResult",
     "Journal",
     "LiveSession",
+    "ReplayResult",
     "Runtime",
     "SessionHost",
+    "TimeMachine",
     "Tracer",
+    "WhyReport",
+    "divergence_report",
+    "replay_session",
+    "replay_to",
+    "why",
 ]
 
 

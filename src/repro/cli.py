@@ -9,10 +9,16 @@ Commands:
 * ``html``    — render the booted program's display as a standalone
   HTML document;
 * ``probe``   — evaluate an expression in the program's context;
-* ``trace``   — run a scripted interaction under a real tracer and
-  print the span tree + metric table (see ``docs/OBSERVABILITY.md``);
+* ``trace``   — run a scripted interaction under a real tracer — or
+  re-derive the trace from a recorded journal with ``--journal DIR`` —
+  and print the span tree + metric table (see ``docs/OBSERVABILITY.md``);
 * ``serve``   — run the multi-session JSON API server with an LRU
   session pool (see ``docs/SERVER.md``);
+* ``replay``  — deterministically replay a recorded journal: time-travel
+  to any seq (``--to-seq``), or check an edited program against the
+  recorded trace (``--source``, the §2 trace-replay regression tool);
+* ``why``     — provenance query against a journal: which code span,
+  store slots and journaled events produced a rendered box;
 * ``ide``     — open the tkinter live viewer (if a display is available).
 
 ``run``, ``trace``, ``serve`` and ``ide`` accept ``--trace-jsonl PATH``
@@ -198,23 +204,55 @@ def _auto_interact(session, taps=2):
 
 
 def cmd_trace(args, out):
-    source = _load_source(args.file)
     tracer = _make_tracer(args) or Tracer()
-    services = make_services(latency=args.latency)
-    # Turn the Section 5 optimizations on so their metrics are live.
-    session = LiveSession(
-        source,
-        host_impls=web_host_impls(),
-        services=services,
-        tracer=tracer,
-        reuse_boxes=True,
-        memo_render=True,
-    )
-    if args.actions:
-        _apply_actions(session, args, out)
+    if args.journal:
+        # Journal-derived trace: replay the recorded session under the
+        # tracer — the spans and metrics of a session you never traced
+        # live, reconstructed after the fact (repro.provenance).
+        from .provenance import replay_session
+        from .resilience.journal import Journal
+
+        result = replay_session(
+            Journal(args.journal),
+            args.token,
+            # Cold on purpose: the trace should cover the whole
+            # recorded session, not just the tail after a checkpoint.
+            use_checkpoint=False,
+            tracer=tracer,
+            make_host_impls=web_host_impls,
+            make_services=lambda: make_services(latency=args.latency),
+            session_kwargs={
+                "reuse_boxes": True, "memo_render": True, "tracer": tracer,
+            },
+        )
+        print(
+            "journal-derived trace of {} ({} event{} replayed):".format(
+                args.journal, result.events_replayed,
+                "" if result.events_replayed == 1 else "s",
+            ),
+            file=out,
+        )
     else:
-        _auto_interact(session)
-    print("trace of {}:".format(args.file), file=out)
+        if not args.file:
+            raise ReproError(
+                "trace needs a source file or --journal DIR"
+            )
+        source = _load_source(args.file)
+        services = make_services(latency=args.latency)
+        # Turn the Section 5 optimizations on so their metrics are live.
+        session = LiveSession(
+            source,
+            host_impls=web_host_impls(),
+            services=services,
+            tracer=tracer,
+            reuse_boxes=True,
+            memo_render=True,
+        )
+        if args.actions:
+            _apply_actions(session, args, out)
+        else:
+            _auto_interact(session)
+        print("trace of {}:".format(args.file), file=out)
     print(file=out)
     print(format_span_tree(tracer.spans()), file=out)
     print(file=out)
@@ -383,6 +421,98 @@ def cmd_serve(args, out):
     return 0
 
 
+def _replay_options(args):
+    """Factories + session kwargs matching what ``repro serve`` runs, so
+    replay reconstructs the server's sessions byte-identically (virtual
+    clocks make ``--latency`` part of the recording's determinism — use
+    the same value the server ran with)."""
+    return {
+        "make_host_impls": web_host_impls,
+        "make_services": lambda: make_services(latency=args.latency),
+        "session_kwargs": {
+            "reuse_boxes": True,
+            "memo_render": True,
+            "fault_policy": "record",
+            "supervised": True,
+        },
+    }
+
+
+def cmd_replay(args, out):
+    from .provenance import TimeMachine, divergence_report, replay_session
+    from .resilience.journal import Journal
+
+    journal = Journal(args.journal_dir)
+    options = _replay_options(args)
+    if args.source is not None:
+        # Trace replay against edited code: the regression question
+        # "does my edit change what the user saw?".  Exit status is the
+        # answer, so CI can gate on it.
+        report = divergence_report(
+            journal, _load_source(args.source), token=args.token, **options
+        )
+        print(str(report), file=out)
+        return 0 if report.clean else 1
+    if args.to_seq is not None:
+        machine = TimeMachine(
+            journal, args.token,
+            use_checkpoints=not args.no_checkpoint, **options
+        )
+        machine.goto_seq(args.to_seq)
+        result = machine.last_replay
+        print(
+            "state as of journal seq {} (position {}/{}, {} event{} "
+            "replayed{}):".format(
+                args.to_seq, machine.position, len(machine) - 1,
+                result.events_replayed,
+                "" if result.events_replayed == 1 else "s",
+                "" if result.checkpoint_seq is None
+                else " from checkpoint seq {}".format(result.checkpoint_seq),
+            ),
+            file=out,
+        )
+        print(machine.screenshot(width=args.width), file=out)
+        return 0
+    result = replay_session(
+        journal, args.token,
+        use_checkpoint=not args.no_checkpoint, **options
+    )
+    print(
+        "replayed {} event{}{} ({} fault{} re-encountered):".format(
+            result.events_replayed,
+            "" if result.events_replayed == 1 else "s",
+            "" if result.checkpoint_seq is None
+            else " from checkpoint seq {}".format(result.checkpoint_seq),
+            result.faults, "" if result.faults == 1 else "s",
+        ),
+        file=out,
+    )
+    print(result.session.screenshot(width=args.width), file=out)
+    return 0
+
+
+def cmd_why(args, out):
+    from .provenance import why
+    from .resilience.journal import Journal
+
+    path = None
+    if args.path is not None:
+        try:
+            path = tuple(
+                int(part) for part in args.path.split("/") if part != ""
+            )
+        except ValueError:
+            raise ReproError(
+                "--path must be slash-separated indices, e.g. 0/1"
+            )
+    report = why(
+        Journal(args.journal_dir), args.token,
+        path=path, text=args.text, **_replay_options(args)
+    )
+    print(str(report), file=out)
+    return 0
+
+
 def cmd_ide(args, out):
     from .ui_tk import TkLiveViewer, tk_available
 
@@ -411,8 +541,14 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, actions=False):
-        p.add_argument("file", help="surface-language source file")
+    def common(p, actions=False, file_optional=False):
+        if file_optional:
+            p.add_argument(
+                "file", nargs="?", default=None,
+                help="surface-language source file",
+            )
+        else:
+            p.add_argument("file", help="surface-language source file")
         p.add_argument(
             "--latency", type=float, default=DEFAULT_LATENCY,
             help="simulated web latency in virtual seconds",
@@ -456,11 +592,75 @@ def build_parser():
 
     p_trace = sub.add_parser(
         "trace",
-        help="run a scripted interaction; print span tree + metrics",
+        help="run a scripted interaction (or replay a journal) and "
+             "print the span tree + metrics",
     )
-    common(p_trace, actions=True)
+    common(p_trace, actions=True, file_optional=True)
+    p_trace.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="derive the trace by replaying a recorded journal "
+             "instead of running FILE",
+    )
+    p_trace.add_argument(
+        "--token", default=None,
+        help="session token inside the journal (default: only session)",
+    )
     jsonl_option(p_trace)
     p_trace.set_defaults(handler=cmd_trace)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="deterministically replay a journaled session; time-travel "
+             "with --to-seq, diff against edited code with --source",
+    )
+    p_replay.add_argument("journal_dir", help="journal directory")
+    p_replay.add_argument(
+        "--token", default=None,
+        help="session token inside the journal (default: only session)",
+    )
+    p_replay.add_argument(
+        "--source", metavar="FILE", default=None,
+        help="replay the trace under this edited program and print a "
+             "divergence report (exit 1 when displays diverge)",
+    )
+    p_replay.add_argument(
+        "--to-seq", type=int, default=None, metavar="N",
+        help="stop at journal seq N and screenshot that moment",
+    )
+    p_replay.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="force a cold replay from the create record",
+    )
+    p_replay.add_argument(
+        "--latency", type=float, default=DEFAULT_LATENCY,
+        help="simulated web latency the recording ran with",
+    )
+    p_replay.add_argument("--width", type=int, default=48)
+    p_replay.set_defaults(handler=cmd_replay)
+
+    p_why = sub.add_parser(
+        "why",
+        help="explain a rendered box: code span, store slots read and "
+             "the journal events that produced their values",
+    )
+    p_why.add_argument("journal_dir", help="journal directory")
+    p_why.add_argument(
+        "--token", default=None,
+        help="session token inside the journal (default: only session)",
+    )
+    p_why.add_argument(
+        "--path", default=None, metavar="P",
+        help="display path of the box, slash-separated (e.g. 0 or 1/2)",
+    )
+    p_why.add_argument(
+        "--text", default=None,
+        help="select the box by its rendered text instead of a path",
+    )
+    p_why.add_argument(
+        "--latency", type=float, default=DEFAULT_LATENCY,
+        help="simulated web latency the recording ran with",
+    )
+    p_why.set_defaults(handler=cmd_why)
 
     p_html = sub.add_parser("html", help="render the display to HTML")
     common(p_html, actions=True)

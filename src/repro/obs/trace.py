@@ -70,6 +70,14 @@ CATALOG = (
     "incremental.update_misses",
     "incremental.replayed_boxes",
     "incremental.html_short_circuits",
+    # repro.provenance — replay, time travel & why-queries
+    # (docs/OBSERVABILITY.md).
+    "replay.sessions",
+    "replay.events",
+    "replay.checkpoints_used",
+    "replay.divergences",
+    "provenance.queries",
+    "provenance.events_linked",
 )
 
 
@@ -231,6 +239,17 @@ class Tracer:
     def current_span_id(self):
         return self._stack[-1].span_id if self._stack else None
 
+    def annotate_current(self, **attrs):
+        """Attach attributes to the innermost *open* span, if any.
+
+        This is how a layer that did not open the span enriches it —
+        e.g. the journal stamps the serving op's span with the
+        ``journal_seq`` it assigned, making trace → journal joins
+        possible without threading span objects through every call.
+        """
+        if self._stack:
+            self._stack[-1].annotate(**attrs)
+
     def spans(self):
         """Finished spans from the first in-memory sink (else ``()``)."""
         for sink in self.sinks:
@@ -313,6 +332,9 @@ class NullTracer:
 
     def span(self, _name, **_attrs):
         return _NULL_SPAN
+
+    def annotate_current(self, **_attrs):
+        pass
 
     def add(self, _counter, _amount=1):
         pass

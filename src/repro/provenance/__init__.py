@@ -1,0 +1,56 @@
+"""``repro.provenance`` — the journal as a queryable observability layer.
+
+PR 3's write-ahead journal records every state-changing op for crash
+recovery; this package turns that recording into the system's flight
+recorder.  Three capabilities, all riding on the same determinism
+(virtual clocks + seeded substrates ⇒ replay is byte-identical):
+
+* **deterministic replay & time travel** —
+  :func:`~repro.provenance.replayer.replay_to` materializes a fully
+  live session as of any journal seq (nearest checkpoint + tail
+  replay); :class:`~repro.provenance.timetravel.TimeMachine` adds a
+  cursor with ``step_back``/``step_forward``;
+* **trace replay against edited code** —
+  :func:`~repro.provenance.divergence.divergence_report` replays the
+  recorded trace under an edited program and reports the first display
+  generation (and box occurrences) that differ — the paper's §2
+  trace-replay baseline as a regression tool;
+* **why-queries** — :func:`~repro.provenance.why.why` joins the
+  box↔code map, the static global read sets and the journal into "this
+  box came from this code span, read these slots, which these events
+  wrote".
+
+Served over the protocol as the ``history`` and ``why`` ops, and on the
+command line as ``repro replay`` / ``repro why``.
+"""
+
+from .divergence import ChangedBox, DivergenceReport, divergence_report
+from .replayer import ReplayResult, apply_event, replay_session, replay_to
+from .timetravel import TimeMachine
+from .why import (
+    EventLink,
+    SlotProvenance,
+    WhyReport,
+    boxed_read_set,
+    box_owner,
+    link_events,
+    why,
+)
+
+__all__ = [
+    "ChangedBox",
+    "DivergenceReport",
+    "divergence_report",
+    "ReplayResult",
+    "apply_event",
+    "replay_session",
+    "replay_to",
+    "TimeMachine",
+    "EventLink",
+    "SlotProvenance",
+    "WhyReport",
+    "boxed_read_set",
+    "box_owner",
+    "link_events",
+    "why",
+]

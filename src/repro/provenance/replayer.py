@@ -1,0 +1,231 @@
+"""Deterministic journal replay: rebuild any recorded session on demand.
+
+The journal (:mod:`repro.resilience.journal`) write-ahead logs every
+state-changing op, and the system between user actions is deterministic
+— virtual clocks, seeded substrates, "exactly one internal transition is
+enabled".  Crash recovery already exploits this; here the same replay
+becomes a *query primitive*:
+
+* :func:`replay_to` materializes a fresh, fully live
+  :class:`~repro.live.session.LiveSession` holding the recorded
+  session's exact state as of any journal sequence number — seeking to
+  the nearest checkpoint at or before the target (via the journal's
+  byte-offset index) and replaying only the tail, so time travel over a
+  long journal does not pay for the whole prefix;
+* ``source=...`` replays the recorded events against **edited** code
+  instead — the paper's §2 trace-replay baseline as a regression tool
+  (:mod:`repro.provenance.divergence` compares the two runs);
+* ``capture_provenance=True`` flips the system's provenance switch so
+  every replayed event's store reads and write versions are recorded,
+  keyed by journal seq — the raw material for
+  :func:`repro.provenance.why`.
+
+Replay never propagates evaluation faults: write-ahead logging means
+the journal also holds ops that faulted live, and each faults
+identically on replay — that is the fault history being reconstructed,
+not an error in the replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import EvalError, ReproError
+from ..live.session import LiveSession
+from ..obs.trace import NULL_TRACER
+from ..persist import load_image
+from ..resilience.journal import decode_batch_events
+
+
+@dataclass
+class ReplayResult:
+    """One finished replay: the live session plus how it was built."""
+
+    session: object                 # the materialized LiveSession
+    token: str
+    events_replayed: int = 0
+    #: Seq of the checkpoint the replay started from (None = cold start
+    #: from the ``create`` record).
+    checkpoint_seq: object = None
+    faults: int = 0                 # evaluation faults re-encountered
+    #: Seq of the last event applied (create seq when none were).
+    last_seq: object = None
+    #: journal seq → {"op", "args", "span_id", "entries"} when the
+    #: replay ran with ``capture_provenance=True``; entries are the
+    #: system's per-evaluation read/write logs for that event.
+    provenance: dict = field(default_factory=dict)
+
+
+def resolve_token(journal, token=None):
+    """Default the token when the journal holds exactly one session."""
+    if token is not None:
+        return token
+    tokens = journal.tokens()
+    if len(tokens) == 1:
+        return tokens[0]
+    if not tokens:
+        raise ReproError("the journal holds no sessions")
+    raise ReproError(
+        "the journal holds {} sessions ({}); pick one with token=".format(
+            len(tokens), ", ".join(tokens)
+        )
+    )
+
+
+def _create_record(journal, token):
+    offset = journal.start_offset(token)
+    if offset is None:
+        raise ReproError(
+            "the journal has no create record for {!r} — cannot replay "
+            "from the beginning (only a checkpoint survives)".format(token)
+        )
+    for record in journal.read(start=offset):
+        if record.get("kind") == "create" and record.get("token") == token:
+            return offset, record
+        break
+    raise ReproError("journal index out of sync for {!r}".format(token))
+
+
+def _checkpoint_image(journal, token, offset):
+    for record in journal.read(start=offset):
+        if (record.get("kind") == "checkpoint"
+                and record.get("token") == token):
+            return record["image"]
+        break
+    raise ReproError("journal index out of sync for {!r}".format(token))
+
+
+def apply_event(session, op, args):
+    """Re-apply one journaled event to a live session.
+
+    The op → session-method mapping mirrors
+    :func:`repro.resilience.journal._replay_event`, minus the host
+    wrapper: provenance replay runs against a bare
+    :class:`~repro.live.session.LiveSession`.
+    """
+    if op == "tap":
+        if args.get("text") is not None:
+            session.tap_text(args["text"])
+        else:
+            session.tap(tuple(args.get("path") or ()))
+    elif op == "back":
+        session.back()
+    elif op == "edit_box":
+        session.edit_box(tuple(args.get("path") or ()), args.get("text"))
+    elif op == "batch":
+        session.apply_events(decode_batch_events(args.get("events") or []))
+    elif op == "edit_source":
+        session.edit_source(args.get("source"))
+    else:
+        raise ReproError("journal holds unknown op {!r}".format(op))
+
+
+def replay_to(
+    journal,
+    token=None,
+    seq=None,
+    use_checkpoint=True,
+    source=None,
+    make_host_impls=None,
+    make_services=None,
+    session_kwargs=None,
+    capture_provenance=False,
+    on_step=None,
+    tracer=None,
+):
+    """Materialize the journaled session's state as of journal ``seq``.
+
+    ``seq=None`` replays to the end of the journal.  ``source``
+    overrides the recorded program — the trace then runs against the
+    *edited* code, cold from the beginning (a checkpoint image froze the
+    old program, so it cannot seed an edited-code run).
+    ``capture_provenance`` also forces a cold start: per-event
+    read/write attribution needs the whole tape, not a compressed
+    prefix.  ``on_step(record, session)`` is called after the boot
+    (``record=None``) and after every applied event — the lockstep hook
+    :mod:`repro.provenance.divergence` drives its comparison through.
+
+    The returned session is fully live: it can be tapped, edited and
+    rendered — time travel hands back a working present, not a replay
+    log.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    token = resolve_token(journal, token)
+    kwargs = dict(session_kwargs or {})
+    make_host_impls = make_host_impls or dict
+    make_services = make_services or _default_services
+    checkpoint = None
+    if use_checkpoint and source is None and not capture_provenance:
+        checkpoint = journal.checkpoint_before(token, seq)
+    result = ReplayResult(session=None, token=token)
+    if checkpoint is not None:
+        checkpoint_seq, offset = checkpoint
+        session = load_image(
+            _checkpoint_image(journal, token, offset),
+            host_impls=make_host_impls(),
+            services=make_services(),
+            **kwargs
+        )
+        result.checkpoint_seq = checkpoint_seq
+        result.last_seq = checkpoint_seq
+        floor = checkpoint_seq
+        tracer.add("replay.checkpoints_used")
+    else:
+        offset, create = _create_record(journal, token)
+        session = LiveSession(
+            source if source is not None else create["source"],
+            host_impls=make_host_impls(),
+            services=make_services(),
+            **kwargs
+        )
+        result.last_seq = create["seq"]
+        floor = create["seq"]
+    result.session = session
+    if capture_provenance:
+        session.runtime.system.capture_provenance = True
+    if on_step is not None:
+        on_step(None, session)
+    log = session.runtime.system.provenance_log
+    for record in journal.records_for(token, start=offset):
+        if record.get("kind") != "event":
+            continue
+        record_seq = record["seq"]
+        if record_seq <= floor:
+            continue
+        if seq is not None and record_seq > seq:
+            break
+        entries_before = len(log)
+        faults_before = len(session.runtime.faults)
+        try:
+            apply_event(session, record.get("op"), record.get("args") or {})
+        except EvalError:
+            result.faults += 1  # faulted identically when recorded live
+        except ReproError:
+            pass  # e.g. a tap on a box the display no longer has
+        result.faults += len(session.runtime.faults) - faults_before
+        result.events_replayed += 1
+        result.last_seq = record_seq
+        if capture_provenance:
+            result.provenance[record_seq] = {
+                "op": record.get("op"),
+                "args": record.get("args") or {},
+                "span_id": record.get("span_id"),
+                "entries": tuple(log[entries_before:]),
+            }
+        if on_step is not None:
+            on_step(record, session)
+    tracer.add("replay.sessions")
+    tracer.add("replay.events", result.events_replayed)
+    return result
+
+
+def replay_session(journal, token=None, **options):
+    """Replay a session to the journal's end (crash recovery's twin,
+    minus the host): sugar for :func:`replay_to` with ``seq=None``."""
+    return replay_to(journal, token, seq=None, **options)
+
+
+def _default_services():
+    from ..system.services import Services
+
+    return Services()

@@ -1,0 +1,152 @@
+"""Time travel over a journaled session: step through its history.
+
+A :class:`TimeMachine` wraps one token's slice of a journal and exposes
+its recorded life as a sequence of **positions**: position 0 is the boot
+(the ``create`` record, or the recorded program's first render), and
+position *n* is the state after the *n*-th journaled event.  Moving the
+cursor (:meth:`goto`, :meth:`step_back`, :meth:`step_forward`)
+materializes that state as a fully live session via
+:func:`~repro.provenance.replayer.replay_to` — checkpoint-assisted, so
+jumping around a long history replays short tails, not whole prefixes.
+
+The materialized session at any position is a real
+:class:`~repro.live.session.LiveSession`: the programmer can step back
+three interactions and *tap something else* — the journal is unchanged
+(it is append-only history; the time machine never writes to it), the
+session is a live fork of the past.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+from ..obs.trace import NULL_TRACER
+from .replayer import replay_to, resolve_token
+
+
+class TimeMachine:
+    """Cursor-addressed deterministic replay over one journaled session."""
+
+    def __init__(
+        self,
+        journal,
+        token=None,
+        make_host_impls=None,
+        make_services=None,
+        session_kwargs=None,
+        use_checkpoints=True,
+        tracer=None,
+    ):
+        self.journal = journal
+        self.token = resolve_token(journal, token)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._options = {
+            "make_host_impls": make_host_impls,
+            "make_services": make_services,
+            "session_kwargs": session_kwargs,
+            "use_checkpoint": use_checkpoints,
+        }
+        #: Event seqs for this token, in journal order — the timeline.
+        self.event_seqs = tuple(
+            record["seq"]
+            for record in journal.records_for(self.token)
+            if record.get("kind") == "event"
+        )
+        self._position = None      # int once materialized
+        self._result = None        # ReplayResult behind the cursor
+
+    # -- the timeline -------------------------------------------------------
+
+    def __len__(self):
+        """Number of positions (boot + one per event)."""
+        return len(self.event_seqs) + 1
+
+    @property
+    def position(self):
+        """Current cursor position, or ``None`` before the first move."""
+        return self._position
+
+    @property
+    def seq(self):
+        """Journal seq of the event behind the cursor (``None`` at boot)."""
+        if not self._position:
+            return None
+        return self.event_seqs[self._position - 1]
+
+    def position_of(self, seq):
+        """The position whose state includes every event up to ``seq``."""
+        position = 0
+        for event_seq in self.event_seqs:
+            if event_seq > seq:
+                break
+            position += 1
+        return position
+
+    # -- moving the cursor --------------------------------------------------
+
+    def goto(self, position):
+        """Materialize position ``position``; returns the live session."""
+        if not 0 <= position < len(self):
+            raise ReproError(
+                "position {} out of range 0..{}".format(
+                    position, len(self) - 1
+                )
+            )
+        target = None if position == 0 else self.event_seqs[position - 1]
+        if position == 0:
+            # "Up to seq None" means "to the end"; boot needs an explicit
+            # bound below every event.
+            target = self.event_seqs[0] - 1 if self.event_seqs else None
+        self._result = replay_to(
+            self.journal, self.token, seq=target,
+            tracer=self.tracer, **self._options
+        )
+        self._position = position
+        return self.session
+
+    def goto_seq(self, seq):
+        """Materialize the state as of journal ``seq``."""
+        return self.goto(self.position_of(seq))
+
+    def start(self):
+        """Jump to the boot state (before any event)."""
+        return self.goto(0)
+
+    def end(self):
+        """Jump to the latest recorded state."""
+        return self.goto(len(self) - 1)
+
+    def step_back(self):
+        """One event earlier; raises at the boot state."""
+        position = self._position if self._position is not None else len(self) - 1
+        if position <= 0:
+            raise ReproError("already at the boot state")
+        return self.goto(position - 1)
+
+    def step_forward(self):
+        """One event later; raises at the end of the recording."""
+        position = self._position if self._position is not None else -1
+        if position >= len(self) - 1:
+            raise ReproError("already at the end of the recording")
+        return self.goto(position + 1)
+
+    # -- looking at the materialized state ----------------------------------
+
+    @property
+    def session(self):
+        """The live session behind the cursor (:meth:`goto` first)."""
+        if self._result is None:
+            raise ReproError("move the cursor first (goto/start/end)")
+        return self._result.session
+
+    @property
+    def last_replay(self):
+        """The :class:`~repro.provenance.replayer.ReplayResult` of the
+        most recent cursor move — how much tail was replayed, which
+        checkpoint seeded it."""
+        return self._result
+
+    def html(self, title="repro page"):
+        return self.session.html(title=title)
+
+    def screenshot(self, width=48):
+        return self.session.screenshot(width=width)

@@ -1,0 +1,297 @@
+"""Provenance queries: from a rendered box, answer *what produced this?*
+
+The paper's Fig. 2 navigation answers "which code drew this box"; the
+incremental engine's read sets answer "which globals can this box
+depend on"; the journal answers "which user actions assigned those
+globals".  :func:`why` joins all three over one deterministic replay:
+
+* **code span** — the box's ``box_id`` looks up the boxed statement's
+  source span and enclosing definition (the existing box↔code map);
+* **store slots** — the statically-computed global read set of the
+  boxed subtree (its ``GlobalRead``\\ s, closed transitively over the
+  functions it references — the same soundness argument that makes
+  render memoization a complete key), with each slot's current value
+  and write version;
+* **journal events** — the replay runs with provenance capture on, so
+  every journaled event's store reads and write versions are known.
+  The slot versions name the exact events that last assigned them, and
+  a reverse dependency closure walks further back: an event is linked
+  if it wrote something the box (or an already-linked event) read.
+  ``count := count + 1`` three times links all three taps, not just the
+  last — the chain of reads *is* the provenance.
+
+Each linked event carries the ``span_id`` its journal record was
+stamped with (when the server traced it), so the answer joins into the
+trace as well as the source.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..boxes.paths import resolve
+from ..core import ast
+from ..core.errors import ReproError
+from ..eval.memo import global_read_sets
+from ..eval.values import format_for_post
+from ..obs.trace import NULL_TRACER
+from .replayer import replay_to, resolve_token
+
+
+@dataclass(frozen=True)
+class SlotProvenance:
+    """One global the box reads: its value and where it came from."""
+
+    name: str
+    value: str            # formatted current value
+    version: int          # store write version (0 = never assigned)
+    #: Journal seq of the event whose write produced this version;
+    #: ``None`` means the value is the declared initial (EP-GLOBAL-2) or
+    #: predates the journal's create record.
+    origin_seq: object = None
+
+    def __str__(self):
+        if self.version == 0:
+            return "{} = {} (declared initial, never assigned)".format(
+                self.name, self.value
+            )
+        if self.origin_seq is None:
+            return "{} = {} (version {})".format(
+                self.name, self.value, self.version
+            )
+        return "{} = {} (version {}, written by journal seq {})".format(
+            self.name, self.value, self.version, self.origin_seq
+        )
+
+
+@dataclass(frozen=True)
+class EventLink:
+    """One journal event in the box's dependency history."""
+
+    seq: int
+    op: str
+    args: dict
+    #: The globals this event wrote that the box (or a later linked
+    #: event) read — why the event is part of the answer.
+    wrote: tuple = ()
+    #: Tracer span the journal record was stamped with (None untraced).
+    span_id: object = None
+
+    def __str__(self):
+        detail = json.dumps(self.args, sort_keys=True) if self.args else ""
+        suffix = ""
+        if self.wrote:
+            suffix += " wrote {}".format(", ".join(self.wrote))
+        if self.span_id is not None:
+            suffix += " [span {}]".format(self.span_id)
+        return "seq {} {} {}{}".format(self.seq, self.op, detail, suffix)
+
+
+@dataclass(frozen=True)
+class WhyReport:
+    """The full answer: code span, read slots, originating events."""
+
+    token: str
+    box_id: object
+    occurrence: int
+    path: tuple
+    span: object          # source span of the boxed statement
+    owner: str            # enclosing definition ("page start" / "fun f")
+    reads: tuple          # static global read set of the boxed subtree
+    slots: tuple          # SlotProvenance per read, in read-set order
+    events: tuple         # EventLink, oldest first
+
+    def __str__(self):
+        lines = [
+            "box #{} occurrence {} (path /{})".format(
+                self.box_id, self.occurrence,
+                "/".join(str(i) for i in self.path),
+            ),
+            "  code: {} in {}".format(self.span, self.owner),
+        ]
+        if not self.slots:
+            lines.append("  reads: nothing — the box is constant")
+        else:
+            lines.append("  reads:")
+            for slot in self.slots:
+                lines.append("    " + str(slot))
+        if self.events:
+            lines.append("  events:")
+            for event in self.events:
+                lines.append("    " + str(event))
+        else:
+            lines.append("  events: none — no journaled event wrote these")
+        return "\n".join(lines)
+
+
+def box_owner(code, box_id):
+    """``(definition label, Boxed node)`` for the statement behind
+    ``box_id`` — searched across function bodies and page init/render
+    expressions (pages hold expressions, not named functions)."""
+    candidates = []
+    for definition in code.functions():
+        candidates.append(("fun " + definition.name, definition.body))
+    for page in code.pages():
+        candidates.append(("page {} (init)".format(page.name), page.init))
+        candidates.append(("page {} (render)".format(page.name), page.render))
+    for label, body in candidates:
+        for node in ast.walk(body):
+            if isinstance(node, ast.Boxed) and node.box_id == box_id:
+                return label, node
+    raise ReproError(
+        "no boxed statement with box id {!r} in the program".format(box_id)
+    )
+
+
+def boxed_read_set(code, box_id):
+    """Globals the boxed statement may read: its own ``GlobalRead``\\ s
+    plus the transitive read sets of every function it references."""
+    _label, boxed = box_owner(code, box_id)
+    reads = set()
+    refs = set()
+    for node in ast.walk(boxed):
+        if isinstance(node, ast.GlobalRead):
+            reads.add(node.name)
+        elif isinstance(node, ast.FunRef):
+            refs.add(node.name)
+    if refs:
+        transitive = global_read_sets(code)
+        for ref in refs:
+            reads |= transitive.get(ref, frozenset())
+    return frozenset(reads)
+
+
+def _event_effects(provenance):
+    """Flatten captured provenance: seq → (merged reads, merged writes)."""
+    effects = {}
+    for seq, info in provenance.items():
+        reads = set()
+        writes = {}
+        for entry in info["entries"]:
+            reads.update(entry.get("reads", ()))
+            writes.update(entry.get("writes", {}))
+        effects[seq] = (reads, writes)
+    return effects
+
+
+def link_events(reads, provenance):
+    """Reverse dependency closure from the box's read set.
+
+    Walking newest → oldest: an event is linked when it wrote a name in
+    the needed set, and linking it adds *its* reads to the needed set —
+    so an accumulating global (``count := count + 1``) links its whole
+    assignment chain, and events that only touched unrelated state stay
+    out.  Returns links oldest-first.
+    """
+    effects = _event_effects(provenance)
+    needed = set(reads)
+    links = []
+    for seq in sorted(effects, reverse=True):
+        event_reads, event_writes = effects[seq]
+        relevant = needed.intersection(event_writes)
+        if not relevant:
+            continue
+        info = provenance[seq]
+        links.append(EventLink(
+            seq=seq,
+            op=info["op"],
+            args=info["args"],
+            wrote=tuple(sorted(relevant)),
+            span_id=info["span_id"],
+        ))
+        needed |= event_reads
+    links.reverse()
+    return tuple(links)
+
+
+def _slot(session, provenance, name):
+    store = session.runtime.system.state.store
+    version = store.version(name)
+    value = store.lookup(name)
+    if value is None:
+        definition = session.runtime.system.code.global_(name)
+        value = definition.init if definition is not None else None
+    origin = None
+    if version:
+        for seq in sorted(provenance, reverse=True):
+            _reads, writes = (set(), {})
+            for entry in provenance[seq]["entries"]:
+                writes.update(entry.get("writes", {}))
+            if writes.get(name) == version:
+                origin = seq
+                break
+    return SlotProvenance(
+        name=name,
+        value="?" if value is None else format_for_post(value),
+        version=version,
+        origin_seq=origin,
+    )
+
+
+def why(
+    journal,
+    token=None,
+    path=None,
+    text=None,
+    make_host_impls=None,
+    make_services=None,
+    session_kwargs=None,
+    tracer=None,
+):
+    """Answer "what produced this box?" for the journaled session's
+    current display.
+
+    The box is named by its display ``path`` (as in :meth:`LiveSession.
+    select_box` — content inside the box resolves to the nearest
+    enclosing boxed statement) or by its posted ``text``.  The replay
+    runs cold from the create record with provenance capture on: the
+    whole tape is the evidence, so checkpoints cannot stand in for it.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    token = resolve_token(journal, token)
+    result = replay_to(
+        journal, token,
+        make_host_impls=make_host_impls,
+        make_services=make_services,
+        session_kwargs=session_kwargs,
+        capture_provenance=True,
+    )
+    session = result.session
+    if path is None:
+        if text is None:
+            raise ReproError("why needs a display path or a box text")
+        path = session.runtime.require_text(text)
+    selection = session.select_box(tuple(path))
+    if selection is None:
+        raise ReproError(
+            "the box at {} was not created by a boxed statement".format(
+                list(path)
+            )
+        )
+    # The nearest boxed ancestor is what the selection anchored on.
+    anchor = tuple(path)
+    display = session.display
+    while resolve(display, anchor).box_id is None:
+        anchor = anchor[:-1]
+    box = resolve(display, anchor)
+    owner, _node = box_owner(session.runtime.system.code, selection.box_id)
+    reads = boxed_read_set(session.runtime.system.code, selection.box_id)
+    ordered = tuple(sorted(reads))
+    slots = tuple(
+        _slot(session, result.provenance, name) for name in ordered
+    )
+    events = link_events(reads, result.provenance)
+    tracer.add("provenance.queries")
+    tracer.add("provenance.events_linked", len(events))
+    return WhyReport(
+        token=token,
+        box_id=selection.box_id,
+        occurrence=box.occurrence,
+        path=anchor,
+        span=selection.span,
+        owner=owner,
+        reads=ordered,
+        slots=slots,
+        events=events,
+    )

@@ -21,6 +21,16 @@ clocks and seeded substrates, so replay reconstructs **byte-identical
 HTML**.  A torn trailing line (crash mid-append) is treated as never
 written: the request was not acknowledged, so dropping it is correct.
 
+Beyond crash recovery, the journal is the system's **flight recorder**
+(:mod:`repro.provenance`): :meth:`Journal.read` streams records lazily
+so long journals replay in O(1) memory, a byte-offset **seek index**
+built from create and checkpoint records lets
+:func:`repro.provenance.replay_to` materialize any past sequence number
+without reading the whole file prefix, and every record written while a
+tracer span is open is stamped with that ``span_id`` (the span itself is
+annotated with the record's ``journal_seq``), so the trace and the
+journal join in both directions.
+
 Record shapes (one JSON object per line)::
 
     {"kind": "create",     "seq": N, "token": t, "source": s, "title": u}
@@ -29,11 +39,12 @@ Record shapes (one JSON object per line)::
     {"kind": "destroy",    "seq": N, "token": t}
     {"kind": "recover",    "seq": N, "sessions": k}
 
-``seq`` is a global monotone counter; per-token order in the file
-matches execution order because appends happen under the session's
-lock.  A ``recover`` record marks each completed crash recovery — it
-names no token; its ``seq`` anchors the display-generation floor
-recovered sessions restart from (see :func:`recover`).
+Records may additionally carry ``"span_id"`` when tracing was active at
+append time.  ``seq`` is a global monotone counter; per-token order in
+the file matches execution order because appends happen under the
+session's lock.  A ``recover`` record marks each completed crash
+recovery — it names no token; its ``seq`` anchors the display-generation
+floor recovered sessions restart from (see :func:`recover`).
 """
 
 from __future__ import annotations
@@ -51,6 +62,24 @@ JOURNAL_FILE = "journal.jsonl"
 
 #: Ops that may appear in ``event`` records and how to replay them.
 REPLAYABLE_OPS = ("tap", "back", "edit_box", "batch", "edit_source")
+
+
+class _TokenIndex:
+    """Seek index for one token: where replay can start reading.
+
+    ``create`` is the byte offset of the token's ``create`` record;
+    ``checkpoints`` is a list of ``(seq, offset)`` pairs in file (and
+    therefore seq) order.  Offsets point at the *start* of the record's
+    line, so a reader can seek there and stream forward.
+    """
+
+    __slots__ = ("create", "create_seq", "checkpoints", "destroyed")
+
+    def __init__(self):
+        self.create = None
+        self.create_seq = None
+        self.checkpoints = []      # [(seq, byte offset)] in order
+        self.destroyed = False
 
 
 class Journal:
@@ -73,10 +102,10 @@ class Journal:
         self._lock = threading.Lock()
         self._since_checkpoint = {}     # token -> events since last image
         self._seq = 0
+        self._size = 0                  # end offset of the intact file
+        self._index = {}                # token -> _TokenIndex
         self._repair()
-        for record in self.read():
-            self._seq = max(self._seq, record.get("seq", 0))
-            self._note_for_checkpoint(record)
+        self._scan()
 
     def _repair(self):
         """Truncate a torn trailing line left by a crash mid-append.
@@ -110,6 +139,20 @@ class Journal:
             with open(self.path, "ab") as handle:
                 handle.truncate(good_end)
 
+    def _scan(self):
+        """Resume the sequence counter and build the seek index.
+
+        One streaming pass (records are *not* materialized as a list —
+        a long journal full of checkpoint images costs one record of
+        memory at a time).
+        """
+        for offset, record in self._iter_offsets():
+            self._seq = max(self._seq, record.get("seq", 0))
+            self._size = offset + record["__bytes__"]
+            del record["__bytes__"]
+            self._note_for_checkpoint(record)
+            self._note_index(record, offset)
+
     def _note_for_checkpoint(self, record):
         token = record.get("token")
         kind = record.get("kind")
@@ -122,20 +165,51 @@ class Journal:
         elif kind == "destroy":
             self._since_checkpoint.pop(token, None)
 
+    def _note_index(self, record, offset):
+        token = record.get("token")
+        if token is None:
+            return
+        kind = record.get("kind")
+        index = self._index.get(token)
+        if index is None:
+            index = self._index[token] = _TokenIndex()
+        if kind == "create":
+            index.create = offset
+            index.create_seq = record.get("seq")
+            index.checkpoints = []
+            index.destroyed = False
+        elif kind == "checkpoint":
+            index.checkpoints.append((record.get("seq", 0), offset))
+        elif kind == "destroy":
+            index.destroyed = True
+
     # -- appending ----------------------------------------------------------
 
     def _append(self, record):
         with self._lock:
             self._seq += 1
             record["seq"] = self._seq
-            line = json.dumps(record, separators=(",", ":"))
+            if self.tracer.enabled:
+                span_id = self.tracer.current_span_id
+                if span_id is not None:
+                    record["span_id"] = span_id
+                # The other direction of the join: the span that caused
+                # this record learns the record's sequence number.  Only
+                # create/event records annotate — a checkpoint riding
+                # the same op span must not overwrite the op's own seq.
+                if record.get("kind") in ("create", "event"):
+                    self.tracer.annotate_current(journal_seq=self._seq)
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+            offset = self._size
             # Open-append-close per record: survives process death (the
             # recovery contract) without holding an fd hostage; the OS
             # page cache makes this cheap, and fsync-per-request would
             # buy whole-machine-crash durability at ~10x the latency.
             with open(self.path, "a") as handle:
-                handle.write(line + "\n")
+                handle.write(line)
+            self._size = offset + len(line.encode("utf-8"))
             self._note_for_checkpoint(record)
+            self._note_index(record, offset)
             return self._seq
 
     def record_create(self, token, source, title):
@@ -174,27 +248,100 @@ class Journal:
 
     # -- reading ------------------------------------------------------------
 
-    def read(self):
-        """All intact records, in order; a torn tail is dropped.
+    def _iter_offsets(self, start=0):
+        """Yield ``(offset, record)`` lazily from byte ``start``.
 
-        Reading stops at the first undecodable line: a crash tears at
-        most the final append, and everything after a torn write is
+        Each record carries a transient ``"__bytes__"`` length so the
+        scanner can track offsets; :meth:`read` strips it.  Reading
+        stops at the first undecodable line: a crash tears at most the
+        final append, and everything after a torn write is
         unacknowledged by construction.
         """
-        records = []
         try:
-            with open(self.path) as handle:
-                for line in handle:
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        break
-                    if not isinstance(record, dict):
-                        break
-                    records.append(record)
+            handle = open(self.path, "rb")
         except OSError:
-            return []
-        return records
+            return
+        with handle:
+            if start:
+                handle.seek(start)
+            offset = start
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    return
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    return
+                if not isinstance(record, dict):
+                    return
+                record["__bytes__"] = len(line)
+                yield offset, record
+                offset += len(line)
+
+    def read(self, start=0):
+        """All intact records from byte offset ``start``, **lazily**.
+
+        Returns a generator — a multi-gigabyte journal is replayed in
+        O(record) memory, never materialized.  A torn tail is dropped
+        (see :meth:`_iter_offsets`).  Callers that need a list (tests,
+        small journals) wrap it in ``list(...)``.
+        """
+        for _offset, record in self._iter_offsets(start):
+            del record["__bytes__"]
+            yield record
+
+    def records_for(self, token, start=0, include_images=False):
+        """This token's records, lazily, in journal order.
+
+        ``include_images=False`` (the default) replaces each checkpoint
+        record's ``image`` payload with its size marker — history and
+        timeline queries should not drag full session images through
+        memory.
+        """
+        for record in self.read(start=start):
+            if record.get("token") != token:
+                continue
+            if not include_images and record.get("kind") == "checkpoint":
+                record = dict(record)
+                record["image"] = {"omitted": True}
+            yield record
+
+    def tokens(self):
+        """Every token the journal knows, in first-create order."""
+        return tuple(self._index)
+
+    def start_offset(self, token):
+        """Byte offset of the token's ``create`` record (``None`` when
+        the journal never saw one — e.g. only a checkpoint survived)."""
+        index = self._index.get(token)
+        return index.create if index is not None else None
+
+    def checkpoint_before(self, token, seq=None):
+        """``(checkpoint_seq, offset)`` of the latest checkpoint for
+        ``token`` with ``checkpoint_seq <= seq`` — the seek point that
+        makes :func:`repro.provenance.replay_to` skip the prefix — or
+        ``None`` when no checkpoint qualifies.
+
+        ``seq=None`` means "the latest checkpoint at all".
+        """
+        index = self._index.get(token)
+        if index is None:
+            return None
+        best = None
+        for cp_seq, offset in index.checkpoints:
+            if seq is not None and cp_seq > seq:
+                break
+            best = (cp_seq, offset)
+        return best
+
+    def last_seq(self, token=None):
+        """The journal's global high-water seq (or a token's, scanning)."""
+        if token is None:
+            return self._seq
+        last = None
+        for record in self.records_for(token):
+            last = record.get("seq", last)
+        return last
 
 
 # ---------------------------------------------------------------------------
@@ -266,6 +413,13 @@ def _collate(records):
         elif kind == "checkpoint":
             log.checkpoint = record.get("image")
             log.checkpoint_seq = record["seq"]
+            # Events before the checkpoint are inside its image; drop
+            # them so a long-lived session's replay tail stays bounded
+            # in memory as well as in time.
+            log.events = [
+                event for event in log.events
+                if event[0] > log.checkpoint_seq
+            ]
         elif kind == "destroy":
             log.destroyed = True
     return order

@@ -155,6 +155,7 @@ class SessionHost:
         #: state-changing op is logged before it runs, with periodic
         #: image checkpoints; see :func:`repro.resilience.recover`.
         self.journal = journal
+        self._adopt_journal_tracer()
         self._lock = threading.Lock()          # registry + LRU order
         self._metrics_lock = threading.Lock()  # tracer counter updates
         self._entries = OrderedDict()          # token -> _Entry, LRU order
@@ -254,6 +255,19 @@ class SessionHost:
     def attach_journal(self, journal):
         """Start write-ahead journaling (after recovery has replayed)."""
         self.journal = journal
+        self._adopt_journal_tracer()
+
+    def _adopt_journal_tracer(self):
+        """Give an untraced journal the host's tracer.
+
+        Span stamping (journal record ↔ tracer span, both directions)
+        only works when the journal appends against the *same* tracer
+        whose span is open around the op — adopting it here makes
+        ``Journal(dir)`` + a traced host correlate out of the box.
+        """
+        if (self.journal is not None and self.tracer.enabled
+                and not self.journal.tracer.enabled):
+            self.journal.tracer = self.tracer
 
     def tokens(self):
         with self._lock:
@@ -379,28 +393,41 @@ class SessionHost:
                     entry.token, entry.consecutive_faults
                 )
             )
-        checkpoint_due = False
-        if self.journal is not None and op is not None:
-            checkpoint_due = self.journal.record_event(
-                entry.token, op, args or {}
-            )
-        outcome = _GuardedOutcome()
-        faults_before = len(entry.session.runtime.faults)
+        # One tracer span per state-changing op (best-effort under
+        # concurrent traffic: the Tracer is single-threaded by design,
+        # so interleaved requests may mis-nest spans — counters stay
+        # correct either way).  The span is open *before* the journal
+        # append, so the record is stamped with its span_id and the
+        # span is annotated with the record's journal_seq.
+        span = None
+        if self.tracer.enabled and op is not None:
+            span = self.tracer.span("op." + op, token=entry.token)
         try:
-            yield outcome
-        except EvalError:
-            self._note_fault(entry)
-            raise
-        recorded = len(entry.session.runtime.faults) - faults_before
-        if recorded > 0:
-            # Sessions run with the null tracer; surface their recorded
-            # faults in the host-level metrics.
-            self._count("faults_recorded", recorded)
-            self._note_fault(entry)
-        elif outcome.executed:
-            entry.consecutive_faults = 0
-        if checkpoint_due:
-            self._checkpoint(entry)
+            checkpoint_due = False
+            if self.journal is not None and op is not None:
+                checkpoint_due = self.journal.record_event(
+                    entry.token, op, args or {}
+                )
+            outcome = _GuardedOutcome()
+            faults_before = len(entry.session.runtime.faults)
+            try:
+                yield outcome
+            except EvalError:
+                self._note_fault(entry)
+                raise
+            recorded = len(entry.session.runtime.faults) - faults_before
+            if recorded > 0:
+                # Sessions run with the null tracer; surface their
+                # recorded faults in the host-level metrics.
+                self._count("faults_recorded", recorded)
+                self._note_fault(entry)
+            elif outcome.executed:
+                entry.consecutive_faults = 0
+            if checkpoint_due:
+                self._checkpoint(entry)
+        finally:
+            if span is not None:
+                span.finish()
 
     def _note_fault(self, entry):
         entry.consecutive_faults += 1
@@ -569,6 +596,79 @@ class SessionHost:
     def source(self, token):
         with self.session(token) as entry:
             return entry.session.source
+
+    # -- provenance & time travel (repro.provenance) ------------------------
+
+    def history(self, token, limit=None):
+        """The session's journal timeline, newest-last, images omitted.
+
+        Each item is a JSON-clean summary — ``seq``, ``kind``, plus
+        ``op``/``args`` for events and ``span_id`` when the record was
+        written under a traced op — cheap enough to serve as the
+        ``history`` protocol op even for long journals (the read is a
+        lazy stream; checkpoint images never leave the file).  ``limit``
+        keeps only the most recent items.  Destroyed sessions still have
+        history: the journal is append-only memory, not the registry.
+        """
+        journal = self._require_journal()
+        if journal.start_offset(token) is None:
+            self._checkout(token)  # raises UnknownToken when nowhere
+        from collections import deque
+
+        items = deque(maxlen=limit)
+        for record in journal.records_for(token):
+            summary = {"seq": record["seq"], "kind": record["kind"]}
+            if record["kind"] == "event":
+                summary["op"] = record.get("op")
+                summary["args"] = record.get("args") or {}
+            if record.get("span_id") is not None:
+                summary["span_id"] = record["span_id"]
+            items.append(summary)
+        return list(items)
+
+    def why(self, token, path=None, text=None):
+        """Provenance query against the journaled history (see
+        :func:`repro.provenance.why`): replays the session cold with
+        capture on, so it costs a full replay — a debugging op, not a
+        rendering-path one."""
+        journal = self._require_journal()
+        from ..provenance import why as provenance_why
+
+        report = provenance_why(
+            journal, token, path=path, text=text,
+            make_host_impls=self._make_host_impls,
+            make_services=self._make_services,
+            session_kwargs=self.session_kwargs,
+        )
+        self._count("provenance.queries")
+        self._count("provenance.events_linked", len(report.events))
+        return report
+
+    def replay_check(self, token, edited_source):
+        """Divergence report for ``edited_source`` against the recorded
+        trace (see :func:`repro.provenance.divergence_report`)."""
+        journal = self._require_journal()
+        from ..provenance import divergence_report
+
+        report = divergence_report(
+            journal, edited_source, token=token,
+            make_host_impls=self._make_host_impls,
+            make_services=self._make_services,
+            session_kwargs=self.session_kwargs,
+        )
+        self._count("replay.sessions", 2)
+        self._count("replay.events", report.events_replayed * 2)
+        if report.diverged:
+            self._count("replay.divergences")
+        return report
+
+    def _require_journal(self):
+        if self.journal is None:
+            raise ReproError(
+                "this host has no journal — history, why and replay "
+                "need one (serve with --journal-dir)"
+            )
+        return self.journal
 
     def destroy(self, token):
         """Forget a session entirely (resident or evicted)."""

@@ -22,7 +22,16 @@ op                      request fields → response payload
 ``snapshot``            ``token`` → ``image`` (a ``repro-image/1`` dict)
 ``evict``               ``token`` → ``evicted``
 ``stats``               → ``stats``
+``history``             ``token``, ``limit?`` → ``history`` (journal
+                        timeline: seq/kind/op/args/span_id, no images)
+``why``                 ``token``, ``path`` | ``text`` → ``why`` (code
+                        span, store slots, originating journal events —
+                        see :mod:`repro.provenance`)
 ======================  ====================================================
+
+``history`` and ``why`` need the host to be journaling (started with
+``--journal-dir``); without a journal they answer a typed
+``"ReproError"``.
 
 A request may carry ``"protocol": N``; a version other than
 :data:`PROTOCOL_VERSION` is rejected up front so clients fail loudly
@@ -310,6 +319,25 @@ def _op_stats(host, _request):
     return _ok("stats", stats=host.stats())
 
 
+def _op_history(host, request):
+    token = _require(request, "token", str)
+    limit = request.get("limit")
+    if limit is not None and (not isinstance(limit, int) or limit < 1):
+        raise BadRequest("history: 'limit' must be a positive integer")
+    return _ok(
+        "history", token=token, history=host.history(token, limit=limit)
+    )
+
+
+def _op_why(host, request):
+    token = _require(request, "token", str)
+    if "path" in request:
+        report = host.why(token, path=_require(request, "path", list))
+    else:
+        report = host.why(token, text=_require(request, "text", str))
+    return _ok("why", token=token, why=wire_encode(report))
+
+
 _OPS = {
     "create": _op_create,
     "tap": _op_tap,
@@ -322,4 +350,6 @@ _OPS = {
     "snapshot": _op_snapshot,
     "evict": _op_evict,
     "stats": _op_stats,
+    "history": _op_history,
+    "why": _op_why,
 }

@@ -51,7 +51,7 @@ class Store:
     from the code (EP-GLOBAL-2), which versioning cannot witness.
     """
 
-    __slots__ = ("_entries", "_versions")
+    __slots__ = ("_entries", "_versions", "_read_log")
 
     def __init__(self, entries=None, versions=None):
         self._entries = dict(entries) if entries else {}
@@ -61,9 +61,15 @@ class Store:
             self._versions = {
                 name: next(_VERSION_TICK) for name in self._entries
             }
+        # Provenance capture (repro.provenance): while a read log is
+        # active, every lookup records its name.  ``None`` (the default)
+        # keeps the hot path at one identity compare.
+        self._read_log = None
 
     def lookup(self, name):
         """``S(g)`` — the current value, or ``None`` when ``g ∉ dom S``."""
+        if self._read_log is not None:
+            self._read_log.append(name)
         return self._entries.get(name)
 
     def assign(self, name, value):
@@ -78,6 +84,28 @@ class Store:
     def version(self, name):
         """The write version of ``name`` — ``0`` when never assigned."""
         return self._versions.get(name, 0)
+
+    def begin_read_log(self):
+        """Start recording the name of every :meth:`lookup`.
+
+        Used by provenance capture around one evaluator run; reads made
+        by EP-GLOBAL-2 fallback (value still coming from the code) are
+        recorded too — they are reads at write version ``0``.
+        """
+        self._read_log = []
+
+    def end_read_log(self):
+        """Stop recording; returns the read names in first-read order,
+        deduplicated."""
+        log, self._read_log = self._read_log, None
+        if not log:
+            return ()
+        return tuple(dict.fromkeys(log))
+
+    def versions_snapshot(self):
+        """``{name: write version}`` for every current entry — comparing
+        two snapshots names exactly the assignments between them."""
+        return dict(self._versions)
 
     def carry(self, name, value, version):
         """Assign ``name`` while *keeping* an existing write version.

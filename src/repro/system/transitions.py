@@ -27,6 +27,7 @@ identical either way; tests assert that.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..boxes import diff as box_diff
@@ -150,6 +151,16 @@ class System:
                     ),
                     problems=problems,
                 )
+        #: Provenance capture (repro.provenance).  Off by default — the
+        #: flag is flipped *post-construction* by the replayer, never on
+        #: live sessions, so the semantics' hot path stays unchanged.
+        #: While on, every evaluator run in :meth:`handle_next_event`
+        #: appends ``{"rule", "detail", "reads", "writes"}`` to
+        #: :attr:`provenance_log` (reads = store names looked up, writes
+        #: = ``{name: new write version}``), and UPDATE appends its
+        #: fix-up's write/delete effects.
+        self.capture_provenance = False
+        self.provenance_log = []
         self.state = SystemState.initial(code)
         self.trace = []
         self._last_valid_display = None
@@ -321,10 +332,11 @@ class System:
             pending_before = len(queue)
             if isinstance(event, ExecEvent):
                 # (THUNK): reduce ``v ()`` in standard mode.
-                self._evaluator.run_state(
-                    store, queue, ast.App(event.thunk, ast.UNIT_VALUE),
-                    fuel=fuel,
-                )
+                with self._provenance_capture("THUNK"):
+                    self._evaluator.run_state(
+                        store, queue, ast.App(event.thunk, ast.UNIT_VALUE),
+                        fuel=fuel,
+                    )
                 self._invalidate()
                 self._check_deadline("THUNK", virtual_before)
                 rule, detail = "THUNK", ""
@@ -336,10 +348,11 @@ class System:
                         "push of undefined page '{}'".format(event.page)
                     )
                 self.state.stack.push(event.page, event.arg)
-                self._evaluator.run_state(
-                    store, queue, ast.App(page.init, event.arg),
-                    fuel=fuel,
-                )
+                with self._provenance_capture("PUSH", event.page):
+                    self._evaluator.run_state(
+                        store, queue, ast.App(page.init, event.arg),
+                        fuel=fuel,
+                    )
                 self._invalidate()
                 self._check_deadline("PUSH", virtual_before)
                 rule, detail = "PUSH", event.page
@@ -356,6 +369,38 @@ class System:
                 self.tracer.add("events_queued", cascaded)
         self._record(rule, detail, started=started, span=span)
         return event
+
+    @contextmanager
+    def _provenance_capture(self, rule, detail=""):
+        """Log one evaluator run's store reads and writes (when capturing).
+
+        The entry is appended even when the run faults: write-ahead
+        semantics mean a faulting handler executed exactly as far as the
+        small-step relation reached, and those partial writes are real
+        provenance.  RENDER is deliberately *not* captured — a render
+        reads everything on the page; the per-box read attribution comes
+        from the static read sets (:func:`repro.eval.memo.
+        global_read_sets`) instead.
+        """
+        if not self.capture_provenance:
+            yield
+            return
+        store = self.state.store
+        before = store.versions_snapshot()
+        store.begin_read_log()
+        try:
+            yield
+        finally:
+            reads = store.end_read_log()
+            after = store.versions_snapshot()
+            writes = {
+                name: version for name, version in after.items()
+                if before.get(name) != version
+            }
+            self.provenance_log.append({
+                "rule": rule, "detail": detail,
+                "reads": reads, "writes": writes,
+            })
 
     # -- the one rule that refreshes the display ------------------------------------
 
@@ -468,11 +513,32 @@ class System:
                         ),
                         problems=problems,
                     )
+            versions_before = (
+                self.state.store.versions_snapshot()
+                if self.capture_provenance else None
+            )
             with self.tracer.span("fixup"):
                 new_store, new_stack, report = fixup(
                     new_code, self.state.store, self.state.stack,
                     self.natives, tracer=self.tracer,
                 )
+            if versions_before is not None:
+                after = new_store.versions_snapshot()
+                self.provenance_log.append({
+                    "rule": "UPDATE", "detail": "",
+                    "reads": (),
+                    # Fix-up *carries* surviving versions, so any diff
+                    # here is a type-mismatch re-initialisation; dropped
+                    # names are the S-SKIP deletions.
+                    "writes": {
+                        name: version for name, version in after.items()
+                        if versions_before.get(name) != version
+                    },
+                    "deleted": tuple(
+                        name for name in versions_before
+                        if name not in after
+                    ),
+                })
             self.state.code = new_code
             self.state.store = new_store
             self.state.stack = new_stack

@@ -87,7 +87,7 @@ class TestJournal:
         with open(journal.path, "a") as handle:
             handle.write("\n")
             handle.write(json.dumps({"kind": "destroy", "seq": 9}) + "\n")
-        assert make_journal(journal_dir).read() == []
+        assert list(make_journal(journal_dir).read()) == []
 
     def test_torn_tail_is_repaired_on_reopen(self, journal_dir):
         # Crash, recover, append, crash again: the torn fragment must
@@ -104,7 +104,7 @@ class TestJournal:
         survivor.record_event("s-1", "tap", {})
         survivor.record_event("s-1", "back", {})
 
-        records = make_journal(journal_dir).read()
+        records = list(make_journal(journal_dir).read())
         assert [r["kind"] for r in records] == [
             "create", "event", "event", "event"
         ]
@@ -143,6 +143,183 @@ class TestJournal:
         journal.record_create("s-1", "x", None)
         size = os.path.getsize(journal.path)
         assert truncate_journal(journal.path, drop_bytes=size + 100) == size
+
+
+class TestSeekIndex:
+    """The byte-offset seek index behind lazy replay (repro.provenance)."""
+
+    def test_read_is_lazy(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        records = journal.read()
+        assert iter(records) is records  # a generator, not a list
+        assert [r["kind"] for r in records] == ["create"]
+
+    def test_tokens_in_first_create_order(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("b", "x", None)
+        journal.record_create("a", "x", None)
+        assert journal.tokens() == ("b", "a")
+        assert make_journal(journal_dir).tokens() == ("b", "a")
+
+    def test_start_offset_seeks_to_the_create_record(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("a", "x", None)
+        journal.record_event("a", "tap", {})
+        journal.record_create("b", "y", None)
+        offset = journal.start_offset("b")
+        assert offset is not None
+        first = next(journal.read(start=offset))
+        assert (first["kind"], first["token"]) == ("create", "b")
+        assert journal.start_offset("missing") is None
+
+    def test_checkpoint_before_picks_the_latest_qualifying(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        journal.record_event("s-1", "tap", {})
+        journal.record_checkpoint("s-1", {"n": 1})   # seq 3
+        journal.record_event("s-1", "tap", {})
+        journal.record_checkpoint("s-1", {"n": 2})   # seq 5
+        assert journal.checkpoint_before("s-1")[0] == 5
+        assert journal.checkpoint_before("s-1", seq=4)[0] == 3
+        assert journal.checkpoint_before("s-1", seq=2) is None
+        assert journal.checkpoint_before("missing") is None
+        # The offset really points at the checkpoint's own line.
+        cp_seq, offset = journal.checkpoint_before("s-1", seq=4)
+        first = next(journal.read(start=offset))
+        assert (first["kind"], first["seq"]) == ("checkpoint", cp_seq)
+        # A reopened journal rebuilds the same index from disk.
+        assert make_journal(journal_dir).checkpoint_before("s-1")[0] == 5
+
+    def test_records_for_omits_checkpoint_images(self, journal_dir):
+        journal = make_journal(journal_dir)
+        journal.record_create("s-1", "x", None)
+        journal.record_checkpoint("s-1", {"format": "repro-image/1"})
+        records = list(journal.records_for("s-1"))
+        assert records[1]["image"] == {"omitted": True}
+        with_images = list(journal.records_for("s-1", include_images=True))
+        assert with_images[1]["image"] == {"format": "repro-image/1"}
+
+    def test_records_are_span_stamped_under_a_span(self, journal_dir):
+        tracer = Tracer()
+        journal = make_journal(journal_dir, tracer=tracer)
+        with tracer.span("op.create") as span:
+            journal.record_create("s-1", "x", None)
+        records = list(journal.read())
+        assert records[0]["span_id"] == span.span_id
+        # The join goes both ways: the span learned the record's seq.
+        assert span.attrs["journal_seq"] == records[0]["seq"]
+
+    def test_checkpoint_does_not_overwrite_the_spans_seq(self, journal_dir):
+        tracer = Tracer()
+        journal = make_journal(journal_dir, tracer=tracer)
+        journal.record_create("s-1", "x", None)
+        with tracer.span("op.tap") as span:
+            event_seq = journal._seq + 1
+            journal.record_event("s-1", "tap", {})
+            journal.record_checkpoint("s-1", {})
+        assert span.attrs["journal_seq"] == event_seq
+
+
+class TestJournalEdgeCases:
+    """Torn checkpoints, batches interleaved with destroy, recover tails."""
+
+    def _tear_into_last_line(self, path, keep_bytes=5):
+        """Truncate so the tear lands *inside* the final record."""
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+        truncate_journal(path, drop_bytes=len(lines[-1]) - keep_bytes)
+
+    def test_torn_line_at_checkpoint_boundary(self, journal_dir):
+        # The crash tears the checkpoint record itself: the image is
+        # gone, but everything the checkpoint summarized is still in
+        # the prefix — recovery must fall back to create + full replay.
+        from repro.serve.host import SessionHost
+        from repro.resilience import recover
+        from repro.apps.counter import SOURCE
+
+        journal = make_journal(journal_dir, checkpoint_every=2)
+        host = SessionHost(default_source=SOURCE, journal=journal)
+        token = host.create()
+        for _ in range(2):
+            host.tap(token, path=[0])  # second tap triggers a checkpoint
+        html = host.render(token)[0]
+        with open(journal.path) as handle:
+            assert json.loads(
+                handle.readlines()[-1]
+            )["kind"] == "checkpoint"
+        self._tear_into_last_line(journal.path)
+
+        reopened = make_journal(journal_dir)
+        assert reopened.checkpoint_before(token) is None
+        kinds = [r["kind"] for r in reopened.read()]
+        assert kinds == ["create", "event", "event"]
+
+        rebuilt = SessionHost(default_source=SOURCE)
+        report = recover(rebuilt, reopened)
+        assert report.checkpoints_used == 0
+        assert report.events_replayed == 2
+        assert rebuilt.render(token)[0] == html
+
+    def test_batch_events_interleaved_with_destroy(self, journal_dir):
+        # Two sessions batching concurrently; one is destroyed between
+        # the other's batches.  Collation must keep their logs apart:
+        # the destroyed session stays dead, the survivor replays every
+        # batch that was journaled for it.
+        from repro.serve.host import SessionHost
+        from repro.resilience import recover
+        from repro.apps.counter import SOURCE
+        from repro.core.errors import ReproError as Unknown
+
+        journal = make_journal(journal_dir)
+        host = SessionHost(default_source=SOURCE, journal=journal)
+        doomed = host.create()
+        survivor = host.create()
+        host.batch(doomed, [("tap", (0,))])
+        host.batch(survivor, [("tap", (0,)), ("tap", (0,))])
+        host.destroy(doomed)
+        host.batch(survivor, [("tap", (0,))])
+        html = host.render(survivor)[0]
+        assert "count: 3" in html
+
+        rebuilt = SessionHost(default_source=SOURCE)
+        report = recover(rebuilt, make_journal(journal_dir))
+        assert report.sessions == 1
+        assert rebuilt.render(survivor)[0] == html
+        with pytest.raises(Unknown):
+            rebuilt.render(doomed)
+
+    def test_journal_ending_in_a_recover_marker(self, journal_dir):
+        # Crash, recover (appends the marker), crash again before any
+        # new traffic: the journal now *ends* in a tokenless recover
+        # record.  Reopening must not trip on it, numbering must resume
+        # past it, and a second recovery must rebuild the same session.
+        from repro.serve.host import SessionHost
+        from repro.resilience import recover
+        from repro.apps.counter import SOURCE
+
+        journal = make_journal(journal_dir)
+        host = SessionHost(default_source=SOURCE, journal=journal)
+        token = host.create()
+        host.tap(token, path=[0])
+        html = host.render(token)[0]
+
+        first = SessionHost(default_source=SOURCE)
+        recover(first, make_journal(journal_dir))
+
+        reopened = make_journal(journal_dir)
+        records = list(reopened.read())
+        assert records[-1]["kind"] == "recover"
+        assert reopened.last_seq() == records[-1]["seq"]
+
+        second = SessionHost(default_source=SOURCE)
+        report = recover(second, reopened)
+        assert report.sessions == 1
+        assert second.render(token)[0] == html
+        # The second marker extends the sequence strictly.
+        tail = list(make_journal(journal_dir).read())
+        assert tail[-1]["kind"] == "recover"
+        assert tail[-1]["seq"] > records[-1]["seq"]
 
 
 class TestBatchEncoding:

@@ -231,3 +231,76 @@ class TestWireCodec:
         assert response["memo_misses"] == 0
         assert response["replayed_boxes"] == 6   # 2 rows + 4 cells
         assert response["dropped_globals"] == []
+
+
+class TestObservabilityOps:
+    """``history`` and ``why``: the journal over the wire."""
+
+    def journaled_host(self, tmp_path):
+        from repro.api import Journal
+
+        return make_host(journal=Journal(str(tmp_path / "journal")))
+
+    def test_ops_require_a_journal(self):
+        host = make_host()
+        token = call(host, op="create")["token"]
+        for op in ("history", "why"):
+            response = call(host, op=op, token=token, path=[0])
+            assert not response["ok"]
+            assert "--journal-dir" in response["error"]["message"]
+
+    def test_history_returns_the_timeline(self, tmp_path):
+        host = self.journaled_host(tmp_path)
+        token = call(host, op="create")["token"]
+        call(host, op="tap", token=token, path=[0])
+        call(host, op="back", token=token)
+        response = call(host, op="history", token=token)
+        assert response["ok"]
+        history = response["history"]
+        assert [entry["kind"] for entry in history] == [
+            "create", "event", "event"
+        ]
+        assert [entry.get("op") for entry in history] == [
+            None, "tap", "back"
+        ]
+        seqs = [entry["seq"] for entry in history]
+        assert seqs == sorted(seqs)
+        # No record drags a checkpoint image over the wire.
+        assert all("image" not in entry for entry in history)
+
+    def test_history_limit_keeps_the_tail(self, tmp_path):
+        host = self.journaled_host(tmp_path)
+        token = call(host, op="create")["token"]
+        for _ in range(4):
+            call(host, op="tap", token=token, path=[0])
+        response = call(host, op="history", token=token, limit=2)
+        assert len(response["history"]) == 2
+        assert all(e["op"] == "tap" for e in response["history"])
+        bad = call(host, op="history", token=token, limit=0)
+        assert bad["error"]["type"] == "BadRequest"
+
+    def test_history_unknown_token(self, tmp_path):
+        host = self.journaled_host(tmp_path)
+        response = call(host, op="history", token="nope")
+        assert response["error"]["type"] == "UnknownToken"
+
+    def test_why_joins_code_slots_and_events(self, tmp_path):
+        host = self.journaled_host(tmp_path)
+        token = call(host, op="create")["token"]
+        call(host, op="tap", token=token, path=[0])
+        call(host, op="tap", token=token, path=[0])
+        response = call(host, op="why", token=token, path=[0])
+        assert response["ok"]
+        report = response["why"]
+        assert report["owner"] == "page start (render)"
+        assert report["reads"] == ["count"]
+        assert len(report["events"]) == 2
+        assert all(e["wrote"] == ["count"] for e in report["events"])
+        by_text = call(host, op="why", token=token, text="count: 2")
+        assert by_text["why"]["events"] == report["events"]
+
+    def test_why_without_selector_is_a_bad_request(self, tmp_path):
+        host = self.journaled_host(tmp_path)
+        token = call(host, op="create")["token"]
+        response = call(host, op="why", token=token)
+        assert response["error"]["type"] == "BadRequest"

@@ -371,3 +371,103 @@ class TestServeCLI:
             except subprocess.TimeoutExpired:  # pragma: no cover
                 process.kill()
                 process.wait()
+
+
+@pytest.fixture
+def counter_journal(tmp_path):
+    """A journaled counter session recorded the way ``repro serve``
+    records one — the CLI's replay options must reconstruct it."""
+    from repro.api import Journal
+    from repro.serve.host import SessionHost
+    from repro.stdlib.web import make_services, web_host_impls
+
+    journal_dir = str(tmp_path / "journal")
+    host = SessionHost(
+        default_source=COUNTER,
+        make_host_impls=web_host_impls,
+        make_services=make_services,
+        session_kwargs={
+            "reuse_boxes": True, "memo_render": True,
+            "fault_policy": "record", "supervised": True,
+        },
+        journal=Journal(journal_dir, checkpoint_every=3),
+    )
+    token = host.create()
+    for _ in range(5):
+        host.tap(token, path=[0])
+    return journal_dir
+
+
+class TestReplayCommand:
+    def test_replay_screenshots_the_latest_state(self, counter_journal):
+        status, output = run_cli("replay", counter_journal)
+        assert status == 0
+        assert "replayed" in output and "count: 5" in output
+
+    def test_to_seq_time_travels(self, counter_journal):
+        status, output = run_cli("replay", counter_journal, "--to-seq", "3")
+        assert status == 0
+        assert "seq 3" in output and "count: 2" in output
+
+    def test_no_checkpoint_forces_a_cold_replay(self, counter_journal):
+        status, output = run_cli(
+            "replay", counter_journal, "--no-checkpoint"
+        )
+        assert status == 0
+        assert "5 events" in output and "checkpoint" not in output
+
+    def test_benign_edit_exits_zero(self, counter_journal, tmp_path):
+        edited = tmp_path / "benign.live"
+        edited.write_text(
+            COUNTER + "\nfun unused(x : number) : number\n  return x\n"
+        )
+        status, output = run_cli(
+            "replay", counter_journal, "--source", str(edited)
+        )
+        assert status == 0 and "identical" in output
+
+    def test_breaking_edit_exits_one(self, counter_journal, tmp_path):
+        edited = tmp_path / "breaking.live"
+        edited.write_text(COUNTER.replace("count + 1", "count + 2"))
+        status, output = run_cli(
+            "replay", counter_journal, "--source", str(edited)
+        )
+        assert status == 1
+        assert "diverged at generation 1" in output
+
+    def test_missing_journal_is_an_error(self, tmp_path):
+        status, output = run_cli("replay", str(tmp_path / "nothing"))
+        assert status == 1 and "no sessions" in output
+
+
+class TestWhyCommand:
+    def test_why_by_text(self, counter_journal):
+        status, output = run_cli(
+            "why", counter_journal, "--text", "count: 5"
+        )
+        assert status == 0
+        assert "page start (render)" in output
+        assert "count = 5" in output
+        assert output.count("wrote count") == 5
+
+    def test_why_by_path(self, counter_journal):
+        status, output = run_cli("why", counter_journal, "--path", "0")
+        assert status == 0 and "reads:" in output
+
+    def test_bad_path_is_an_error(self, counter_journal):
+        status, output = run_cli("why", counter_journal, "--path", "x")
+        assert status == 1 and "slash-separated" in output
+
+
+class TestTraceJournal:
+    def test_journal_derived_trace(self, counter_journal):
+        status, output = run_cli("trace", "--journal", counter_journal)
+        assert status == 0
+        assert "journal-derived trace" in output
+        assert "5 events replayed" in output
+        assert "render" in output  # the span tree is there
+
+    def test_trace_needs_a_file_or_a_journal(self):
+        status, output = run_cli("trace")
+        assert status == 1
+        assert "source file or --journal" in output
