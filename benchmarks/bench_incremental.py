@@ -38,10 +38,12 @@ milliseconds but agree on how much of the render the memo elides.
 
 from __future__ import annotations
 
-import json
-import platform
+import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import append_bench_record, latest_baselines  # noqa: E402
 
 from repro.apps.gallery import function_gallery_source
 from repro.apps.mortgage import compile_mortgage
@@ -141,35 +143,14 @@ def run_workload(name, rounds=40):
 
 def record(result, label):
     """Append one JSONL measurement to BENCH_incremental.json."""
-    record_ = {
-        "type": "bench",
-        "name": "incremental_edit_render",
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-    }
-    record_.update(result)
-    with open(BENCH_PATH, "a") as handle:
-        handle.write(json.dumps(record_) + "\n")
+    append_bench_record(
+        BENCH_PATH, "incremental_edit_render", label, **result
+    )
 
 
 def load_baselines(path=BENCH_PATH):
     """workload → most recent committed ``baseline`` record."""
-    baselines = {}
-    if not Path(path).exists():
-        return baselines
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            entry = json.loads(line)
-            if (
-                entry.get("name") == "incremental_edit_render"
-                and entry.get("label") == "baseline"
-            ):
-                baselines[entry["workload"]] = entry
-    return baselines
+    return latest_baselines(path, "incremental_edit_render")
 
 
 def check_regression(results, baselines):

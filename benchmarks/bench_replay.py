@@ -38,12 +38,14 @@ milliseconds but agree on how much of the replay the checkpoint elides.
 
 from __future__ import annotations
 
-import json
-import platform
 import shutil
+import sys
 import tempfile
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import append_bench_record, latest_baselines  # noqa: E402
 
 from repro.apps.counter import SOURCE
 from repro.provenance import replay_to
@@ -157,35 +159,12 @@ def run_workload(name, rounds=10):
 
 def record(result, label):
     """Append one JSONL measurement to BENCH_replay.json."""
-    record_ = {
-        "type": "bench",
-        "name": "journal_replay",
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-    }
-    record_.update(result)
-    with open(BENCH_PATH, "a") as handle:
-        handle.write(json.dumps(record_) + "\n")
+    append_bench_record(BENCH_PATH, "journal_replay", label, **result)
 
 
 def load_baselines(path=BENCH_PATH):
     """workload → most recent committed ``baseline`` record."""
-    baselines = {}
-    if not Path(path).exists():
-        return baselines
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            entry = json.loads(line)
-            if (
-                entry.get("name") == "journal_replay"
-                and entry.get("label") == "baseline"
-            ):
-                baselines[entry["workload"]] = entry
-    return baselines
+    return latest_baselines(path, "journal_replay")
 
 
 def check_regression(results, baselines):

@@ -20,12 +20,14 @@ Runs two ways::
 
 from __future__ import annotations
 
-import json
-import platform
 import random
+import sys
 import threading
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import append_bench_record  # noqa: E402
 
 from repro.apps.counter import SOURCE as COUNTER
 from repro.api import Tracer
@@ -123,16 +125,7 @@ def run_soak(sessions=200, pool=16, workers=8, ops_per_worker=250,
 
 def record(result, label):
     """Append one JSONL measurement to BENCH_serve.json."""
-    record_ = {
-        "type": "bench",
-        "name": "serve_soak",
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-    }
-    record_.update(result)
-    with open(SERVE_PATH, "a") as handle:
-        handle.write(json.dumps(record_) + "\n")
+    append_bench_record(SERVE_PATH, "serve_soak", label, **result)
 
 
 def test_serve_soak_records_throughput():

@@ -10,10 +10,20 @@ The ``obs_records`` fixture routes benchmark numbers through the same
 :class:`repro.obs.JsonlSink` the runtime uses, appending one JSON line
 per measurement to ``BENCH_obs.json`` next to this file — a
 machine-readable perf trajectory that accumulates across PRs.
+
+This module is also the **one** reader/appender for every
+``BENCH_*.json`` trajectory file: :func:`append_bench_record` stamps
+and appends a record, :func:`read_bench_records` streams the intact
+lines back (skipping blanks and torn tails), and
+:func:`latest_baselines` resolves the committed ``"baseline"`` records
+the CI ``--check`` gates compare against.  Bench scripts import these
+instead of hand-rolling JSONL (they run both as scripts and under
+pytest, so they put this directory on ``sys.path`` first).
 """
 
 from __future__ import annotations
 
+import json
 import platform
 import sys
 import time
@@ -24,6 +34,72 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
 
 OBS_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
+
+
+def bench_path(name):
+    """Repo-root path of the ``BENCH_<name>.json`` trajectory file."""
+    return Path(__file__).parent.parent / "BENCH_{}.json".format(name)
+
+
+def append_bench_record(path, name, label, **fields):
+    """Append one stamped JSONL bench record; returns the record.
+
+    Every record carries the same envelope — ``type``/``name``/
+    ``label``/``recorded_at``/``python`` — so trajectory files stay
+    uniformly queryable across benches and PRs.  ``label`` is the
+    record's provenance: ``"baseline"`` records gate CI, ``"suite"`` /
+    ``"quick"`` / ``"full"`` records only accumulate history.
+    """
+    record = {
+        "type": "bench",
+        "name": name,
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+    }
+    record.update(fields)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    return record
+
+
+def read_bench_records(path, name=None, label=None):
+    """Every intact record in ``path``, optionally filtered.
+
+    Blank lines, torn lines and non-object lines are skipped, not
+    fatal — trajectory files are append-only across many runs and a
+    single bad line must not take down a CI gate.
+    """
+    records = []
+    path = Path(path)
+    if not path.exists():
+        return records
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            if name is not None and entry.get("name") != name:
+                continue
+            if label is not None and entry.get("label") != label:
+                continue
+            records.append(entry)
+    return records
+
+
+def latest_baselines(path, name, key="workload"):
+    """``record[key]`` → most recent committed ``"baseline"`` record."""
+    baselines = {}
+    for entry in read_bench_records(path, name=name, label="baseline"):
+        if key in entry:
+            baselines[entry[key]] = entry
+    return baselines
 
 
 class _BenchRecorder:

@@ -11,6 +11,13 @@ One front door for the five classes an embedding application needs:
 * :class:`Journal` — write-ahead durability for a host's sessions;
 * :class:`Tracer` — structured tracing and the metric catalog.
 
+The cluster layer (:mod:`repro.cluster`) is re-exported by name:
+:class:`ClusterSupervisor` / :class:`ClusterRouter` shard a host across
+worker processes behind one HTTP front, and :class:`MemoStore` /
+:class:`TieredMemoStore` are the shared render-memo caches sessions can
+be pointed at via the ``memo_store`` keyword (per-process and
+cross-process respectively).
+
 The journal's observability layer (:mod:`repro.provenance`) is
 re-exported by name: :class:`TimeMachine` plus the three query
 functions :func:`replay_to`, :func:`divergence_report` and :func:`why`
@@ -32,7 +39,9 @@ deprecated — this module is the *name* consolidation, not a rewrite.
 
 from __future__ import annotations
 
+from .cluster import ClusterRouter, ClusterSupervisor, TieredMemoStore
 from .eval.natives import EMPTY_NATIVES
+from .incremental.store import MemoStore
 from .live.session import EditResult
 from .live.session import LiveSession as _LiveSession
 from .obs.trace import Tracer as _Tracer
@@ -51,13 +60,17 @@ from .serve.host import SessionHost as _SessionHost
 from .system.runtime import Runtime as _Runtime
 
 __all__ = [
+    "ClusterRouter",
+    "ClusterSupervisor",
     "DivergenceReport",
     "EditResult",
     "Journal",
     "LiveSession",
+    "MemoStore",
     "ReplayResult",
     "Runtime",
     "SessionHost",
+    "TieredMemoStore",
     "TimeMachine",
     "Tracer",
     "WhyReport",
@@ -85,6 +98,7 @@ class LiveSession(_LiveSession):
         budget=None,
         chaos=None,
         supervised=False,
+        memo_store=None,
     ):
         super().__init__(
             source,
@@ -98,6 +112,7 @@ class LiveSession(_LiveSession):
             budget=budget,
             chaos=chaos,
             supervised=supervised,
+            memo_store=memo_store,
         )
 
 
@@ -117,6 +132,7 @@ class Runtime(_Runtime):
         tracer=None,
         budget=None,
         chaos=None,
+        memo_store=None,
     ):
         super().__init__(
             code,
@@ -129,6 +145,7 @@ class Runtime(_Runtime):
             tracer=tracer,
             budget=budget,
             chaos=chaos,
+            memo_store=memo_store,
         )
 
 
@@ -146,6 +163,7 @@ class SessionHost(_SessionHost):
         session_kwargs=None,
         quarantine_after=3,
         journal=None,
+        memo_store=None,
     ):
         super().__init__(
             pool_size=pool_size,
@@ -156,6 +174,7 @@ class SessionHost(_SessionHost):
             session_kwargs=session_kwargs,
             quarantine_after=quarantine_after,
             journal=journal,
+            memo_store=memo_store,
         )
 
 

@@ -23,9 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.errors import ReproError
+from ..core.pickling import SlotStatePickle
 
 
-class BoxItem:
+class BoxItem(SlotStatePickle):
     """Base class of the three content item kinds."""
 
     __slots__ = ()

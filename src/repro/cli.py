@@ -360,15 +360,47 @@ def cmd_resume(args, out):
     return status
 
 
+def _install_graceful_signals(server):
+    """SIGTERM/SIGINT → stop the accept loop from a helper thread.
+
+    ``server.shutdown()`` must not run on the thread inside
+    ``serve_forever`` (it waits for that loop to exit), so the handler
+    only spawns the call.  Returns the event marking shutdown was
+    requested; signal installation is skipped silently when not on the
+    main thread (tests drive ``cmd_serve`` directly).
+    """
+    import signal
+    import threading
+
+    stopping = threading.Event()
+
+    def _graceful(_signum, _frame):
+        if stopping.is_set():
+            return
+        stopping.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:  # not the main thread
+        pass
+    return stopping
+
+
 def cmd_serve(args, out):
     from .obs.trace import Tracer
-    from .resilience import Budget, recover
-    from .resilience.journal import Journal
-    from .serve.app import make_server
-    from .serve.host import SessionHost
+    from .serve.app import make_server, shutdown_gracefully
 
     source = _load_source(args.file)
     tracer = _make_tracer(args) or Tracer()
+    if args.cluster_workers:
+        return _serve_cluster(args, out, source, tracer)
+
+    from .resilience import Budget, recover
+    from .resilience.journal import Journal
+    from .serve.host import SessionHost
+
     budget = Budget(fuel=args.fuel, deadline=args.deadline)
     host = SessionHost(
         pool_size=args.pool_size,
@@ -389,6 +421,7 @@ def cmd_serve(args, out):
             "supervised": True,
         },
     )
+    journal = None
     if args.journal_dir:
         journal = Journal(
             args.journal_dir,
@@ -411,12 +444,74 @@ def cmd_serve(args, out):
     )
     if hasattr(out, "flush"):
         out.flush()
+    _install_graceful_signals(server)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        # Drain in-flight requests, then stamp the journal's clean-
+        # shutdown marker — SIGTERM never tears a request midway.
+        drained = shutdown_gracefully(server, journal=journal)
+        print(
+            "shut down {}".format(
+                "cleanly" if drained else "with requests still in flight"
+            ),
+            file=out,
+        )
+        _finish_jsonl(tracer, args, out)
+    return 0
+
+
+def _serve_cluster(args, out, source, tracer):
+    """``repro serve --cluster-workers N``: the sharded serving path."""
+    from .cluster import ClusterRouter, ClusterSupervisor
+    from .serve.app import make_server, shutdown_gracefully
+
+    supervisor = ClusterSupervisor(
+        source=source,
+        workers=args.cluster_workers,
+        journal_root=args.journal_dir,
+        pool_size=args.pool_size,
+        checkpoint_every=args.checkpoint_every,
+        quarantine_after=args.quarantine_after,
+        fault_policy=args.fault_policy,
+        fuel=args.fuel,
+        deadline=args.deadline,
+        latency=args.latency,
+        shared_cache=not args.no_shared_cache,
+        bind=args.bind,
+        tracer=tracer,
+    ).start()
+    router = ClusterRouter(supervisor)
+    server = make_server(router, port=args.port, bind=args.bind)
+    port = server.server_address[1]
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(str(port))
+    print(
+        "serving {} on http://{}:{} ({} workers, journals under {})".format(
+            args.file, args.bind, port, args.cluster_workers,
+            supervisor.journal_root,
+        ),
+        file=out,
+    )
+    if hasattr(out, "flush"):
+        out.flush()
+    _install_graceful_signals(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        drained = shutdown_gracefully(server)
+        supervisor.stop()  # drains every worker; they close their journals
+        print(
+            "cluster shut down {}".format(
+                "cleanly" if drained else "with requests still in flight"
+            ),
+            file=out,
+        )
         _finish_jsonl(tracer, args, out)
     return 0
 
@@ -749,6 +844,18 @@ def build_parser():
         "--quarantine-after", type=int, default=3,
         help="consecutive faults before a session's circuit breaker "
              "opens (it then serves its last-good display, degraded)",
+    )
+    p_serve.add_argument(
+        "--cluster-workers", type=int, default=0, metavar="N",
+        help="shard the host across N worker processes behind one HTTP "
+             "front (repro.cluster): consistent-hash routing, per-worker "
+             "write-ahead journals, kill-9-proof respawn, and a shared "
+             "cross-session memo cache; --journal-dir anchors the "
+             "per-worker journals (0 = single-process)",
+    )
+    p_serve.add_argument(
+        "--no-shared-cache", action="store_true",
+        help="cluster mode only: disable the cross-process memo cache",
     )
     jsonl_option(p_serve)
     p_serve.set_defaults(handler=cmd_serve)

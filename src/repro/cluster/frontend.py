@@ -1,0 +1,178 @@
+"""The cluster front: one HTTP face, N workers behind it.
+
+:class:`ClusterRouter` is the routing half of the front process.  It
+plugs into the same HTTP layer a single host uses
+(:func:`repro.serve.app.make_server` accepts either), decodes nothing
+the worker wouldn't: a protocol request is forwarded **verbatim** as a
+JSON frame to the worker owning its token on the consistent-hash ring,
+and the worker's reply frame is the HTTP response body.  Two ops are
+handled at the front:
+
+* ``create`` — the front mints the token itself (so it can hash-route
+  the create before any worker holds state) and forwards a create
+  *under that token*; the worker-side handler is idempotent per token,
+  which makes crash-retry of a create safe;
+* ``stats`` — aggregated across workers: summed session counts, summed
+  numeric metrics, per-worker breakdowns, cache-tier stats and the
+  cluster's own counters.
+
+``__``-prefixed ops (``__status__``/``__drain__``/``__adopt__``) are
+the supervisor's private vocabulary — the front refuses them with a
+typed ``BadRequest``, so the public HTTP surface cannot reach them.
+
+**Failure handling** is revive-and-retry: a transport error on a
+forward means the worker died, so the front asks the supervisor to
+respawn the slot (journal recovery makes the replacement complete) and
+retries the request once.  Delivery is therefore *at-least-once*: an op
+executed but unacknowledged at crash time may run twice — the same
+contract crash recovery itself has, since the write-ahead journal
+replays exactly such ops.  Acknowledged state is never lost either way.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from ..core.errors import ReproError
+from ..serve.protocol import (
+    PROTOCOL_VERSION, BadRequest, error_response, _OPS,
+)
+from .supervisor import WorkerDied
+from .transport import TransportError, decode_json, encode_json
+
+
+class WorkerUnavailable(ReproError):
+    """The owning worker is down and could not be revived in time."""
+
+
+#: Ops the front answers itself rather than forwarding.
+_FRONT_OPS = ("create", "stats")
+
+
+class ClusterRouter:
+    """Routes decoded protocol requests to workers; aggregates stats.
+
+    Satisfies the same face contract :class:`repro.serve.app._HostFace`
+    does — ``dispatch`` / ``healthz`` / ``tracer`` — so the HTTP layer
+    is identical for one host or a fleet.
+    """
+
+    def __init__(self, supervisor):
+        self.supervisor = supervisor
+        self.tracer = supervisor.tracer
+
+    def _count(self, name, amount=1):
+        self.supervisor._count(name, amount)
+
+    # -- the face contract --------------------------------------------------
+
+    def dispatch(self, request):
+        try:
+            return self._dispatch(request)
+        except ReproError as error:
+            op = request.get("op") if isinstance(request, dict) else None
+            return error_response(op, error, tracer=self.tracer)
+
+    def healthz(self):
+        return self.supervisor.healthz()
+
+    def drain(self):
+        """Stop the whole fleet gracefully (the HTTP layer's shutdown)."""
+        self.supervisor.stop()
+
+    # -- routing ------------------------------------------------------------
+
+    def _dispatch(self, request):
+        if not isinstance(request, dict):
+            raise BadRequest("request must be a JSON object")
+        op = request.get("op")
+        if isinstance(op, str) and op.startswith("__"):
+            raise BadRequest(
+                "op {!r} is cluster-internal".format(op)
+            )
+        version = request.get("protocol", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise BadRequest(
+                "unsupported protocol version {!r} (this server speaks "
+                "{})".format(version, PROTOCOL_VERSION)
+            )
+        if op not in _OPS:
+            raise BadRequest(
+                "unknown op {!r}; valid ops: {}".format(
+                    op, ", ".join(sorted(_OPS))
+                )
+            )
+        if op == "stats":
+            return self._stats()
+        if op == "create":
+            return self._create(request)
+        token = request.get("token")
+        if not isinstance(token, str) or not token:
+            raise BadRequest(
+                "op {!r} requires field 'token'".format(op)
+            )
+        return self._forward(self.supervisor.slot_for(token), request)
+
+    def _create(self, request):
+        token = request.get("token")
+        if token is None:
+            request = dict(request)
+            token = request["token"] = "s-" + secrets.token_hex(8)
+        elif not isinstance(token, str) or not token:
+            raise BadRequest("create: 'token' must be a string")
+        return self._forward(self.supervisor.slot_for(token), request)
+
+    def _forward(self, slot, request):
+        payload = encode_json(request)
+        try:
+            reply = self.supervisor.pool_for(slot).request(payload)
+        except TransportError:
+            # The worker died under us.  Respawn the slot (recovery
+            # replays its journal, so the replacement already holds
+            # every acknowledged mutation) and retry exactly once.
+            self._count("cluster.worker_retries")
+            try:
+                self.supervisor.revive(slot)
+                reply = self.supervisor.pool_for(slot).request(payload)
+            except (TransportError, WorkerDied, ReproError) as error:
+                raise WorkerUnavailable(
+                    "worker {} is unavailable: {}".format(slot, error)
+                ) from error
+        self._count("cluster.requests_routed")
+        return decode_json(reply)
+
+    # -- aggregation --------------------------------------------------------
+
+    def _stats(self):
+        worker_stats = self.supervisor.worker_stats()
+        totals = {"sessions": 0, "resident": 0, "evicted": 0,
+                  "quarantined": 0}
+        metrics = {}
+        for stats in worker_stats.values():
+            if not isinstance(stats, dict):
+                continue
+            for key in totals:
+                value = stats.get(key)
+                if isinstance(value, (int, float)):
+                    totals[key] += value
+            for name, value in (stats.get("metrics") or {}).items():
+                if isinstance(value, (int, float)):
+                    metrics[name] = metrics.get(name, 0) + value
+        # The cluster's own counters (routed/retries/respawns/...) live
+        # on the supervisor's tracer, beside the workers' summed ones.
+        for name, value in self.supervisor.metrics().items():
+            if isinstance(value, (int, float)):
+                metrics[name] = metrics.get(name, 0) + value
+        stats = dict(totals)
+        stats["workers"] = {
+            str(slot): s for slot, s in sorted(worker_stats.items())
+        }
+        if self.supervisor.cache is not None:
+            stats["shared_cache"] = self.supervisor.cache.stats()
+        stats["metrics"] = metrics
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "op": "stats",
+            "stats": stats,
+        }

@@ -1,0 +1,396 @@
+"""The cross-process memo tier: one cache server, N worker clients.
+
+:class:`~repro.incremental.store.MemoStore` entries are pure facts —
+"this digest applied to this argument under these read values produced
+these boxes" — so nothing about them is process-local.  This module
+serves them across the cluster: the supervisor process runs a
+:class:`CacheServer` (a pickle-over-frames key/value LRU), and each
+worker's :class:`TieredMemoStore` backs its in-process store (L1) with
+the server (L2).  The first worker to render a program's frame pays for
+it; every other worker imports the entry instead of re-executing — the
+cluster-wide version of "N sessions running the same app warm each
+other".
+
+**Version hygiene.**  Store write-version ticks are only unique within
+one process, so an imported entry's read stamps are meaningless in the
+importing process — every slot is re-stamped ``-1`` on import, which can
+never equal a real version, forcing the first probe down the value-
+compare path (and re-stamping locally on success).  Entries on the
+server carry the server's **epoch**: ``clear`` (the native-rebind nuke)
+bumps it, and every entry from an older epoch is lazily rejected — a
+stale entry can never be re-imported after an invalidation.
+
+**Key encoding.**  Memo keys are ``(digest, argument value)`` tuples of
+program values; they cross the process boundary as their pickle bytes.
+Pickle is not canonical in general, but for these value types it is
+deterministic in practice — and the failure mode of a non-matching
+encoding is a spurious *miss* (the entry is re-executed and
+re-published), never a spurious hit: correctness stays with the
+digest + read-set validation, the bytes are only a cache address.
+
+The hot path stays cheap: ``get`` consults L2 only on an L1 miss, and
+``put`` publishes through a background thread — a render never blocks
+on the cache server's socket.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import time
+from collections import OrderedDict
+
+from ..core.errors import ReproError
+from ..incremental.store import REMOTE_ORIGIN, MemoStore
+from ..obs.trace import NULL_TRACER
+from .transport import ClientPool, FrameServer, TransportError
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class CacheServer:
+    """The shared tier: a bounded LRU of pickled memo entries.
+
+    Requests and replies are pickled tuples::
+
+        ("get", key_bytes)         -> ("hit", blob) | ("miss",)
+        ("put", key_bytes, blob)   -> ("ok",)
+        ("put_many", [(key, blob)…]) -> ("ok",)
+        ("clear",)                 -> ("ok",)
+        ("stats",)                 -> ("stats", {...})
+
+    Entries are stored with the epoch current at put time; ``clear``
+    bumps the epoch, invalidating everything in O(1) — stale entries
+    are evicted lazily as gets touch them.
+
+    **Single-flight leases.**  When a fleet opens the same app on every
+    worker at once, each worker's cold render would miss on the same
+    keys and redundantly recompute them.  The first ``get`` to miss a
+    key takes a *lease* (and computes); concurrent ``get``\\ s for the
+    leased key wait up to ``lease_timeout`` for the holder's publish
+    and usually leave with a hit.  A holder that never publishes (death,
+    unpicklable entry) just lets the lease expire — waiters fall back
+    to a miss and compute themselves; the lease is a latency hint, not
+    a lock anyone can be stuck on.
+    """
+
+    def __init__(self, max_entries=65536, bind="127.0.0.1", port=0,
+                 lease_timeout=0.25, tracer=None):
+        if max_entries < 1:
+            raise ReproError("max_entries must be at least 1")
+        self._entries = OrderedDict()   # key bytes -> (epoch, blob)
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._epoch = 1
+        self._leases = {}               # key bytes -> (Event, taken_at)
+        self.lease_timeout = lease_timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.evictions = 0
+        self.lease_waits = 0
+        self.lease_hits = 0
+        self._server = FrameServer(self._handle, bind=bind, port=port)
+
+    @property
+    def address(self):
+        return self._server.address
+
+    def start(self):
+        self._server.start()
+        return self
+
+    def stop(self, drain_timeout=2.0):
+        return self._server.stop(drain_timeout=drain_timeout)
+
+    # -- request handling ---------------------------------------------------
+
+    def _handle(self, payload):
+        try:
+            request = pickle.loads(payload)
+            kind = request[0]
+            if kind == "get":
+                reply = self._get(request[1])
+            elif kind == "put":
+                reply = self._put(request[1], request[2])
+            elif kind == "put_many":
+                for key, blob in request[1]:
+                    reply = self._put(key, blob)
+            elif kind == "clear":
+                reply = self._clear()
+            elif kind == "stats":
+                reply = ("stats", self.stats())
+            else:
+                reply = ("error", "unknown request {!r}".format(kind))
+        except Exception as error:  # a bad frame must not kill the tier
+            reply = ("error", "{}: {}".format(type(error).__name__, error))
+        return pickle.dumps(reply, _PROTOCOL)
+
+    def _get(self, key):
+        with self._lock:
+            self.gets += 1
+            hit = self._lookup(key)
+            if hit is not None:
+                return hit
+            now = time.monotonic()
+            lease = self._leases.get(key)
+            if lease is None or now - lease[1] > self.lease_timeout:
+                # First (or re-)claimant: compute it, we'll wait on you.
+                self._leases[key] = (threading.Event(), now)
+                return ("miss",)
+            event, taken_at = lease
+            self.lease_waits += 1
+            remaining = self.lease_timeout - (now - taken_at)
+        # Wait *outside* the lock for the holder's publish; each waiter
+        # occupies only its own connection's handler thread.
+        event.wait(remaining)
+        with self._lock:
+            hit = self._lookup(key)
+            if hit is not None:
+                self.lease_hits += 1
+                return hit
+            return ("miss",)
+
+    def _lookup(self, key):
+        """Hit tuple for a live entry, else ``None`` (lock held)."""
+        record = self._entries.get(key)
+        if record is None:
+            return None
+        epoch, blob = record
+        if epoch != self._epoch:
+            # A pre-clear survivor: reject and drop it for good.
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return ("hit", blob)
+
+    def _put(self, key, blob):
+        with self._lock:
+            self.puts += 1
+            if (key not in self._entries
+                    and len(self._entries) >= self._max_entries):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = (self._epoch, blob)
+            self._entries.move_to_end(key)
+            lease = self._leases.pop(key, None)
+        if lease is not None:
+            lease[0].set()  # release waiters to the fresh entry
+        return ("ok",)
+
+    def _clear(self):
+        with self._lock:
+            self._epoch += 1
+            self._entries.clear()
+            leases, self._leases = self._leases, {}
+        for event, _taken_at in leases.values():
+            event.set()  # waiters re-check, see nothing, and miss
+        return ("ok",)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "epoch": self._epoch,
+                "gets": self.gets,
+                "hits": self.hits,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "lease_waits": self.lease_waits,
+                "lease_hits": self.lease_hits,
+            }
+
+
+class CacheClient:
+    """A worker's connection to the :class:`CacheServer`.
+
+    Gets are synchronous (they gate a render decision); puts ride a
+    background publisher thread so the render path never waits on the
+    socket.  Any transport failure degrades to cache-off — misses and
+    dropped publishes, counted, never raised into the session.
+    """
+
+    def __init__(self, address, pool_size=2, timeout=5.0, tracer=None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._pool = ClientPool(address, size=pool_size, timeout=timeout)
+        self._publish_queue = queue.Queue(maxsize=1024)
+        self._publisher = threading.Thread(
+            target=self._publish_loop, name="memo-publisher", daemon=True
+        )
+        self._publisher.start()
+        self._closed = False
+
+    def _roundtrip(self, request):
+        payload = pickle.dumps(request, _PROTOCOL)
+        reply = pickle.loads(self._pool.request(payload))
+        if reply and reply[0] == "error":
+            raise TransportError("cache server error: {}".format(reply[1]))
+        return reply
+
+    def get(self, key_bytes):
+        """The pickled entry for ``key_bytes``, or ``None``."""
+        try:
+            reply = self._roundtrip(("get", key_bytes))
+        except (TransportError, OSError, pickle.PickleError):
+            self.tracer.add("cluster.memo.remote_errors")
+            return None
+        if reply[0] == "hit":
+            return reply[1]
+        return None
+
+    def put(self, key_bytes, blob):
+        """Queue one publish; drops (counted) when the queue is full."""
+        try:
+            self._publish_queue.put_nowait((key_bytes, blob))
+        except queue.Full:
+            self.tracer.add("cluster.memo.publish_errors")
+
+    def _publish_loop(self):
+        while True:
+            item = self._publish_queue.get()
+            if item is None:
+                return
+            # Coalesce whatever else is already queued into one frame —
+            # a cold render publishes dozens of entries back to back,
+            # and one round trip per entry is pure scheduling overhead.
+            batch = [item]
+            while len(batch) < 64:
+                try:
+                    extra = self._publish_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._publish_queue.put(None)  # re-arm shutdown
+                    break
+                batch.append(extra)
+            try:
+                if len(batch) == 1:
+                    self._roundtrip(("put", batch[0][0], batch[0][1]))
+                else:
+                    self._roundtrip(("put_many", batch))
+                self.tracer.add("cluster.memo.publishes", len(batch))
+            except (TransportError, OSError, pickle.PickleError):
+                self.tracer.add("cluster.memo.publish_errors", len(batch))
+
+    def clear(self):
+        try:
+            self._roundtrip(("clear",))
+        except (TransportError, OSError, pickle.PickleError):
+            self.tracer.add("cluster.memo.remote_errors")
+
+    def stats(self):
+        try:
+            return self._roundtrip(("stats",))[1]
+        except (TransportError, OSError, pickle.PickleError):
+            return None
+
+    def flush(self, timeout=5.0):
+        """Best-effort wait until queued publishes have been sent."""
+        deadline = threading.Event()
+        # The queue has no join-with-timeout; poll emptiness cheaply.
+        import time
+
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if self._publish_queue.empty():
+                return True
+            deadline.wait(0.01)
+        return self._publish_queue.empty()
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            self._publish_queue.put(None)
+            self._pool.close()
+
+
+class TieredMemoStore(MemoStore):
+    """A worker's per-program store with the cache server as L2.
+
+    Local behaviour is exactly :class:`MemoStore` (bounded LRU, thread
+    safe).  On a local miss, the remote tier is consulted; an import
+    re-stamps every read slot to ``-1`` (force value validation — see
+    the module docstring) and tags the entry
+    :data:`~repro.incremental.store.REMOTE_ORIGIN` so a later validated
+    hit counts as a shared hit.  Every local ``put`` is published
+    asynchronously.  ``clear`` nukes both tiers — it only fires on
+    native rebinds, which invalidate the program everywhere.
+    """
+
+    #: After this many consecutive remote misses the store assumes the
+    #: program is cold *everywhere* (it is the first to render) and
+    #: stops paying a round trip per probe…
+    MISS_STREAK = 8
+    #: …except for one probe in every PROBE_EVERY misses, so it notices
+    #: as soon as some other worker has published.  Any hit resets.
+    PROBE_EVERY = 16
+
+    def __init__(self, client, max_entries=4096, tracer=NULL_TRACER):
+        super().__init__(max_entries=max_entries, tracer=tracer)
+        self._client = client
+        # Benign races: a stale streak read costs one extra round trip.
+        self._miss_streak = 0
+        self._skipped = 0
+
+    @staticmethod
+    def encode_key(key):
+        return pickle.dumps(key, _PROTOCOL)
+
+    def get(self, key):
+        entry = super().get(key)
+        if entry is not None or self._client is None:
+            return entry
+        try:
+            key_bytes = self.encode_key(key)
+        except Exception:
+            return None  # an unpicklable key cannot live remotely
+        if self._miss_streak >= self.MISS_STREAK:
+            self._skipped += 1
+            if self._skipped % self.PROBE_EVERY:
+                self.tracer.add("cluster.memo.remote_skips")
+                return None
+        blob = self._client.get(key_bytes)
+        if blob is None:
+            self._miss_streak += 1
+            self.tracer.add("cluster.memo.remote_misses")
+            return None
+        self._miss_streak = 0
+        self._skipped = 0
+        try:
+            entry = pickle.loads(blob)
+        except Exception:
+            self.tracer.add("cluster.memo.remote_errors")
+            return None
+        for slot in entry.reads:
+            slot[1] = -1  # foreign version stamps never validate by int
+        entry.origin = REMOTE_ORIGIN
+        super().put(key, entry)
+        self.tracer.add("cluster.memo.remote_hits")
+        return entry
+
+    def put(self, key, entry):
+        super().put(key, entry)
+        if self._client is None:
+            return
+        try:
+            key_bytes = self.encode_key(key)
+            blob = pickle.dumps(entry, _PROTOCOL)
+        except Exception:
+            self.tracer.add("cluster.memo.publish_errors")
+            return
+        self._client.put(key_bytes, blob)
+
+    def clear(self):
+        super().clear()
+        if self._client is not None:
+            self._client.clear()
+
+    def stats(self):
+        stats = super().stats()
+        if self._client is not None:
+            stats["remote"] = self._client.stats()
+        return stats

@@ -1,0 +1,101 @@
+"""Consistent hashing: session tokens → worker slots.
+
+The front process must route every request for a token to the *same*
+worker (sessions are stateful), and removing a worker must move only
+that worker's tokens (rebalance-on-retire must not shuffle the whole
+fleet through journal recovery).  A classic consistent-hash ring gives
+both: each slot is hashed onto the ring at ``replicas`` points, a token
+routes to the first slot point at or clockwise-after its own hash, and
+deleting a slot reassigns exactly the arcs that slot owned.
+
+Routing is pure computation over an immutable structure — the front
+swaps in a new ring atomically on membership change, so lookups never
+take a lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from ..core.errors import ReproError
+
+
+def _hash(text):
+    """64-bit ring position for ``text`` (sha256, stable across runs)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over worker slot names.
+
+    ``slots`` are arbitrary hashable names (the cluster uses integer
+    worker indices).  ``replicas`` virtual points per slot keep the
+    token ranges statistically even; 64 bounds the worst slot's share
+    within a few percent of fair for small fleets.
+    """
+
+    __slots__ = ("_slots", "_points", "_hashes")
+
+    def __init__(self, slots, replicas=64):
+        self._slots = tuple(sorted(set(slots), key=str))
+        if not self._slots:
+            raise ReproError("a HashRing needs at least one slot")
+        if replicas < 1:
+            raise ReproError("replicas must be at least 1")
+        points = []
+        for slot in self._slots:
+            for replica in range(replicas):
+                points.append((_hash("{}#{}".format(slot, replica)), slot))
+        points.sort()
+        self._points = points
+        self._hashes = [point[0] for point in points]
+
+    @property
+    def slots(self):
+        return self._slots
+
+    def __len__(self):
+        return len(self._slots)
+
+    def __contains__(self, slot):
+        return slot in self._slots
+
+    def lookup(self, token, exclude=()):
+        """The slot owning ``token``; ``exclude`` walks past dead slots.
+
+        With ``exclude``, the token falls to the next *included* slot
+        clockwise — the neighbour that would adopt its sessions on a
+        permanent retire — so callers can preview or perform rebalance
+        without building a new ring.
+        """
+        excluded = set(exclude)
+        live = [slot for slot in self._slots if slot not in excluded]
+        if not live:
+            raise ReproError("every ring slot is excluded")
+        if len(live) == 1:
+            return live[0]
+        position = bisect.bisect_right(self._hashes, _hash(token))
+        for step in range(len(self._points)):
+            _point_hash, slot = self._points[
+                (position + step) % len(self._points)
+            ]
+            if slot not in excluded:
+                return slot
+        raise ReproError("unreachable: no live slot found")  # pragma: no cover
+
+    def without(self, slot):
+        """A new ring minus ``slot`` (token moves are exactly its arcs)."""
+        if slot not in self._slots:
+            raise ReproError("slot {!r} is not on the ring".format(slot))
+        remaining = [s for s in self._slots if s != slot]
+        replicas = len(self._points) // len(self._slots)
+        return HashRing(remaining, replicas=replicas)
+
+    def spread(self, tokens):
+        """slot → token count for ``tokens`` (balance introspection)."""
+        counts = {slot: 0 for slot in self._slots}
+        for token in tokens:
+            counts[self.lookup(token)] += 1
+        return counts

@@ -1,0 +1,430 @@
+"""The cluster supervisor: spawn, watch, revive, rebalance.
+
+One supervisor owns N worker *slots*.  Each slot is a subprocess
+(``python -m repro.cluster.worker``) with a stable identity — its
+journal directory, its config file, its port file all live under
+``<journal_root>/worker-<slot>/`` — so a dead worker is replaced by
+**respawning the slot in place**: the new process recovers every session
+from the slot's write-ahead journal and the front's connection pool is
+retargeted at the new port.  ``kill -9`` of any worker is therefore
+invisible beyond latency: nothing acknowledged is lost, display
+generations keep strictly increasing (``repro.resilience``'s floor), and
+the replayed HTML is byte-identical.
+
+The supervisor also runs the cluster's shared memo tier
+(:class:`~repro.cluster.memoshare.CacheServer`) — it is the one process
+guaranteed to outlive any worker.
+
+**Rebalance** (:meth:`ClusterSupervisor.retire`) removes a slot
+permanently: the ring drops it first (new traffic already routes
+around), the worker is drained, and each of its journaled tokens is
+adopted by the slot now owning it on the shrunken ring — exactly the
+arcs the retired slot owned move, nothing else (consistent hashing's
+promise, :mod:`repro.cluster.ring`).
+
+A monitor thread polls every worker (process liveness each tick, a
+``__status__`` frame over the socket) and revives silently-dead ones;
+``cluster.worker_respawns`` counts every revival.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+from ..core.errors import ReproError
+from ..obs.trace import NULL_TRACER
+from ..resilience.journal import Journal
+from .memoshare import CacheServer
+from .ring import HashRing
+from .transport import ClientPool, TransportError
+
+#: How long a spawn may take to publish its port before it is declared
+#: stillborn.  Generous: a cold worker may replay a long journal first.
+SPAWN_TIMEOUT = 60.0
+
+
+class WorkerDied(ReproError):
+    """A worker process exited (or never came up) when it was needed."""
+
+
+class _Slot:
+    """One worker slot: directories, the live process, its pools."""
+
+    __slots__ = ("slot", "directory", "journal_dir", "config_path",
+                 "port_file", "log_path", "process", "pool", "ping",
+                 "port", "restarts", "retired", "lock")
+
+    def __init__(self, slot, directory):
+        self.slot = slot
+        self.directory = directory
+        self.journal_dir = os.path.join(directory, "journal")
+        self.config_path = os.path.join(directory, "config.json")
+        self.port_file = os.path.join(directory, "port")
+        self.log_path = os.path.join(directory, "worker.log")
+        self.process = None
+        self.pool = None        # forwarding connections (front threads)
+        self.ping = None        # one short-timeout probe connection
+        self.port = None
+        self.restarts = 0
+        self.retired = False
+        self.lock = threading.Lock()   # serializes spawn/revive/retire
+
+    @property
+    def alive(self):
+        return self.process is not None and self.process.poll() is None
+
+
+def _python_path():
+    """PYTHONPATH for worker children: wherever *this* repro lives."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    existing = os.environ.get("PYTHONPATH")
+    if existing:
+        return src_root + os.pathsep + existing
+    return src_root
+
+
+class ClusterSupervisor:
+    """Owns the worker fleet, the hash ring and the shared memo cache.
+
+    ``source`` is the default app every worker serves (the ``create``
+    op may still carry its own).  ``journal_root`` anchors each slot's
+    journal directory; by default a fresh temp directory, but pointing
+    it somewhere durable makes the whole cluster crash-recoverable.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        workers=2,
+        journal_root=None,
+        pool_size=16,
+        checkpoint_every=25,
+        quarantine_after=3,
+        session_kwargs=None,
+        fault_policy="record",
+        fuel=None,
+        deadline=None,
+        latency=None,
+        shared_cache=True,
+        cache_entries=65536,
+        memo_entries=4096,
+        bind="127.0.0.1",
+        connections_per_worker=4,
+        ping_interval=1.0,
+        drain_timeout=5.0,
+        tracer=None,
+    ):
+        if workers < 1:
+            raise ReproError("a cluster needs at least one worker")
+        self.source = source
+        self.bind = bind
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics_lock = threading.Lock()
+        self.journal_root = journal_root or tempfile.mkdtemp(
+            prefix="repro-cluster-"
+        )
+        self._worker_config = {
+            "pool_size": pool_size,
+            "checkpoint_every": checkpoint_every,
+            "quarantine_after": quarantine_after,
+            "session_kwargs": dict(session_kwargs or {}),
+            "fault_policy": fault_policy,
+            "fuel": fuel,
+            "deadline": deadline,
+            "latency": latency,
+            "memo_entries": memo_entries,
+            "drain_timeout": drain_timeout,
+        }
+        self._connections_per_worker = connections_per_worker
+        self._ping_interval = ping_interval
+        self._drain_timeout = drain_timeout
+        self.cache = None
+        if shared_cache:
+            self.cache = CacheServer(
+                max_entries=cache_entries, bind=bind, tracer=self.tracer
+            )
+        self._slots = {}
+        for index in range(workers):
+            directory = os.path.join(
+                self.journal_root, "worker-{}".format(index)
+            )
+            os.makedirs(directory, exist_ok=True)
+            self._slots[index] = _Slot(index, directory)
+        self.ring = HashRing(self._slots)
+        self._stopping = threading.Event()
+        self._monitor = None
+
+    def _count(self, name, amount=1):
+        with self._metrics_lock:
+            self.tracer.add(name, amount)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        if self.cache is not None:
+            self.cache.start()
+        for slot in self._slots.values():
+            self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self):
+        """Drain every worker gracefully, then stop the cache tier."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=self._ping_interval * 3)
+        for slot in self._slots.values():
+            with slot.lock:
+                self._stop_slot(slot)
+        if self.cache is not None:
+            self.cache.stop()
+
+    def _stop_slot(self, slot):
+        """Slot lock held: ask for a drain, escalate if ignored."""
+        if slot.process is None:
+            return
+        if slot.alive and slot.ping is not None:
+            try:
+                slot.ping.request_json({"op": "__drain__"})
+            except TransportError:
+                pass
+        try:
+            slot.process.wait(timeout=self._drain_timeout + 2.0)
+        except subprocess.TimeoutExpired:
+            slot.process.terminate()
+            try:
+                slot.process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                slot.process.kill()
+                slot.process.wait()
+        if slot.pool is not None:
+            slot.pool.close()
+        if slot.ping is not None:
+            slot.ping.close()
+
+    # -- spawning -----------------------------------------------------------
+
+    def _config_for(self, slot):
+        config = dict(self._worker_config)
+        config.update({
+            "slot": slot.slot,
+            "source": self.source,
+            "bind": self.bind,
+            "journal_dir": slot.journal_dir,
+            "port_file": slot.port_file,
+            "cache_address": (
+                list(self.cache.address) if self.cache is not None else None
+            ),
+        })
+        return config
+
+    def _spawn(self, slot):
+        """Slot lock held (or single-threaded start): launch + handshake."""
+        with open(slot.config_path, "w") as handle:
+            json.dump(self._config_for(slot), handle)
+        try:
+            os.remove(slot.port_file)
+        except OSError:
+            pass
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _python_path()
+        log = open(slot.log_path, "ab")
+        try:
+            slot.process = subprocess.Popen(
+                [sys.executable, "-m", "repro.cluster.worker",
+                 slot.config_path],
+                stdout=log, stderr=log, env=env,
+            )
+        finally:
+            log.close()
+        slot.port = self._await_port(slot)
+        address = (self.bind, slot.port)
+        if slot.pool is None:
+            slot.pool = ClientPool(
+                address, size=self._connections_per_worker
+            )
+        else:
+            slot.pool.retarget(address)
+        if slot.ping is None:
+            slot.ping = ClientPool(address, size=1, timeout=5.0)
+        else:
+            slot.ping.retarget(address)
+
+    def _await_port(self, slot):
+        import time
+
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        while time.monotonic() < deadline:
+            if os.path.exists(slot.port_file):
+                try:
+                    with open(slot.port_file) as handle:
+                        return int(handle.read().strip())
+                except (OSError, ValueError):
+                    pass  # racing the atomic rename; retry
+            if slot.process.poll() is not None:
+                raise WorkerDied(
+                    "worker {} exited with status {} before "
+                    "listening (log: {})".format(
+                        slot.slot, slot.process.returncode, slot.log_path
+                    )
+                )
+            time.sleep(0.02)
+        raise WorkerDied(
+            "worker {} did not publish a port within {}s".format(
+                slot.slot, SPAWN_TIMEOUT
+            )
+        )
+
+    # -- routing + liveness -------------------------------------------------
+
+    def slot_for(self, token):
+        """The slot index owning ``token`` on the current ring."""
+        return self.ring.lookup(token)
+
+    def pool_for(self, slot_index):
+        slot = self._slots[slot_index]
+        if slot.pool is None:
+            raise WorkerDied(
+                "worker {} has never been spawned".format(slot_index)
+            )
+        return slot.pool
+
+    def revive(self, slot_index):
+        """Respawn a dead worker in place; returns True when it respawned.
+
+        The slot's journal directory survives the corpse, so the
+        replacement recovers every session before listening — by the
+        time the port file reappears, all acknowledged state is back.
+        Rechecks liveness under the slot lock: concurrent front threads
+        all hitting a dead worker fold into one respawn.
+        """
+        slot = self._slots[slot_index]
+        with slot.lock:
+            if slot.retired:
+                raise WorkerDied(
+                    "worker {} is retired".format(slot_index)
+                )
+            if slot.alive:
+                return False
+            if slot.process is not None:
+                try:
+                    slot.process.wait(timeout=0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+            self._spawn(slot)
+            slot.restarts += 1
+            self._count("cluster.worker_respawns")
+            return True
+
+    def _monitor_loop(self):
+        while not self._stopping.wait(self._ping_interval):
+            for slot in self._slots.values():
+                if slot.retired or self._stopping.is_set():
+                    continue
+                if not slot.alive:
+                    try:
+                        self.revive(slot.slot)
+                    except (WorkerDied, ReproError):
+                        pass  # next tick retries; front revives on demand
+
+    # -- rebalance ----------------------------------------------------------
+
+    def retire(self, slot_index):
+        """Remove a slot permanently, moving its tokens to their heirs.
+
+        Ring first (new creates and requests already route around the
+        retiree), then drain, then adoption: each journaled token is
+        replayed into the slot that now owns it.  Returns the list of
+        ``(token, new_slot)`` moves.
+        """
+        slot = self._slots[slot_index]
+        with slot.lock:
+            if slot.retired:
+                raise ReproError(
+                    "worker {} is already retired".format(slot_index)
+                )
+            if len(self.ring) == 1:
+                raise ReproError("cannot retire the last worker")
+            self.ring = self.ring.without(slot_index)
+            slot.retired = True
+            self._stop_slot(slot)
+        moves = []
+        journal = Journal(slot.journal_dir)
+        for token in journal.tokens():
+            heir = self.ring.lookup(token)
+            response = self.pool_for(heir).request_json({
+                "op": "__adopt__",
+                "token": token,
+                "journal_dir": slot.journal_dir,
+            })
+            if response.get("ok") and response.get("adopted"):
+                moves.append((token, heir))
+        return moves
+
+    # -- introspection ------------------------------------------------------
+
+    def healthz(self):
+        """Cluster liveness: per-worker state plus per-worker healthz."""
+        workers = []
+        all_alive = True
+        for slot in sorted(self._slots.values(), key=lambda s: s.slot):
+            info = {
+                "slot": slot.slot,
+                "alive": slot.alive,
+                "retired": slot.retired,
+                "restarts": slot.restarts,
+                "pid": (slot.process.pid
+                        if slot.process is not None else None),
+            }
+            if slot.retired:
+                workers.append(info)
+                continue
+            if not slot.alive:
+                all_alive = False
+            elif slot.ping is not None:
+                try:
+                    status = slot.ping.request_json({"op": "__status__"})
+                    info["healthz"] = status.get("healthz")
+                except TransportError:
+                    info["alive"] = False
+                    all_alive = False
+            workers.append(info)
+        payload = {
+            "ok": all_alive,
+            "role": "cluster",
+            "workers": workers,
+            "ring_slots": list(self.ring.slots),
+        }
+        if self.cache is not None:
+            payload["cache_entries"] = self.cache.stats()["entries"]
+        return payload
+
+    def worker_stats(self):
+        """Each live worker's ``stats`` op response payload, by slot."""
+        stats = {}
+        for slot in self._slots.values():
+            if slot.retired or slot.pool is None:
+                continue
+            try:
+                response = slot.ping.request_json({"op": "stats"})
+            except TransportError:
+                continue
+            if response.get("ok"):
+                stats[slot.slot] = response.get("stats")
+        return stats
+
+    def metrics(self):
+        with self._metrics_lock:
+            return self.tracer.metrics()

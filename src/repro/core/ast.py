@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from .effects import Effect
 from .errors import ReproError
+from .pickling import SlotStatePickle
 from .types import Type
 
 _fresh_counter = itertools.count()
@@ -46,7 +47,7 @@ def fresh_name(base="x"):
     return "{}%{}".format(base, next(_fresh_counter))
 
 
-class Expr:
+class Expr(SlotStatePickle):
     """Base class of all expressions."""
 
     __slots__ = ()

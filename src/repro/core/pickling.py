@@ -1,0 +1,50 @@
+"""Pickle support for the frozen, slotted value classes.
+
+Expressions (:mod:`repro.core.ast`), types (:mod:`repro.core.types`)
+and box-tree items (:mod:`repro.boxes.tree`) are immutable value
+classes: frozen dataclasses with explicit ``__slots__``, or (for
+:class:`~repro.boxes.tree.Box`) a slotted class whose ``__setattr__``
+enforces freeze-after-render.  That combination is not picklable by
+default — protocol-2 state restore assigns slots with ``setattr``,
+which the immutability guards refuse.
+
+:class:`SlotStatePickle` fixes exactly that: state is captured as a
+plain name → value dict over every slot in the MRO (plus ``__dict__``
+for hybrid classes), and restored with ``object.__setattr__`` —
+bypassing the guards once, at materialization, which is the same thing
+``__init__`` does via ``object.__setattr__`` on frozen dataclasses.
+Value semantics are unaffected: unpickling builds a structurally equal
+(``==``) instance, which is all the hash-consed-by-value classes
+promise anyway.
+
+This is what lets memo entries — whose values, read sets and box
+fragments are precisely these classes — cross process boundaries in the
+cluster's shared cache tier (:mod:`repro.cluster.memoshare`).
+"""
+
+from __future__ import annotations
+
+
+class SlotStatePickle:
+    """Mixin: dict-shaped pickle state restored via ``object.__setattr__``.
+
+    Safe for any mix of ``__slots__`` and ``__dict__`` down the MRO;
+    unset slots are simply absent from the state.
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if hasattr(self, name):
+                    state[name] = getattr(self, name)
+        instance_dict = getattr(self, "__dict__", None)
+        if instance_dict:
+            state.update(instance_dict)
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)

@@ -192,6 +192,12 @@ class RenderMemo:
         self.hits += 1
         self.replayed_boxes += entry.boxes
         self.tracer.add("memo_hits")
+        # Shared stores (repro.cluster): a validated hit on an entry
+        # another session produced is a cross-session warm hit — the
+        # view counts it into the host's metrics.
+        note = getattr(self.memo_store, "note_shared_hit", None)
+        if note is not None:
+            note(entry)
         return entry
 
     def store_result(self, name, arg_value, store, items, value):

@@ -17,13 +17,31 @@ The store is bounded: without a cap, surviving UPDATE turns the old
 per-machine cache into a leak across a long editing session.  Insertion
 beyond ``max_entries`` evicts the least recently used entry and counts
 ``incremental.memo_evictions``.
+
+**Sharing across sessions** (repro.cluster).  The store can also be
+promoted from per-:class:`~repro.system.transitions.System` to
+per-*program*: a :class:`~repro.serve.host.SessionHost` constructed with
+``memo_store=`` hands every session a :class:`SessionMemoView` over the
+one shared store, so N sessions running the same app warm each other —
+entries are digest-keyed, which makes cross-session reuse sound (the
+digest pins the code; the read-set snapshot is validated against the
+*probing* session's store, and write-version ticks are globally unique
+per process, so a foreign version stamp can never spuriously validate —
+it falls back to the value compare and is then re-stamped locally).
+That promotion makes the store a concurrency point: every operation is
+serialized behind an internal lock, cheap when uncontended.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..obs.trace import NULL_TRACER
+
+#: ``origin`` tag for entries imported from the cross-process cache tier
+#: (:mod:`repro.cluster.memoshare`): always foreign to every session.
+REMOTE_ORIGIN = "<remote>"
 
 
 class MemoEntry:
@@ -37,58 +55,134 @@ class MemoEntry:
     A version of ``0`` means "never assigned" — the value then came from
     the code's declared initial value, which an update can change with
     the digest fixed, so version-0 slots always deep-compare.
+
+    ``origin`` names the session (token) that executed the call, or
+    :data:`REMOTE_ORIGIN` for entries imported from the cross-process
+    tier; ``None`` for private per-System stores.  A validated hit on an
+    entry with a *different* origin is a cross-session warm hit
+    (``cluster.memo.shared_hits``).
     """
 
-    __slots__ = ("digest", "arg", "reads", "items", "value", "boxes")
+    __slots__ = ("digest", "arg", "reads", "items", "value", "boxes",
+                 "origin")
 
-    def __init__(self, digest, arg, reads, items, value, boxes):
+    def __init__(self, digest, arg, reads, items, value, boxes,
+                 origin=None):
         self.digest = digest
         self.arg = arg
         self.reads = reads
         self.items = items          # the cached box items (frozen trees)
         self.value = value          # the call's return value
         self.boxes = boxes          # boxes in ``items``, for replay stats
+        self.origin = origin        # producing session, for shared stores
 
 
 class MemoStore:
-    """A bounded, insertion-tracked LRU of :class:`MemoEntry`."""
+    """A bounded, insertion-tracked LRU of :class:`MemoEntry`.
+
+    Thread-safe: sessions sharing one store run on different host
+    threads, so the LRU bookkeeping is serialized behind a lock (an
+    uncontended acquire costs nanoseconds; the private per-System case
+    pays essentially nothing).
+    """
 
     def __init__(self, max_entries=4096, tracer=NULL_TRACER):
         self._entries = OrderedDict()
         self._max_entries = max_entries
+        self._lock = threading.RLock()
         self.tracer = tracer
         self.evictions = 0
 
     def get(self, key):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key, entry):
-        entries = self._entries
-        if key not in entries and len(entries) >= self._max_entries:
-            entries.popitem(last=False)
-            self.evictions += 1
-            self.tracer.add("incremental.memo_evictions")
-        entries[key] = entry
-        entries.move_to_end(key)
+        with self._lock:
+            entries = self._entries
+            if key not in entries and len(entries) >= self._max_entries:
+                entries.popitem(last=False)
+                self.evictions += 1
+                self.tracer.add("incremental.memo_evictions")
+            entries[key] = entry
+            entries.move_to_end(key)
 
     def discard(self, key):
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self):
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self):
-        return {
-            "entries": len(self._entries),
-            "max_entries": self._max_entries,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "evictions": self.evictions,
+            }
+
+
+class SessionMemoView:
+    """One session's facade over a shared :class:`MemoStore`.
+
+    The view is what a :class:`~repro.system.transitions.System` owns
+    when its host promotes memoization to per-program: reads and writes
+    go straight to the shared store, but every entry this session
+    executes is tagged with the session's ``origin``, and a validated
+    hit on a *foreign* entry is reported through ``count`` (the host's
+    serialized metric counter) as ``cluster.memo.shared_hits`` — the
+    measurable fact that one user's render warmed another's.
+
+    ``clear()`` clears the *shared* store: the only caller is the
+    native-rebind guard in UPDATE, whose reasoning ("digests cannot see
+    host Python") invalidates every session's entries equally.
+    """
+
+    __slots__ = ("store", "origin", "_count")
+
+    def __init__(self, store, origin, count=None):
+        self.store = store
+        self.origin = origin
+        self._count = count
+
+    def get(self, key):
+        return self.store.get(key)
+
+    def put(self, key, entry):
+        entry.origin = self.origin
+        self.store.put(key, entry)
+
+    def note_shared_hit(self, entry):
+        """Called by :meth:`~repro.eval.memo.RenderMemo.probe` after an
+        entry *validated*: count it iff another session produced it."""
+        if entry.origin is not None and entry.origin != self.origin:
+            if self._count is not None:
+                self._count("cluster.memo.shared_hits")
+
+    def discard(self, key):
+        self.store.discard(key)
+
+    def clear(self):
+        self.store.clear()
+
+    def __len__(self):
+        return len(self.store)
+
+    def __contains__(self, key):
+        return key in self.store
+
+    def stats(self):
+        return self.store.stats()

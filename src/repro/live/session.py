@@ -92,6 +92,7 @@ class LiveSession:
         faithful=False,
         reuse_boxes=False,
         memo_render=False,
+        memo_store=None,
         tracer=None,
         fault_policy="raise",
         budget=None,
@@ -113,6 +114,7 @@ class LiveSession:
             faithful=faithful,
             reuse_boxes=reuse_boxes,
             memo_render=memo_render,
+            memo_store=memo_store,
             tracer=self.tracer,
             fault_policy=fault_policy,
             budget=budget,

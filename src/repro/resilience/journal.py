@@ -38,6 +38,7 @@ Record shapes (one JSON object per line)::
     {"kind": "checkpoint", "seq": N, "token": t, "image": {...}}
     {"kind": "destroy",    "seq": N, "token": t}
     {"kind": "recover",    "seq": N, "sessions": k}
+    {"kind": "shutdown",   "seq": N}
 
 Records may additionally carry ``"span_id"`` when tracing was active at
 append time.  ``seq`` is a global monotone counter; per-token order in
@@ -245,6 +246,19 @@ class Journal:
         :func:`recover`).
         """
         return self._append({"kind": "recover", "sessions": sessions})
+
+    def close(self):
+        """Append a ``shutdown`` marker: this journal ended *cleanly*.
+
+        The graceful-shutdown path (SIGTERM on ``repro serve`` or a
+        cluster worker) calls this after the last in-flight request
+        drains, so the next recovery — and any human reading the file —
+        can tell an orderly exit from a crash.  The marker names no
+        token; collation and per-token reads skip it, and like the
+        ``recover`` marker it keeps the global sequence monotone across
+        restarts.  Returns the marker's ``seq``.
+        """
+        return self._append({"kind": "shutdown"})
 
     # -- reading ------------------------------------------------------------
 

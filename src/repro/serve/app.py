@@ -3,17 +3,34 @@
 * ``POST /`` (or ``/api``) — body is one protocol request
   (:mod:`repro.serve.protocol`), response is one protocol response;
 * ``GET /stats`` — the ``stats`` op, for dashboards and smoke tests;
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness: role, session counts, journaling flag
+  for a single host; per-worker liveness for a cluster.  Answers 503
+  (body still JSON, ``"ok": false``) when any worker is down, so load
+  balancers and the CI smoke tests read health without parsing.
 
 :class:`http.server.ThreadingHTTPServer` gives one thread per request;
 the :class:`~repro.serve.host.SessionHost` locks make that safe.  No
 framework, no dependency — the whole wire format is ``json`` +
 ``Content-Length``.
+
+**One HTTP layer, two backends.**  The handler talks to a *face* — an
+object with ``dispatch(request)``, ``healthz()`` and ``tracer`` — not
+to a :class:`SessionHost` directly.  A host is wrapped in
+:class:`_HostFace`; a :class:`repro.cluster.frontend.ClusterRouter`
+satisfies the contract natively.  Everything about body parsing,
+typed-error envelopes and graceful drains is therefore written once.
+
+**Graceful shutdown.**  The server counts in-flight requests;
+:func:`shutdown_gracefully` stops the accept loop, waits for the count
+to reach zero (bounded), closes the journal with a clean-shutdown
+marker, then closes the socket — SIGTERM never tears a request midway
+(see :func:`repro.cli.cmd_serve` for the signal wiring).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.errors import InjectedFault, ReproError
@@ -24,8 +41,37 @@ from .protocol import error_response, handle_request
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
-def make_handler(host, quiet=True, chaos=None):
-    """The request-handler class bound to one :class:`SessionHost`.
+class _HostFace:
+    """The single-host backend of the HTTP layer's face contract."""
+
+    def __init__(self, host):
+        self.host = host
+        self.tracer = host.tracer
+
+    def dispatch(self, request):
+        return handle_request(self.host, request)
+
+    def healthz(self):
+        payload = {"ok": True, "role": "host"}
+        payload.update(self.host.healthz())
+        return payload
+
+    def drain(self):
+        """Single hosts drain at the journal, handled by the caller."""
+
+
+def _as_face(target):
+    if isinstance(target, SessionHost):
+        return _HostFace(target)
+    if hasattr(target, "dispatch") and hasattr(target, "healthz"):
+        return target
+    raise TypeError(
+        "expected a SessionHost or a face with dispatch()/healthz()"
+    )
+
+
+def make_handler(target, quiet=True, chaos=None):
+    """The request-handler class bound to one host (or cluster router).
 
     ``chaos`` is an optional
     :class:`~repro.resilience.chaos.FaultInjector`: when its ``"http"``
@@ -33,10 +79,15 @@ def make_handler(host, quiet=True, chaos=None):
     503 — the chaos suite's way of proving clients see overload as a
     first-class protocol error, never a hung socket or an untyped 500.
     """
+    face = _as_face(target)
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-serve/1"
+        # Keep-alive POSTs otherwise hit the Nagle/delayed-ACK
+        # interaction: ~40ms stalls between the response's header and
+        # body segments dwarf every warm render.
+        disable_nagle_algorithm = True
 
         def log_message(self, fmt, *args):  # pragma: no cover - noise
             if not quiet:
@@ -50,21 +101,45 @@ def make_handler(host, quiet=True, chaos=None):
             self.end_headers()
             self.wfile.write(body)
 
+        def _enter(self):
+            track = getattr(self.server, "track_request", None)
+            if track is not None:
+                track(1)
+
+        def _leave(self):
+            track = getattr(self.server, "track_request", None)
+            if track is not None:
+                track(-1)
+
         def do_GET(self):
-            if self.path == "/healthz":
-                self._respond({"ok": True})
-            elif self.path == "/stats":
-                self._respond(handle_request(host, {"op": "stats"}))
-            else:
-                self._respond(
-                    {"ok": False,
-                     "error": {"type": "BadRequest",
-                               "message": "GET serves /stats and /healthz; "
-                                          "POST protocol requests to /"}},
-                    status=404,
-                )
+            self._enter()
+            try:
+                if self.path == "/healthz":
+                    payload = face.healthz()
+                    ok = bool(payload.get("ok", True))
+                    self._respond(payload, status=200 if ok else 503)
+                elif self.path == "/stats":
+                    self._respond(face.dispatch({"op": "stats"}))
+                else:
+                    self._respond(
+                        {"ok": False,
+                         "error": {"type": "BadRequest",
+                                   "message": "GET serves /stats and "
+                                              "/healthz; POST protocol "
+                                              "requests to /"}},
+                        status=404,
+                    )
+            finally:
+                self._leave()
 
         def do_POST(self):
+            self._enter()
+            try:
+                self._post()
+            finally:
+                self._leave()
+
+        def _post(self):
             if self.path not in ("/", "/api"):
                 self._respond(
                     {"ok": False,
@@ -112,7 +187,7 @@ def make_handler(host, quiet=True, chaos=None):
                 )
                 return
             try:
-                response = handle_request(host, request)
+                response = face.dispatch(request)
             except ReproError as error:
                 # A fault that escaped the protocol dispatcher (e.g.
                 # raised while *serializing* a response) is still a
@@ -121,7 +196,7 @@ def make_handler(host, quiet=True, chaos=None):
                 # EvalFault / FuelExhausted / UpdateRejected must never
                 # reach a client as an opaque 500.
                 self._respond(
-                    error_response(op, error, tracer=host.tracer),
+                    error_response(op, error, tracer=face.tracer),
                     status=500,
                 )
                 return
@@ -139,25 +214,59 @@ def make_handler(host, quiet=True, chaos=None):
     return Handler
 
 
-def make_server(host, port=0, bind="127.0.0.1", quiet=True, chaos=None):
+def make_server(target, port=0, bind="127.0.0.1", quiet=True, chaos=None):
     """A ready-to-serve :class:`ThreadingHTTPServer` on ``bind:port``.
 
+    ``target`` is a :class:`SessionHost` or a cluster router face.
     ``port=0`` picks an ephemeral port; read the actual one from
-    ``server.server_address[1]``.
+    ``server.server_address[1]``.  The server tracks in-flight requests
+    so :func:`shutdown_gracefully` can drain them.
     """
-    if not isinstance(host, SessionHost):
-        raise TypeError("make_server expects a SessionHost")
     server = ThreadingHTTPServer(
-        (bind, port), make_handler(host, quiet=quiet, chaos=chaos)
+        (bind, port), make_handler(target, quiet=quiet, chaos=chaos)
     )
     server.daemon_threads = True
-    server.repro_host = host
+    server.repro_host = target
+    in_flight_lock = threading.Lock()
+    drained = threading.Event()
+    drained.set()
+    server.in_flight = 0
+
+    def track_request(delta):
+        with in_flight_lock:
+            server.in_flight += delta
+            if server.in_flight == 0:
+                drained.set()
+            else:
+                drained.clear()
+
+    server.track_request = track_request
+    server.request_drained = drained
     return server
 
 
-def serve(host, port=0, bind="127.0.0.1", quiet=True, ready=None):
+def shutdown_gracefully(server, journal=None, drain_timeout=5.0):
+    """Stop accepting, finish in-flight requests, close the journal.
+
+    Must be called from a thread other than the one running
+    ``serve_forever`` (that is, from a signal-triggered helper thread —
+    ``server.shutdown()`` waits for the serve loop to exit).  Returns
+    ``True`` iff every in-flight request completed within
+    ``drain_timeout``; either way the journal (when given) gets its
+    clean-shutdown marker *after* the drain, so the marker truthfully
+    claims every journaled op also finished executing.
+    """
+    server.shutdown()
+    drained = server.request_drained.wait(drain_timeout)
+    if journal is not None:
+        journal.close()
+    server.server_close()
+    return drained
+
+
+def serve(target, port=0, bind="127.0.0.1", quiet=True, ready=None):
     """Blocking serve loop; ``ready(server)`` is called once listening."""
-    server = make_server(host, port=port, bind=bind, quiet=quiet)
+    server = make_server(target, port=port, bind=bind, quiet=quiet)
     if ready is not None:
         ready(server)
     try:

@@ -132,6 +132,7 @@ class SessionHost:
         session_kwargs=None,
         quarantine_after=3,
         journal=None,
+        memo_store=None,
     ):
         if pool_size < 1:
             raise ReproError("pool_size must be at least 1")
@@ -156,6 +157,15 @@ class SessionHost:
         #: image checkpoints; see :func:`repro.resilience.recover`.
         self.journal = journal
         self._adopt_journal_tracer()
+        #: Per-program shared memo cache (repro.incremental /
+        #: repro.cluster).  When given, every session — created,
+        #: restored or rehydrated — runs against a
+        #: :class:`~repro.incremental.store.SessionMemoView` over this
+        #: one store instead of a private per-System cache, so sessions
+        #: running the same app warm each other; validated hits on
+        #: foreign entries count ``cluster.memo.shared_hits``.  Passing
+        #: a store implies ``memo_render=True`` for every session.
+        self.memo_store = memo_store
         self._lock = threading.Lock()          # registry + LRU order
         self._metrics_lock = threading.Lock()  # tracer counter updates
         self._entries = OrderedDict()          # token -> _Entry, LRU order
@@ -173,11 +183,14 @@ class SessionHost:
 
     # -- session lifecycle --------------------------------------------------
 
-    def create(self, source=None, title=None):
+    def create(self, source=None, title=None, token=None):
         """Boot a new live session; returns its token.
 
         ``source`` defaults to the host's ``default_source`` (the app the
-        server was started with).
+        server was started with).  ``token`` installs the session under a
+        caller-chosen token instead of a freshly minted one — the cluster
+        front mints tokens itself so it can consistent-hash them to a
+        worker *before* the create lands (see :mod:`repro.cluster`).
         """
         if source is None:
             source = self.default_source
@@ -185,10 +198,17 @@ class SessionHost:
             raise ReproError(
                 "create needs a source (the host has no default app)"
             )
-        session = self._make_session(source)
-        token = "s-" + secrets.token_hex(8)
+        if token is None:
+            token = "s-" + secrets.token_hex(8)
+        elif not isinstance(token, str) or not token:
+            raise ReproError("create token must be a non-empty string")
+        session = self._make_session(source, token)
         entry = _Entry(token, session, title or token)
         with self._lock:
+            if token in self._entries:
+                raise ReproError(
+                    "token {!r} is already registered".format(token)
+                )
             self._entries[token] = entry
         if self.journal is not None:
             self.journal.record_create(token, source, entry.title)
@@ -196,12 +216,23 @@ class SessionHost:
         self._enforce_capacity(protect=entry)
         return token
 
-    def _make_session(self, source):
+    def _session_kwargs_for(self, token):
+        """Per-session construction kwargs; wires the shared memo view."""
+        kwargs = dict(self.session_kwargs)
+        if self.memo_store is not None:
+            from ..incremental.store import SessionMemoView
+
+            kwargs["memo_store"] = SessionMemoView(
+                self.memo_store, origin=token, count=self._count
+            )
+        return kwargs
+
+    def _make_session(self, source, token):
         return LiveSession(
             source,
             host_impls=self._make_host_impls(),
             services=self._make_services(),
-            **self.session_kwargs
+            **self._session_kwargs_for(token)
         )
 
     def restore(self, token, source=None, image=None, title=None):
@@ -217,10 +248,10 @@ class SessionHost:
                 image,
                 host_impls=self._make_host_impls(),
                 services=self._make_services(),
-                **self.session_kwargs
+                **self._session_kwargs_for(token)
             )
         elif source is not None:
-            session = self._make_session(source)
+            session = self._make_session(source, token)
         else:
             raise ReproError("restore needs an image or a source")
         entry = _Entry(token, session, title or token)
@@ -273,6 +304,11 @@ class SessionHost:
         with self._lock:
             return tuple(self._entries)
 
+    def has_token(self, token):
+        """Is a session (resident or evicted) registered under ``token``?"""
+        with self._lock:
+            return token in self._entries
+
     def __len__(self):
         with self._lock:
             return len(self._entries)
@@ -303,7 +339,7 @@ class SessionHost:
             entry.image,
             host_impls=self._make_host_impls(),
             services=self._make_services(),
-            **self.session_kwargs
+            **self._session_kwargs_for(entry.token)
         )
         entry.image = None
         entry.dirty = True  # recompute + compare; generation is stable
@@ -680,21 +716,35 @@ class SessionHost:
 
     # -- introspection ------------------------------------------------------
 
-    def stats(self):
-        """Pool + metric snapshot for the ``stats`` protocol op."""
+    def healthz(self):
+        """Cheap liveness payload: session counts, no metric catalog.
+
+        This is what ``GET /healthz`` answers and what the cluster
+        supervisor's ``__status__`` probe embeds — it takes only the
+        registry lock, never a session lock, so a wedged session cannot
+        make the host look dead.
+        """
         with self._lock:
             resident = self._resident_count()
             total = len(self._entries)
             quarantined = sum(
                 1 for e in self._entries.values() if e.quarantined
             )
-        stats = {
+        return {
             "sessions": total,
             "resident": resident,
             "evicted": total - resident,
             "quarantined": quarantined,
             "pool_size": self.pool_size,
+            "journaling": self.journal is not None,
         }
+
+    def stats(self):
+        """Pool + metric snapshot for the ``stats`` protocol op."""
+        stats = self.healthz()
+        del stats["journaling"]
+        if self.memo_store is not None:
+            stats["shared_memo"] = self.memo_store.stats()
         stats["metrics"] = self.metrics()
         return stats
 

@@ -235,7 +235,19 @@ def _op_create(host, request):
     source = request.get("source")
     if source is not None and not isinstance(source, str):
         raise BadRequest("create: 'source' must be a string")
-    token = host.create(source=source, title=request.get("title"))
+    token = request.get("token")
+    if token is not None and not isinstance(token, str):
+        raise BadRequest("create: 'token' must be a string")
+    if token is not None and host.has_token(token):
+        # Idempotent create-under-token: the cluster front mints tokens
+        # and may retry a create whose worker died after journaling it —
+        # the recovered session *is* the one the retry asks for.
+        with host.session(token) as entry:
+            page = entry.session.runtime.page_name()
+        return _ok("create", token=token, page=page, existing=True)
+    token = host.create(
+        source=source, title=request.get("title"), token=token
+    )
     with host.session(token) as entry:
         page = entry.session.runtime.page_name()
     return _ok("create", token=token, page=page)

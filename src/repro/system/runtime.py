@@ -62,6 +62,7 @@ class Runtime:
         faithful=False,
         reuse_boxes=False,
         memo_render=False,
+        memo_store=None,
         fault_policy="raise",
         tracer=None,
         budget=None,
@@ -84,6 +85,7 @@ class Runtime:
             faithful=faithful,
             reuse_boxes=reuse_boxes,
             memo_render=memo_render,
+            memo_store=memo_store,
             tracer=self.tracer,
             budget=budget,
             chaos=chaos,

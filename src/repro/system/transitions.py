@@ -86,6 +86,7 @@ class System:
         faithful=False,
         reuse_boxes=False,
         memo_render=False,
+        memo_store=None,
         check_updates=True,
         tracer=None,
         budget=None,
@@ -122,15 +123,25 @@ class System:
         #: Render-function memoization (repro.eval.memo) — only the CEK
         #: machine supports it.  UPDATE swaps the whole evaluator (and
         #: with it the per-code-version RenderMemo *view*), but entries
-        #: live in one update-surviving MemoStore (repro.incremental)
-        #: owned here for the life of the system.
-        self.memo_render = memo_render and not faithful
+        #: live in one update-surviving MemoStore (repro.incremental).
+        #: By default the store is private and owned here for the life
+        #: of the system; ``memo_store`` injects a shared one instead —
+        #: typically a :class:`~repro.incremental.store.SessionMemoView`
+        #: over a per-program store (repro.cluster), so sessions running
+        #: the same app warm each other.  Injecting a store implies
+        #: memoization.
+        self.memo_render = (
+            (memo_render or memo_store is not None) and not faithful
+        )
         self.render_memo = None
         self._memo_store = None
         if self.memo_render:
-            from ..incremental.store import MemoStore
+            if memo_store is not None:
+                self._memo_store = memo_store
+            else:
+                from ..incremental.store import MemoStore
 
-            self._memo_store = MemoStore(tracer=self.tracer)
+                self._memo_store = MemoStore(tracer=self.tracer)
         #: Per-render memo deltas of the most recent RENDER, and of the
         #: first RENDER after the most recent UPDATE (what the edit →
         #: re-render loop actually reused).  Empty dicts until the

@@ -1,0 +1,1 @@
+"""repro.cluster — sharded serving, transport, shared memo tier."""

@@ -1,0 +1,230 @@
+"""The cross-process memo tier: cache server, client, tiered store."""
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.api import Tracer
+from repro.cluster import CacheClient, CacheServer, TieredMemoStore
+from repro.cluster.transport import FrameClient
+from repro.incremental import MemoEntry
+from repro.incremental.store import REMOTE_ORIGIN
+
+
+def entry(tag, origin="session-a"):
+    # ``reads`` slots are mutable [name, version, value] triples — the
+    # shape the validator re-stamps in place.
+    return MemoEntry(
+        digest="d{}".format(tag), arg=None,
+        reads=[["g", 7, 42]], items=[], value=tag, boxes=0,
+        origin=origin,
+    )
+
+
+@pytest.fixture
+def tier():
+    server = CacheServer(lease_timeout=0.05).start()
+    clients = []
+
+    def connect(tracer=None):
+        client = CacheClient(server.address, tracer=tracer)
+        clients.append(client)
+        return client
+
+    try:
+        yield server, connect
+    finally:
+        for client in clients:
+            client.close()
+        server.stop()
+
+
+def raw_roundtrip(server, request):
+    client = FrameClient(server.address)
+    try:
+        return pickle.loads(client.request(pickle.dumps(request)))
+    finally:
+        client.close()
+
+
+class TestCacheServer:
+    def test_put_get_roundtrip(self, tier):
+        server, _connect = tier
+        assert raw_roundtrip(server, ("get", b"k")) == ("miss",)
+        assert raw_roundtrip(server, ("put", b"k", b"blob")) == ("ok",)
+        assert raw_roundtrip(server, ("get", b"k")) == ("hit", b"blob")
+
+    def test_clear_bumps_epoch_and_invalidates(self, tier):
+        server, _connect = tier
+        raw_roundtrip(server, ("put", b"k", b"blob"))
+        assert raw_roundtrip(server, ("clear",)) == ("ok",)
+        assert raw_roundtrip(server, ("get", b"k")) == ("miss",)
+        assert raw_roundtrip(server, ("stats",))[1]["epoch"] == 2
+
+    def test_lru_eviction(self):
+        server = CacheServer(max_entries=2, lease_timeout=0.01).start()
+        try:
+            raw_roundtrip(server, ("put", b"a", b"1"))
+            raw_roundtrip(server, ("put", b"b", b"2"))
+            raw_roundtrip(server, ("get", b"a"))   # refresh a; b is LRU
+            raw_roundtrip(server, ("put", b"c", b"3"))
+            assert raw_roundtrip(server, ("get", b"b")) == ("miss",)
+            assert raw_roundtrip(server, ("get", b"a")) == ("hit", b"1")
+            assert raw_roundtrip(server, ("stats",))[1]["evictions"] == 1
+        finally:
+            server.stop()
+
+    def test_bad_frame_is_a_typed_error_reply(self, tier):
+        server, _connect = tier
+        reply = raw_roundtrip(server, ("frobnicate",))
+        assert reply[0] == "error"
+
+    def test_single_flight_lease(self):
+        server = CacheServer(lease_timeout=2.0).start()
+        try:
+            # First getter misses immediately and takes the lease.
+            started = time.perf_counter()
+            assert raw_roundtrip(server, ("get", b"k")) == ("miss",)
+            assert time.perf_counter() - started < 0.5
+
+            # A concurrent getter waits for the holder's publish...
+            replies = []
+            waiter = threading.Thread(
+                target=lambda: replies.append(
+                    raw_roundtrip(server, ("get", b"k"))
+                )
+            )
+            waiter.start()
+            time.sleep(0.1)
+            raw_roundtrip(server, ("put", b"k", b"computed"))
+            waiter.join(timeout=5)
+            # ...and leaves with the entry instead of recomputing.
+            assert replies == [("hit", b"computed")]
+            stats = raw_roundtrip(server, ("stats",))[1]
+            assert stats["lease_waits"] >= 1
+            assert stats["lease_hits"] >= 1
+        finally:
+            server.stop()
+
+    def test_expired_lease_falls_back_to_miss(self):
+        server = CacheServer(lease_timeout=0.05).start()
+        try:
+            assert raw_roundtrip(server, ("get", b"k")) == ("miss",)
+            time.sleep(0.1)  # the holder never publishes
+            assert raw_roundtrip(server, ("get", b"k")) == ("miss",)
+        finally:
+            server.stop()
+
+
+class TestCacheClient:
+    def test_publish_and_get(self, tier):
+        server, connect = tier
+        client = connect(tracer=Tracer())
+        client.put(b"k", b"blob")
+        assert client.flush(timeout=5)
+        assert client.get(b"k") == b"blob"
+        assert client.get(b"absent") is None
+
+    def test_batched_publishes_all_arrive(self, tier):
+        server, connect = tier
+        client = connect()
+        for n in range(100):
+            client.put("k{}".format(n).encode(), b"v")
+        assert client.flush(timeout=5)
+        # Allow the last in-flight batch to land.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if raw_roundtrip(server, ("stats",))[1]["puts"] >= 100:
+                break
+            time.sleep(0.01)
+        assert raw_roundtrip(server, ("stats",))[1]["puts"] >= 100
+
+    def test_dead_server_degrades_to_cache_off(self):
+        server = CacheServer().start()
+        address = server.address
+        server.stop()
+        tracer = Tracer()
+        client = CacheClient(address, timeout=0.5, tracer=tracer)
+        try:
+            assert client.get(b"k") is None  # no exception escapes
+            client.put(b"k", b"blob")
+            client.flush(timeout=1)
+            metrics = tracer.metrics()
+            assert metrics["cluster.memo.remote_errors"] >= 1
+        finally:
+            client.close()
+
+
+class TestTieredMemoStore:
+    def test_import_restamps_reads_and_origin(self, tier):
+        _server, connect = tier
+        producer_tracer = Tracer()
+        producer = TieredMemoStore(
+            connect(tracer=producer_tracer), tracer=producer_tracer
+        )
+        produced = entry(1, origin="session-a")
+        producer.put(("d1", None), produced)
+        assert producer._client.flush(timeout=5)
+
+        importer_tracer = Tracer()
+        importer = TieredMemoStore(
+            connect(tracer=importer_tracer), tracer=importer_tracer
+        )
+        imported = importer.get(("d1", None))
+        assert imported is not None
+        assert imported.value == 1
+        # Foreign version stamps can never validate by integer compare:
+        # every read slot is re-stamped -1, forcing the value path.
+        assert [read[1] for read in imported.reads] == [-1]
+        assert imported.origin == REMOTE_ORIGIN
+        assert importer_tracer.metrics()["cluster.memo.remote_hits"] == 1
+        # The import landed in L1: the next get is local.
+        assert importer.get(("d1", None)) is imported
+
+    def test_local_hit_skips_the_remote_tier(self, tier):
+        _server, connect = tier
+        tracer = Tracer()
+        store = TieredMemoStore(connect(tracer=tracer), tracer=tracer)
+        store.put(("d1", None), entry(1))
+        store.get(("d1", None))
+        metrics = tracer.metrics()
+        assert metrics["cluster.memo.remote_hits"] == 0
+        assert metrics["cluster.memo.remote_misses"] == 0
+
+    def test_clear_nukes_both_tiers(self, tier):
+        server, connect = tier
+        store = TieredMemoStore(connect())
+        store.put(("d1", None), entry(1))
+        assert store._client.flush(timeout=5)
+        store.clear()
+        assert len(store) == 0
+        # A fresh store sees nothing remotely either.
+        other = TieredMemoStore(connect(tracer=Tracer()))
+        assert other.get(("d1", None)) is None
+
+    def test_miss_streak_backs_off_remote_probes(self, tier):
+        _server, connect = tier
+        tracer = Tracer()
+        store = TieredMemoStore(connect(tracer=tracer), tracer=tracer)
+        probes = store.MISS_STREAK + 40
+        for n in range(probes):
+            assert store.get(("absent-{}".format(n), None)) is None
+        metrics = tracer.metrics()
+        # After MISS_STREAK consecutive misses the store stops paying a
+        # round trip per probe (a cold program is cold everywhere)...
+        assert metrics["cluster.memo.remote_skips"] > 0
+        assert (metrics["cluster.memo.remote_misses"]
+                + metrics["cluster.memo.remote_skips"]) == probes
+        assert metrics["cluster.memo.remote_misses"] < probes
+
+    def test_unpicklable_key_stays_local(self, tier):
+        _server, connect = tier
+        tracer = Tracer()
+        store = TieredMemoStore(connect(tracer=tracer), tracer=tracer)
+        key = ("d1", threading.Lock())  # pickling this raises
+        assert store.get(key) is None
+        store.put(key, entry(1))
+        assert store.get(key) is not None  # local round trip still works
+        assert tracer.metrics()["cluster.memo.remote_hits"] == 0

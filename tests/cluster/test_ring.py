@@ -1,0 +1,78 @@
+"""Consistent hashing: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.core.errors import ReproError
+
+TOKENS = ["s-{:04x}".format(n) for n in range(2000)]
+
+
+class TestLookup:
+    def test_deterministic_and_in_slots(self):
+        ring = HashRing(range(4))
+        for token in TOKENS[:100]:
+            slot = ring.lookup(token)
+            assert slot in ring.slots
+            assert ring.lookup(token) == slot  # stable across calls
+
+    def test_stable_across_ring_instances(self):
+        first = HashRing(range(4))
+        second = HashRing(range(4))
+        assert [first.lookup(t) for t in TOKENS[:200]] == [
+            second.lookup(t) for t in TOKENS[:200]
+        ]
+
+    def test_single_slot_takes_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.lookup(t) == "only" for t in TOKENS[:50])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ReproError):
+            HashRing([])
+
+
+class TestBalance:
+    def test_every_slot_owns_a_fair_share(self):
+        ring = HashRing(range(4))
+        spread = ring.spread(TOKENS)
+        assert set(spread) == {0, 1, 2, 3}
+        fair = len(TOKENS) / 4
+        for slot, count in spread.items():
+            # 64 virtual points keep the worst slot within ~2x of fair.
+            assert count > fair / 2, spread
+            assert count < fair * 2, spread
+
+
+class TestMovement:
+    def test_removal_moves_only_the_removed_slots_tokens(self):
+        ring = HashRing(range(4))
+        before = {token: ring.lookup(token) for token in TOKENS}
+        shrunk = ring.without(2)
+        moved = 0
+        for token, slot in before.items():
+            after = shrunk.lookup(token)
+            if slot == 2:
+                moved += 1
+                assert after != 2
+            else:
+                # Survivors' tokens must not shuffle.
+                assert after == slot
+        assert moved == sum(1 for s in before.values() if s == 2)
+
+    def test_without_unknown_slot_rejected(self):
+        with pytest.raises(ReproError):
+            HashRing(range(2)).without(9)
+
+    def test_exclude_matches_permanent_removal(self):
+        # The exclude walk previews exactly where a retire would send
+        # each token, so rebalance can be computed on the old ring.
+        ring = HashRing(range(4))
+        shrunk = ring.without(1)
+        for token in TOKENS[:500]:
+            assert ring.lookup(token, exclude=(1,)) == shrunk.lookup(token)
+
+    def test_all_excluded_rejected(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ReproError):
+            ring.lookup("s-1", exclude=(0, 1))

@@ -1,0 +1,166 @@
+"""The length-prefixed frame transport under the cluster."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import FrameClient, FrameServer, TransportError
+from repro.cluster.transport import (
+    ClientPool,
+    decode_json,
+    encode_json,
+    recv_frame,
+    send_frame,
+)
+
+
+def echo(payload):
+    return payload
+
+
+@pytest.fixture
+def server():
+    server = FrameServer(echo).start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+class TestFrames:
+    def test_roundtrip_over_a_socket_pair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, b"hello")
+            assert recv_frame(right) == b"hello"
+            send_frame(right, b"")
+            assert recv_frame(left) == b""
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_torn_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x00\x08abc")  # promises 8, sends 3
+            left.close()
+            with pytest.raises(TransportError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_json_codec_roundtrip(self):
+        frame = encode_json({"op": "render", "n": 3})
+        assert decode_json(frame) == {"op": "render", "n": 3}
+
+
+class TestClientServer:
+    def test_request_reply(self, server):
+        client = FrameClient(server.address)
+        try:
+            assert client.request(b"ping") == b"ping"
+        finally:
+            client.close()
+
+    def test_large_frame(self, server):
+        client = FrameClient(server.address)
+        try:
+            blob = b"x" * (4 * 1024 * 1024)
+            assert client.request(blob) == blob
+        finally:
+            client.close()
+
+    def test_request_after_server_stop_raises(self):
+        server = FrameServer(echo).start()
+        client = FrameClient(server.address)
+        try:
+            assert client.request(b"up") == b"up"
+            server.stop()
+            with pytest.raises(TransportError):
+                client.request(b"down")
+        finally:
+            client.close()
+
+    def test_client_reconnects_between_requests(self, server):
+        client = FrameClient(server.address)
+        try:
+            assert client.request(b"one") == b"one"
+            client._sock.close()  # sever the wire behind the client
+            # The failed send is detected and the request raises; the
+            # next call reconnects transparently.
+            try:
+                client.request(b"two")
+            except TransportError:
+                pass
+            assert client.request(b"three") == b"three"
+        finally:
+            client.close()
+
+    def test_stop_drains_in_flight_requests(self):
+        release = threading.Event()
+
+        def slow(payload):
+            release.wait(5)
+            return payload
+
+        server = FrameServer(slow).start()
+        client = FrameClient(server.address)
+        replies = []
+        thread = threading.Thread(
+            target=lambda: replies.append(client.request(b"slow"))
+        )
+        thread.start()
+        time.sleep(0.1)  # let the request reach the handler
+        release.set()
+        assert server.stop(drain_timeout=5)
+        thread.join(timeout=5)
+        client.close()
+        assert replies == [b"slow"]
+
+
+class TestClientPool:
+    def test_concurrent_requests_share_the_pool(self, server):
+        pool = ClientPool(server.address, size=3)
+        results = []
+
+        def worker(n):
+            payload = "req-{}".format(n).encode()
+            results.append(pool.request(payload) == payload)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        pool.close()
+        assert results == [True] * 12
+
+    def test_request_json(self, server):
+        pool = ClientPool(server.address, size=1)
+        try:
+            assert pool.request_json({"a": 1}) == {"a": 1}
+        finally:
+            pool.close()
+
+    def test_retarget_moves_to_a_new_server(self, server):
+        replacement = FrameServer(lambda p: b"v2:" + p).start()
+        pool = ClientPool(server.address, size=2)
+        try:
+            assert pool.request(b"x") == b"x"
+            pool.retarget(replacement.address)
+            assert pool.request(b"x") == b"v2:x"
+        finally:
+            pool.close()
+            replacement.stop()
