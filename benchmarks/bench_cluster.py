@@ -47,6 +47,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from conftest import append_bench_record  # noqa: E402
 
+from repro.obs.histo import percentile
 from repro.apps.gallery import function_gallery_source
 from repro.api import Tracer
 from repro.cluster import ClusterRouter, ClusterSupervisor
@@ -62,13 +63,10 @@ BENCH_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
 CHECK_RATIO_FLOOR = 1.5
 
 
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# The one shared nearest-rank implementation (repro.obs.histo) —
+# identical math to the former local copy, so committed baselines in
+# the BENCH_*.json trajectories stay comparable.
+_percentile = percentile
 
 
 def _connect(port):

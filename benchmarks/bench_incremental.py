@@ -45,6 +45,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from conftest import append_bench_record, latest_baselines  # noqa: E402
 
+from repro.obs.histo import percentile
 from repro.apps.gallery import function_gallery_source
 from repro.apps.mortgage import compile_mortgage
 from repro.stdlib.web import make_services
@@ -59,13 +60,10 @@ REGRESSION_TOLERANCE = 1.20
 GALLERY_ROWS, GALLERY_COLS = 30, 6
 
 
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# The one shared nearest-rank implementation (repro.obs.histo) —
+# identical math to the former local copy, so committed baselines in
+# the BENCH_*.json trajectories stay comparable.
+_percentile = percentile
 
 
 def _gallery_variants():

@@ -47,6 +47,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from conftest import append_bench_record, latest_baselines  # noqa: E402
 
+from repro.obs.histo import percentile
 from repro.apps.counter import SOURCE
 from repro.provenance import replay_to
 from repro.resilience.journal import Journal
@@ -70,13 +71,10 @@ WORKLOADS = {
 SESSION_KWARGS = {"reuse_boxes": True, "memo_render": True}
 
 
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# The one shared nearest-rank implementation (repro.obs.histo) —
+# identical math to the former local copy, so committed baselines in
+# the BENCH_*.json trajectories stay comparable.
+_percentile = percentile
 
 
 def _record_journal(directory, events, checkpoint_every):

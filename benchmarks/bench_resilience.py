@@ -27,6 +27,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.obs.histo import percentile
 from repro.apps.counter import SOURCE as COUNTER
 from repro.api import Tracer
 from repro.api import Journal
@@ -42,13 +43,10 @@ SESSION_KWARGS = {
 }
 
 
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# The one shared nearest-rank implementation (repro.obs.histo) —
+# identical math to the former local copy, so committed baselines in
+# the BENCH_*.json trajectories stay comparable.
+_percentile = percentile
 
 
 def _drive(host, tokens, rng, ops, latencies):

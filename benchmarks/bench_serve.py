@@ -29,6 +29,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from conftest import append_bench_record  # noqa: E402
 
+from repro.obs.histo import percentile
 from repro.apps.counter import SOURCE as COUNTER
 from repro.api import Tracer
 from repro.serve.host import SessionHost
@@ -38,13 +39,10 @@ SERVE_PATH = Path(__file__).parent.parent / "BENCH_serve.json"
 EDITED = COUNTER.replace('"count: "', '"taps: "')
 
 
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# The one shared nearest-rank implementation (repro.obs.histo) —
+# identical math to the former local copy, so committed baselines in
+# the BENCH_*.json trajectories stay comparable.
+_percentile = percentile
 
 
 def _drive(host, tokens, rng, ops, latencies):

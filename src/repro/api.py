@@ -9,7 +9,9 @@ One front door for the five classes an embedding application needs:
 * :class:`SessionHost` — the multi-session server: token-keyed pool,
   image-backed eviction, circuit breakers;
 * :class:`Journal` — write-ahead durability for a host's sessions;
-* :class:`Tracer` — structured tracing and the metric catalog.
+* :class:`Tracer` — structured tracing and the metric catalog;
+* :class:`Histogram` / :func:`percentile` — mergeable latency
+  histograms and the exact percentile helper (``repro.obs.histo``).
 
 The cluster layer (:mod:`repro.cluster`) is re-exported by name:
 :class:`ClusterSupervisor` / :class:`ClusterRouter` shard a host across
@@ -44,6 +46,7 @@ from .eval.natives import EMPTY_NATIVES
 from .incremental.store import MemoStore
 from .live.session import EditResult
 from .live.session import LiveSession as _LiveSession
+from .obs.histo import Histogram, percentile
 from .obs.trace import Tracer as _Tracer
 from .provenance import (
     DivergenceReport,
@@ -64,6 +67,7 @@ __all__ = [
     "ClusterSupervisor",
     "DivergenceReport",
     "EditResult",
+    "Histogram",
     "Journal",
     "LiveSession",
     "MemoStore",
@@ -75,6 +79,7 @@ __all__ = [
     "Tracer",
     "WhyReport",
     "divergence_report",
+    "percentile",
     "replay_session",
     "replay_to",
     "why",
@@ -190,5 +195,5 @@ class Journal(_Journal):
 class Tracer(_Tracer):
     """:class:`repro.obs.trace.Tracer` with keyword-only config."""
 
-    def __init__(self, *, sinks=None):
-        super().__init__(sinks=sinks)
+    def __init__(self, *, sinks=None, id_prefix=None):
+        super().__init__(sinks=sinks, id_prefix=id_prefix)

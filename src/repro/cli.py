@@ -10,8 +10,13 @@ Commands:
   HTML document;
 * ``probe``   — evaluate an expression in the program's context;
 * ``trace``   — run a scripted interaction under a real tracer — or
-  re-derive the trace from a recorded journal with ``--journal DIR`` —
-  and print the span tree + metric table (see ``docs/OBSERVABILITY.md``);
+  re-derive the trace from a recorded journal with ``--journal DIR``,
+  or stitch the cross-process trace of one request from a running
+  cluster with ``--cluster URL`` — and print the span tree + metric
+  table (see ``docs/OBSERVABILITY.md``);
+* ``top``     — live ANSI dashboard polling a running server's
+  ``/metrics``: req/s, per-op p50/p95, worker liveness and respawns,
+  shared-cache hit rate, breaker states;
 * ``serve``   — run the multi-session JSON API server with an LRU
   session pool (see ``docs/SERVER.md``);
 * ``replay``  — deterministically replay a recorded journal: time-travel
@@ -203,7 +208,61 @@ def _auto_interact(session, taps=2):
     return performed
 
 
+def _trace_cluster(args, out):
+    """``repro trace --cluster URL``: drive one request against a
+    running server and print its stitched cross-process span tree."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from .obs.sinks import spans_from_dicts
+
+    base = args.cluster.rstrip("/")
+
+    def post(body):
+        data = _json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            base + "/", data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=30.0
+            ) as response:
+                return _json.loads(response.read())
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            raise ReproError(
+                "cannot reach {}: {}".format(base, error)
+            ) from error
+
+    trace_id = args.trace_id
+    if trace_id is None:
+        create = post({"op": "create"})
+        if not create.get("ok"):
+            raise ReproError(
+                "create against {} failed: {}".format(
+                    base, create.get("error")
+                )
+            )
+        response = post({"op": "render", "token": create["token"]})
+        trace_id = response.get("trace_id")
+        if trace_id is None:
+            raise ReproError(
+                "{} reported no trace_id — cross-process tracing needs "
+                "a cluster front (repro serve --cluster-workers N)"
+                .format(base)
+            )
+    stats = post({"op": "stats", "trace_id": trace_id})
+    spans = stats.get("trace") or []
+    print("cluster trace {} from {}:".format(trace_id, base), file=out)
+    print(file=out)
+    print(format_span_tree(spans_from_dicts(spans)), file=out)
+    return 0
+
+
 def cmd_trace(args, out):
+    if getattr(args, "cluster", None):
+        return _trace_cluster(args, out)
     tracer = _make_tracer(args) or Tracer()
     if args.journal:
         # Journal-derived trace: replay the recorded session under the
@@ -386,6 +445,24 @@ def _install_graceful_signals(server):
     except ValueError:  # not the main thread
         pass
     return stopping
+
+
+def cmd_top(args, out):
+    from .obs.top import run_top
+
+    url = args.url.rstrip("/")
+    if not url.endswith("/metrics"):
+        url += "/metrics"
+    try:
+        return run_top(
+            url,
+            interval=args.interval,
+            iterations=args.iterations,
+            out=out,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 def cmd_serve(args, out):
@@ -700,8 +777,40 @@ def build_parser():
         "--token", default=None,
         help="session token inside the journal (default: only session)",
     )
+    p_trace.add_argument(
+        "--cluster", metavar="URL", default=None,
+        help="stitch the cross-process span tree of one request "
+             "against a running cluster front at URL",
+    )
+    p_trace.add_argument(
+        "--trace-id", default=None,
+        help="with --cluster: fetch this trace instead of driving a "
+             "fresh create+render",
+    )
     jsonl_option(p_trace)
     p_trace.set_defaults(handler=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a running server's /metrics "
+             "(req/s, per-op p50/p95, worker liveness, cache hit rate)",
+    )
+    p_top.add_argument(
+        "url", help="server base URL (or its /metrics URL directly)"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between scrapes (default 2)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="draw N frames then exit (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of redrawing the screen",
+    )
+    p_top.set_defaults(handler=cmd_top)
 
     p_replay = sub.add_parser(
         "replay",

@@ -43,7 +43,7 @@ from collections import OrderedDict
 
 from ..core.errors import ReproError
 from ..incremental.store import REMOTE_ORIGIN, MemoStore
-from ..obs.trace import NULL_TRACER
+from ..obs.trace import NULL_TRACER, clock
 from .transport import ClientPool, FrameServer, TransportError
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
@@ -108,6 +108,7 @@ class CacheServer:
     # -- request handling ---------------------------------------------------
 
     def _handle(self, payload):
+        started = clock()
         try:
             request = pickle.loads(payload)
             kind = request[0]
@@ -126,6 +127,10 @@ class CacheServer:
                 reply = ("error", "unknown request {!r}".format(kind))
         except Exception as error:  # a bad frame must not kill the tier
             reply = ("error", "{}: {}".format(type(error).__name__, error))
+        if self.tracer.enabled:
+            # Server-side service time — the front's half of the cache
+            # latency story (the workers' halves are cache.get/cache.put).
+            self.tracer.observe("cache.server", clock() - started)
         return pickle.dumps(reply, _PROTOCOL)
 
     def _get(self, key):
@@ -233,11 +238,15 @@ class CacheClient:
 
     def get(self, key_bytes):
         """The pickled entry for ``key_bytes``, or ``None``."""
+        started = clock()
         try:
             reply = self._roundtrip(("get", key_bytes))
         except (TransportError, OSError, pickle.PickleError):
             self.tracer.add("cluster.memo.remote_errors")
             return None
+        finally:
+            if self.tracer.enabled:
+                self.tracer.observe("cache.get", clock() - started)
         if reply[0] == "hit":
             return reply[1]
         return None
@@ -267,6 +276,7 @@ class CacheClient:
                     self._publish_queue.put(None)  # re-arm shutdown
                     break
                 batch.append(extra)
+            started = clock()
             try:
                 if len(batch) == 1:
                     self._roundtrip(("put", batch[0][0], batch[0][1]))
@@ -275,6 +285,9 @@ class CacheClient:
                 self.tracer.add("cluster.memo.publishes", len(batch))
             except (TransportError, OSError, pickle.PickleError):
                 self.tracer.add("cluster.memo.publish_errors", len(batch))
+            finally:
+                if self.tracer.enabled:
+                    self.tracer.observe("cache.put", clock() - started)
 
     def clear(self):
         try:

@@ -35,6 +35,7 @@ import subprocess
 import sys
 import tempfile
 import threading
+import time
 
 from ..core.errors import ReproError
 from ..obs.trace import NULL_TRACER
@@ -57,7 +58,7 @@ class _Slot:
 
     __slots__ = ("slot", "directory", "journal_dir", "config_path",
                  "port_file", "log_path", "process", "pool", "ping",
-                 "port", "restarts", "retired", "lock")
+                 "port", "restarts", "retired", "lock", "last_ping")
 
     def __init__(self, slot, directory):
         self.slot = slot
@@ -73,6 +74,10 @@ class _Slot:
         self.restarts = 0
         self.retired = False
         self.lock = threading.Lock()   # serializes spawn/revive/retire
+        # monotonic time of the last successful __status__ round trip;
+        # healthz reports its age so a wedged-but-alive worker (process
+        # up, socket unresponsive) is visible before it is dead.
+        self.last_ping = None
 
     @property
     def alive(self):
@@ -338,6 +343,16 @@ class ClusterSupervisor:
                         self.revive(slot.slot)
                     except (WorkerDied, ReproError):
                         pass  # next tick retries; front revives on demand
+                elif slot.ping is not None:
+                    # Liveness beyond the process table: a __status__
+                    # round trip proves the worker *answers*.  Its age
+                    # (healthz's last_ping_age_seconds) is the only
+                    # signal for a wedged-but-running worker.
+                    try:
+                        slot.ping.request_json({"op": "__status__"})
+                        slot.last_ping = time.monotonic()
+                    except TransportError:
+                        pass  # age keeps growing; healthz shows it
 
     # -- rebalance ----------------------------------------------------------
 
@@ -396,10 +411,18 @@ class ClusterSupervisor:
             elif slot.ping is not None:
                 try:
                     status = slot.ping.request_json({"op": "__status__"})
+                    slot.last_ping = time.monotonic()
                     info["healthz"] = status.get("healthz")
                 except TransportError:
                     info["alive"] = False
                     all_alive = False
+            # Age of the last successful liveness ping (monitor loop or
+            # this call): a growing age on an "alive" worker means
+            # wedged, not healthy — degraded-but-up, made visible.
+            info["last_ping_age_seconds"] = (
+                round(time.monotonic() - slot.last_ping, 3)
+                if slot.last_ping is not None else None
+            )
             workers.append(info)
         payload = {
             "ok": all_alive,
@@ -428,3 +451,64 @@ class ClusterSupervisor:
     def metrics(self):
         with self._metrics_lock:
             return self.tracer.metrics()
+
+    def observability_snapshot(self):
+        """``(counters, gauges, histograms)`` of the front process's own
+        tracer (routing counters, cache-server latencies, …) — the
+        front-side contribution to ``/metrics``."""
+        with self._metrics_lock:
+            return (
+                dict(self.tracer.counters),
+                dict(self.tracer.gauges),
+                self.tracer.histogram_snapshots(),
+            )
+
+    def worker_metrics(self):
+        """Each live worker's ``__metrics__`` payload, by slot."""
+        payloads = {}
+        for slot in self._slots.values():
+            if slot.retired or slot.ping is None:
+                continue
+            try:
+                response = slot.ping.request_json({"op": "__metrics__"})
+            except TransportError:
+                continue
+            if response.get("ok"):
+                payloads[slot.slot] = response
+        return payloads
+
+    def worker_traces(self, trace_id):
+        """Serialized span dicts for ``trace_id`` from every live
+        worker — the remote halves of one distributed trace."""
+        spans = []
+        for slot in sorted(self._slots.values(), key=lambda s: s.slot):
+            if slot.retired or slot.ping is None:
+                continue
+            try:
+                response = slot.ping.request_json(
+                    {"op": "__trace__", "trace_id": trace_id}
+                )
+            except TransportError:
+                continue
+            if response.get("ok"):
+                spans.extend(response.get("spans") or ())
+        return spans
+
+    def slot_gauges(self):
+        """Per-slot liveness gauges for ``/metrics``: up/respawns/ping
+        age, each as a labeled per-worker series (never summed)."""
+        now = time.monotonic()
+        up, respawns, ping_age = {}, {}, {}
+        for slot in sorted(self._slots.values(), key=lambda s: s.slot):
+            label = str(slot.slot)
+            up[label] = 0 if slot.retired else int(slot.alive)
+            respawns[label] = slot.restarts
+            if slot.last_ping is not None:
+                ping_age[label] = round(now - slot.last_ping, 3)
+        gauges = {
+            "cluster.worker.up": up,
+            "cluster.worker.respawns": respawns,
+        }
+        if ping_age:
+            gauges["cluster.worker.ping_age_seconds"] = ping_age
+        return gauges

@@ -16,7 +16,17 @@ Three internal ops ride the same socket but never the public HTTP face
 * ``__drain__``  — graceful shutdown: stop accepting, finish in-flight
   requests, flush the memo publisher, close the journal, exit 0;
 * ``__adopt__``  — rebalance: replay one token out of a *retired*
-  worker's journal into this host (see :func:`adopt_session`).
+  worker's journal into this host (see :func:`adopt_session`);
+* ``__metrics__`` — counters, gauges and latency histograms in
+  mergeable form, pulled by the front's ``GET /metrics`` aggregation;
+* ``__trace__``  — the worker's finished spans for one ``trace_id``,
+  serialized for the front's cross-process trace stitching.
+
+Public (non-``__``) requests arrive stamped with a ``"_trace"`` header
+— ``{"id": trace_id, "parent": front_span_id}`` — which the worker pops
+and turns into an ``rpc.<op>`` span opened *under the front's span id*
+(:meth:`repro.obs.trace.Tracer.span_under`), so every span this worker
+records for the request parents into the front's trace tree.
 
 **Crash contract.**  The worker write-ahead journals every state-
 changing op (``repro.resilience``), so ``kill -9`` loses nothing
@@ -36,6 +46,7 @@ import sys
 import threading
 
 from ..core.errors import EvalError, ReproError
+from ..obs.sinks import filter_trace
 from ..obs.trace import Tracer
 from ..resilience.journal import (
     Journal, _collate, _replay_event, recover,
@@ -111,7 +122,12 @@ class Worker:
     def __init__(self, config):
         self.config = config
         self.slot = config["slot"]
-        self.tracer = Tracer()
+        # The id prefix makes span ids globally unique across the
+        # cluster ("w3.1234-17"), so this worker's spans stitch into
+        # the front's trace tree without id collisions.
+        self.tracer = Tracer(
+            id_prefix="w{}.{}".format(self.slot, os.getpid())
+        )
         cache_address = config.get("cache_address")
         self.cache_client = None
         memo_store = None
@@ -182,6 +198,10 @@ class Worker:
                           "message": "frame is not valid JSON"},
             })
         op = request.get("op") if isinstance(request, dict) else None
+        # The front's trace header rides inside the frame: popped here
+        # so the protocol dispatcher never sees it.
+        trace = (request.pop("_trace", None)
+                 if isinstance(request, dict) else None)
         try:
             if op == "__status__":
                 response = self._status()
@@ -191,6 +211,19 @@ class Worker:
                             "slot": self.slot}
             elif op == "__adopt__":
                 response = self._adopt(request)
+            elif op == "__metrics__":
+                response = self._metrics()
+            elif op == "__trace__":
+                response = self._trace(request)
+            elif isinstance(trace, dict) and self.tracer.enabled:
+                # Open this request's span under the front's op span id:
+                # the host's own op.* spans nest beneath it, so the
+                # whole worker subtree parents into the front's trace.
+                with self.tracer.span_under(
+                    trace.get("parent"), "rpc.{}".format(op),
+                    trace_id=trace.get("id"), slot=self.slot,
+                ):
+                    response = handle_request(self.host, request)
             else:
                 response = handle_request(self.host, request)
         except ReproError as error:
@@ -215,6 +248,34 @@ class Worker:
             "memo": (self.host.memo_store.stats()
                      if self.host.memo_store is not None else None),
             "recovered": (report.sessions if report is not None else 0),
+        }
+
+    def _metrics(self):
+        """``__metrics__``: this worker's counters/gauges/histograms in
+        mergeable form — what the front aggregates into ``/metrics``."""
+        counters, gauges, histograms = self.host.observability_snapshot()
+        return {
+            "ok": True,
+            "op": "__metrics__",
+            "slot": self.slot,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in histograms.items()
+            },
+        }
+
+    def _trace(self, request):
+        """``__trace__``: this worker's finished spans for one
+        distributed trace, serialized for cross-process stitching."""
+        trace_id = request.get("trace_id")
+        spans = filter_trace(self.tracer.spans(), trace_id)
+        return {
+            "ok": True,
+            "op": "__trace__",
+            "slot": self.slot,
+            "spans": [span.to_dict() for span in spans],
         }
 
     def _adopt(self, request):

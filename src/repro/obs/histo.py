@@ -1,0 +1,223 @@
+"""Mergeable latency histograms (``repro.obs.histo``).
+
+The cluster's percentile substrate: a :class:`Histogram` is a fixed set
+of **log-spaced buckets** shared by every instance in the repository, so
+two histograms recorded in different processes merge **bucket-wise**
+(counts add; no resampling, no information loss beyond the bucket
+resolution both sides already had).  That property is what lets the
+cluster front answer "p95 render latency across the fleet" exactly as
+if one process had observed every sample.
+
+Design points:
+
+* **Fixed layout.**  Bucket upper bounds grow by ``2 ** 0.25`` (~19% per
+  bucket) from 1 microsecond to ~2 minutes, plus an overflow bucket.
+  Every histogram everywhere shares :data:`BUCKET_BOUNDS`, stamped into
+  serialized form as :data:`BUCKET_SCHEMA` so a merge across versions
+  can refuse loudly instead of mis-adding.
+* **Lock-free fast path.**  :meth:`Histogram.observe` is a bisect plus
+  two integer adds — no lock.  Under the GIL a concurrent increment can
+  very occasionally be lost (a read-modify-write race), which trades a
+  strictly bounded undercount for never stalling a request thread; the
+  merge/quantile math never depends on cross-field consistency.
+* **Quantiles with a known error bound.**  :meth:`Histogram.quantile`
+  interpolates within the winning bucket, so the estimate is off by at
+  most one bucket's width: relative error ≤ ``2**0.25 - 1`` (~19%).
+
+:func:`percentile` is the *exact* companion for callers that hold the
+raw samples (the benchmark suite) — one shared implementation instead
+of the ad-hoc ``_percentile`` copies the benches used to carry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Per-bucket growth factor: four buckets per doubling (~19% wide).
+BUCKET_GROWTH = 2 ** 0.25
+
+#: Smallest bucket upper bound, in seconds.
+BUCKET_FLOOR = 1e-6
+
+
+def _build_bounds():
+    bounds = []
+    value = BUCKET_FLOOR
+    while value <= 128.0:
+        bounds.append(value)
+        value *= BUCKET_GROWTH
+    return tuple(bounds)
+
+
+#: The one shared bucket layout: upper bounds in seconds, ascending.
+#: Values above the last bound land in the overflow (+Inf) bucket.
+BUCKET_BOUNDS = _build_bounds()
+
+#: Schema tag stamped into serialized histograms; a merge between
+#: different layouts must fail loudly, never add misaligned buckets.
+BUCKET_SCHEMA = "log2q4:{:g}:{}".format(BUCKET_FLOOR, len(BUCKET_BOUNDS))
+
+
+class Histogram:
+    """Counts of observations in fixed log-spaced latency buckets.
+
+    ``counts[i]`` holds observations ``v`` with
+    ``BUCKET_BOUNDS[i-1] < v <= BUCKET_BOUNDS[i]`` (the first bucket has
+    no lower bound); ``counts[-1]`` is the overflow bucket.  ``count``
+    and ``total`` (the sum of observed seconds) ride along for rates
+    and means.
+    """
+
+    __slots__ = ("counts", "count", "total")
+
+    def __init__(self):
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds):
+        """Record one observation (seconds).  Lock-free; see module doc."""
+        self.counts[bisect_left(BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    # -- queries ------------------------------------------------------------
+
+    def quantile(self, fraction):
+        """The latency at ``fraction`` (0..1) of observations, estimated.
+
+        Linear interpolation within the winning bucket; relative error
+        is bounded by the bucket width (~19%).  Returns 0.0 when empty.
+        """
+        if self.count == 0:
+            return 0.0
+        if fraction <= 0:
+            fraction = 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index else 0.0
+                if index >= len(BUCKET_BOUNDS):
+                    # Overflow bucket has no upper bound to interpolate
+                    # toward; answer its lower edge.
+                    return BUCKET_BOUNDS[-1]
+                upper = BUCKET_BOUNDS[index]
+                within = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * within
+            cumulative += bucket_count
+        return BUCKET_BOUNDS[-1]
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        """A point-in-time copy safe to merge/serialize while traffic
+        keeps observing into ``self``."""
+        copy = Histogram()
+        copy.counts = list(self.counts)
+        copy.count = self.count
+        copy.total = self.total
+        return copy
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other):
+        """Bucket-wise add ``other`` into ``self`` (in place); returns
+        ``self``.  Commutative and associative over bucket counts — the
+        aggregation the cluster front relies on."""
+        counts = self.counts
+        for index, bucket_count in enumerate(other.counts):
+            counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        return self
+
+    @classmethod
+    def merged(cls, histograms):
+        """A fresh histogram holding the bucket-wise sum of them all."""
+        merged = cls()
+        for histogram in histograms:
+            merged.merge(histogram)
+        return merged
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-clean form carried over the cluster's frame transport."""
+        return {
+            "schema": BUCKET_SCHEMA,
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild from :meth:`to_dict` output; raises ``ValueError`` on
+        a foreign bucket layout (never mis-merge across schemas)."""
+        if payload.get("schema") != BUCKET_SCHEMA:
+            raise ValueError(
+                "histogram schema {!r} does not match {!r}".format(
+                    payload.get("schema"), BUCKET_SCHEMA
+                )
+            )
+        counts = payload.get("counts")
+        if (not isinstance(counts, list)
+                or len(counts) != len(BUCKET_BOUNDS) + 1):
+            raise ValueError("histogram counts have the wrong arity")
+        histogram = cls()
+        histogram.counts = [int(value) for value in counts]
+        histogram.count = int(payload.get("count", sum(histogram.counts)))
+        histogram.total = float(payload.get("total", 0.0))
+        return histogram
+
+    def __eq__(self, other):
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.counts == other.counts
+                and self.count == other.count
+                and self.total == other.total)
+
+    def __repr__(self):
+        return "Histogram(count={}, p50={:.6f}, p95={:.6f})".format(
+            self.count, self.quantile(0.5), self.quantile(0.95)
+        )
+
+
+class NullHistogram:
+    """The shared do-nothing histogram handed out by ``NullTracer``."""
+
+    __slots__ = ()
+
+    counts = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, _seconds):
+        pass
+
+    def quantile(self, _fraction):
+        return 0.0
+
+
+NULL_HISTOGRAM = NullHistogram()
+
+
+def percentile(sorted_values, fraction):
+    """Exact percentile over pre-sorted raw samples.
+
+    The one shared implementation behind every benchmark's p50/p95
+    (nearest-rank on the sorted list) — histograms answer the same
+    question when only bucket counts survived a process boundary.
+    """
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]

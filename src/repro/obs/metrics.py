@@ -1,0 +1,219 @@
+"""Prometheus text exposition + parsing (``repro.obs.metrics``).
+
+One rendering path for the ``GET /metrics`` endpoint on both server
+shapes (single host and cluster front), and the matching parser that
+``repro top`` uses to read the endpoint back.  Stdlib only.
+
+Conventions:
+
+* every metric is prefixed ``repro_`` and dots become underscores
+  (``cluster.memo.shared_hits`` → ``repro_cluster_memo_shared_hits``);
+* **counters** get the ``_total`` suffix and are *summed* across
+  workers by the cluster front before exposition;
+* **gauges** are never summed: a cluster front exposes them as one
+  labeled series per worker (``repro_..._ratio{worker="3"} 0.8``) so a
+  dashboard sees the fleet's spread instead of a nonsense sum;
+* **histograms** (:class:`~repro.obs.histo.Histogram`) are rendered as
+  cumulative ``_bucket{le="..."}`` samples plus ``_sum``/``_count``.
+  Zero-delta buckets are omitted (legal in the exposition format:
+  buckets are cumulative) which keeps the payload proportional to the
+  *occupied* buckets; :func:`histograms_from_families` reconstructs the
+  exact bucket counts from the deltas, so a scrape round-trips
+  losslessly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .histo import BUCKET_BOUNDS, Histogram
+
+#: Exposition content type (the 0.0.4 text format every scraper speaks).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def metric_name(name, suffix=""):
+    """The Prometheus spelling of a catalog name."""
+    flat = name.replace(".", "_").replace("-", "_")
+    return "repro_" + flat + suffix
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _format_bound(bound):
+    return "{:.9g}".format(bound)
+
+
+def render_prometheus(counters=None, gauges=None, histograms=None,
+                      label_key="worker"):
+    """The full ``/metrics`` document.
+
+    ``counters`` maps catalog names to numbers.  ``gauges`` maps names
+    to either a number (single process) or a ``{label: number}`` dict
+    (one labeled sample per worker).  ``histograms`` maps names to
+    :class:`~repro.obs.histo.Histogram` snapshots; histogram metric
+    names get a ``_latency_seconds`` suffix (every histogram in the
+    catalog measures latency).
+    """
+    lines = []
+    for name in sorted(counters or {}):
+        value = counters[name]
+        if not isinstance(value, (int, float)):
+            continue
+        full = metric_name(name, "_total")
+        lines.append("# TYPE {} counter".format(full))
+        lines.append("{} {}".format(full, _format_value(value)))
+    for name in sorted(gauges or {}):
+        value = gauges[name]
+        full = metric_name(name)
+        if isinstance(value, dict):
+            samples = [
+                ('{}{{{}="{}"}}'.format(full, label_key, label), item)
+                for label, item in sorted(
+                    value.items(), key=lambda pair: str(pair[0])
+                )
+                if isinstance(item, (int, float))
+            ]
+            if not samples:
+                continue
+            lines.append("# TYPE {} gauge".format(full))
+            for sample, item in samples:
+                lines.append("{} {}".format(sample, _format_value(item)))
+        elif isinstance(value, (int, float)):
+            lines.append("# TYPE {} gauge".format(full))
+            lines.append("{} {}".format(full, _format_value(value)))
+    for name in sorted(histograms or {}):
+        histogram = histograms[name]
+        full = metric_name(name, "_latency_seconds")
+        lines.append("# TYPE {} histogram".format(full))
+        cumulative = 0
+        for index, bucket_count in enumerate(histogram.counts):
+            if not bucket_count:
+                continue  # cumulative buckets may be sparse
+            cumulative += bucket_count
+            bound = ("+Inf" if index >= len(BUCKET_BOUNDS)
+                     else _format_bound(BUCKET_BOUNDS[index]))
+            lines.append('{}_bucket{{le="{}"}} {}'.format(
+                full, bound, cumulative
+            ))
+        lines.append('{}_bucket{{le="+Inf"}} {}'.format(
+            full, histogram.count
+        ))
+        lines.append("{}_sum {}".format(
+            full, _format_value(float(histogram.total))
+        ))
+        lines.append("{}_count {}".format(full, histogram.count))
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def parse_prometheus(text):
+    """Parse an exposition document into
+    ``{metric_name: [(labels_dict, value), ...]}``.
+
+    Tolerant by design: comment/TYPE lines and malformed lines are
+    skipped — ``repro top`` must keep rendering through a torn scrape.
+    """
+    families = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        labels = {
+            item.group("key"): item.group("value")
+            for item in _LABEL.finditer(match.group("labels") or "")
+        }
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        families.setdefault(match.group("name"), []).append((labels, value))
+    return families
+
+
+def _bound_index(le):
+    """The bucket index whose upper bound prints as ``le`` (else None)."""
+    if le == "+Inf":
+        return len(BUCKET_BOUNDS)
+    try:
+        target = float(le)
+    except ValueError:
+        return None
+    for index, bound in enumerate(BUCKET_BOUNDS):
+        if abs(bound - target) <= bound * 1e-6:
+            return index
+    return None
+
+
+def histograms_from_families(families):
+    """Rebuild :class:`Histogram` objects from parsed ``_bucket`` /
+    ``_sum`` / ``_count`` sample families.
+
+    Returns ``{base_metric_name: Histogram}`` keyed by the full
+    Prometheus family name (without the ``_bucket`` suffix).  Buckets
+    the exposition omitted had zero delta, so the reconstruction is
+    exact as long as the scraped process shares this module's bucket
+    layout.
+    """
+    histograms = {}
+    for name, samples in families.items():
+        if not name.endswith("_bucket"):
+            continue
+        base = name[: -len("_bucket")]
+        ordered = []
+        for labels, value in samples:
+            index = _bound_index(labels.get("le", ""))
+            if index is not None:
+                ordered.append((index, value))
+        ordered.sort()
+        histogram = Histogram()
+        previous = 0.0
+        for index, cumulative in ordered:
+            delta = int(round(cumulative - previous))
+            if delta > 0:
+                if index >= len(histogram.counts):
+                    index = len(histogram.counts) - 1
+                histogram.counts[index] += delta
+            previous = cumulative
+        histogram.count = sum(histogram.counts)
+        for labels, value in families.get(base + "_sum", ()):
+            histogram.total = value
+        for labels, value in families.get(base + "_count", ()):
+            histogram.count = int(value)
+        histograms[base] = histogram
+    return histograms
+
+
+def delta_histogram(current, previous):
+    """Bucket-wise ``current - previous`` as a fresh histogram — the
+    windowed view ``repro top`` shows (p50/p95 of the last interval,
+    not of the whole process lifetime).  Negative deltas (a restarted
+    process) clamp to the current sample."""
+    if previous is None:
+        return current.snapshot()
+    delta = Histogram()
+    for index, bucket_count in enumerate(current.counts):
+        drop = previous.counts[index] if index < len(previous.counts) else 0
+        delta.counts[index] = max(0, bucket_count - drop)
+    if current.count < previous.count:
+        return current.snapshot()
+    delta.count = sum(delta.counts)
+    delta.total = max(0.0, current.total - previous.total)
+    return delta

@@ -20,6 +20,7 @@ them on any collection of spans.
 from __future__ import annotations
 
 import json
+import threading
 
 
 class Sink:
@@ -79,11 +80,17 @@ class JsonlSink(Sink):
     ``write``.  Each line round-trips through ``json.loads``; consumers
     dispatch on the ``type`` field (``"span"`` / ``"metrics"`` /
     ``"record"``).
+
+    Writes are **thread-safe**: each record is serialized fully and
+    written with a single ``write()`` call under a lock, so concurrent
+    worker spans streaming into one shared ``--trace-jsonl`` file can
+    never interleave half-lines — every line in the file parses.
     """
 
     def __init__(self, target):
         self._path = target if isinstance(target, str) else None
         self._handle = None if isinstance(target, str) else target
+        self._lock = threading.Lock()
 
     def _out(self):
         if self._handle is None:
@@ -91,9 +98,9 @@ class JsonlSink(Sink):
         return self._handle
 
     def _write(self, payload):
-        out = self._out()
-        out.write(json.dumps(payload, sort_keys=True))
-        out.write("\n")
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        with self._lock:
+            self._out().write(line)
 
     def on_span(self, span):
         self._write(span.to_dict())
@@ -109,11 +116,12 @@ class JsonlSink(Sink):
         self._write(payload)
 
     def close(self):
-        if self._handle is not None:
-            self._handle.flush()
-            if self._path is not None:
-                self._handle.close()
-                self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                if self._path is not None:
+                    self._handle.close()
+                    self._handle = None
 
     def __enter__(self):
         return self
@@ -121,6 +129,97 @@ class JsonlSink(Sink):
     def __exit__(self, _exc_type, _exc, _tb):
         self.close()
         return False
+
+
+class SpanRecord:
+    """A span rebuilt from its :meth:`~repro.obs.trace.Span.to_dict`
+    form — the shape spans take crossing a process boundary.
+
+    Quacks enough like :class:`~repro.obs.trace.Span` for
+    :func:`format_span_tree` and the stitching code (``name`` /
+    ``span_id`` / ``parent_id`` / ``start`` / ``duration`` / ``attrs``),
+    so a cross-process trace renders with the same code path a local
+    one does.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "duration",
+                 "attrs")
+
+    def __init__(self, name, span_id, parent_id, start, duration, attrs):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+
+    finished = True
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            payload.get("name", "?"),
+            payload.get("span_id"),
+            payload.get("parent_id"),
+            payload.get("start", 0.0),
+            payload.get("duration", 0.0),
+            dict(payload.get("attrs") or {}),
+        )
+
+    def to_dict(self):
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self):
+        return "SpanRecord({}#{})".format(self.name, self.span_id)
+
+
+def spans_from_dicts(payloads):
+    """Rebuild a span collection from serialized span dicts, skipping
+    anything that is not a span record."""
+    return [
+        SpanRecord.from_dict(payload)
+        for payload in payloads
+        if isinstance(payload, dict) and payload.get("span_id") is not None
+    ]
+
+
+def filter_trace(spans, trace_id):
+    """The spans belonging to one distributed trace.
+
+    A trace member is a span whose own ``attrs`` carry the
+    ``trace_id`` (the front's op span, a worker's ``rpc.*`` span) or
+    any descendant of one within the collection — descendants inherit
+    membership through parent links, so the ordinary ``op.*`` spans a
+    host opens under a worker's rpc span need no stamp of their own.
+    Returned in start order (comparable within each process).
+    """
+    spans = list(spans)
+    children = {}
+    roots = []
+    for span in spans:
+        if span.attrs.get("trace_id") == trace_id:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    selected = []
+    seen = set()
+    stack = list(roots)
+    while stack:
+        span = stack.pop()
+        if id(span) in seen:
+            continue
+        seen.add(id(span))
+        selected.append(span)
+        stack.extend(children.get(span.span_id, ()))
+    return sorted(selected, key=lambda span: span.start)
 
 
 # ---------------------------------------------------------------------------

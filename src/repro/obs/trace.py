@@ -31,6 +31,8 @@ from __future__ import annotations
 import itertools
 import time
 
+from .histo import NULL_HISTOGRAM, Histogram
+
 #: The single clock used for every duration in the repository.
 clock = time.perf_counter
 
@@ -93,6 +95,18 @@ CATALOG = (
     "provenance.queries",
     "provenance.events_linked",
 )
+
+#: The gauge catalog: last-write-wins values the instrumented layers
+#: set.  Kept as an explicit set because aggregation must treat the two
+#: kinds differently — counters **sum** across processes, gauges never
+#: do (summing ``update_reuse_ratio`` over four workers yields a
+#: nonsense ratio above 1.0); a cluster front reports gauges as labeled
+#: per-worker series instead.
+GAUGES = frozenset({
+    "incremental.update_reuse_ratio",
+    # repro.cluster — per-worker health gauges exposed over /metrics.
+    "sessions.open_breakers",
+})
 
 
 class Stopwatch:
@@ -209,7 +223,7 @@ class Tracer:
     #: (``if tracer.enabled: ...``) without an isinstance check.
     enabled = True
 
-    def __init__(self, sinks=None):
+    def __init__(self, sinks=None, id_prefix=None):
         if sinks is None:
             from .sinks import InMemorySink
 
@@ -217,18 +231,45 @@ class Tracer:
         self.sinks = list(sinks)
         self.counters = dict.fromkeys(CATALOG, 0)
         self.gauges = {}
+        self.histograms = {}
         self._stack = []
         self._ids = itertools.count(1)
+        #: Per-process span-id prefix (``"w3.1234"``): when set, span
+        #: ids become strings like ``"w3.1234-17"`` — globally unique
+        #: across a cluster, so spans from different processes stitch
+        #: into one tree without id collisions.  ``None`` (the default)
+        #: keeps plain integer ids for single-process use.
+        self.id_prefix = id_prefix
         #: Span id of the most recently *finished* span — how a fault
         #: recorded during exception unwind names the span that failed.
         self.last_span_id = None
 
     # -- spans --------------------------------------------------------------
 
+    def _next_id(self):
+        serial = next(self._ids)
+        if self.id_prefix is None:
+            return serial
+        return "{}-{}".format(self.id_prefix, serial)
+
     def span(self, name, **attrs):
         """Open a nested span; use as ``with tracer.span("render"): ...``."""
         parent = self._stack[-1].span_id if self._stack else None
-        span = Span(name, next(self._ids), parent, attrs, self)
+        span = Span(name, self._next_id(), parent, attrs, self)
+        self._stack.append(span)
+        return span
+
+    def span_under(self, parent_id, name, **attrs):
+        """Open a span under an **explicit** (possibly remote) parent id.
+
+        This is the receiving half of cross-process trace propagation:
+        a cluster worker opens its per-request span under the front's
+        op span id carried in the frame headers, so the worker's whole
+        span subtree parents into the front's — one request, one tree,
+        three processes.  The span still nests on this tracer's stack,
+        so local child spans parent under it as usual.
+        """
+        span = Span(name, self._next_id(), parent_id, attrs, self)
         self._stack.append(span)
         return span
 
@@ -290,11 +331,34 @@ class Tracer:
         """Set a last-write-wins gauge."""
         self.gauges[name] = value
 
+    def histogram(self, name):
+        """The named :class:`~repro.obs.histo.Histogram` (created on
+        first use).  All histograms share one fixed bucket layout, so
+        any two tracers' same-named histograms merge bucket-wise."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            # setdefault keeps a concurrent first-use race harmless:
+            # both threads end up observing into the same instance.
+            histogram = self.histograms.setdefault(name, Histogram())
+        return histogram
+
+    def observe(self, name, seconds):
+        """Record one latency observation into the named histogram."""
+        self.histogram(name).observe(seconds)
+
     def metrics(self):
         """All counters and gauges as one flat dict (counters win ties)."""
         merged = dict(self.gauges)
         merged.update(self.counters)
         return merged
+
+    def histogram_snapshots(self):
+        """Point-in-time copies of every histogram, by name — safe to
+        merge or serialize while traffic keeps observing."""
+        return {
+            name: histogram.snapshot()
+            for name, histogram in sorted(self.histograms.items())
+        }
 
 
 class _NullSpan:
@@ -339,12 +403,17 @@ class NullTracer:
     sinks = ()
     counters = {}
     gauges = {}
+    histograms = {}
     current_span_id = None
     last_span_id = None
+    id_prefix = None
 
     __slots__ = ()
 
     def span(self, _name, **_attrs):
+        return _NULL_SPAN
+
+    def span_under(self, _parent_id, _name, **_attrs):
         return _NULL_SPAN
 
     def annotate_current(self, **_attrs):
@@ -358,7 +427,16 @@ class NullTracer:
     def gauge(self, _name, _value):
         pass
 
+    def histogram(self, _name):
+        return NULL_HISTOGRAM
+
+    def observe(self, _name, _seconds):
+        pass
+
     def metrics(self):
+        return {}
+
+    def histogram_snapshots(self):
         return {}
 
     def spans(self):

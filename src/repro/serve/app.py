@@ -3,6 +3,9 @@
 * ``POST /`` (or ``/api``) — body is one protocol request
   (:mod:`repro.serve.protocol`), response is one protocol response;
 * ``GET /stats`` — the ``stats`` op, for dashboards and smoke tests;
+* ``GET /metrics`` — Prometheus text exposition
+  (:mod:`repro.obs.metrics`): counters, gauges and latency histograms,
+  merged across the whole fleet when the face is a cluster front;
 * ``GET /healthz`` — liveness: role, session counts, journaling flag
   for a single host; per-worker liveness for a cluster.  Answers 503
   (body still JSON, ``"ok": false``) when any worker is down, so load
@@ -34,6 +37,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.errors import InjectedFault, ReproError
+from ..obs.metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from ..obs.metrics import render_prometheus
 from .host import SessionHost
 from .protocol import error_response, handle_request
 
@@ -55,6 +60,13 @@ class _HostFace:
         payload = {"ok": True, "role": "host"}
         payload.update(self.host.healthz())
         return payload
+
+    def metrics_text(self):
+        """The Prometheus exposition document for ``GET /metrics``."""
+        counters, gauges, histograms = self.host.observability_snapshot()
+        return render_prometheus(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
 
     def drain(self):
         """Single hosts drain at the journal, handled by the caller."""
@@ -120,13 +132,35 @@ def make_handler(target, quiet=True, chaos=None):
                     self._respond(payload, status=200 if ok else 503)
                 elif self.path == "/stats":
                     self._respond(face.dispatch({"op": "stats"}))
+                elif self.path == "/metrics":
+                    metrics_text = getattr(face, "metrics_text", None)
+                    if metrics_text is None:
+                        self._respond(
+                            {"ok": False,
+                             "error": {"type": "BadRequest",
+                                       "message": "this face exposes "
+                                                  "no metrics"}},
+                            status=404,
+                        )
+                    else:
+                        body = metrics_text().encode("utf-8")
+                        self.send_response(200)
+                        self.send_header(
+                            "Content-Type", _METRICS_CONTENT_TYPE
+                        )
+                        self.send_header(
+                            "Content-Length", str(len(body))
+                        )
+                        self.end_headers()
+                        self.wfile.write(body)
                 else:
                     self._respond(
                         {"ok": False,
                          "error": {"type": "BadRequest",
-                                   "message": "GET serves /stats and "
-                                              "/healthz; POST protocol "
-                                              "requests to /"}},
+                                   "message": "GET serves /stats, "
+                                              "/healthz and /metrics; "
+                                              "POST protocol requests "
+                                              "to /"}},
                         status=404,
                     )
             finally:

@@ -745,8 +745,31 @@ class SessionHost:
         del stats["journaling"]
         if self.memo_store is not None:
             stats["shared_memo"] = self.memo_store.stats()
-        stats["metrics"] = self.metrics()
+        counters, gauges, _ = self.observability_snapshot()
+        metrics = dict(gauges)
+        metrics.update(counters)
+        stats["metrics"] = metrics
+        # Gauges restated under their own key so an aggregating front
+        # can tell them apart from counters: counters sum across
+        # workers, gauges must never be summed (repro.obs.GAUGES).
+        stats["gauges"] = gauges
         return stats
+
+    def observability_snapshot(self):
+        """``(counters, gauges, histograms)`` — the host's full metric
+        state in mergeable form, for ``/metrics`` exposition (and, on a
+        cluster worker, the ``__metrics__`` frame op).  Histograms are
+        point-in-time :class:`~repro.obs.Histogram` copies; refreshes
+        the ``sessions.open_breakers`` gauge on the way out so the
+        breaker count is always scrape-fresh."""
+        open_breakers = self.healthz()["quarantined"]
+        with self._metrics_lock:
+            self.tracer.gauge("sessions.open_breakers", open_breakers)
+            return (
+                dict(self.tracer.counters),
+                dict(self.tracer.gauges),
+                self.tracer.histogram_snapshots(),
+            )
 
 
 class _LockedSession:

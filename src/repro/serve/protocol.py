@@ -60,6 +60,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..core.errors import EvalError, ReproError, UpdateRejected
+from ..obs.trace import clock
 
 PROTOCOL_VERSION = 1
 
@@ -221,11 +222,20 @@ def handle_request(host, request):
                 op, ", ".join(sorted(_OPS))
             ),
         )
+    tracer = host.tracer
+    started = clock() if tracer.enabled else None
     try:
         return handler(host, request)
     except ReproError as error:
-        type_, extra = describe_error(error, tracer=host.tracer)
+        type_, extra = describe_error(error, tracer=tracer)
         return _error(op, type_, str(error), **extra)
+    finally:
+        if started is not None:
+            # Per-op latency distributions ("op.render", "op.edit_box",
+            # …) — the histograms /metrics exposes and `repro top`
+            # summarizes.  Errors count too: a failing op is latency a
+            # client experienced.
+            tracer.observe("op." + op, clock() - started)
 
 
 # -- op handlers ------------------------------------------------------------

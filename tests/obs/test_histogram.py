@@ -1,0 +1,210 @@
+"""The mergeable histogram primitive (``repro.obs.histo``).
+
+The cluster's percentile substrate must hold three promises: quantile
+estimates stay within the documented ~19% bucket-width bound, merging
+is associative/commutative bucket-wise (so fleet aggregation order
+never matters), and the ``NullTracer`` hot path allocates nothing.
+"""
+
+import math
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Tracer
+from repro.obs.histo import (
+    BUCKET_BOUNDS,
+    BUCKET_GROWTH,
+    BUCKET_SCHEMA,
+    Histogram,
+    NullHistogram,
+    percentile,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer
+
+
+def build(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+#: Samples spanning under-floor, mid-range and overflow observations.
+latencies = st.lists(
+    st.floats(min_value=1e-7, max_value=200.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=60,
+)
+
+
+class TestQuantileAccuracy:
+    def test_empty_histogram_answers_zero(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.count == 0
+
+    def test_single_observation_lands_in_its_bucket(self):
+        histogram = build([0.010])
+        estimate = histogram.quantile(0.5)
+        assert 0.010 / BUCKET_GROWTH <= estimate <= 0.010 * BUCKET_GROWTH
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.9, 0.95, 0.99])
+    def test_relative_error_stays_within_the_bucket_bound(self, fraction):
+        # A log-uniform spread over 1e-4..1e-1 seconds — the latency
+        # range real ops live in — with a deterministic sample set.
+        samples = sorted(
+            10.0 ** (-4.0 + 3.0 * n / 4999.0) for n in range(5000)
+        )
+        histogram = build(samples)
+        exact = percentile(samples, fraction)
+        estimate = histogram.quantile(fraction)
+        relative_error = abs(estimate - exact) / exact
+        # The documented bound: one bucket's width (~19%).
+        assert relative_error <= (BUCKET_GROWTH - 1.0) + 1e-9
+
+    def test_overflow_observations_answer_the_last_bound(self):
+        histogram = build([500.0, 900.0])
+        assert histogram.quantile(0.5) == BUCKET_BOUNDS[-1]
+        assert histogram.counts[-1] == 2
+
+    def test_mean_is_exact_not_bucketed(self):
+        values = [0.001, 0.002, 0.003]
+        histogram = build(values)
+        assert math.isclose(histogram.mean, sum(values) / len(values))
+
+
+def assert_equivalent(left, right):
+    """Bucket-exact equality; totals compare as floats (addition order
+    may differ by an ulp across merge orders)."""
+    assert left.counts == right.counts
+    assert left.count == right.count
+    assert math.isclose(left.total, right.total,
+                        rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(latencies, latencies)
+    def test_merge_commutes(self, a, b):
+        assert_equivalent(
+            Histogram.merged([build(a), build(b)]),
+            Histogram.merged([build(b), build(a)]),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(latencies, latencies, latencies)
+    def test_merge_associates(self, a, b, c):
+        left = build(a).merge(build(b)).merge(build(c))
+        right = build(a).merge(build(b).merge(build(c)))
+        assert_equivalent(left, right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(latencies, latencies)
+    def test_merged_equals_observing_the_union(self, a, b):
+        assert_equivalent(
+            Histogram.merged([build(a), build(b)]), build(a + b)
+        )
+
+    def test_merge_mutates_self_and_returns_it(self):
+        a, b = build([0.01]), build([0.02])
+        merged = a.merge(b)
+        assert merged is a
+        assert a.count == 2
+        assert b.count == 1    # the right-hand side is untouched
+
+    def test_snapshot_is_independent(self):
+        histogram = build([0.01])
+        frozen = histogram.snapshot()
+        histogram.observe(0.01)
+        assert frozen.count == 1
+        assert histogram.count == 2
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        original = build([1e-7, 0.003, 0.04, 2.0, 500.0])
+        rebuilt = Histogram.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_foreign_schema_is_refused(self):
+        payload = build([0.01]).to_dict()
+        payload["schema"] = "log10:whatever"
+        with pytest.raises(ValueError):
+            Histogram.from_dict(payload)
+
+    def test_wrong_arity_is_refused(self):
+        payload = build([0.01]).to_dict()
+        payload["counts"] = payload["counts"][:-3]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(payload)
+
+    def test_schema_tag_pins_the_layout(self):
+        assert str(len(BUCKET_BOUNDS)) in BUCKET_SCHEMA
+        assert build([]).to_dict()["schema"] == BUCKET_SCHEMA
+
+
+class TestExactPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_nearest_rank_on_known_values(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+
+def _drive_tracer(tracer, rounds):
+    """The instrumented surface a hot transition loop touches."""
+    for _ in range(rounds):
+        with tracer.span("render", page="start"):
+            tracer.add("boxes_rendered", 3)
+            tracer.observe("op.render", 0.0012)
+        tracer.annotate_current(note="x")
+        tracer.gauge("incremental.update_reuse_ratio", 0.5)
+        tracer.histogram("op.render").observe(0.002)
+
+
+class TestNullTracerStaysFree:
+    def test_null_hot_path_retains_no_allocations(self):
+        # Regression gate for the "observability is free when off"
+        # promise: after warm-up, a NullTracer round retains zero bytes.
+        _drive_tracer(NULL_TRACER, 50)   # warm caches/interned strings
+        tracemalloc.start()
+        try:
+            before, _peak = tracemalloc.get_traced_memory()
+            _drive_tracer(NULL_TRACER, 2000)
+            after, _peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+    def test_real_tracer_retains_memory_so_the_gate_measures(self):
+        # Positive control: the same drive on a live Tracer must retain
+        # spans/buckets, proving the tracemalloc harness sees retention.
+        tracer = Tracer()
+        tracemalloc.start()
+        try:
+            before, _peak = tracemalloc.get_traced_memory()
+            _drive_tracer(tracer, 200)
+            after, _peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before > 0
+        assert len(tracer.spans()) == 200
+
+    def test_null_histogram_is_inert(self):
+        null = NullHistogram()
+        null.observe(1.0)
+        assert null.count == 0
+        assert null.quantile(0.95) == 0.0
+
+    def test_null_tracer_shares_singletons(self):
+        tracer = NullTracer()
+        assert tracer.histogram("a") is tracer.histogram("b")
+        assert tracer.span("x") is tracer.span("y")
+        assert tracer.histogram_snapshots() == {}

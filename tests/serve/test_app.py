@@ -79,6 +79,27 @@ class TestHTTP:
             get(server, "/nope")
         assert caught.value.code == 404
 
+    def test_get_metrics_exposes_prometheus_text(self, server):
+        from repro.obs.metrics import (
+            CONTENT_TYPE, histograms_from_families, parse_prometheus,
+        )
+
+        created = post(server, {"op": "create"})
+        post(server, {"op": "render", "token": created["token"]})
+        with urllib.request.urlopen(url(server, "/metrics")) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        families = parse_prometheus(text)
+        assert families["repro_sessions_created_total"][0][1] >= 1
+        # The per-op service-time histograms ride along even on the
+        # single-host shape — same document the cluster front renders.
+        histograms = histograms_from_families(families)
+        assert "repro_op_render_latency_seconds" in histograms
+        assert histograms["repro_op_render_latency_seconds"].count >= 1
+        # The breaker gauge is present (and zero on a healthy host).
+        assert families["repro_sessions_open_breakers"][0][1] == 0
+
     def test_malformed_json_is_400(self, server):
         request = urllib.request.Request(
             url(server), data=b"{not json", headers={}
