@@ -58,6 +58,12 @@ from .provenance import (
     replay_to,
     why,
 )
+from .repair import (
+    RepairBudget,
+    RepairReport,
+    generate_candidates,
+    search_repairs,
+)
 from .resilience.journal import Journal as _Journal
 from .serve.host import SessionHost as _SessionHost
 from .system.runtime import Runtime as _Runtime
@@ -71,6 +77,8 @@ __all__ = [
     "Journal",
     "LiveSession",
     "MemoStore",
+    "RepairBudget",
+    "RepairReport",
     "ReplayResult",
     "Runtime",
     "SessionHost",
@@ -79,9 +87,11 @@ __all__ = [
     "Tracer",
     "WhyReport",
     "divergence_report",
+    "generate_candidates",
     "percentile",
     "replay_session",
     "replay_to",
+    "search_repairs",
     "why",
 ]
 
@@ -169,6 +179,7 @@ class SessionHost(_SessionHost):
         quarantine_after=3,
         journal=None,
         memo_store=None,
+        repair=None,
     ):
         super().__init__(
             pool_size=pool_size,
@@ -180,15 +191,20 @@ class SessionHost(_SessionHost):
             quarantine_after=quarantine_after,
             journal=journal,
             memo_store=memo_store,
+            repair=repair,
         )
 
 
 class Journal(_Journal):
     """:class:`repro.resilience.journal.Journal` with keyword-only config."""
 
-    def __init__(self, directory, *, checkpoint_every=50, tracer=None):
+    def __init__(
+        self, directory, *, checkpoint_every=50, tracer=None,
+        fsync="none", fsync_interval=1.0,
+    ):
         super().__init__(
-            directory, checkpoint_every=checkpoint_every, tracer=tracer
+            directory, checkpoint_every=checkpoint_every, tracer=tracer,
+            fsync=fsync, fsync_interval=fsync_interval,
         )
 
 

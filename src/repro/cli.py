@@ -24,6 +24,9 @@ Commands:
   recorded trace (``--source``, the §2 trace-replay regression tool);
 * ``why``     — provenance query against a journal: which code span,
   store slots and journaled events produced a rendered box;
+* ``repair``  — search a journaled session for validated candidate
+  fixes (the server's live-repair searcher, offline; ``--apply RANK``
+  emits the chosen repaired source);
 * ``ide``     — open the tkinter live viewer (if a display is available).
 
 ``run``, ``trace``, ``serve`` and ``ide`` accept ``--trace-jsonl PATH``
@@ -497,6 +500,7 @@ def cmd_serve(args, out):
             "budget": budget,
             "supervised": True,
         },
+        repair=True if args.repair else None,
     )
     journal = None
     if args.journal_dir:
@@ -504,6 +508,7 @@ def cmd_serve(args, out):
             args.journal_dir,
             checkpoint_every=args.checkpoint_every,
             tracer=tracer,
+            fsync=args.journal_fsync,
         )
         report = recover(host, journal)
         if report.sessions:
@@ -559,6 +564,8 @@ def _serve_cluster(args, out, source, tracer):
         shared_cache=not args.no_shared_cache,
         bind=args.bind,
         tracer=tracer,
+        repair=True if args.repair else None,
+        journal_fsync=args.journal_fsync,
     ).start()
     router = ClusterRouter(supervisor)
     server = make_server(router, port=args.port, bind=args.bind)
@@ -660,6 +667,77 @@ def cmd_replay(args, out):
         file=out,
     )
     print(result.session.screenshot(width=args.width), file=out)
+    return 0
+
+
+def cmd_repair(args, out):
+    """``repro repair JOURNAL_DIR``: search a recorded session for
+    validated fixes, offline (the same searcher the server runs when an
+    update rolls back — see docs/RESILIENCE.md, "Live repair")."""
+    from .provenance import replay_to
+    from .repair import RepairBudget, changed_decl_names, search_repairs
+    from .resilience.journal import Journal
+
+    journal = Journal(args.journal_dir)
+    options = _replay_options(args)
+    result = replay_to(journal, args.token, **options)
+    session, token = result.session, result.token
+    last_good = session._undo_stack[-1] if session._undo_stack else None
+    faulting = session.source
+    rolled_back = last_good is not None and faulting != last_good
+    suspects = (
+        changed_decl_names(last_good, faulting) if rolled_back else ()
+    )
+    faults = session.runtime.faults
+    report = search_repairs(
+        journal, token,
+        faulting_source=faulting,
+        last_good_source=last_good if rolled_back else None,
+        suspects=suspects,
+        trigger="rollback" if rolled_back else "manual",
+        fault=faults[-1] if faults else None,
+        budget=RepairBudget(
+            max_candidates=args.max_candidates,
+            wall_seconds=args.wall,
+            window=args.window,
+        ),
+        **options
+    )
+    print(
+        "searched {} of {} candidate{} in {:.2f}s ({}){}:".format(
+            report.searched, report.generated,
+            "" if report.generated == 1 else "s",
+            report.wall_seconds, report.trigger,
+            " — budget exhausted" if report.budget_exhausted else "",
+        ),
+        file=out,
+    )
+    for c in report.candidates:
+        print(
+            "  #{:<2} {} {:<16} {}  (events {}/{}, edit size {})".format(
+                c.rank, "+" if c.validated else " ", c.kind,
+                c.description, c.events_ok, c.events_replayed, c.edit_size,
+            ),
+            file=out,
+        )
+    if not report.found:
+        print("no validated repair within budget", file=out)
+        return 1
+    if args.apply is not None:
+        candidate = report.candidate(args.apply)
+        if args.output == "-":
+            out.write(candidate.source)
+            if not candidate.source.endswith("\n"):
+                out.write("\n")
+        else:
+            with open(args.output, "w") as handle:
+                handle.write(candidate.source)
+            print(
+                "wrote repair #{} ({}) to {}".format(
+                    candidate.rank, candidate.description, args.output
+                ),
+                file=out,
+            )
     return 0
 
 
@@ -866,6 +944,42 @@ def build_parser():
     )
     p_why.set_defaults(handler=cmd_why)
 
+    p_repair = sub.add_parser(
+        "repair",
+        help="search a journaled session for validated candidate fixes "
+             "(delete / hole / revert edits, ranked; docs/RESILIENCE.md)",
+    )
+    p_repair.add_argument("journal_dir", help="journal directory")
+    p_repair.add_argument(
+        "--token", default=None,
+        help="session token inside the journal (default: only session)",
+    )
+    p_repair.add_argument(
+        "--max-candidates", type=int, default=12, metavar="N",
+        help="candidate budget for the search (default 12)",
+    )
+    p_repair.add_argument(
+        "--wall", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole search (default: none)",
+    )
+    p_repair.add_argument(
+        "--window", type=int, default=20, metavar="N",
+        help="recent journaled events re-driven per candidate (default 20)",
+    )
+    p_repair.add_argument(
+        "--apply", type=int, default=None, metavar="RANK",
+        help="emit the ranked candidate's full source (see --output)",
+    )
+    p_repair.add_argument(
+        "-o", "--output", default="-",
+        help="where --apply writes the repaired source (default stdout)",
+    )
+    p_repair.add_argument(
+        "--latency", type=float, default=DEFAULT_LATENCY,
+        help="simulated web latency the recording ran with",
+    )
+    p_repair.set_defaults(handler=cmd_repair)
+
     p_html = sub.add_parser("html", help="render the display to HTML")
     common(p_html, actions=True)
     p_html.add_argument("-o", "--output", default="-")
@@ -934,6 +1048,20 @@ def build_parser():
     p_serve.add_argument(
         "--checkpoint-every", type=int, default=50,
         help="journaled events per session between image checkpoints",
+    )
+    p_serve.add_argument(
+        "--journal-fsync", choices=("none", "interval", "always"),
+        default="none",
+        help="journal durability: 'none' trusts the OS page cache "
+             "(default; survives process death), 'interval' fsyncs at "
+             "most once a second, 'always' fsyncs every append "
+             "(survives machine death, costs latency)",
+    )
+    p_serve.add_argument(
+        "--repair", action="store_true",
+        help="live repair (repro.repair): when an update rolls back or "
+             "a breaker opens, search candidate fixes on a background "
+             "thread and surface them on the repair op",
     )
     p_serve.add_argument(
         "--fault-policy", choices=("record", "raise"), default="record",

@@ -29,6 +29,7 @@ A monitor thread polls every worker (process liveness each tick, a
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import subprocess
@@ -48,6 +49,16 @@ from .transport import ClientPool, TransportError
 #: stillborn.  Generous: a cold worker may replay a long journal first.
 SPAWN_TIMEOUT = 60.0
 
+#: Respawn backoff (per slot): a worker that dies within
+#: RESPAWN_STABLE_SECONDS of its spawn is crash-looping, and each
+#: consecutive rapid death doubles the delay before the *next* respawn
+#: (base * 2^(streak-1), capped, ±25% jitter so a fleet of crash-loopers
+#: doesn't thunder back in lockstep).  A worker that stays up past the
+#: stability window resets its streak.
+RESPAWN_BACKOFF_BASE = 0.5
+RESPAWN_BACKOFF_CAP = 30.0
+RESPAWN_STABLE_SECONDS = 5.0
+
 
 class WorkerDied(ReproError):
     """A worker process exited (or never came up) when it was needed."""
@@ -58,7 +69,8 @@ class _Slot:
 
     __slots__ = ("slot", "directory", "journal_dir", "config_path",
                  "port_file", "log_path", "process", "pool", "ping",
-                 "port", "restarts", "retired", "lock", "last_ping")
+                 "port", "restarts", "retired", "lock", "last_ping",
+                 "last_spawn", "crash_streak", "backoff_until")
 
     def __init__(self, slot, directory):
         self.slot = slot
@@ -78,6 +90,12 @@ class _Slot:
         # healthz reports its age so a wedged-but-alive worker (process
         # up, socket unresponsive) is visible before it is dead.
         self.last_ping = None
+        # Respawn backoff state: when this slot last spawned, how many
+        # consecutive *rapid* deaths it has suffered, and (when armed)
+        # the monotonic time before which revive refuses to respawn.
+        self.last_spawn = None
+        self.crash_streak = 0
+        self.backoff_until = None
 
     @property
     def alive(self):
@@ -127,6 +145,8 @@ class ClusterSupervisor:
         ping_interval=1.0,
         drain_timeout=5.0,
         tracer=None,
+        repair=None,
+        journal_fsync="none",
     ):
         if workers < 1:
             raise ReproError("a cluster needs at least one worker")
@@ -148,6 +168,14 @@ class ClusterSupervisor:
             "latency": latency,
             "memo_entries": memo_entries,
             "drain_timeout": drain_timeout,
+            # Live repair (repro.repair): True or a RepairBudget-field
+            # dict arms automatic search on every worker; searches run
+            # on worker background threads, off the request path.
+            "repair": (
+                dataclasses.asdict(repair)
+                if dataclasses.is_dataclass(repair) else repair
+            ),
+            "journal_fsync": journal_fsync,
         }
         self._connections_per_worker = connections_per_worker
         self._ping_interval = ping_interval
@@ -254,6 +282,7 @@ class ClusterSupervisor:
             )
         finally:
             log.close()
+        slot.last_spawn = time.monotonic()
         slot.port = self._await_port(slot)
         address = (self.bind, slot.port)
         if slot.pool is None:
@@ -314,7 +343,18 @@ class ClusterSupervisor:
         time the port file reappears, all acknowledged state is back.
         Rechecks liveness under the slot lock: concurrent front threads
         all hitting a dead worker fold into one respawn.
+
+        A crash-looping worker (dead again within
+        ``RESPAWN_STABLE_SECONDS`` of its spawn) is respawned under
+        exponential backoff: each rapid death arms a jittered delay
+        window during which further revive attempts raise
+        :class:`WorkerDied` *without* spawning — the monitor's next
+        ticks and on-demand front revives cost a clock read, not a
+        subprocess, so a worker that dies instantly at boot cannot
+        hot-spin the supervisor.
         """
+        import random
+
         slot = self._slots[slot_index]
         with slot.lock:
             if slot.retired:
@@ -323,14 +363,37 @@ class ClusterSupervisor:
                 )
             if slot.alive:
                 return False
+            now = time.monotonic()
+            if slot.backoff_until is not None and now < slot.backoff_until:
+                raise WorkerDied(
+                    "worker {} is in respawn backoff for {:.1f}s more "
+                    "(crash streak {})".format(
+                        slot_index, slot.backoff_until - now,
+                        slot.crash_streak,
+                    )
+                )
             if slot.process is not None:
                 try:
                     slot.process.wait(timeout=0)
                 except subprocess.TimeoutExpired:  # pragma: no cover
                     pass
+            rapid = (
+                slot.last_spawn is not None
+                and now - slot.last_spawn < RESPAWN_STABLE_SECONDS
+            )
+            slot.crash_streak = slot.crash_streak + 1 if rapid else 0
             self._spawn(slot)
             slot.restarts += 1
             self._count("cluster.worker_respawns")
+            if slot.crash_streak > 0:
+                delay = min(
+                    RESPAWN_BACKOFF_CAP,
+                    RESPAWN_BACKOFF_BASE * 2 ** (slot.crash_streak - 1),
+                ) * random.uniform(0.75, 1.25)
+                slot.backoff_until = time.monotonic() + delay
+                self._count("cluster.worker_respawn_backoffs")
+            else:
+                slot.backoff_until = None
             return True
 
     def _monitor_loop(self):
@@ -403,6 +466,11 @@ class ClusterSupervisor:
                 "pid": (slot.process.pid
                         if slot.process is not None else None),
             }
+            if slot.backoff_until is not None:
+                remaining = slot.backoff_until - time.monotonic()
+                if remaining > 0:
+                    info["respawn_backoff_seconds"] = round(remaining, 3)
+                    info["crash_streak"] = slot.crash_streak
             if slot.retired:
                 workers.append(info)
                 continue

@@ -162,6 +162,15 @@ class Worker:
             deadline=config.get("deadline"), **budget_kwargs
         )
         session_kwargs.update(config.get("session_kwargs") or {})
+        # Live repair: True or a RepairBudget-field dict in the config
+        # arms automatic candidate search on this worker (searches run
+        # on background threads against throwaway replayed systems —
+        # never the request path).
+        repair = config.get("repair")
+        if isinstance(repair, dict):
+            from ..repair import RepairBudget
+
+            repair = RepairBudget(**repair)
         self.host = SessionHost(
             pool_size=config.get("pool_size", 16),
             default_source=config.get("source"),
@@ -171,6 +180,7 @@ class Worker:
             session_kwargs=session_kwargs,
             quarantine_after=config.get("quarantine_after", 3),
             memo_store=memo_store,
+            repair=repair,
         )
         self.recovery = None
         journal_dir = config.get("journal_dir")
@@ -179,6 +189,7 @@ class Worker:
                 journal_dir,
                 checkpoint_every=config.get("checkpoint_every", 25),
                 tracer=self.tracer,
+                fsync=config.get("journal_fsync", "none") or "none",
             )
             self.recovery = recover(self.host, journal)
         self._drain = threading.Event()

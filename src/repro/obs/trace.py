@@ -62,6 +62,7 @@ CATALOG = (
     "journal_events",
     "journal_checkpoints",
     "journal_replays",
+    "journal_fsyncs",
     "sessions_quarantined",
     # repro.incremental — the update-surviving memo store (docs/PERF.md).
     # (The companion "incremental.update_reuse_ratio" is a gauge, set per
@@ -77,6 +78,7 @@ CATALOG = (
     # and supervisor tracers; memo counters on each worker's.
     "cluster.requests_routed",
     "cluster.worker_respawns",
+    "cluster.worker_respawn_backoffs",
     "cluster.worker_retries",
     "cluster.tokens_rebalanced",
     "cluster.memo.shared_hits",
@@ -94,6 +96,15 @@ CATALOG = (
     "replay.divergences",
     "provenance.queries",
     "provenance.events_linked",
+    # repro.repair — live repair search (docs/RESILIENCE.md).  The
+    # companion latency histograms are "repair.search" (whole-search
+    # wall clock) and "repair.first_valid" (time to the first validated
+    # candidate).
+    "repair.searches",
+    "repair.candidates_generated",
+    "repair.candidates_validated",
+    "repair.found",
+    "repair.applied",
 )
 
 #: The gauge catalog: last-write-wins values the instrumented layers

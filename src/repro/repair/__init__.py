@@ -1,0 +1,57 @@
+"""Live repair: budgeted search over candidate fixes for faulting code.
+
+The resilience layer (:mod:`repro.resilience`) keeps a session *alive*
+through a bad edit — the supervisor rolls the UPDATE back, the circuit
+breaker quarantines a crash-looping session — but it leaves the
+programmer with a bare ``rolled_back``/``degraded`` envelope and no path
+forward.  This package closes that gap: when an update faults (or a
+breaker opens), it **searches** for a fix.
+
+Three modules:
+
+* :mod:`~repro.repair.candidates` — the search space: small surface-
+  level edits of the faulting program (delete the suspect statement,
+  replace it with a hole, revert one declaration to its last-good
+  text), generated from the parsed AST's source spans;
+* :mod:`~repro.repair.localize` — fault localization: the changed-
+  declaration diff for a rolled-back UPDATE, and the fault → journal
+  event → box ↔ code span join (:func:`repro.provenance.why`'s map) for
+  a breaker opened by live traffic;
+* :mod:`~repro.repair.search` — the searcher: each candidate is
+  validated in an **isolated throwaway system** (a fresh
+  :class:`~repro.live.session.LiveSession` materialized by journal
+  replay, never the live one) under per-transition
+  :class:`~repro.resilience.Budget` limits, by applying the candidate
+  as an ordinary supervised edit and re-driving a window of recent
+  journaled traffic; candidates are scored (validates cleanly >
+  preserves more recent traffic > smaller edit) and ranked under a
+  global wall-clock/candidate-count budget with early cancellation.
+
+A repair is **just an edit**: applying a ranked candidate routes
+through the normal ``edit_source``/Supervisor path and must pass the
+same supervision — the searcher proposes, the supervisor disposes.
+See ``docs/RESILIENCE.md`` ("Live repair").
+"""
+
+from __future__ import annotations
+
+from .candidates import CandidateEdit, generate_candidates
+from .localize import FaultLocus, changed_decl_names, locus_from_selection
+from .search import (
+    RankedRepair,
+    RepairBudget,
+    RepairReport,
+    search_repairs,
+)
+
+__all__ = [
+    "CandidateEdit",
+    "FaultLocus",
+    "RankedRepair",
+    "RepairBudget",
+    "RepairReport",
+    "changed_decl_names",
+    "generate_candidates",
+    "locus_from_selection",
+    "search_repairs",
+]

@@ -1,0 +1,236 @@
+"""The repair search space: small surface-level edits of a faulting program.
+
+Three candidate kinds, in the spirit of generate-and-validate program
+repair (the search is honest: every candidate must still compile, type,
+and survive supervised application — generation only has to be
+*plausible*, not correct):
+
+* ``delete_statement`` — remove one statement (the classic "delete the
+  faulting statement" edit);
+* ``hole`` — replace one statement with a neutral placeholder that
+  keeps the surrounding shape: ``post`` statements post ``"?"``, and
+  assignments become self-assignments (``x := x``), so the statement
+  slot survives but its faulting expression is gone;
+* ``revert_decl`` — splice one top-level declaration's *last-good*
+  source text over its faulting version (finer-grained than the
+  supervisor's whole-program rollback: the rest of the edit survives).
+
+Candidates are generated from the parsed surface AST's source spans —
+the same spans that drive Fig. 2's UI-code navigation — and are plain
+line edits on the source text, exactly like
+:func:`repro.live.manipulation.apply_manipulation`'s direct-manipulation
+edits.  A ``suspects`` set (declaration names from
+:mod:`repro.repair.localize`) focuses statement-level candidates on the
+declarations the fault implicates; revert candidates are implicitly
+localized by the old/new text diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import SyntaxProblem
+from ..surface import surface_ast as sast
+from ..surface.parser import parse
+
+
+@dataclass(frozen=True)
+class CandidateEdit:
+    """One proposed fix: a full replacement source plus its provenance."""
+
+    kind: str          # "delete_statement" | "hole" | "revert_decl"
+    description: str   # human-readable, e.g. 'delete line 7 in fun f'
+    source: str        # the complete repaired source text
+    edit_size: int     # lines removed + lines added (smaller is better)
+    target: str = ""   # declaration the edit touches ("f", "start", ...)
+    line: int = 0      # first source line the edit touches (1-based)
+
+
+def _decl_name(decl):
+    return getattr(decl, "name", None)
+
+
+def _line_range(source_lines, source, span):
+    """Inclusive 1-based ``(first, last)`` line range a span covers.
+
+    Spans are half-open and may end at the *next* token's start (past
+    trailing newlines), so the last line is recomputed from the span's
+    actual text: everything after the final non-whitespace character is
+    not part of the statement.
+    """
+    text = source[span.start.offset:span.end.offset].rstrip()
+    first = span.start.line
+    last = first + text.count("\n")
+    return first, min(last, len(source_lines))
+
+
+def _indent_of(line_text):
+    return line_text[: len(line_text) - len(line_text.lstrip())]
+
+
+def _splice(source_lines, first, last, replacement_lines):
+    """New source with lines ``first..last`` (1-based, inclusive)
+    replaced by ``replacement_lines`` (possibly empty = deletion)."""
+    lines = (
+        source_lines[: first - 1]
+        + list(replacement_lines)
+        + source_lines[last:]
+    )
+    return "\n".join(lines)
+
+
+def _block_statements(block, out):
+    """Flatten every statement in a block, recursing into bodies."""
+    if block is None:
+        return
+    for stmt in block.stmts:
+        out.append(stmt)
+        for child in (
+            getattr(stmt, "body", None),
+            getattr(stmt, "then_block", None),
+            getattr(stmt, "else_block", None),
+        ):
+            if isinstance(child, sast.Block):
+                _block_statements(child, out)
+
+
+def _decl_statements(decl):
+    """Every statement inside one declaration, with spans."""
+    out = []
+    if isinstance(decl, sast.DFun):
+        _block_statements(decl.body, out)
+    elif isinstance(decl, sast.DPage):
+        _block_statements(decl.init_block, out)
+        _block_statements(decl.render_block, out)
+    return out
+
+
+def _hole_replacement(stmt, indent):
+    """The placeholder line(s) for a ``hole`` candidate, or ``None``
+    when deletion already covers the statement kind."""
+    if isinstance(stmt, sast.SPost):
+        return [indent + 'post "?"']
+    if isinstance(stmt, sast.SAssign):
+        # A self-assignment types for every variable and keeps the
+        # statement slot (and any accumulation structure) in place.
+        return [indent + "{0} := {0}".format(stmt.name)]
+    return None
+
+
+def _statement_candidates(source, source_lines, decl, stmts):
+    name = _decl_name(decl) or "?"
+    for stmt in stmts:
+        first, last = _line_range(source_lines, source, stmt.span)
+        removed = last - first + 1
+        yield CandidateEdit(
+            kind="delete_statement",
+            description="delete line{} {}{} in {}".format(
+                "" if removed == 1 else "s", first,
+                "" if removed == 1 else "-{}".format(last), name,
+            ),
+            source=_splice(source_lines, first, last, []),
+            edit_size=removed,
+            target=name,
+            line=first,
+        )
+        hole = _hole_replacement(stmt, _indent_of(source_lines[first - 1]))
+        if hole is not None:
+            yield CandidateEdit(
+                kind="hole",
+                description="replace line {} in {} with {!r}".format(
+                    first, name, hole[0].strip(),
+                ),
+                source=_splice(source_lines, first, last, hole),
+                edit_size=removed + len(hole),
+                target=name,
+                line=first,
+            )
+
+
+def _decl_texts(source, program):
+    """name → (first, last, text lines) for every named declaration."""
+    lines = source.split("\n")
+    texts = {}
+    for decl in program.decls:
+        name = _decl_name(decl)
+        if name is None:
+            continue
+        first, last = _line_range(lines, source, decl.span)
+        texts[name] = (first, last, lines[first - 1:last])
+    return texts
+
+
+def _revert_candidates(source, source_lines, program, last_good_source):
+    """One candidate per declaration whose text differs from last-good:
+    splice the last-good declaration over the faulting one."""
+    try:
+        good_program = parse(last_good_source)
+    except SyntaxProblem:
+        return
+    good_texts = _decl_texts(last_good_source, good_program)
+    new_texts = _decl_texts(source, program)
+    for name, (first, last, text) in new_texts.items():
+        good = good_texts.get(name)
+        if good is None or good[2] == text:
+            continue
+        yield CandidateEdit(
+            kind="revert_decl",
+            description="revert {} to its last-good version".format(name),
+            source=_splice(source_lines, first, last, good[2]),
+            edit_size=(last - first + 1) + len(good[2]),
+            target=name,
+            line=first,
+        )
+
+
+def generate_candidates(
+    faulting_source,
+    last_good_source=None,
+    suspects=(),
+    max_candidates=None,
+):
+    """The ranked-for-search candidate list for one faulting program.
+
+    ``suspects`` (declaration names from fault localization) restricts
+    statement-level candidates to the implicated declarations; when
+    empty, every function and page is fair game.  Revert candidates are
+    localized by the text diff itself.  Candidates are deduplicated by
+    resulting source, ordered smallest-edit-first (the cheap-to-try,
+    likely-minimal fixes lead when ``max_candidates`` truncates), and
+    never include the unmodified faulting source.
+    """
+    try:
+        program = parse(faulting_source)
+    except SyntaxProblem:
+        # A rolled-back or breaker-tripped program always parsed (it
+        # compiled once) — but be defensive for direct callers.
+        return []
+    source_lines = faulting_source.split("\n")
+    suspect_set = set(suspects or ())
+    candidates = []
+    for decl in program.decls:
+        name = _decl_name(decl)
+        if suspect_set and name not in suspect_set:
+            continue
+        stmts = _decl_statements(decl)
+        candidates.extend(
+            _statement_candidates(faulting_source, source_lines, decl, stmts)
+        )
+    if last_good_source is not None and last_good_source != faulting_source:
+        candidates.extend(
+            _revert_candidates(
+                faulting_source, source_lines, program, last_good_source
+            )
+        )
+    seen = {faulting_source}
+    unique = []
+    for candidate in sorted(
+        candidates, key=lambda c: (c.edit_size, c.line, c.kind)
+    ):
+        if candidate.source in seen:
+            continue
+        seen.add(candidate.source)
+        unique.append(candidate)
+    if max_candidates is not None:
+        unique = unique[:max_candidates]
+    return unique

@@ -1,0 +1,120 @@
+"""Fault localization: which declarations does a fault implicate?
+
+Two complementary localizers, one per repair trigger:
+
+* **Rolled-back UPDATE** — the faulting program is a *diff* away from
+  the running one, and the diff is the localization:
+  :func:`changed_decl_names` parses both sources and names every
+  declaration whose text changed.  The fault must live in (or be
+  provoked by) the changed code — the last-good program rendered.
+
+* **Breaker opened by live traffic** — the running program faults on a
+  user event.  The journal record of the faulting op is span-stamped
+  (``repro.provenance``'s trace ↔ journal join) and carries the event's
+  display path; :func:`locus_from_selection` resolves that path through
+  the box ↔ code span map (the :func:`repro.provenance.why` join:
+  display path → ``box_id`` → owning declaration) to the function or
+  page whose code ran.
+
+Both produce a :class:`FaultLocus`: the suspect declaration names that
+focus :func:`repro.repair.candidates.generate_candidates`, plus the
+fault identity (``span_id`` / ``vtimestamp``) that the enriched
+``degraded`` envelope surfaces to clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ReproError, SyntaxProblem
+from ..surface.parser import parse
+
+
+@dataclass(frozen=True)
+class FaultLocus:
+    """Where a fault points: suspect declarations plus fault identity."""
+
+    suspects: tuple = ()       # declaration names ((), meaning "anywhere")
+    box_id: object = None      # the box whose code faulted, when known
+    owner: str = None          # box_owner label ("fun f", "page p (render)")
+    span_id: object = None     # tracer span of the faulting transition
+    vtimestamp: object = None  # virtual-clock time of the fault
+
+
+def _decl_texts(source):
+    program = parse(source)
+    lines = source.split("\n")
+    texts = {}
+    for decl in program.decls:
+        name = getattr(decl, "name", None)
+        if name is None:
+            continue
+        span = decl.span
+        text = source[span.start.offset:span.end.offset].rstrip()
+        first = span.start.line
+        last = first + text.count("\n")
+        texts[name] = tuple(lines[first - 1:last])
+    return texts
+
+
+def changed_decl_names(old_source, new_source):
+    """Declarations added or textually changed between two programs.
+
+    This is the rolled-back UPDATE's localization: the last-good
+    program rendered, so the fault lives in (or is provoked by) exactly
+    these declarations.  Returns ``()`` when either source fails to
+    parse — no localization beats wrong localization.
+    """
+    try:
+        old_texts = _decl_texts(old_source)
+        new_texts = _decl_texts(new_source)
+    except SyntaxProblem:
+        return ()
+    return tuple(
+        name for name, text in new_texts.items()
+        if old_texts.get(name) != text
+    )
+
+
+def _owner_decl_name(owner_label):
+    """``box_owner``'s label → the declaration name it lives in."""
+    if owner_label.startswith("fun "):
+        return owner_label[4:]
+    if owner_label.startswith("page "):
+        return owner_label[5:].split(" ")[0].strip()
+    return None
+
+
+def locus_from_selection(session, path=None, text=None, fault=None):
+    """The breaker trigger's localization: the faulting event's display
+    path, resolved through the box ↔ code map to its owning declaration
+    (the ``why()`` join without the replay — the live session is right
+    here).  Degrades gracefully: an unresolvable path yields an
+    unfocused locus, never an error."""
+    box_id = None
+    owner = None
+    suspects = ()
+    try:
+        if path is None and text is not None:
+            path = session.runtime.require_text(text)
+        if path is not None:
+            selection = session.select_box(tuple(path))
+            if selection is not None:
+                from ..provenance.why import box_owner
+
+                box_id = selection.box_id
+                owner, _node = box_owner(
+                    session.runtime.system.code, box_id
+                )
+                name = _owner_decl_name(owner)
+                if name is not None:
+                    suspects = (name,)
+    except (ReproError, LookupError, AttributeError):
+        pass  # unfocused beats wrong
+    return FaultLocus(
+        suspects=suspects,
+        box_id=box_id,
+        owner=owner,
+        span_id=getattr(fault, "span_id", None),
+        vtimestamp=getattr(fault, "vtimestamp", None),
+    )

@@ -39,6 +39,20 @@ Record shapes (one JSON object per line)::
     {"kind": "destroy",    "seq": N, "token": t}
     {"kind": "recover",    "seq": N, "sessions": k}
     {"kind": "shutdown",   "seq": N}
+    {"kind": "meta",       "seq": N, "fsync": "interval"}
+
+**Durability policy.**  By default (``fsync="none"``) appends rely on
+the OS page cache: each record is written with open-append-close, which
+survives *process* death (the recovery contract) but not a machine
+crash.  ``fsync="always"`` fsyncs every append — whole-machine-crash
+durability at a large per-request latency cost — and
+``fsync="interval"`` fsyncs at most once per ``fsync_interval`` seconds
+(bounded data loss, near-``none`` throughput); see docs/RESILIENCE.md
+for measured overhead.  A non-default policy is recorded in a ``meta``
+header record when the journal opens (and whenever the policy changes
+across restarts), so a reader can tell what durability the file was
+written under; the default writes no marker, keeping existing journals
+byte-identical.
 
 Records may additionally carry ``"span_id"`` when tracing was active at
 append time.  ``seq`` is a global monotone counter; per-token order in
@@ -63,6 +77,9 @@ JOURNAL_FILE = "journal.jsonl"
 
 #: Ops that may appear in ``event`` records and how to replay them.
 REPLAYABLE_OPS = ("tap", "back", "edit_box", "batch", "edit_source")
+
+#: Valid journal durability policies (see :class:`Journal`).
+FSYNC_POLICIES = ("none", "interval", "always")
 
 
 class _TokenIndex:
@@ -92,14 +109,29 @@ class Journal:
     than renumbering.
     """
 
-    def __init__(self, directory, checkpoint_every=50, tracer=None):
+    def __init__(
+        self, directory, checkpoint_every=50, tracer=None,
+        fsync="none", fsync_interval=1.0,
+    ):
         if checkpoint_every < 1:
             raise ReproError("checkpoint_every must be at least 1")
+        if fsync not in FSYNC_POLICIES:
+            raise ReproError(
+                "fsync must be one of {} (got {!r})".format(
+                    "/".join(FSYNC_POLICIES), fsync
+                )
+            )
+        if fsync_interval <= 0:
+            raise ReproError("fsync_interval must be positive")
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, JOURNAL_FILE)
         self.checkpoint_every = checkpoint_every
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self._last_fsync = None
+        self._recorded_fsync = None     # last meta record's policy
         self._lock = threading.Lock()
         self._since_checkpoint = {}     # token -> events since last image
         self._seq = 0
@@ -107,6 +139,12 @@ class Journal:
         self._index = {}                # token -> _TokenIndex
         self._repair()
         self._scan()
+        # Record a non-default durability policy (or a policy change) in
+        # the journal header; the default writes nothing, so existing
+        # journals and seq numbering stay byte-identical.
+        if (self._recorded_fsync != fsync
+                and (fsync != "none" or self._recorded_fsync is not None)):
+            self._append({"kind": "meta", "fsync": fsync})
 
     def _repair(self):
         """Truncate a torn trailing line left by a crash mid-append.
@@ -151,6 +189,8 @@ class Journal:
             self._seq = max(self._seq, record.get("seq", 0))
             self._size = offset + record["__bytes__"]
             del record["__bytes__"]
+            if record.get("kind") == "meta":
+                self._recorded_fsync = record.get("fsync")
             self._note_for_checkpoint(record)
             self._note_index(record, offset)
 
@@ -204,14 +244,31 @@ class Journal:
             offset = self._size
             # Open-append-close per record: survives process death (the
             # recovery contract) without holding an fd hostage; the OS
-            # page cache makes this cheap, and fsync-per-request would
-            # buy whole-machine-crash durability at ~10x the latency.
+            # page cache makes this cheap.  The fsync policy decides
+            # whether (and how often) to also survive machine death:
+            # "always" pays the sync on every append, "interval" at most
+            # once per fsync_interval seconds, "none" never (default).
             with open(self.path, "a") as handle:
                 handle.write(line)
+                if self.fsync == "always":
+                    self._sync(handle)
+                elif self.fsync == "interval":
+                    from ..obs.trace import clock
+
+                    now = clock()
+                    if (self._last_fsync is None
+                            or now - self._last_fsync >= self.fsync_interval):
+                        self._sync(handle)
+                        self._last_fsync = now
             self._size = offset + len(line.encode("utf-8"))
             self._note_for_checkpoint(record)
             self._note_index(record, offset)
             return self._seq
+
+    def _sync(self, handle):
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.tracer.add("journal_fsyncs")
 
     def record_create(self, token, source, title):
         self._append({

@@ -71,6 +71,7 @@ class _Entry:
         "token", "lock", "session", "image",
         "generation", "html", "fingerprint", "dirty", "title",
         "consecutive_faults", "quarantined",
+        "repair_report", "repair_thread",
     )
 
     def __init__(self, token, session, title):
@@ -91,6 +92,10 @@ class _Entry:
         # paging a faulty session out does not reset its record.
         self.consecutive_faults = 0
         self.quarantined = False
+        # Live repair (repro.repair): the latest search report and the
+        # background thread computing it, if a search is in flight.
+        self.repair_report = None
+        self.repair_thread = None
 
     @property
     def resident(self):
@@ -133,6 +138,7 @@ class SessionHost:
         quarantine_after=3,
         journal=None,
         memo_store=None,
+        repair=None,
     ):
         if pool_size < 1:
             raise ReproError("pool_size must be at least 1")
@@ -166,6 +172,18 @@ class SessionHost:
         #: foreign entries count ``cluster.memo.shared_hits``.  Passing
         #: a store implies ``memo_render=True`` for every session.
         self.memo_store = memo_store
+        #: Live repair (repro.repair).  ``repair=True`` (or a
+        #: :class:`~repro.repair.RepairBudget`) arms *automatic* repair
+        #: search: a rolled-back ``edit_source`` or a breaker opening
+        #: launches a budgeted candidate search on a background thread —
+        #: the live session is never touched, so the search stays off
+        #: the request path.  ``None`` leaves only the explicit
+        #: ``repair_search`` entry point.
+        if repair is True:
+            from ..repair import RepairBudget
+
+            repair = RepairBudget()
+        self.repair = repair
         self._lock = threading.Lock()          # registry + LRU order
         self._metrics_lock = threading.Lock()  # tracer counter updates
         self._entries = OrderedDict()          # token -> _Entry, LRU order
@@ -449,14 +467,14 @@ class SessionHost:
             try:
                 yield outcome
             except EvalError:
-                self._note_fault(entry)
+                self._note_fault(entry, op, args)
                 raise
             recorded = len(entry.session.runtime.faults) - faults_before
             if recorded > 0:
                 # Sessions run with the null tracer; surface their
                 # recorded faults in the host-level metrics.
                 self._count("faults_recorded", recorded)
-                self._note_fault(entry)
+                self._note_fault(entry, op, args)
             elif outcome.executed:
                 entry.consecutive_faults = 0
             if checkpoint_due:
@@ -465,13 +483,47 @@ class SessionHost:
             if span is not None:
                 span.finish()
 
-    def _note_fault(self, entry):
+    def _note_fault(self, entry, op=None, args=None):
         entry.consecutive_faults += 1
         if (self.quarantine_after is not None
                 and not entry.quarantined
                 and entry.consecutive_faults >= self.quarantine_after):
             entry.quarantined = True
             self._count("sessions_quarantined")
+            if self.repair is not None:
+                self._repair_on_breaker(entry, op, args or {})
+
+    def _repair_on_breaker(self, entry, op, args):
+        """Breaker just opened: localize via the faulting event's display
+        path (the ``why()`` box ↔ code join, live) and launch a search.
+        Entry lock held; never raises — repair is best-effort."""
+        try:
+            from ..repair import locus_from_selection
+
+            session = entry.session
+            faults = session.runtime.faults
+            fault = faults[-1] if faults else None
+            locus = locus_from_selection(
+                session,
+                path=args.get("path"),
+                text=args.get("text"),
+                fault=fault,
+            )
+            last_good = (
+                session._undo_stack[-1] if session._undo_stack else None
+            )
+            self._launch_repair(
+                entry,
+                trigger="breaker",
+                faulting_source=session.source,
+                last_good_source=(
+                    last_good if last_good != session.source else None
+                ),
+                suspects=locus.suspects,
+                fault=fault,
+            )
+        except Exception:
+            pass
 
     def _checkpoint(self, entry):
         """Entry lock held: append a full image checkpoint to the journal."""
@@ -559,7 +611,36 @@ class SessionHost:
             if entry.quarantined and result.applied and clean:
                 entry.quarantined = False
                 entry.consecutive_faults = 0
+            if result.status == "rolled_back" and self.repair is not None:
+                self._repair_on_rollback(entry, new_source)
             return result
+
+    def _repair_on_rollback(self, entry, new_source):
+        """A supervised UPDATE just rolled back: the running code is the
+        last-good program, the buffer holds the faulting text, and the
+        old/new declaration diff is the localization.  Entry lock held;
+        never raises — repair is best-effort."""
+        try:
+            from ..repair import changed_decl_names
+
+            session = entry.session
+            last_good = (
+                session._undo_stack[-1] if session._undo_stack else None
+            )
+            faults = session.runtime.faults
+            self._launch_repair(
+                entry,
+                trigger="rollback",
+                faulting_source=new_source,
+                last_good_source=last_good,
+                suspects=(
+                    changed_decl_names(last_good, new_source)
+                    if last_good is not None else ()
+                ),
+                fault=faults[-1] if faults else None,
+            )
+        except Exception:
+            pass
 
     def probe(self, token, expression):
         with self.session(token) as entry:
@@ -705,6 +786,183 @@ class SessionHost:
                 "need one (serve with --journal-dir)"
             )
         return self.journal
+
+    # -- live repair (repro.repair) -----------------------------------------
+
+    def _repair_budget(self, budget=None):
+        from ..repair import RepairBudget
+
+        if budget is not None:
+            return budget
+        if isinstance(self.repair, RepairBudget):
+            return self.repair
+        return RepairBudget()
+
+    def _launch_repair(
+        self, entry, *, trigger, faulting_source,
+        last_good_source, suspects, fault,
+    ):
+        """Kick off a background search for ``entry`` (entry lock held).
+
+        At most one search per session is in flight; the thread
+        validates candidates only against throwaway replayed systems —
+        it never takes the entry lock, which is what keeps the search
+        off the request path.
+        """
+        if entry.repair_thread is not None and entry.repair_thread.is_alive():
+            return
+        entry.repair_report = None
+        budget = self._repair_budget()
+
+        def run():
+            from ..repair import search_repairs
+
+            try:
+                entry.repair_report = search_repairs(
+                    self.journal,
+                    entry.token,
+                    faulting_source=faulting_source,
+                    last_good_source=last_good_source,
+                    suspects=suspects,
+                    trigger=trigger,
+                    fault=fault,
+                    budget=budget,
+                    make_host_impls=self._make_host_impls,
+                    make_services=self._make_services,
+                    session_kwargs=self.session_kwargs,
+                    count=self._count,
+                    observe=self.tracer.observe,
+                )
+            except Exception:
+                pass  # best-effort: a failed search leaves no report
+
+        entry.repair_thread = threading.Thread(
+            target=run, name="repair-" + entry.token, daemon=True
+        )
+        entry.repair_thread.start()
+
+    def repair_info(self, token):
+        """The session's repair state, JSON-clean: ``status`` is
+        ``searching`` (a background search is in flight), ``ready`` (a
+        report is available — with its ranked candidate summaries), or
+        ``none``."""
+        entry = self._checkout(token)
+        thread = entry.repair_thread
+        if thread is not None and thread.is_alive():
+            return {"status": "searching"}
+        report = entry.repair_report
+        if report is None:
+            return {"status": "none"}
+        return self.report_info(report)
+
+    @staticmethod
+    def report_info(report):
+        """A :class:`~repro.repair.RepairReport` as the JSON-clean
+        ``repair`` payload (summaries only — apply routes by rank, so
+        candidate source text never rides the envelope)."""
+        return {
+            "status": "ready",
+            "trigger": report.trigger,
+            "found": report.found,
+            "generated": report.generated,
+            "searched": report.searched,
+            "wall_seconds": report.wall_seconds,
+            "budget_exhausted": report.budget_exhausted,
+            "fault": report.fault,
+            "repairs": report.summaries(),
+        }
+
+    def repair_wait(self, token, timeout=None):
+        """Block until the in-flight search (if any) finishes; returns
+        :meth:`repair_info`.  Test/CLI convenience — servers poll."""
+        thread = self._checkout(token).repair_thread
+        if thread is not None:
+            thread.join(timeout)
+        return self.repair_info(token)
+
+    def repair_search(self, token, budget=None):
+        """Search for repairs *now*, synchronously; returns the
+        :class:`~repro.repair.RepairReport` (also stored, so a later
+        ``repair{apply}`` can route by rank).
+
+        The faulting program is the session's edit buffer when it holds
+        text the supervisor refused (a rolled-back UPDATE leaves the
+        buffer at the faulting source while the runtime keeps last-good
+        code); otherwise the running program itself is searched — the
+        breaker case, where live traffic faults the accepted code.
+        """
+        from ..repair import changed_decl_names, search_repairs
+
+        with self.session(token) as entry:
+            session = entry.session
+            last_good = (
+                session._undo_stack[-1] if session._undo_stack else None
+            )
+            faulting = session.source
+            rolled_back = last_good is not None and faulting != last_good
+            suspects = (
+                changed_decl_names(last_good, faulting)
+                if rolled_back else ()
+            )
+            faults = session.runtime.faults
+            fault = faults[-1] if faults else None
+            trigger = "rollback" if rolled_back else "manual"
+        report = search_repairs(
+            self.journal,
+            token,
+            faulting_source=faulting,
+            last_good_source=last_good if rolled_back else None,
+            suspects=suspects,
+            trigger=trigger,
+            fault=fault,
+            budget=self._repair_budget(budget),
+            make_host_impls=self._make_host_impls,
+            make_services=self._make_services,
+            session_kwargs=self.session_kwargs,
+            count=self._count,
+            observe=self.tracer.observe,
+        )
+        entry.repair_report = report
+        return report
+
+    def repair_apply(self, token, rank):
+        """Apply the ranked candidate as an ordinary supervised edit.
+
+        A repair is *just an edit*: it routes through
+        :meth:`edit_source`, so it must pass the same Supervisor (and an
+        applied repair closes an open breaker exactly like a hand-written
+        fix).  Returns ``(edit_result, candidate)``.
+        """
+        report = self._checkout(token).repair_report
+        if report is None:
+            raise ReproError(
+                "session {} has no repair report — run a repair search "
+                "first".format(token)
+            )
+        candidate = report.candidate(rank)
+        result = self.edit_source(token, candidate.source)
+        if result.applied:
+            self._count("repair.applied")
+        return result, candidate
+
+    def degraded_detail(self, token):
+        """Why this session is degraded: the breaker's fault streak plus
+        the latest recorded fault's identity (type, message, ``span_id``,
+        ``vtimestamp``) — enough for a client (or the repair searcher)
+        to localize without a second ``stats`` round trip."""
+        with self.session(token) as entry:
+            detail = {"fault_streak": entry.consecutive_faults}
+            faults = entry.session.runtime.faults
+            if faults:
+                fault = faults[-1]
+                detail["error"] = str(fault.error)
+                detail["type"] = type(fault.error).__name__
+                detail["during"] = fault.during
+                if fault.span_id is not None:
+                    detail["span_id"] = fault.span_id
+                if fault.vtimestamp is not None:
+                    detail["vtimestamp"] = fault.vtimestamp
+            return detail
 
     def destroy(self, token):
         """Forget a session entirely (resident or evicted)."""

@@ -27,6 +27,11 @@ op                      request fields → response payload
 ``why``                 ``token``, ``path`` | ``text`` → ``why`` (code
                         span, store slots, originating journal events —
                         see :mod:`repro.provenance`)
+``repair``              ``token``, plus one of ``search`` (+ ``budget?``),
+                        ``apply`` (a rank), ``wait?`` (seconds) →
+                        ``status`` (``searching``/``ready``/``none``)
+                        with ranked ``repairs`` summaries — see
+                        :mod:`repro.repair`
 ======================  ====================================================
 
 ``history`` and ``why`` need the host to be journaling (started with
@@ -47,8 +52,14 @@ refused code update as ``"UpdateRejected"`` with its ``problems``, and
 an open circuit breaker as ``"SessionQuarantined"`` — each carrying a
 ``span_id`` when tracing is on, so a client error correlates with the
 server's span tree.  ``render`` on a quarantined session succeeds with
-``"degraded": true`` and the last-good document: a faulting session is
-served degraded, never dropped with an untyped 500.
+``"degraded": true`` and the last-good document — plus a ``fault``
+object (the quarantining fault's type, message, ``span_id``,
+``vtimestamp`` and the breaker's ``fault_streak``) and the session's
+``repair`` state, so clients can localize and offer a fix without a
+second round trip: a faulting session is served degraded, never dropped
+with an untyped 500.  Likewise a ``rolled_back`` ``edit_source``
+response carries ``repair`` (usually ``{"status": "searching"}`` — the
+background candidate search just launched; poll the ``repair`` op).
 
 ``render`` responses carry the display generation; a request whose
 ``generation`` still matches gets ``{"not_modified": true}`` with no
@@ -296,7 +307,12 @@ def _op_batch(host, request):
 def _op_edit_source(host, request):
     token = _require(request, "token", str)
     result = host.edit_source(token, _require(request, "source", str))
-    return _ok("edit_source", token=token, **result_payload(result))
+    payload = result_payload(result)
+    if result.status == "rolled_back":
+        # The update faulted and was rolled back — surface the repair
+        # search state so the client can poll (or apply) a fix.
+        payload["repair"] = host.repair_info(token)
+    return _ok("edit_source", token=token, **payload)
 
 
 def _op_probe(host, request):
@@ -314,9 +330,14 @@ def _op_render(host, request):
     degraded = {}
     if host.is_quarantined(token):
         # The typed "Degraded" envelope: still a successful render —
-        # the last-good document — but flagged so clients can tell the
-        # session needs a code fix before it interacts again.
-        degraded = {"degraded": True}
+        # the last-good document — but flagged (with the quarantining
+        # fault's identity and the repair search state) so clients can
+        # tell the session needs a code fix, and offer one.
+        degraded = {
+            "degraded": True,
+            "fault": host.degraded_detail(token),
+            "repair": host.repair_info(token),
+        }
     if not modified:
         return _ok(
             "render", token=token, generation=generation,
@@ -360,6 +381,44 @@ def _op_why(host, request):
     return _ok("why", token=token, why=wire_encode(report))
 
 
+def _op_repair(host, request):
+    token = _require(request, "token", str)
+    if "apply" in request:
+        rank = request.get("apply")
+        if not isinstance(rank, int) or isinstance(rank, bool) or rank < 1:
+            raise BadRequest("repair: 'apply' must be a positive rank")
+        result, candidate = host.repair_apply(token, rank)
+        return _ok(
+            "repair", token=token, applied=result.applied,
+            candidate=wire_encode(candidate), **result_payload(result)
+        )
+    if request.get("search"):
+        budget = None
+        spec = request.get("budget")
+        if spec is not None:
+            if not isinstance(spec, dict):
+                raise BadRequest("repair: 'budget' must be an object")
+            from ..repair import RepairBudget
+
+            try:
+                budget = RepairBudget(**spec)
+            except TypeError:
+                raise BadRequest(
+                    "repair: unknown budget field; valid fields: "
+                    "max_candidates, wall_seconds, window, parallelism, "
+                    "fuel, deadline"
+                )
+        report = host.repair_search(token, budget=budget)
+        return _ok("repair", token=token, **host.report_info(report))
+    wait = request.get("wait")
+    if wait is not None:
+        if not isinstance(wait, (int, float)) or isinstance(wait, bool) \
+                or wait < 0:
+            raise BadRequest("repair: 'wait' must be non-negative seconds")
+        return _ok("repair", token=token, **host.repair_wait(token, wait))
+    return _ok("repair", token=token, **host.repair_info(token))
+
+
 _OPS = {
     "create": _op_create,
     "tap": _op_tap,
@@ -374,4 +433,5 @@ _OPS = {
     "stats": _op_stats,
     "history": _op_history,
     "why": _op_why,
+    "repair": _op_repair,
 }

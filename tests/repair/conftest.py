@@ -1,0 +1,43 @@
+"""Shared fixtures for the live-repair suite.
+
+``COUNTER`` is the quickstart counter; ``RENDER_BROKEN`` divides by zero
+in the render body (the supervisor rolls such an update back — the
+rollback repair trigger), ``TAP_BROKEN`` divides by zero inside a tap
+handler (applies cleanly, then faults on live traffic — the breaker
+trigger).
+"""
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+
+RENDER_BROKEN = COUNTER.replace(
+    'post "count: " || count',
+    'post "count: " || count / (count - count)',
+)
+
+TAP_BROKEN = COUNTER.replace(
+    "count := count + 1",
+    "count := count / (count - count)",
+)
+
+assert RENDER_BROKEN != COUNTER
+assert TAP_BROKEN != COUNTER
+
+SESSION_KWARGS = {"fault_policy": "record", "supervised": True}
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    return str(tmp_path / "journal")
+
+
+def make_host(journal_dir=None, source=COUNTER, **kwargs):
+    from repro.obs.trace import Tracer
+    from repro.resilience.journal import Journal
+    from repro.serve.host import SessionHost
+
+    kwargs.setdefault("session_kwargs", dict(SESSION_KWARGS))
+    kwargs.setdefault("tracer", Tracer())
+    journal = Journal(journal_dir) if journal_dir is not None else None
+    return SessionHost(default_source=source, journal=journal, **kwargs)

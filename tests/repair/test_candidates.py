@@ -1,0 +1,101 @@
+"""Candidate generation: the repair search space."""
+
+import pytest
+
+from repro.repair import CandidateEdit, changed_decl_names, generate_candidates
+
+from .conftest import COUNTER, RENDER_BROKEN, TAP_BROKEN
+
+
+def test_generates_all_three_kinds():
+    candidates = generate_candidates(
+        RENDER_BROKEN, last_good_source=COUNTER
+    )
+    kinds = {c.kind for c in candidates}
+    assert kinds == {"delete_statement", "hole", "revert_decl"}
+
+
+def test_candidates_are_unique_and_exclude_the_faulting_source():
+    candidates = generate_candidates(
+        RENDER_BROKEN, last_good_source=COUNTER
+    )
+    sources = [c.source for c in candidates]
+    assert RENDER_BROKEN not in sources
+    assert len(sources) == len(set(sources))
+
+
+def test_candidates_ordered_smallest_edit_first():
+    candidates = generate_candidates(RENDER_BROKEN)
+    sizes = [c.edit_size for c in candidates]
+    assert sizes == sorted(sizes)
+
+
+def test_post_hole_posts_a_question_mark():
+    candidates = generate_candidates(RENDER_BROKEN)
+    holes = [c for c in candidates if c.kind == "hole"]
+    assert any('post "?"' in c.source for c in holes)
+
+
+def test_assign_hole_is_a_self_assignment():
+    candidates = generate_candidates(TAP_BROKEN)
+    holes = [c for c in candidates if c.kind == "hole"]
+    assert any("count := count\n" in c.source for c in holes)
+
+
+def test_revert_candidate_targets_the_changed_decl():
+    candidates = generate_candidates(
+        RENDER_BROKEN, last_good_source=COUNTER
+    )
+    reverts = [c for c in candidates if c.kind == "revert_decl"]
+    assert len(reverts) == 1
+    assert reverts[0].target == "start"
+    # Reverting the only changed declaration restores the good program.
+    assert reverts[0].source.rstrip() == COUNTER.rstrip()
+
+
+def test_identical_last_good_yields_no_reverts():
+    candidates = generate_candidates(
+        RENDER_BROKEN, last_good_source=RENDER_BROKEN
+    )
+    assert not any(c.kind == "revert_decl" for c in candidates)
+
+
+def test_suspects_filter_restricts_statement_candidates():
+    focused = generate_candidates(RENDER_BROKEN, suspects=("start",))
+    assert focused
+    assert all(c.target == "start" for c in focused)
+    assert generate_candidates(RENDER_BROKEN, suspects=("elsewhere",)) == []
+
+
+def test_max_candidates_truncates():
+    everything = generate_candidates(RENDER_BROKEN)
+    assert len(everything) > 3
+    capped = generate_candidates(RENDER_BROKEN, max_candidates=3)
+    assert capped == everything[:3]
+
+
+def test_generation_is_deterministic():
+    first = generate_candidates(RENDER_BROKEN, last_good_source=COUNTER)
+    second = generate_candidates(RENDER_BROKEN, last_good_source=COUNTER)
+    assert first == second
+
+
+def test_unparsable_source_yields_no_candidates():
+    assert generate_candidates("page (((") == []
+
+
+def test_candidate_edit_is_frozen():
+    candidate = generate_candidates(RENDER_BROKEN)[0]
+    assert isinstance(candidate, CandidateEdit)
+    with pytest.raises(Exception):
+        candidate.kind = "other"
+
+
+def test_changed_decl_names_diffs_declarations():
+    assert changed_decl_names(COUNTER, RENDER_BROKEN) == ("start",)
+    assert changed_decl_names(COUNTER, COUNTER) == ()
+
+
+def test_changed_decl_names_survives_syntax_errors():
+    assert changed_decl_names(COUNTER, "page (((") == ()
+    assert changed_decl_names("page (((", COUNTER) == ()

@@ -1,0 +1,94 @@
+"""Property: the repair ranking is a pure function of its inputs.
+
+Worker-thread scheduling affects which thread validates which
+candidate and how long each takes — it must never affect the *order*.
+The journal is built under seeded chaos (a :class:`FaultPlan` injecting
+evaluation faults into live traffic), so the recorded history the
+searcher replays varies by seed; for every seed, two independent
+searches over the same journal must rank identically.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.repair import RepairBudget, search_repairs
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.journal import Journal
+
+from .conftest import COUNTER, RENDER_BROKEN, SESSION_KWARGS, make_host
+
+_SETTINGS = settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def ranking(report):
+    """The order-relevant fields (timing excluded by construction)."""
+    return [
+        (c.kind, c.source, c.validated, c.events_ok, c.edit_size)
+        for c in report.candidates
+    ]
+
+
+def build_journal(tmp_path, seed, taps):
+    journal_dir = str(tmp_path / "journal-{}".format(seed))
+    kwargs = dict(SESSION_KWARGS)
+    kwargs["chaos"] = FaultInjector(
+        FaultPlan(seed=seed, rates={"eval": 0.3}, max_faults=4)
+    )
+    host = make_host(journal_dir, session_kwargs=kwargs)
+    token = host.create(source=COUNTER)
+    for which in taps:
+        try:
+            host.tap(token, text="reset" if which else "count: 0")
+        except ReproError:
+            pass  # the counter moved on; the attempt is still journaled
+    result = host.edit_source(token, RENDER_BROKEN)
+    assert result.status == "rolled_back"
+    return journal_dir, token
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    taps=st.lists(st.booleans(), min_size=1, max_size=6),
+)
+@_SETTINGS
+def test_same_inputs_rank_identically(tmp_path_factory, seed, taps):
+    tmp_path = tmp_path_factory.mktemp("repair-det")
+    journal_dir, token = build_journal(tmp_path, seed, taps)
+    reports = [
+        search_repairs(
+            Journal(journal_dir), token,
+            faulting_source=RENDER_BROKEN,
+            last_good_source=COUNTER,
+            suspects=("start",),
+            trigger="rollback",
+            budget=RepairBudget(max_candidates=8, window=10, parallelism=4),
+        )
+        for _ in range(2)
+    ]
+    assert ranking(reports[0]) == ranking(reports[1])
+    assert reports[0].generated == reports[1].generated
+    assert reports[0].searched == reports[1].searched
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+@_SETTINGS
+def test_parallelism_does_not_change_the_ranking(tmp_path_factory, seed):
+    tmp_path = tmp_path_factory.mktemp("repair-par")
+    journal_dir, token = build_journal(tmp_path, seed, [True, False, True])
+    reports = [
+        search_repairs(
+            Journal(journal_dir), token,
+            faulting_source=RENDER_BROKEN,
+            last_good_source=COUNTER,
+            suspects=("start",),
+            budget=RepairBudget(
+                max_candidates=8, window=10, parallelism=parallelism
+            ),
+        )
+        for parallelism in (1, 4)
+    ]
+    assert ranking(reports[0]) == ranking(reports[1])

@@ -1,0 +1,177 @@
+"""Repair wired into the host and the wire protocol."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.repair import RepairBudget
+from repro.serve.protocol import handle_request
+
+from .conftest import COUNTER, RENDER_BROKEN, TAP_BROKEN, make_host
+
+WAIT = 60  # generous join timeout; searches finish in well under a second
+
+BUDGET = RepairBudget(max_candidates=8, window=10, parallelism=2)
+
+
+def call(host, **request):
+    response = handle_request(host, request)
+    json.dumps(response)  # every envelope must be JSON-clean
+    return response
+
+
+class TestRollbackTrigger:
+    def test_rolled_back_update_launches_a_search(self, journal_dir):
+        host = make_host(journal_dir, repair=BUDGET)
+        token = host.create(source=COUNTER)
+        for _ in range(3):
+            host.tap(token, text="reset")
+        result = host.edit_source(token, RENDER_BROKEN)
+        assert result.status == "rolled_back"
+        # The launch is asynchronous: edit_source returned before the
+        # report exists, so the state is searching (or already ready).
+        assert host.repair_info(token)["status"] in ("searching", "ready")
+        info = host.repair_wait(token, WAIT)
+        assert info["status"] == "ready"
+        assert info["trigger"] == "rollback" and info["found"]
+        assert info["repairs"][0]["validated"]
+        assert info["fault"]["type"] == "EvalError"
+
+    def test_apply_routes_through_the_supervised_edit_path(
+        self, journal_dir
+    ):
+        host = make_host(journal_dir, repair=BUDGET)
+        token = host.create(source=COUNTER)
+        host.tap(token, text="reset")
+        host.edit_source(token, RENDER_BROKEN)
+        host.repair_wait(token, WAIT)
+        result, candidate = host.repair_apply(token, 1)
+        assert result.status == "applied"
+        assert candidate.validated and candidate.rank == 1
+        html, _generation, modified = host.render(token)
+        assert modified and html
+        assert host.metrics()["repair.applied"] == 1
+
+    def test_repair_true_uses_the_default_budget(self, journal_dir):
+        host = make_host(journal_dir, repair=True)
+        assert isinstance(host.repair, RepairBudget)
+
+    def test_apply_without_a_report_is_refused(self, journal_dir):
+        host = make_host(journal_dir, repair=BUDGET)
+        token = host.create(source=COUNTER)
+        with pytest.raises(ReproError):
+            host.repair_apply(token, 1)
+
+    def test_no_search_without_opt_in(self, journal_dir):
+        host = make_host(journal_dir)  # repair=None
+        token = host.create(source=COUNTER)
+        host.edit_source(token, RENDER_BROKEN)
+        assert host.repair_info(token) == {"status": "none"}
+
+
+class TestBreakerTrigger:
+    def make_faulting(self, journal_dir):
+        host = make_host(
+            journal_dir, source=TAP_BROKEN,
+            repair=BUDGET, quarantine_after=2,
+        )
+        token = host.create()
+        for _ in range(2):
+            host.tap(token, text="count: 0")  # handler divides by zero
+        assert host.is_quarantined(token)
+        return host, token
+
+    def test_open_breaker_launches_a_search(self, journal_dir):
+        host, token = self.make_faulting(journal_dir)
+        info = host.repair_wait(token, WAIT)
+        assert info["status"] == "ready"
+        assert info["trigger"] == "breaker" and info["found"]
+
+    def test_degraded_detail_names_the_fault(self, journal_dir):
+        host, token = self.make_faulting(journal_dir)
+        detail = host.degraded_detail(token)
+        assert detail["fault_streak"] == 2
+        assert "division" in detail["error"]
+        assert detail["during"] == "EVENT"
+        assert "vtimestamp" in detail
+
+    def test_applying_the_repair_closes_the_breaker(self, journal_dir):
+        host, token = self.make_faulting(journal_dir)
+        host.repair_wait(token, WAIT)
+        result, _candidate = host.repair_apply(token, 1)
+        assert result.status == "applied"
+        assert not host.is_quarantined(token)
+        host.tap(token, text="count: 0")  # interactive again
+
+
+class TestRepairProtocol:
+    def faulting_host(self, journal_dir):
+        host = make_host(journal_dir, repair=BUDGET)
+        created = call(host, op="create", source=COUNTER)
+        token = created["token"]
+        call(host, op="tap", token=token, text="reset")
+        return host, token
+
+    def test_rolled_back_edit_carries_repair_state(self, journal_dir):
+        host, token = self.faulting_host(journal_dir)
+        response = call(
+            host, op="edit_source", token=token, source=RENDER_BROKEN
+        )
+        assert response["status"] == "rolled_back"
+        assert response["repair"]["status"] in ("searching", "ready")
+
+    def test_wait_then_apply_round_trip(self, journal_dir):
+        host, token = self.faulting_host(journal_dir)
+        call(host, op="edit_source", token=token, source=RENDER_BROKEN)
+        waited = call(host, op="repair", token=token, wait=WAIT)
+        assert waited["ok"] and waited["found"]
+        assert waited["repairs"] == sorted(
+            waited["repairs"], key=lambda r: r["rank"]
+        )
+        applied = call(host, op="repair", token=token, apply=1)
+        assert applied["ok"] and applied["applied"]
+        assert applied["status"] == "applied"
+        rendered = call(host, op="render", token=token)
+        assert rendered["ok"] and rendered["html"]
+
+    def test_synchronous_search_op_with_budget(self, journal_dir):
+        host, token = self.faulting_host(journal_dir)
+        call(host, op="edit_source", token=token, source=RENDER_BROKEN)
+        call(host, op="repair", token=token, wait=WAIT)  # drain auto search
+        response = call(
+            host, op="repair", token=token, search=True,
+            budget={"max_candidates": 4, "window": 5},
+        )
+        assert response["ok"] and response["found"]
+        assert response["generated"] <= 4
+
+    def test_degraded_render_carries_fault_and_repair(self, journal_dir):
+        host = make_host(
+            journal_dir, source=TAP_BROKEN,
+            repair=BUDGET, quarantine_after=2,
+        )
+        token = call(host, op="create")["token"]
+        for _ in range(2):
+            call(host, op="tap", token=token, text="count: 0")
+        response = call(host, op="render", token=token)
+        assert response["degraded"]
+        assert response["fault"]["fault_streak"] == 2
+        assert response["repair"]["status"] in ("searching", "ready")
+
+    def test_bad_apply_ranks_are_typed_errors(self, journal_dir):
+        host, token = self.faulting_host(journal_dir)
+        call(host, op="edit_source", token=token, source=RENDER_BROKEN)
+        call(host, op="repair", token=token, wait=WAIT)
+        assert call(
+            host, op="repair", token=token, apply=True
+        )["error"]["type"] == "BadRequest"
+        assert not call(host, op="repair", token=token, apply=999)["ok"]
+
+    def test_bad_budget_spec_is_a_bad_request(self, journal_dir):
+        host, token = self.faulting_host(journal_dir)
+        response = call(
+            host, op="repair", token=token, search=True,
+            budget={"no_such_knob": 1},
+        )
+        assert response["error"]["type"] == "BadRequest"

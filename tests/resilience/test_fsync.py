@@ -1,0 +1,116 @@
+"""The journal's durability policy: ``fsync=none|interval|always``."""
+
+import json
+
+import pytest
+
+from repro.apps.counter import SOURCE as COUNTER
+from repro.api import Journal, Tracer
+from repro.core.errors import ReproError
+from repro.resilience import recover
+from repro.resilience.journal import FSYNC_POLICIES
+from repro.serve.host import SessionHost
+
+
+def make_host(journal):
+    return SessionHost(
+        pool_size=4,
+        default_source=COUNTER,
+        tracer=Tracer(),
+        session_kwargs={"fault_policy": "record"},
+        journal=journal,
+    )
+
+
+def records(journal):
+    with open(journal.path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+def metas(journal):
+    return [r for r in records(journal) if r["kind"] == "meta"]
+
+
+class TestFsyncPolicy:
+    def test_policies_are_validated(self, journal_dir):
+        assert set(FSYNC_POLICIES) == {"none", "interval", "always"}
+        with pytest.raises(ReproError):
+            Journal(journal_dir, fsync="sometimes")
+        with pytest.raises(ReproError):
+            Journal(journal_dir, fsync="interval", fsync_interval=0)
+
+    def test_default_writes_no_meta_record(self, journal_dir):
+        journal = Journal(journal_dir)
+        host = make_host(journal)
+        token = host.create()
+        host.tap(token, path=[0])
+        assert metas(journal) == []
+        assert journal.tracer.counters.get("journal_fsyncs", 0) == 0
+        # Reopening under the default is also markerless: existing
+        # journals stay byte-identical across restarts.
+        Journal(journal_dir)
+        assert metas(journal) == []
+
+    def test_non_default_policy_is_recorded_once(self, journal_dir):
+        journal = Journal(journal_dir, fsync="always")
+        assert [m["fsync"] for m in metas(journal)] == ["always"]
+        # Same policy on restart: the header already says so.
+        reopened = Journal(journal_dir, fsync="always")
+        assert [m["fsync"] for m in metas(reopened)] == ["always"]
+
+    def test_policy_changes_append_a_new_meta(self, journal_dir):
+        Journal(journal_dir, fsync="always")
+        Journal(journal_dir, fsync="interval")
+        back_to_default = Journal(journal_dir, fsync="none")
+        assert [m["fsync"] for m in metas(back_to_default)] == [
+            "always", "interval", "none",
+        ]
+        # ...and "none" is only recorded because the policy *changed*.
+        again = Journal(journal_dir, fsync="none")
+        assert len(metas(again)) == 3
+
+    def test_always_syncs_every_append(self, journal_dir):
+        tracer = Tracer()
+        journal = Journal(journal_dir, fsync="always", tracer=tracer)
+        host = make_host(journal)
+        token = host.create()
+        for _ in range(3):
+            host.tap(token, path=[0])
+        appends = len(records(journal))
+        assert tracer.counters["journal_fsyncs"] == appends
+
+    def test_interval_syncs_at_most_once_per_window(self, journal_dir):
+        tracer = Tracer()
+        journal = Journal(
+            journal_dir, fsync="interval", fsync_interval=3600.0,
+            tracer=tracer,
+        )
+        host = make_host(journal)
+        token = host.create()
+        for _ in range(5):
+            host.tap(token, path=[0])
+        # Only the first append inside the (huge) window paid the sync.
+        assert tracer.counters["journal_fsyncs"] == 1
+
+    def test_synced_journals_recover_identically(self, journal_dir):
+        journal = Journal(journal_dir, fsync="always")
+        host = make_host(journal)
+        token = host.create()
+        for _ in range(4):
+            host.tap(token, path=[0])
+        html, _generation, _ = host.render(token)
+
+        rebuilt = make_host(journal=None)
+        report = recover(rebuilt, Journal(journal_dir, fsync="always"))
+        assert report.sessions == 1
+        html_after, _generation, _ = rebuilt.render(token)
+        assert html_after == html
+
+    def test_meta_records_do_not_disturb_per_token_reads(self, journal_dir):
+        journal = Journal(journal_dir, fsync="interval")
+        host = make_host(journal)
+        token = host.create()
+        host.tap(token, path=[0])
+        kinds = [r["kind"] for r in journal.records_for(token)]
+        assert "meta" not in kinds
+        assert kinds[0] == "create"
