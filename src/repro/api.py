@@ -114,6 +114,7 @@ class LiveSession(_LiveSession):
         chaos=None,
         supervised=False,
         memo_store=None,
+        backend=None,
     ):
         super().__init__(
             source,
@@ -128,6 +129,7 @@ class LiveSession(_LiveSession):
             chaos=chaos,
             supervised=supervised,
             memo_store=memo_store,
+            backend=backend,
         )
 
 
@@ -148,6 +150,7 @@ class Runtime(_Runtime):
         budget=None,
         chaos=None,
         memo_store=None,
+        backend=None,
     ):
         super().__init__(
             code,
@@ -161,6 +164,7 @@ class Runtime(_Runtime):
             budget=budget,
             chaos=chaos,
             memo_store=memo_store,
+            backend=backend,
         )
 
 
@@ -180,6 +184,7 @@ class SessionHost(_SessionHost):
         journal=None,
         memo_store=None,
         repair=None,
+        backend=None,
     ):
         super().__init__(
             pool_size=pool_size,
@@ -192,6 +197,7 @@ class SessionHost(_SessionHost):
             journal=journal,
             memo_store=memo_store,
             repair=repair,
+            backend=backend,
         )
 
 

@@ -184,7 +184,9 @@ def _apply_actions(session, args, out):
 
 def cmd_run(args, out):
     tracer = _make_tracer(args)
-    session = _session(args.file, args.latency, tracer=tracer)
+    session = _session(
+        args.file, args.latency, tracer=tracer, backend=args.backend
+    )
     _apply_actions(session, args, out)
     print(session.screenshot(width=args.width), file=out)
     if args.trace:
@@ -499,6 +501,7 @@ def cmd_serve(args, out):
             "fault_policy": args.fault_policy,
             "budget": budget,
             "supervised": True,
+            "backend": args.backend,
         },
         repair=True if args.repair else None,
     )
@@ -566,6 +569,12 @@ def _serve_cluster(args, out, source, tracer):
         tracer=tracer,
         repair=True if args.repair else None,
         journal_fsync=args.journal_fsync,
+        # Worker processes merge these into their session posture, so
+        # the backend choice reaches every session on every worker —
+        # including respawned ones.
+        session_kwargs=(
+            {"backend": args.backend} if args.backend else None
+        ),
     ).start()
     router = ClusterRouter(supervisor)
     server = make_server(router, port=args.port, bind=args.bind)
@@ -833,8 +842,17 @@ def build_parser():
             help="stream spans + metrics as JSON lines to PATH",
         )
 
+    def backend_option(p):
+        p.add_argument(
+            "--backend", choices=("tree", "compiled"), default=None,
+            help="evaluator backend: 'tree' walks the AST (the default "
+                 "and the oracle), 'compiled' lowers each code version "
+                 "to Python closures once (docs/PERF.md)",
+        )
+
     p_run = sub.add_parser("run", help="run and screenshot a program")
     common(p_run, actions=True)
+    backend_option(p_run)
     p_run.add_argument("--trace", action="store_true",
                        help="print the fired transitions")
     jsonl_option(p_run)
@@ -1094,6 +1112,7 @@ def build_parser():
         "--no-shared-cache", action="store_true",
         help="cluster mode only: disable the cross-process memo cache",
     )
+    backend_option(p_serve)
     jsonl_option(p_serve)
     p_serve.set_defaults(handler=cmd_serve)
 

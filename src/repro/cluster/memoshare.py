@@ -402,6 +402,17 @@ class TieredMemoStore(MemoStore):
         if self._client is not None:
             self._client.clear()
 
+    def invalidate_natives(self, names):
+        """Native rebinds invalidate the program *everywhere*, but the
+        remote tier stores opaque blobs and cannot be filtered by call
+        set — so the shared tier is cleared wholesale while the local
+        tier still gets the precise treatment."""
+        names = frozenset(names)
+        dropped = super().invalidate_natives(names)
+        if names and self._client is not None:
+            self._client.clear()
+        return dropped
+
     def stats(self):
         stats = super().stats()
         if self._client is not None:

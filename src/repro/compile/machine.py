@@ -1,0 +1,775 @@
+"""The closure-compiled evaluator.
+
+One :class:`Compiled` instance is built per *code version* (the system
+rebuilds its evaluator on UPDATE, so compile-once-per-version falls out
+of the existing transition structure).  Compilation lowers every
+expression to a Python closure ``fn(rt, env) -> value`` where
+
+* ``env`` is a flat list — every lambda parameter and let-binder was
+  resolved to an integer index at compile time;
+* ``rt`` is the per-run mutable context (mode, store, queue, current
+  box, occurrence counters, the global *slot cache*, and the step/fuel
+  accounting shared with the tree machines via
+  :meth:`~repro.resilience.supervisor.Budget.charge`).
+
+Global reads resolve to integer slots: the first read of a run goes
+through :meth:`~repro.system.state.Store.lookup` (so provenance read
+logs and write-version stamps are identical to the tree machines) and
+caches the value; later reads are a list index.  Writes go through
+:meth:`~repro.system.state.Store.assign` (identical version ticks) and
+refresh the cache only when a read already populated it — keeping the
+run's *first-read* order, and therefore the deduplicated provenance
+read set, byte-identical to the tree-walker's.
+
+Tail calls — which every surface-language loop lowers to — return a
+:class:`_TailCall` sentinel unwound by a trampoline, so compiled loops
+run in constant Python stack exactly like the CEK machine.  Runtime
+values are the closed AST values of :mod:`repro.core.ast` (never a
+separate representation): a lambda value is reconstructed by
+substituting its captured environment values into the original ``Lam``
+node, which — because whole-program evaluation only ever substitutes
+*closed* values, where capture-avoidance never renames — yields the
+exact AST the substitution machines produce.  That is what makes
+renders, stores, handlers crossing runs through box attributes, and
+memo entries indistinguishable across backends.
+
+Faults keep exact parity: every ``StuckExpression`` / ``EvalError``
+message matches the tree machines character-for-character (primitive
+application defers to the same ``_apply_builtin`` / ``apply_prim``).
+The one documented divergence is the *step count* behind
+``FuelExhausted``: this machine charges one step per function
+application (the only recursion source), so a divergent program still
+exhausts any fuel budget, but at a different count than the per-node
+machines — differential tests compare fault *types* for fuel and exact
+messages for everything else.
+"""
+
+from __future__ import annotations
+
+from ..boxes.tree import Box, make_root
+from ..core import ast
+from ..core.defs import Code
+from ..core.effects import PURE, RENDER, STATE
+from ..core.errors import ReproError, StuckExpression
+from ..core.prims import PRIM_SIGS
+from ..eval.machine import DEFAULT_FUEL, _check_queue, _OccurrenceCounter
+from ..eval.memo import replay_items
+from ..eval.natives import EMPTY_NATIVES, _apply_builtin, apply_prim
+from ..eval.values import truthy
+from ..obs.trace import NULL_TRACER
+from ..resilience.supervisor import Budget
+
+#: Dynamic-unit cache bound: lambda values are compiled on first
+#: application and cached by node identity; edit thunks mint a fresh
+#: lambda per keystroke, so the cache is cleared (not evicted — entries
+#: are tiny and recompilation is cheap) past this many entries.
+_DYN_CACHE_LIMIT = 1024
+
+_UNIT = ast.UNIT_VALUE
+_Num = ast.Num
+
+
+class _TailCall:
+    """A tail application, returned to the trampoline instead of made."""
+
+    __slots__ = ("run", "env")
+
+    def __init__(self, run, env):
+        self.run = run
+        self.env = env
+
+
+class _Run:
+    """Mutable per-run context threaded through every compiled closure."""
+
+    __slots__ = (
+        "mode", "store", "queue", "box", "counters", "slots", "steps", "fuel",
+    )
+
+    def __init__(self, mode, store, queue, box, counters, slots, fuel):
+        self.mode = mode
+        self.store = store
+        self.queue = queue
+        self.box = box
+        self.counters = counters
+        self.slots = slots
+        self.steps = 0
+        self.fuel = fuel
+
+
+class _Frame:
+    """Compile-time frame layout: allocates env indices for one unit."""
+
+    __slots__ = ("size",)
+
+    def __init__(self, size=0):
+        self.size = size
+
+    def bind(self):
+        index = self.size
+        self.size += 1
+        return index
+
+
+def _invoke(run, rt, env):
+    """The trampoline: bounce tail calls without growing the host stack."""
+    result = run(rt, env)
+    while type(result) is _TailCall:
+        result = result.run(rt, result.env)
+    return result
+
+
+class Compiled:
+    """The compiled machine: same evaluator protocol, closures not trees.
+
+    Construction compiles every function body and page init/render
+    lambda of ``code``; evaluation then never inspects AST nodes on the
+    hot path (values are still AST, but flow through untouched).
+    """
+
+    def __init__(self, code, natives=EMPTY_NATIVES, services=None, memo=None,
+                 tracer=NULL_TRACER):
+        if not isinstance(code, Code):
+            raise ReproError("Compiled expects Code")
+        self.code = code
+        self.natives = natives
+        self.services = services
+        self.memo = memo
+        self.tracer = tracer
+        # Global slots: name → integer index, plus the compile-time
+        # fallback initializer (EP-GLOBAL-2 reads it when the store has
+        # no entry yet — global inits are values by construction).
+        self._slot_of = {}
+        self._init_of = {}
+        for index, definition in enumerate(code.globals()):
+            self._slot_of[definition.name] = index
+            self._init_of[definition.name] = definition.init
+        self._n_slots = len(self._slot_of)
+        #: Function name → (run, frame_size); one unit per declaration.
+        self._units = {}
+        #: id(lam) → (lam, run, frame_size) for lambda *values* applied
+        #: dynamically (handlers, page bodies, edit thunks).
+        self._dyn_units = {}
+        for definition in code.functions():
+            if isinstance(definition.body, ast.Lam):
+                self._function_unit(definition.name)
+        for page in code.pages():
+            if isinstance(page.init, ast.Lam):
+                self._lam_unit(page.init)
+            if isinstance(page.render, ast.Lam):
+                self._lam_unit(page.render)
+
+    # -- compiled-unit management ---------------------------------------------
+
+    def invalidate(self):
+        """Drop every compiled unit (the UPDATE hook releases caches)."""
+        self._units.clear()
+        self._dyn_units.clear()
+
+    def _function_unit(self, name):
+        """The compiled unit for function ``name`` (body must be a Lam)."""
+        unit = self._units.get(name)
+        if unit is None:
+            lam = self.code.function(name).body
+            frame = _Frame(1)
+            scope = {lam.param: 0}
+            run = self._compile(lam.body, scope, frame, True)
+            unit = (run, frame.size)
+            self._units[name] = unit
+        return unit
+
+    def _lam_unit(self, lam):
+        """The compiled unit for a lambda *value*, cached by identity.
+
+        Identity, not equality: structurally equal ``Boxed`` nodes can
+        carry different ``box_id``s (``box_id`` is ``compare=False``),
+        so equal-looking lambdas must not share a unit.
+        """
+        key = id(lam)
+        hit = self._dyn_units.get(key)
+        if hit is not None and hit[0] is lam:
+            return hit[1], hit[2]
+        frame = _Frame(1)
+        scope = {lam.param: 0}
+        run = self._compile(lam.body, scope, frame, True)
+        if len(self._dyn_units) >= _DYN_CACHE_LIMIT:
+            self._dyn_units.clear()
+        self._dyn_units[key] = (lam, run, frame.size)
+        return run, frame.size
+
+    def _apply_lam(self, lam, value, rt):
+        """Apply a lambda value (trampolined; charges one application)."""
+        if not isinstance(lam, ast.Lam):
+            raise StuckExpression(
+                "application of a non-function: {!r}".format(lam)
+            )
+        run, size = self._lam_unit(lam)
+        rt.steps = steps = rt.steps + 1
+        if steps > rt.fuel:
+            Budget.charge(steps, rt.fuel, "compiled")
+        env = [None] * size
+        env[0] = value
+        return _invoke(run, rt, env)
+
+    # -- the compiler -----------------------------------------------------------
+
+    def _compile(self, expr, scope, frame, tail):
+        """Compile ``expr`` to a closure ``fn(rt, env) -> value``.
+
+        ``scope`` maps in-scope variable names to env indices; ``frame``
+        allocates indices for let-binders.  Only closures compiled with
+        ``tail=True`` may return a :class:`_TailCall`; non-tail
+        sub-expressions always trampoline internally.
+        """
+        if type(expr) is ast.Var:
+            index = scope.get(expr.name)
+            if index is None:
+                # An open variable is a value to the tree machines (the
+                # enclosing application substitutes it before it is
+                # reached); unbound here means genuinely open — return
+                # the node itself, exactly as they would.
+                return lambda rt, env: expr
+            return lambda rt, env: env[index]
+        if expr.is_value():
+            return self._compile_value(expr, scope)
+        kind = type(expr)
+        if kind is ast.App:
+            return self._compile_app(expr, scope, frame, tail)
+        if kind is ast.GlobalRead:
+            return self._compile_read(expr.name)
+        if kind is ast.Prim:
+            return self._compile_prim(expr, scope, frame)
+        if kind is ast.If:
+            cond_fn = self._compile(expr.cond, scope, frame, False)
+            then_fn = self._compile(expr.then_branch, scope, frame, tail)
+            else_fn = self._compile(expr.else_branch, scope, frame, tail)
+
+            def run_if(rt, env):
+                if truthy(cond_fn(rt, env)):
+                    return then_fn(rt, env)
+                return else_fn(rt, env)
+
+            return run_if
+        if kind is ast.FunRef:
+            return self._compile_funref(expr.name)
+        if kind is ast.Proj:
+            target_fn = self._compile(expr.tuple_expr, scope, frame, False)
+            index = expr.index
+
+            def run_proj(rt, env):
+                value = target_fn(rt, env)
+                if not isinstance(value, ast.Tuple):
+                    raise StuckExpression("projection from a non-tuple")
+                if index > len(value.items):
+                    raise StuckExpression(
+                        "projection index {} out of range".format(index)
+                    )
+                return value.items[index - 1]
+
+            return run_proj
+        if kind is ast.Tuple:
+            item_fns = tuple(
+                self._compile(item, scope, frame, False)
+                for item in expr.items
+            )
+
+            def run_tuple(rt, env):
+                return ast.Tuple(tuple(fn(rt, env) for fn in item_fns))
+
+            return run_tuple
+        if kind is ast.ListLit:
+            item_fns = tuple(
+                self._compile(item, scope, frame, False)
+                for item in expr.items
+            )
+            element_type = expr.element_type
+
+            def run_list(rt, env):
+                return ast.ListLit(
+                    tuple(fn(rt, env) for fn in item_fns), element_type
+                )
+
+            return run_list
+        if kind is ast.GlobalWrite:
+            return self._compile_write(expr, scope, frame)
+        if kind is ast.Push:
+            page = expr.page
+            arg_fn = self._compile(expr.arg, scope, frame, False)
+
+            def run_push(rt, env):
+                if rt.mode is not STATE:
+                    raise StuckExpression("push outside state mode")
+                arg = arg_fn(rt, env)
+                from ..system.events import PushEvent
+
+                _check_queue(rt.queue).enqueue(PushEvent(page, arg))
+                return _UNIT
+
+            return run_push
+        if kind is ast.Pop:
+            def run_pop(rt, env):
+                if rt.mode is not STATE:
+                    raise StuckExpression("pop outside state mode")
+                from ..system.events import PopEvent
+
+                _check_queue(rt.queue).enqueue(PopEvent())
+                return _UNIT
+
+            return run_pop
+        if kind is ast.Post:
+            value_fn = self._compile(expr.value, scope, frame, False)
+
+            def run_post(rt, env):
+                if rt.mode is not RENDER:
+                    raise StuckExpression("post outside render mode")
+                rt.box.append_leaf(value_fn(rt, env))
+                return _UNIT
+
+            return run_post
+        if kind is ast.SetAttr:
+            attr = expr.attr
+            value_fn = self._compile(expr.value, scope, frame, False)
+
+            def run_attr(rt, env):
+                if rt.mode is not RENDER:
+                    raise StuckExpression(
+                        "box attribute set outside render mode"
+                    )
+                rt.box.append_attr(attr, value_fn(rt, env))
+                return _UNIT
+
+            return run_attr
+        if kind is ast.Boxed:
+            return self._compile_boxed(expr, scope, frame)
+
+        def run_stuck(rt, env):
+            raise StuckExpression("no rule for {!r}".format(expr))
+
+        return run_stuck
+
+    def _compile_value(self, expr, scope):
+        """A value: constant unless it captures in-scope variables.
+
+        Values may contain free variables (a lambda body's inner lambda,
+        a tuple of variables): the tree machines would have substituted
+        them by the time the node is reached, so the compiled machine
+        substitutes the captured environment values here.  All runtime
+        values are closed, so substitution never alpha-renames and the
+        result is the exact AST the substitution machines build.
+        """
+        captured = [
+            (name, scope[name])
+            for name in sorted(ast.free_vars(expr), key=lambda n: scope.get(n, -1))
+            if name in scope
+        ]
+        if not captured:
+            return lambda rt, env: expr
+
+        def run_capture(rt, env):
+            value = expr
+            for name, index in captured:
+                value = ast.subst(value, name, env[index])
+            return value
+
+        return run_capture
+
+    def _compile_read(self, name):
+        slot = self._slot_of.get(name)
+        if slot is None:
+            # Not declared in this code version: the store may still
+            # hold it (EP-GLOBAL-1), otherwise the read is stuck.
+            def run_read_unknown(rt, env):
+                value = rt.store.lookup(name)
+                if value is None:
+                    raise StuckExpression(
+                        "undefined global '{}'".format(name)
+                    )
+                return value
+
+            return run_read_unknown
+        init = self._init_of[name]
+
+        def run_read(rt, env):
+            slots = rt.slots
+            value = slots[slot]
+            if value is None:
+                # First read of this run: go through the store so the
+                # provenance read log sees it, then cache.
+                value = rt.store.lookup(name)
+                if value is None:
+                    value = init
+                slots[slot] = value
+            return value
+
+        return run_read
+
+    def _compile_write(self, expr, scope, frame):
+        name = expr.name
+        slot = self._slot_of.get(name)
+        value_fn = self._compile(expr.value, scope, frame, False)
+
+        def run_write(rt, env):
+            if rt.mode is not STATE:
+                raise StuckExpression(
+                    "assignment to '{}' outside state mode".format(name)
+                )
+            value = value_fn(rt, env)
+            rt.store.assign(name, value)
+            if slot is not None and rt.slots[slot] is not None:
+                # Refresh only a cache a read already populated — a
+                # write must not suppress the *first* read's store
+                # lookup, or the provenance read set would shrink.
+                rt.slots[slot] = value
+            return _UNIT
+
+        return run_write
+
+    def _compile_boxed(self, expr, scope, frame):
+        box_id = expr.box_id
+        body_fn = self._compile(expr.body, scope, frame, False)
+
+        def run_boxed(rt, env):
+            if rt.mode is not RENDER:
+                raise StuckExpression("boxed outside render mode")
+            child = Box(
+                box_id=box_id, occurrence=rt.counters.next_for(box_id)
+            )
+            parent = rt.box
+            rt.box = child
+            try:
+                value = body_fn(rt, env)
+            finally:
+                rt.box = parent
+            # Reached only on success: a faulting body abandons the
+            # child unappended, exactly like the tree machines.
+            parent.append_child(child)
+            return value
+
+        return run_boxed
+
+    def _compile_funref(self, name):
+        """A bare function reference evaluates to its (lambda) body."""
+        definition = self.code.function(name)
+        if definition is None:
+            def run_undefined(rt, env):
+                raise StuckExpression(
+                    "undefined function '{}'".format(name)
+                )
+
+            return run_undefined
+        body = definition.body
+        if body.is_value():
+            return lambda rt, env: body
+        # A non-value body (e.g. an alias FunRef) is its own closed unit.
+        frame = _Frame(0)
+        run = self._compile(body, {}, frame, False)
+        size = frame.size
+
+        def run_funref(rt, env):
+            return run(rt, [None] * size)
+
+        return run_funref
+
+    def _compile_app(self, expr, scope, frame, tail):
+        fn, arg = expr.fn, expr.arg
+        arg_fn = self._compile(arg, scope, frame, False)
+        if isinstance(fn, ast.FunRef):
+            name = fn.name
+            definition = self.code.function(name)
+            if definition is None:
+                # The callee is resolved before the argument runs, so
+                # the argument's effects must not happen (EP-FUN parity).
+                def run_undefined(rt, env):
+                    raise StuckExpression(
+                        "undefined function '{}'".format(name)
+                    )
+
+                return run_undefined
+            if isinstance(definition.body, ast.Lam):
+                plain = self._compile_fn_call(name, arg_fn, tail)
+                if self.memo is not None and self.memo.eligible(name):
+                    return self._compile_memo_call(name, arg_fn, plain)
+                return plain
+        if isinstance(fn, ast.Lam):
+            # A syntactic let: bind the parameter in the current frame —
+            # no lambda value is ever built, no substitution happens.
+            index = frame.bind()
+            shadowed = scope.get(fn.param)
+            scope[fn.param] = index
+            body_fn = self._compile(fn.body, scope, frame, tail)
+            if shadowed is None:
+                del scope[fn.param]
+            else:
+                scope[fn.param] = shadowed
+
+            def run_let(rt, env):
+                env[index] = arg_fn(rt, env)
+                return body_fn(rt, env)
+
+            return run_let
+        fn_fn = self._compile(fn, scope, frame, False)
+        if tail:
+            def run_app_tail(rt, env):
+                lam = fn_fn(rt, env)
+                value = arg_fn(rt, env)
+                if not isinstance(lam, ast.Lam):
+                    raise StuckExpression(
+                        "application of a non-function: {!r}".format(lam)
+                    )
+                run, size = self._lam_unit(lam)
+                rt.steps = steps = rt.steps + 1
+                if steps > rt.fuel:
+                    Budget.charge(steps, rt.fuel, "compiled")
+                env2 = [None] * size
+                env2[0] = value
+                return _TailCall(run, env2)
+
+            return run_app_tail
+
+        def run_app(rt, env):
+            lam = fn_fn(rt, env)
+            value = arg_fn(rt, env)
+            return self._apply_lam(lam, value, rt)
+
+        return run_app
+
+    def _compile_fn_call(self, name, arg_fn, tail):
+        """A direct call ``f v`` to a declared function with a Lam body."""
+        units = self._units
+
+        if tail:
+            def run_call_tail(rt, env):
+                value = arg_fn(rt, env)
+                rt.steps = steps = rt.steps + 1
+                if steps > rt.fuel:
+                    Budget.charge(steps, rt.fuel, "compiled")
+                unit = units.get(name)
+                if unit is None:  # invalidated mid-flight; recompile
+                    unit = self._function_unit(name)
+                env2 = [None] * unit[1]
+                env2[0] = value
+                return _TailCall(unit[0], env2)
+
+            return run_call_tail
+
+        def run_call(rt, env):
+            value = arg_fn(rt, env)
+            rt.steps = steps = rt.steps + 1
+            if steps > rt.fuel:
+                Budget.charge(steps, rt.fuel, "compiled")
+            unit = units.get(name)
+            if unit is None:
+                unit = self._function_unit(name)
+            env2 = [None] * unit[1]
+            env2[0] = value
+            return _invoke(unit[0], rt, env2)
+
+        return run_call
+
+    def _compile_memo_call(self, name, arg_fn, plain):
+        """Memo interception for an eligible render-function call site.
+
+        Mirrors the CEK machine's ``_F_MEMO_ARG`` / ``_F_MEMO_CAP``
+        frames: probe after the argument is evaluated; on a hit replay
+        the cached box items (renumbered through this run's occurrence
+        counters); on a miss run the body and capture the items it
+        appended to the current box.  Never a tail call — the capture
+        happens after the body returns.
+        """
+        memo = self.memo
+        units = self._units
+
+        def run_memo(rt, env):
+            if rt.mode is not RENDER:
+                return plain(rt, env)
+            value = arg_fn(rt, env)
+            rt.steps = steps = rt.steps + 1
+            if steps > rt.fuel:
+                Budget.charge(steps, rt.fuel, "compiled")
+            entry = memo.probe(name, value, rt.store)
+            box = rt.box
+            if entry is not None:
+                box._check_mutable()
+                box.items.extend(replay_items(entry.items, rt.counters))
+                return entry.value
+            start = len(box.items)
+            unit = units.get(name)
+            if unit is None:
+                unit = self._function_unit(name)
+            env2 = [None] * unit[1]
+            env2[0] = value
+            result = _invoke(unit[0], rt, env2)
+            memo.store_result(
+                name, value, rt.store, box.items[start:], result
+            )
+            return result
+
+        return run_memo
+
+    def _compile_prim(self, expr, scope, frame):
+        op = expr.op
+        arg_fns = tuple(
+            self._compile(arg, scope, frame, False) for arg in expr.args
+        )
+        sig = PRIM_SIGS.get(op) or self.natives.signature(op)
+        if sig is None:
+            # Unknown operator: still evaluate the arguments first, as
+            # the sequence machinery of the tree machines does.
+            def run_unknown(rt, env):
+                for fn in arg_fns:
+                    fn(rt, env)
+                raise StuckExpression("unknown operator '{}'".format(op))
+
+            return run_unknown
+        effect = sig.effect
+        if op in PRIM_SIGS:
+            fast = _FAST_BUILTINS.get(op)
+            if fast is not None and len(arg_fns) == 2 and effect is PURE:
+                first_fn, second_fn = arg_fns
+
+                def run_fast(rt, env):
+                    return fast(first_fn(rt, env), second_fn(rt, env))
+
+                return run_fast
+
+            if effect is PURE:
+                def run_builtin(rt, env):
+                    return _apply_builtin(
+                        op, tuple(fn(rt, env) for fn in arg_fns)
+                    )
+
+                return run_builtin
+
+            def run_builtin_effect(rt, env):
+                args = tuple(fn(rt, env) for fn in arg_fns)
+                if rt.mode is not effect:
+                    raise StuckExpression(
+                        "operator '{}' has effect {} but mode is {}".format(
+                            op, effect, rt.mode
+                        )
+                    )
+                return _apply_builtin(op, args)
+
+            return run_builtin_effect
+        natives = self.natives
+        services = self.services
+
+        def run_native(rt, env):
+            args = tuple(fn(rt, env) for fn in arg_fns)
+            if effect is not PURE and rt.mode is not effect:
+                raise StuckExpression(
+                    "operator '{}' has effect {} but mode is {}".format(
+                        op, effect, rt.mode
+                    )
+                )
+            return apply_prim(op, args, natives=natives, services=services)
+
+        return run_native
+
+    # -- run entry --------------------------------------------------------------
+
+    def _run(self, expr, mode, store, queue, box, counters, fuel):
+        rt = _Run(mode, store, queue, box, counters,
+                  [None] * self._n_slots, fuel)
+        try:
+            # The system's entry shapes are `App(lam, value)` (THUNK /
+            # PUSH / RENDER all apply a page or handler lambda), which
+            # hits the identity-cached unit for the lambda.  Anything
+            # else (probes, tests) compiles as a one-shot unit.
+            if (
+                type(expr) is ast.App
+                and isinstance(expr.fn, ast.Lam)
+                and expr.arg.is_value()
+            ):
+                return self._apply_lam(expr.fn, expr.arg, rt)
+            frame = _Frame(0)
+            run = self._compile(expr, {}, frame, False)
+            return _invoke(run, rt, [None] * frame.size)
+        finally:
+            self.tracer.add("eval_steps", rt.steps)
+
+    # -- Evaluator protocol -----------------------------------------------------
+
+    def run_state(self, store, queue, expr, fuel=DEFAULT_FUEL):
+        """``(C, S, Q, e) →s* (C, S', Q', v)`` — returns the final value."""
+        return self._run(
+            expr, STATE, store, queue, None, _OccurrenceCounter(), fuel
+        )
+
+    def run_render(self, store, expr, fuel=DEFAULT_FUEL):
+        """``(C, S, ε, e) →r* (C, S, B, v)`` — returns the root box."""
+        root = make_root()
+        self._run(
+            expr, RENDER, store, None, root, _OccurrenceCounter(), fuel
+        )
+        return root.freeze()
+
+    def run_pure(self, store, expr, fuel=DEFAULT_FUEL):
+        """``(C, S, e) →p* (C, S, v)``."""
+        return self._run(
+            expr, PURE, store, None, None, _OccurrenceCounter(), fuel
+        )
+
+
+def _make_fast_builtins():
+    """Inline bodies for the hottest pure binary builtins.
+
+    Each fast path handles the well-typed case and falls back to
+    ``_apply_builtin`` for anything else, so error messages (and any
+    future semantics tweaks to the slow path) stay authoritative.
+    """
+    from ..eval.natives import bool_value
+
+    def fast_add(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return _Num(a.value + b.value)
+        return _apply_builtin("add", (a, b))
+
+    def fast_sub(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return _Num(a.value - b.value)
+        return _apply_builtin("sub", (a, b))
+
+    def fast_mul(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return _Num(a.value * b.value)
+        return _apply_builtin("mul", (a, b))
+
+    def fast_lt(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return bool_value(a.value < b.value)
+        return _apply_builtin("lt", (a, b))
+
+    def fast_le(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return bool_value(a.value <= b.value)
+        return _apply_builtin("le", (a, b))
+
+    def fast_gt(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return bool_value(a.value > b.value)
+        return _apply_builtin("gt", (a, b))
+
+    def fast_ge(a, b):
+        if type(a) is _Num and type(b) is _Num:
+            return bool_value(a.value >= b.value)
+        return _apply_builtin("ge", (a, b))
+
+    def fast_concat(a, b):
+        if type(a) is ast.Str and type(b) is ast.Str:
+            return ast.Str(a.value + b.value)
+        return _apply_builtin("concat", (a, b))
+
+    return {
+        "add": fast_add,
+        "sub": fast_sub,
+        "mul": fast_mul,
+        "lt": fast_lt,
+        "le": fast_le,
+        "gt": fast_gt,
+        "ge": fast_ge,
+        "concat": fast_concat,
+    }
+
+
+_FAST_BUILTINS = _make_fast_builtins()

@@ -1,0 +1,116 @@
+"""The pluggable evaluator API: one protocol, two machines.
+
+Everything above the expression layer — the system transitions, live
+sessions, the serve host, cluster workers — picks its evaluator through
+an :class:`EvalBackend` instead of importing a machine class directly:
+
+* **compile hook** — :meth:`EvalBackend.compile` builds an evaluator
+  for one *code version* (the system calls it at construction and again
+  on every UPDATE, so a backend that does real compilation compiles
+  once per version);
+* **step hooks** — the returned evaluator satisfies the protocol the
+  transitions consume: ``run_state(store, queue, expr, fuel=…)``,
+  ``run_render(store, expr, fuel=…)`` and ``run_pure(store, expr,
+  fuel=…)``;
+* **invalidate hook** — :meth:`EvalBackend.invalidate` is called with
+  the *outgoing* evaluator when an UPDATE retires it, so backends
+  holding compiled-unit caches release them promptly.
+
+Two backends ship: ``"tree"`` (the CEK machine of
+:mod:`repro.eval.machine` — also the oracle configuration, and the only
+one the ``faithful`` small-stepper pairs with) and ``"compiled"`` (the
+closure-compilation machine of :mod:`repro.compile`).  Select one with
+the kw-only ``backend=`` option on :class:`repro.api.LiveSession` /
+:class:`repro.api.SessionHost`, or ``--backend`` on ``repro run`` /
+``repro serve`` (cluster serves pass it through to every worker).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+from ..obs.trace import NULL_TRACER
+from .machine import BigStep
+from .natives import EMPTY_NATIVES
+
+
+class EvalBackend:
+    """Base class (and documentation) of the backend protocol."""
+
+    #: Registry key and the value persisted in saved images.
+    name = None
+
+    def compile(self, code, natives=EMPTY_NATIVES, services=None, memo=None,
+                tracer=NULL_TRACER):
+        """Build an evaluator for ``code`` (one call per code version)."""
+        raise NotImplementedError
+
+    def invalidate(self, evaluator):
+        """Release ``evaluator``'s per-code-version caches (UPDATE hook)."""
+
+    def __repr__(self):
+        return "<{} {!r}>".format(type(self).__name__, self.name)
+
+
+class TreeBackend(EvalBackend):
+    """The default backend: the CEK tree-walking machine."""
+
+    name = "tree"
+
+    def compile(self, code, natives=EMPTY_NATIVES, services=None, memo=None,
+                tracer=NULL_TRACER):
+        return BigStep(
+            code, natives=natives, services=services, memo=memo,
+            tracer=tracer,
+        )
+
+
+class CompiledBackend(EvalBackend):
+    """The closure-compilation backend (:mod:`repro.compile`)."""
+
+    name = "compiled"
+
+    def compile(self, code, natives=EMPTY_NATIVES, services=None, memo=None,
+                tracer=NULL_TRACER):
+        from ..compile import Compiled
+
+        return Compiled(
+            code, natives=natives, services=services, memo=memo,
+            tracer=tracer,
+        )
+
+    def invalidate(self, evaluator):
+        invalidate = getattr(evaluator, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
+
+
+#: The named backends ``resolve_backend`` accepts.
+BACKENDS = {
+    TreeBackend.name: TreeBackend(),
+    CompiledBackend.name: CompiledBackend(),
+}
+
+
+def resolve_backend(spec):
+    """Coerce ``spec`` to an :class:`EvalBackend`.
+
+    Accepts ``None`` (the default tree backend), a registered name, or
+    an :class:`EvalBackend`-shaped instance (anything with a ``compile``
+    hook — embedders can bring their own).
+    """
+    if spec is None:
+        return BACKENDS["tree"]
+    if isinstance(spec, str):
+        backend = BACKENDS.get(spec)
+        if backend is None:
+            raise ReproError(
+                "unknown eval backend {!r} (expected one of: {})".format(
+                    spec, ", ".join(sorted(BACKENDS))
+                )
+            )
+        return backend
+    if callable(getattr(spec, "compile", None)):
+        return spec
+    raise ReproError(
+        "backend must be a name or an EvalBackend, got {!r}".format(spec)
+    )

@@ -28,7 +28,6 @@ from ..core.defs import Code
 from ..core.effects import Effect, PURE, RENDER, STATE
 from ..core.errors import (
     EvalError,
-    FuelExhausted,
     ReproError,
     StuckExpression,
 )
@@ -207,15 +206,15 @@ class SmallStep:
     def run(self, expr, mode, store, queue=None, box=None, counters=None,
             fuel=DEFAULT_FUEL):
         """Reduce ``expr`` to a value under →µ*, threading the components."""
+        from ..resilience.supervisor import Budget
+
         steps = 0
         try:
             while not expr.is_value():
-                if steps >= fuel:
-                    raise FuelExhausted(
-                        "small-step budget of {} exhausted".format(fuel)
-                    )
-                expr = self.step(expr, mode, store, queue, box, counters)
                 steps += 1
+                if steps > fuel:
+                    Budget.charge(steps, fuel, "small-step")
+                expr = self.step(expr, mode, store, queue, box, counters)
         finally:
             # One counter update per run, not per step — the faithful
             # machine is slow enough without per-step bookkeeping.
@@ -301,9 +300,9 @@ class BigStep:
             while True:
                 steps += 1
                 if steps > fuel:
-                    raise FuelExhausted(
-                        "big-step budget of {} exhausted".format(fuel)
-                    )
+                    from ..resilience.supervisor import Budget
+
+                    Budget.charge(steps, fuel, "big-step")
                 if not is_value:
                     control, is_value, box = self._eval(
                         control, mode, store, queue, box, counters, stack

@@ -55,17 +55,49 @@ from ..obs.trace import NULL_TRACER
 
 def global_read_sets(code):
     """name → frozenset of globals each function may read (transitive)."""
+    return _transitive_sets(code, _direct_global_reads)
+
+
+def native_call_sets(code):
+    """name → frozenset of *natives* each function may call (transitive).
+
+    A native is any primitive operator not in the built-in signature
+    table — its implementation is host Python, invisible to the code
+    digests.  The set is what makes native-rebind invalidation precise:
+    when an update rebinds native ``n``, only memo entries produced by
+    functions that can reach ``n`` are suspect (see
+    :meth:`~repro.incremental.store.MemoStore.invalidate_natives`).
+    """
+    from ..core.prims import PRIM_SIGS
+
+    def direct(body):
+        return {
+            node.op
+            for node in ast.walk(body)
+            if isinstance(node, ast.Prim) and node.op not in PRIM_SIGS
+        }
+
+    return _transitive_sets(code, direct)
+
+
+def _direct_global_reads(body):
+    return {
+        node.name
+        for node in ast.walk(body)
+        if isinstance(node, ast.GlobalRead)
+    }
+
+
+def _transitive_sets(code, direct_of):
+    """Per-function facts closed over the transitive ``FunRef`` graph."""
     direct = {}
     references = {}
     for definition in code.functions():
-        reads = set()
         refs = set()
         for node in ast.walk(definition.body):
-            if isinstance(node, ast.GlobalRead):
-                reads.add(node.name)
-            elif isinstance(node, ast.FunRef):
+            if isinstance(node, ast.FunRef):
                 refs.add(node.name)
-        direct[definition.name] = reads
+        direct[definition.name] = set(direct_of(definition.body))
         references[definition.name] = refs
     # Transitive closure (the call graph is small; iterate to fixpoint).
     changed = True
@@ -73,11 +105,11 @@ def global_read_sets(code):
         changed = False
         for name, refs in references.items():
             for callee in refs:
-                callee_reads = direct.get(callee, frozenset())
-                if not callee_reads <= direct[name]:
-                    direct[name] |= callee_reads
+                callee_facts = direct.get(callee, frozenset())
+                if not callee_facts <= direct[name]:
+                    direct[name] |= callee_facts
                     changed = True
-    return {name: frozenset(reads) for name, reads in direct.items()}
+    return {name: frozenset(facts) for name, facts in direct.items()}
 
 
 def replay_items(items, counters):
@@ -137,6 +169,7 @@ class RenderMemo:
             raise ReproError("RenderMemo expects Code")
         self.code = code
         self._read_sets = global_read_sets(code)
+        self._native_sets = native_call_sets(code)
         self._digests = code_digests(code)
         self._eligible = {
             d.name
@@ -216,7 +249,10 @@ class RenderMemo:
         )
         self.memo_store.put(
             (digest, arg_value),
-            MemoEntry(digest, arg_value, reads, items, value, boxes),
+            MemoEntry(
+                digest, arg_value, reads, items, value, boxes,
+                natives=self._native_sets.get(name, frozenset()),
+            ),
         )
 
     def stats(self):

@@ -64,10 +64,10 @@ class MemoEntry:
     """
 
     __slots__ = ("digest", "arg", "reads", "items", "value", "boxes",
-                 "origin")
+                 "origin", "natives")
 
     def __init__(self, digest, arg, reads, items, value, boxes,
-                 origin=None):
+                 origin=None, natives=frozenset()):
         self.digest = digest
         self.arg = arg
         self.reads = reads
@@ -75,6 +75,7 @@ class MemoEntry:
         self.value = value          # the call's return value
         self.boxes = boxes          # boxes in ``items``, for replay stats
         self.origin = origin        # producing session, for shared stores
+        self.natives = natives      # native ops the producer may call
 
 
 class MemoStore:
@@ -118,6 +119,32 @@ class MemoStore:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_natives(self, names):
+        """Drop exactly the entries that may have called a rebound native.
+
+        Digests cannot see host Python, so when UPDATE rebinds a native
+        implementation the affected entries are stale with their keys
+        unchanged.  Each entry carries the (transitive) native call set
+        of the function that produced it, so invalidation is precise:
+        entries whose producers cannot reach any name in ``names``
+        survive the rebind.  Returns the number of entries dropped.
+        """
+        names = frozenset(names)
+        if not names:
+            return 0
+        with self._lock:
+            stale = [
+                key for key, entry in self._entries.items()
+                if entry.natives & names
+            ]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.tracer.add(
+                    "incremental.native_invalidations", len(stale)
+                )
+            return len(stale)
+
     def __len__(self):
         with self._lock:
             return len(self._entries)
@@ -146,9 +173,10 @@ class SessionMemoView:
     serialized metric counter) as ``cluster.memo.shared_hits`` — the
     measurable fact that one user's render warmed another's.
 
-    ``clear()`` clears the *shared* store: the only caller is the
-    native-rebind guard in UPDATE, whose reasoning ("digests cannot see
-    host Python") invalidates every session's entries equally.
+    ``clear()`` and ``invalidate_natives()`` act on the *shared* store:
+    their only caller is the native-rebind guard in UPDATE, whose
+    reasoning ("digests cannot see host Python") invalidates the
+    affected entries for every session equally.
     """
 
     __slots__ = ("store", "origin", "_count")
@@ -177,6 +205,9 @@ class SessionMemoView:
 
     def clear(self):
         self.store.clear()
+
+    def invalidate_natives(self, names):
+        return self.store.invalidate_natives(names)
 
     def __len__(self):
         return len(self.store)

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from ..core import ast
 from ..core.effects import Effect, PURE, RENDER, STATE
 from ..core.errors import ReproError, TypeProblem
-from ..eval.machine import BigStep
 from ..eval.values import from_python, to_python
 from ..surface import surface_ast as S
 from ..surface.lexer import tokenize
@@ -88,7 +87,10 @@ def _run_probe(session, expr, effect):
     store = system.state.store.copy()
     before = dict(store.items())
     queue = EventQueue()
-    machine = BigStep(
+    # A probe runs on the session's configured evaluator backend — a
+    # private instance, so probing can never disturb the live system's
+    # evaluator (or its memo view).
+    machine = system.backend.compile(
         system.code, natives=system.natives, services=system.services
     )
     result = ProbeResult(effect=effect)

@@ -98,6 +98,7 @@ class LiveSession:
         budget=None,
         chaos=None,
         supervised=False,
+        backend=None,
     ):
         self.host_impls = dict(host_impls or {})
         #: Shared observability hook (repro.obs) for the whole session:
@@ -119,6 +120,7 @@ class LiveSession:
             fault_policy=fault_policy,
             budget=budget,
             chaos=chaos,
+            backend=backend,
         )
         #: Resilience (repro.resilience): with ``supervised=True`` every
         #: live edit goes through a Supervisor — an update whose first

@@ -139,6 +139,13 @@ def save_image(session, meta=None):
             for page, value in state.stack.entries()
         ],
     }
+    # The evaluator backend is session configuration that should survive
+    # evict → rehydrate.  The default stays implicit, so tree-backend
+    # images are byte-identical to what they always were; custom backend
+    # *instances* have no registry name and stay per-process.
+    backend_name = session.runtime.system.backend_name
+    if backend_name not in (None, "tree"):
+        image["backend"] = backend_name
     # The fault history travels with the session: evicting a faulty
     # session to an image and rehydrating it must not launder its
     # record (the server's circuit breaker and the ``repro.resilience``
@@ -174,6 +181,12 @@ def load_image(data, host_impls=None, services=None, source=None,
     edit-while-suspended workflow.  Restoring runs the Fig. 12 fix-up
     against whatever code actually compiles, so state that no longer
     types is dropped (and reported on ``session.last_restore_report``).
+
+    The saved ``"backend"`` (when present) becomes the restored
+    session's evaluator backend; an explicit ``backend=`` keyword wins
+    over the image, which is how a host migrates a saved session onto a
+    different backend — the two produce byte-identical displays, so the
+    switch is invisible to the user.
     """
     if isinstance(data, str):
         data = json.loads(data)
@@ -185,6 +198,8 @@ def load_image(data, host_impls=None, services=None, source=None,
     from .system.fixup import fixup
     from .system.state import PageStack, Store
 
+    if session_kwargs.get("backend") is None and data.get("backend"):
+        session_kwargs["backend"] = data["backend"]
     session = LiveSession(
         source if source is not None else data["source"],
         host_impls=host_impls,

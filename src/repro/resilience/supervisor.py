@@ -25,7 +25,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.errors import EvalError, ReproError, UpdateRejected
+from ..core.errors import (
+    DeadlineExceeded,
+    EvalError,
+    FuelExhausted,
+    ReproError,
+    UpdateRejected,
+)
 from ..eval.machine import DEFAULT_FUEL
 from ..obs.trace import NULL_TRACER
 
@@ -51,6 +57,36 @@ class Budget:
             raise ReproError("budget fuel must be at least 1")
         if self.deadline is not None and self.deadline < 0:
             raise ReproError("budget deadline must be non-negative")
+
+    @staticmethod
+    def charge(steps, fuel, machine):
+        """The one fuel check every evaluation machine shares.
+
+        Raises :class:`~repro.core.errors.FuelExhausted` once ``steps``
+        exceeds ``fuel``; ``machine`` names the machine in the message
+        (``"small-step"`` / ``"big-step"`` / ``"compiled"``).  The
+        machines keep their own step *counting* in their hot loops and
+        delegate the raise here, so the message format and the boundary
+        condition cannot drift between backends.
+        """
+        if steps > fuel:
+            raise FuelExhausted(
+                "{} budget of {} exhausted".format(machine, fuel)
+            )
+
+    def check_deadline(self, rule, spent):
+        """The virtual-clock deadline check shared by all transitions.
+
+        ``spent`` is the virtual seconds one transition charged;
+        ``rule`` names it (``"THUNK"``, ``"RENDER"``, …) in the
+        :class:`~repro.core.errors.DeadlineExceeded` message.
+        """
+        deadline = self.deadline
+        if deadline is not None and spent > deadline:
+            raise DeadlineExceeded(
+                "{} charged {:.3f} virtual seconds; the budget allows "
+                "{:.3f}".format(rule, spent, deadline)
+            )
 
 
 #: The do-nothing budget: default fuel, no deadline.

@@ -139,6 +139,7 @@ class SessionHost:
         journal=None,
         memo_store=None,
         repair=None,
+        backend=None,
     ):
         if pool_size < 1:
             raise ReproError("pool_size must be at least 1")
@@ -150,6 +151,13 @@ class SessionHost:
         self._make_services = make_services or Services
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.session_kwargs = dict(session_kwargs or {})
+        #: Evaluator backend for every session (repro.eval.backends):
+        #: a registered name (``"tree"``/``"compiled"``) or an
+        #: :class:`~repro.eval.backends.EvalBackend`.  A ``backend`` in
+        #: ``session_kwargs`` takes precedence over this convenience
+        #: keyword; ``None`` leaves the sessions on their default.
+        if backend is not None:
+            self.session_kwargs.setdefault("backend", backend)
         #: Circuit breaker threshold: this many *consecutive* faulting
         #: operations quarantine a session (``None`` disables).  A
         #: quarantined session refuses interactions with the typed

@@ -67,6 +67,7 @@ class Runtime:
         tracer=None,
         budget=None,
         chaos=None,
+        backend=None,
     ):
         if fault_policy not in ("raise", "record"):
             raise ReproError(
@@ -89,6 +90,7 @@ class Runtime:
             tracer=self.tracer,
             budget=budget,
             chaos=chaos,
+            backend=backend,
         )
         self._started = False
         #: ``"raise"`` propagates handler/init faults to the caller (the

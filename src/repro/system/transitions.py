@@ -91,10 +91,24 @@ class System:
         tracer=None,
         budget=None,
         chaos=None,
+        backend=None,
     ):
         if not isinstance(code, Code):
             raise ReproError("System expects Code")
         self.natives = natives
+        #: Evaluator backend (repro.eval.backends): ``"tree"`` walks the
+        #: AST (the oracle), ``"compiled"`` lowers each code version to
+        #: Python closures once and reuses them.  ``faithful`` pins the
+        #: small-step machine and only pairs with the tree backend.
+        from ..eval.backends import resolve_backend
+
+        self.backend = resolve_backend(backend)
+        self.backend_name = self.backend.name
+        if faithful and self.backend_name not in (None, "tree"):
+            raise ReproError(
+                "faithful evaluation is the tree oracle; it cannot run "
+                "on backend {!r}".format(self.backend_name)
+            )
         #: Observability hook (repro.obs).  The default NullTracer makes
         #: every instrumentation point a no-op; a real Tracer records a
         #: span per fired transition plus the metric catalog.
@@ -178,8 +192,9 @@ class System:
         self._evaluator = self._make_evaluator(code)
         #: Host-side native implementations, by identity.  Digests hash
         #: program code only — they cannot see host Python — so if an
-        #: update rebinds a native to a *different* callable, every
-        #: surviving memo entry is suspect and the store is cleared.
+        #: update rebinds a native to a *different* callable, the memo
+        #: entries whose producers can reach that native are suspect and
+        #: are dropped (see :meth:`_invalidate_native_entries`).
         self._native_impls = self._snapshot_native_impls()
 
     def _snapshot_native_impls(self):
@@ -187,6 +202,19 @@ class System:
             name: self.natives.implementation(name)
             for name in self.natives.names()
         }
+
+    def _invalidate_native_entries(self, rebound):
+        """Drop memo entries that may have called a rebound native.
+
+        Stores grown before the ``natives`` stamp (or third-party ones)
+        may not implement the precise hook; those fall back to the old
+        conservative behaviour of clearing everything.
+        """
+        invalidate = getattr(self._memo_store, "invalidate_natives", None)
+        if invalidate is None:
+            self._memo_store.clear()
+        else:
+            invalidate(rebound)
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -205,7 +233,7 @@ class System:
                     code, store=self._memo_store, tracer=self.tracer
                 )
             self.render_memo = memo
-            evaluator = BigStep(
+            evaluator = self.backend.compile(
                 code, natives=self.natives, services=self.services,
                 memo=memo, tracer=self.tracer,
             )
@@ -217,17 +245,11 @@ class System:
 
     def _check_deadline(self, rule, virtual_before):
         """Enforce the budget's virtual-clock deadline for one transition."""
-        deadline = self.budget.deadline
-        if deadline is None:
+        if self.budget.deadline is None:
             return
-        spent = self.services.clock.now - virtual_before
-        if spent > deadline:
-            from ..core.errors import DeadlineExceeded
-
-            raise DeadlineExceeded(
-                "{} charged {:.3f} virtual seconds; the budget allows "
-                "{:.3f}".format(rule, spent, deadline)
-            )
+        self.budget.check_deadline(
+            rule, self.services.clock.now - virtual_before
+        )
 
     def _record(self, rule, detail="", started=None, span=None):
         self.trace.append(Transition(
@@ -556,16 +578,27 @@ class System:
             self._invalidate()
             if self._memo_store is not None:
                 impls = self._snapshot_native_impls()
-                if self._native_impls.keys() != impls.keys() or any(
-                    self._native_impls[name] is not impls[name]
-                    for name in impls
-                ):
-                    self._memo_store.clear()
+                old_impls = self._native_impls
+                rebound = frozenset(
+                    name
+                    for name in old_impls.keys() | impls.keys()
+                    if old_impls.get(name) is not impls.get(name)
+                )
+                if rebound:
+                    # Digests cannot see host Python, so entries touched
+                    # by a rebound native are stale under unchanged keys.
+                    self._invalidate_native_entries(rebound)
                 self._native_impls = impls
                 self.tracer.add(
                     "incremental.entries_carried", len(self._memo_store)
                 )
                 self._render_after_update = True
+            # Retire the outgoing evaluator before compiling the new
+            # code version (backends with compiled-unit caches free
+            # them here; duck-typed backends may omit the hook).
+            retire = getattr(self.backend, "invalidate", None)
+            if retire is not None:
+                retire(self._evaluator)
             self._evaluator = self._make_evaluator(new_code)
             if not report.clean:
                 span.annotate(

@@ -148,9 +148,11 @@ class TestWriteVersioning:
 
 
 class TestNativeIdentity:
-    SIG = PrimSig("shout", (STRING,), STRING, STATE, "uppercase")
+    SIG = PrimSig("shout", (STRING,), STRING, RENDER, "uppercase")
 
     def make_system(self, impl):
+        """Two memoized render helpers: ``view`` calls the native
+        ``shout``; ``plain`` is pure program code."""
         natives = NativeTable()
         natives.register(self.SIG, impl)
         view = FunDef(
@@ -158,7 +160,19 @@ class TestNativeIdentity:
             FunType(UNIT, UNIT, RENDER),
             ast.Lam(
                 "u", UNIT,
-                ast.Boxed(ast.Post(ast.Str("hello")), box_id=1),
+                ast.Boxed(
+                    ast.Post(ast.Prim("shout", (ast.Str("hello"),))),
+                    box_id=1,
+                ),
+                RENDER,
+            ),
+        )
+        plain = FunDef(
+            "plain",
+            FunType(UNIT, UNIT, RENDER),
+            ast.Lam(
+                "u", UNIT,
+                ast.Boxed(ast.Post(ast.Str("aside")), box_id=2),
                 RENDER,
             ),
         )
@@ -167,30 +181,45 @@ class TestNativeIdentity:
             ast.Lam("a", UNIT, ast.UNIT_VALUE, STATE),
             ast.Lam(
                 "a", UNIT,
-                ast.App(ast.FunRef("view"), ast.UNIT_VALUE),
+                ast.App(
+                    ast.Lam(
+                        "seq", UNIT,
+                        ast.App(ast.FunRef("plain"), ast.UNIT_VALUE),
+                        RENDER,
+                    ),
+                    ast.App(ast.FunRef("view"), ast.UNIT_VALUE),
+                ),
                 RENDER,
             ),
         )
         system = System(
-            Code([view, page]), natives=natives, memo_render=True
+            Code([view, plain, page]), natives=natives, memo_render=True
         )
         system.run_to_stable()
         return system
 
     def test_same_natives_entries_survive(self):
         system = self.make_system(lambda services, s: s.upper())
-        assert len(system._memo_store) == 1
+        assert len(system._memo_store) == 2
         system.update(system.code)
-        assert len(system._memo_store) == 1
+        assert len(system._memo_store) == 2
 
-    def test_rebound_native_clears_the_store(self):
+    def test_rebound_native_drops_exactly_the_calling_entries(self):
         system = self.make_system(lambda services, s: s.upper())
         natives = NativeTable()
         natives.register(self.SIG, lambda services, s: s.lower())
         # Digests hash program code only — they cannot see host Python —
-        # so rebinding an implementation makes every entry suspect.
+        # so rebinding an implementation invalidates every entry whose
+        # producer can reach the native... and no others: ``plain``
+        # never calls ``shout``, so its entry survives the rebind.
         system.update(system.code, natives=natives)
-        assert len(system._memo_store) == 0
+        assert len(system._memo_store) == 1
+        system._invalidate()
+        system.run_to_stable()
+        assert system.last_render_stats["hits"] == 1
+        assert system.last_render_stats["misses"] == 1
+        assert "HELLO" not in render_html(system.display)
+        assert "hello" in render_html(system.display)
 
 
 class TestMetricCatalog:
